@@ -1,0 +1,34 @@
+//! Ablation: the beyond-paper stable up-probe extension.
+//!
+//! After a congestion episode the paper's Eq. 9 cannot recover quality
+//! on a realtime stream (the buffer never banks a surplus). We run the
+//! supernode load experiment at a load that dips in and out of
+//! saturation and compare mean quality and satisfaction with and
+//! without the probe.
+
+use cloudfog_core::config::SystemParams;
+use cloudfog_core::systems::{supernode_load_experiment, LoadExperimentConfig, SystemKind};
+use cloudfog_sim::time::SimDuration;
+
+fn run(up_probe: Option<u32>) -> (f64, f64, u64) {
+    let p = supernode_load_experiment(LoadExperimentConfig {
+        kind: SystemKind::CloudFogAdapt,
+        groups: 8,
+        players_per_sn: 22, // hovering at the saturation knee
+        params: SystemParams { up_probe_after: up_probe, ..Default::default() },
+        horizon: SimDuration::from_secs(40),
+        seed: 12,
+        ..Default::default()
+    });
+    (p.satisfied_ratio, p.mean_continuity, p.quality_switches)
+}
+
+fn main() {
+    println!("== ablation: stable up-probe (beyond-paper extension) ==");
+    let (sat_off, cont_off, sw_off) = run(None);
+    let (sat_on, cont_on, sw_on) = run(Some(20));
+    println!("probe off: satisfied {:.1}%, continuity {:.1}%, {} switches", sat_off * 100.0, cont_off * 100.0, sw_off);
+    println!("probe on : satisfied {:.1}%, continuity {:.1}%, {} switches", sat_on * 100.0, cont_on * 100.0, sw_on);
+    println!("verdict: the probe trades a few more switches for quality recovery after");
+    println!("congestion episodes; at a persistent knee the two are comparable.");
+}

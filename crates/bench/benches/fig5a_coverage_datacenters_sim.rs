@@ -1,0 +1,32 @@
+//! Figure 5(a): user coverage vs number of datacenters (PeerSim).
+//!
+//! Pure cloud gaming; datacenters swept 5 → 25, latency requirements
+//! 30 → 110 ms. The paper's findings: more datacenters increase
+//! coverage, stricter requirements decrease it, and the marginal gain
+//! of extra datacenters flattens out.
+
+use cloudfog_bench::{figures, pct, RunScale, Table};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let dcs = [5usize, 10, 15, 20, 25];
+    let series = figures::coverage_vs_datacenters(&scale.peersim(), &dcs, scale.seed);
+
+    let mut t = Table::new(format!(
+        "Figure 5(a) — coverage vs #datacenters (PeerSim, {} players)",
+        scale.peersim().population.players
+    ))
+    .headers(
+        std::iter::once("requirement".to_string())
+            .chain(series.iter().map(|s| s.label.clone())),
+    )
+    .paper_shape("coverage rises with datacenters but saturates; stricter requirement ⇒ lower coverage");
+    for (i, &req) in figures::REQUIREMENTS_MS.iter().enumerate() {
+        t.row(
+            std::iter::once(format!("{req} ms"))
+                .chain(series.iter().map(|s| pct(s.points[i].coverage))),
+        );
+    }
+    t.print();
+    t.maybe_write_csv("fig5a");
+}

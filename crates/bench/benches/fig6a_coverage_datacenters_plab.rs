@@ -1,0 +1,27 @@
+//! Figure 6(a): user coverage vs number of datacenters (PlanetLab).
+//!
+//! Same sweep as 5(a) on the 750-host PlanetLab-profile universe with
+//! the paper's Princeton/UCLA base sites.
+
+use cloudfog_bench::{figures, pct, RunScale, Table};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let dcs = [2usize, 5, 10, 15, 20];
+    let series = figures::coverage_vs_datacenters(&scale.planetlab(), &dcs, scale.seed);
+
+    let mut t = Table::new("Figure 6(a) — coverage vs #datacenters (PlanetLab, 750 hosts)")
+        .headers(
+            std::iter::once("requirement".to_string())
+                .chain(series.iter().map(|s| s.label.clone())),
+        )
+        .paper_shape("same trend as Fig. 5(a): gains from extra datacenters flatten");
+    for (i, &req) in figures::REQUIREMENTS_MS.iter().enumerate() {
+        t.row(
+            std::iter::once(format!("{req} ms"))
+                .chain(series.iter().map(|s| pct(s.points[i].coverage))),
+        );
+    }
+    t.print();
+    t.maybe_write_csv("fig6a");
+}

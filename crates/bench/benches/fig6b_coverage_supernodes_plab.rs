@@ -1,0 +1,26 @@
+//! Figure 6(b): user coverage vs number of supernodes (PlanetLab).
+//!
+//! 2 datacenters (Princeton, UCLA) fixed; supernodes swept 0 → 300.
+
+use cloudfog_bench::{figures, pct, RunScale, Table};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let sweep = [0usize, 50, 100, 200, 300];
+    let series = figures::coverage_vs_supernodes(&scale.planetlab(), &sweep, scale.seed);
+
+    let mut t = Table::new("Figure 6(b) — coverage vs #supernodes (PlanetLab, 750 hosts, 2 DCs)")
+        .headers(
+            std::iter::once("requirement".to_string())
+                .chain(series.iter().map(|s| s.label.clone())),
+        )
+        .paper_shape("deploying supernodes is an effective alternative to building datacenters");
+    for (i, &req) in figures::REQUIREMENTS_MS.iter().enumerate() {
+        t.row(
+            std::iter::once(format!("{req} ms"))
+                .chain(series.iter().map(|s| pct(s.points[i].coverage))),
+        );
+    }
+    t.print();
+    t.maybe_write_csv("fig6b");
+}

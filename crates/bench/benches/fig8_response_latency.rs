@@ -1,0 +1,31 @@
+//! Figure 8: average response latency per system.
+//!
+//! The paper: Cloud > EdgeCloud > CloudFog/B > CloudFog/A.
+
+use cloudfog_bench::{figures, ms, pct, RunScale, Table};
+use cloudfog_core::systems::SystemKind;
+
+fn main() {
+    let scale = RunScale::from_env();
+    let players = scale.peersim().population.players;
+    let runs = figures::latency_by_system(players, &scale);
+
+    let mut t = Table::new(format!("Figure 8 — average response latency ({players} players)"))
+        .headers(["system", "mean latency", "coverage", "fog share"])
+        .paper_shape("Cloud > EdgeCloud > CloudFog/B > CloudFog/A");
+    for r in &runs {
+        t.row([r.kind.label().to_string(), ms(r.mean_latency_ms), pct(r.coverage), pct(r.fog_share)]);
+    }
+    t.print();
+    t.maybe_write_csv("fig8");
+
+    let at = |k: SystemKind| runs.iter().find(|r| r.kind == k).map(|r| r.mean_latency_ms).unwrap();
+    let order = [
+        ("Cloud > EdgeCloud", at(SystemKind::Cloud) > at(SystemKind::EdgeCloud)),
+        ("EdgeCloud > CloudFog/B", at(SystemKind::EdgeCloud) > at(SystemKind::CloudFogB)),
+        ("CloudFog/B >= CloudFog/A", at(SystemKind::CloudFogB) >= at(SystemKind::CloudFogA)),
+    ];
+    for (label, ok) in order {
+        println!("shape check: {label}: {}", if ok { "REPRODUCED" } else { "NOT REPRODUCED" });
+    }
+}

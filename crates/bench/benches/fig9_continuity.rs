@@ -1,0 +1,46 @@
+//! Figure 9: average playback continuity vs number of players.
+//!
+//! The paper: CloudFog/A > CloudFog/B > EdgeCloud > Cloud, with
+//! CloudFog/A above 90 % on average.
+
+use cloudfog_bench::{figures, pct, RunScale, Table};
+use cloudfog_core::systems::SystemKind;
+
+fn main() {
+    let scale = RunScale::from_env();
+    let base = scale.peersim().population.players;
+    let counts: Vec<usize> =
+        [0.5, 1.0].iter().map(|f| ((base as f64 * f) as usize).max(20)).collect();
+    let runs = figures::continuity_vs_players(&counts, &scale);
+
+    let mut t = Table::new("Figure 9 — playback continuity vs #players")
+        .headers(["system", "players", "continuity", "satisfied"])
+        .paper_shape("CloudFog/A > CloudFog/B > EdgeCloud > Cloud; CloudFog/A > 90%");
+    for r in &runs {
+        t.row([
+            r.kind.label().to_string(),
+            r.players.to_string(),
+            pct(r.mean_continuity),
+            pct(r.satisfied_ratio),
+        ]);
+    }
+    t.print();
+    t.maybe_write_csv("fig9");
+
+    let at = |k: SystemKind| {
+        runs.iter()
+            .filter(|r| r.kind == k)
+            .max_by_key(|r| r.players)
+            .map(|r| r.mean_continuity)
+            .unwrap()
+    };
+    let checks = [
+        ("CloudFog/A >= CloudFog/B", at(SystemKind::CloudFogA) >= at(SystemKind::CloudFogB) - 0.02),
+        ("CloudFog/B > EdgeCloud", at(SystemKind::CloudFogB) > at(SystemKind::EdgeCloud)),
+        ("EdgeCloud > Cloud", at(SystemKind::EdgeCloud) > at(SystemKind::Cloud)),
+        ("CloudFog/A > 0.9", at(SystemKind::CloudFogA) > 0.9),
+    ];
+    for (label, ok) in checks {
+        println!("shape check: {label}: {}", if ok { "REPRODUCED" } else { "NOT REPRODUCED" });
+    }
+}

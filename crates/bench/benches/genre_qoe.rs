@@ -1,0 +1,40 @@
+//! Per-genre QoE breakdown — the paper's motivating observation that
+//! "different games have different tolerance on packet loss rate and
+//! response delay", measured end to end.
+//!
+//! Also explains the Fig. 9 absolute-value note in EXPERIMENTS.md:
+//! the macro-average continuity is dragged by the tightest-budget
+//! games, which no infrastructure can satisfy once per-leg access
+//! latency exceeds their requirement.
+
+use cloudfog_bench::{ms, pct, RunScale, Table};
+use cloudfog_core::systems::{StreamingSim, StreamingSimConfig, SystemKind};
+use cloudfog_sim::time::SimDuration;
+use cloudfog_workload::games::GAMES;
+
+fn main() {
+    let scale = RunScale::from_env();
+    for kind in [SystemKind::Cloud, SystemKind::CloudFogA] {
+        let mut cfg =
+            StreamingSimConfig::quick(kind, scale.peersim().population.players, scale.seed);
+        cfg.ramp = SimDuration::from_secs((scale.secs / 4).max(5));
+        cfg.horizon = SimDuration::from_secs(scale.secs);
+        let s = StreamingSim::run(cfg);
+
+        let mut t = Table::new(format!("per-genre QoE — {}", kind.label()))
+            .headers(["game", "budget", "players", "continuity", "satisfied", "latency"])
+            .paper_shape("lax-budget games enjoy high QoE; the 30 ms game is the hard one");
+        for row in &s.game_breakdown {
+            let game = GAMES[row.game.index()];
+            t.row([
+                game.name.to_string(),
+                format!("{} ms", game.latency_requirement_ms),
+                row.players.to_string(),
+                pct(row.continuity),
+                pct(row.satisfied),
+                ms(row.latency_ms),
+            ]);
+        }
+        t.print();
+    }
+}

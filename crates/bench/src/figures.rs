@@ -1,0 +1,321 @@
+//! Data generation for every table and figure in the paper's §IV.
+//!
+//! Each function regenerates one figure's series using the same
+//! modules the library exposes; the `harness = false` bench targets
+//! print these through [`crate::report::Table`]. All sweeps run the
+//! independent (system × parameter) cells in parallel with rayon —
+//! each cell is a self-contained deterministic simulation.
+//!
+//! Scale: by default runs use a reduced universe (set by
+//! [`RunScale::from_env`]) so `cargo bench` finishes in minutes;
+//! `CLOUDFOG_SCALE=1.0 CLOUDFOG_SECS=120` reproduces closer to paper
+//! scale at proportional cost.
+
+use cloudfog_core::config::{ExperimentProfile, SystemParams};
+use cloudfog_core::systems::{
+    coverage_curve, supernode_load_experiment, CoveragePoint, LoadExperimentConfig, LoadPoint,
+    RunSummary, StreamingSim, StreamingSimConfig, SystemKind,
+};
+use cloudfog_sim::time::SimDuration;
+use rayon::prelude::*;
+
+/// Scale knobs for a reproduction run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunScale {
+    /// Fraction of the paper's PeerSim universe (1.0 = 10 000 players).
+    pub scale: f64,
+    /// Simulated seconds per streaming run.
+    pub secs: u64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl RunScale {
+    /// Default: 6 % universe (600 players), 40 simulated seconds.
+    pub fn default_small() -> Self {
+        RunScale { scale: 0.06, secs: 40, seed: 20150701 }
+    }
+
+    /// Read `CLOUDFOG_SCALE`, `CLOUDFOG_SECS`, `CLOUDFOG_SEED` from the
+    /// environment, falling back to [`RunScale::default_small`].
+    pub fn from_env() -> Self {
+        let mut s = Self::default_small();
+        if let Ok(v) = std::env::var("CLOUDFOG_SCALE") {
+            if let Ok(f) = v.parse::<f64>() {
+                s.scale = f.clamp(0.001, 1.0);
+            }
+        }
+        if let Ok(v) = std::env::var("CLOUDFOG_SECS") {
+            if let Ok(n) = v.parse::<u64>() {
+                s.secs = n.max(5);
+            }
+        }
+        if let Ok(v) = std::env::var("CLOUDFOG_SEED") {
+            if let Ok(n) = v.parse::<u64>() {
+                s.seed = n;
+            }
+        }
+        s
+    }
+
+    /// The PeerSim profile at this scale.
+    pub fn peersim(&self) -> ExperimentProfile {
+        ExperimentProfile::peersim(self.scale)
+    }
+
+    /// The PlanetLab profile (fixed size: 750 hosts).
+    pub fn planetlab(&self) -> ExperimentProfile {
+        ExperimentProfile::planetlab()
+    }
+
+    /// Supernode count scaled the way the profile scales.
+    pub fn scaled(&self, full: usize) -> usize {
+        ((full as f64 * self.scale).round() as usize).max(1)
+    }
+}
+
+/// The latency requirements the paper sweeps in Figures 5 and 6.
+pub const REQUIREMENTS_MS: [u32; 5] = [30, 50, 70, 90, 110];
+
+/// One coverage series: a label plus its points.
+#[derive(Clone, Debug)]
+pub struct CoverageSeries {
+    /// Series label (e.g. "5 datacenters").
+    pub label: String,
+    /// Points at each requirement.
+    pub points: Vec<CoveragePoint>,
+}
+
+/// Figures 5(a)/6(a): coverage vs number of datacenters for each
+/// latency requirement, pure cloud (no supernodes).
+pub fn coverage_vs_datacenters(
+    profile: &ExperimentProfile,
+    datacenters: &[usize],
+    seed: u64,
+) -> Vec<CoverageSeries> {
+    let params = SystemParams::default();
+    datacenters
+        .par_iter()
+        .map(|&k| CoverageSeries {
+            label: format!("{k} datacenters"),
+            points: coverage_curve(
+                SystemKind::Cloud,
+                profile,
+                &REQUIREMENTS_MS,
+                seed,
+                Some(k),
+                None,
+                &params,
+            ),
+        })
+        .collect()
+}
+
+/// Figures 5(b)/6(b): coverage vs number of supernodes (default
+/// datacenter count) for each latency requirement.
+pub fn coverage_vs_supernodes(
+    profile: &ExperimentProfile,
+    supernodes: &[usize],
+    seed: u64,
+) -> Vec<CoverageSeries> {
+    let params = SystemParams::default();
+    supernodes
+        .par_iter()
+        .map(|&m| {
+            let (kind, over) = if m == 0 {
+                (SystemKind::Cloud, None)
+            } else {
+                (SystemKind::CloudFogB, Some(m))
+            };
+            CoverageSeries {
+                label: format!("{m} supernodes"),
+                points: coverage_curve(
+                    kind,
+                    profile,
+                    &REQUIREMENTS_MS,
+                    seed,
+                    None,
+                    over,
+                    &params,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Run the streaming simulation for one (system, player-count) cell,
+/// averaged over `CLOUDFOG_REPS` seeds (default 3) — the §IV
+/// friend-majority game choice cascades populations toward one game,
+/// so single-seed cells are noisy.
+pub fn streaming_cell(kind: SystemKind, players: usize, scale: &RunScale) -> RunSummary {
+    let reps: u64 = std::env::var("CLOUDFOG_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let runs: Vec<RunSummary> = (0..reps)
+        .into_par_iter()
+        .map(|r| {
+            let mut cfg = StreamingSimConfig::quick(kind, players, scale.seed ^ (r * 0x9E37));
+            cfg.ramp = SimDuration::from_secs((scale.secs / 4).max(5));
+            cfg.horizon = SimDuration::from_secs(scale.secs);
+            StreamingSim::run(cfg)
+        })
+        .collect();
+    average_runs(&runs)
+}
+
+/// Field-wise mean of several run summaries (same kind/player count).
+pub fn average_runs(runs: &[RunSummary]) -> RunSummary {
+    assert!(!runs.is_empty());
+    let n = runs.len() as f64;
+    let mean = |f: &dyn Fn(&RunSummary) -> f64| runs.iter().map(f).sum::<f64>() / n;
+    RunSummary {
+        kind: runs[0].kind,
+        players: runs[0].players,
+        fog_share: mean(&|r| r.fog_share),
+        satisfied_ratio: mean(&|r| r.satisfied_ratio),
+        mean_continuity: mean(&|r| r.mean_continuity),
+        mean_latency_ms: mean(&|r| r.mean_latency_ms),
+        coverage: mean(&|r| r.coverage),
+        cloud_bytes: (runs.iter().map(|r| r.cloud_bytes).sum::<u64>() as f64 / n) as u64,
+        cloud_mbps: mean(&|r| r.cloud_mbps),
+        supernode_bytes: (runs.iter().map(|r| r.supernode_bytes).sum::<u64>() as f64 / n) as u64,
+        edge_bytes: (runs.iter().map(|r| r.edge_bytes).sum::<u64>() as f64 / n) as u64,
+        scheduler_drops: (runs.iter().map(|r| r.scheduler_drops).sum::<u64>() as f64 / n) as u64,
+        failures_injected: runs.iter().map(|r| r.failures_injected).sum::<u64>() / runs.len() as u64,
+        failovers_rescued: runs.iter().map(|r| r.failovers_rescued).sum::<u64>() / runs.len() as u64,
+        events: runs.iter().map(|r| r.events).sum::<u64>() / runs.len() as u64,
+        // Per-game rows don't average cleanly across seeds (different
+        // game populations); drop them for averaged cells.
+        game_breakdown: Vec::new(),
+    }
+}
+
+/// Figure 7: cloud bandwidth vs number of players, for Cloud,
+/// EdgeCloud and CloudFog/B.
+pub fn bandwidth_vs_players(player_counts: &[usize], scale: &RunScale) -> Vec<RunSummary> {
+    let systems = [SystemKind::Cloud, SystemKind::EdgeCloud, SystemKind::CloudFogB];
+    let cells: Vec<(SystemKind, usize)> = systems
+        .iter()
+        .flat_map(|&s| player_counts.iter().map(move |&n| (s, n)))
+        .collect();
+    cells
+        .par_iter()
+        .map(|&(kind, n)| streaming_cell(kind, n, scale))
+        .collect()
+}
+
+/// Figure 8: average response latency per system at the default scale.
+pub fn latency_by_system(players: usize, scale: &RunScale) -> Vec<RunSummary> {
+    let systems = [
+        SystemKind::Cloud,
+        SystemKind::EdgeCloud,
+        SystemKind::CloudFogB,
+        SystemKind::CloudFogA,
+    ];
+    systems
+        .par_iter()
+        .map(|&kind| streaming_cell(kind, players, scale))
+        .collect()
+}
+
+/// Figure 9: playback continuity vs number of players, per system.
+pub fn continuity_vs_players(player_counts: &[usize], scale: &RunScale) -> Vec<RunSummary> {
+    let systems = [
+        SystemKind::Cloud,
+        SystemKind::EdgeCloud,
+        SystemKind::CloudFogB,
+        SystemKind::CloudFogA,
+    ];
+    let cells: Vec<(SystemKind, usize)> = systems
+        .iter()
+        .flat_map(|&s| player_counts.iter().map(move |&n| (s, n)))
+        .collect();
+    cells
+        .par_iter()
+        .map(|&(kind, n)| streaming_cell(kind, n, scale))
+        .collect()
+}
+
+/// The per-supernode loads the paper sweeps in Figures 10 and 11.
+pub const LOADS: [usize; 6] = [5, 10, 15, 20, 25, 30];
+
+/// Figures 10/11: satisfied players vs per-supernode load for a pair
+/// of system variants (B vs adapt, or B vs schedule).
+pub fn load_sweep(kinds: &[SystemKind], scale: &RunScale) -> Vec<(SystemKind, Vec<LoadPoint>)> {
+    kinds
+        .par_iter()
+        .map(|&kind| {
+            let points: Vec<LoadPoint> = LOADS
+                .par_iter()
+                .map(|&k| {
+                    supernode_load_experiment(LoadExperimentConfig {
+                        kind,
+                        groups: 8,
+                        players_per_sn: k,
+                        horizon: SimDuration::from_secs(scale.secs.min(30)),
+                        seed: scale.seed,
+                        ..Default::default()
+                    })
+                })
+                .collect();
+            (kind, points)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_runs_is_fieldwise_mean() {
+        let scale = RunScale { scale: 0.02, secs: 8, seed: 3 };
+        let a = {
+            let mut cfg = StreamingSimConfig::quick(SystemKind::Cloud, 100, 3);
+            cfg.horizon = SimDuration::from_secs(8);
+            StreamingSim::run(cfg)
+        };
+        let b = {
+            let mut cfg = StreamingSimConfig::quick(SystemKind::Cloud, 100, 4);
+            cfg.horizon = SimDuration::from_secs(8);
+            StreamingSim::run(cfg)
+        };
+        let avg = average_runs(&[a.clone(), b.clone()]);
+        assert_eq!(avg.kind, a.kind);
+        assert!((avg.mean_latency_ms - (a.mean_latency_ms + b.mean_latency_ms) / 2.0).abs() < 1e-9);
+        assert_eq!(avg.cloud_bytes, (a.cloud_bytes + b.cloud_bytes) / 2);
+        let _ = scale;
+    }
+
+    #[test]
+    fn env_scale_defaults() {
+        let s = RunScale::default_small();
+        assert!(s.scale > 0.0 && s.scale <= 1.0);
+        assert!(s.secs >= 5);
+        assert_eq!(s.scaled(600), 36);
+    }
+
+    #[test]
+    fn coverage_sweep_smoke() {
+        let scale = RunScale { scale: 0.02, secs: 10, seed: 1 };
+        let series = coverage_vs_datacenters(&scale.peersim(), &[2, 10], 1);
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.points.len(), REQUIREMENTS_MS.len());
+        }
+        // More datacenters ⇒ weakly better coverage at every req.
+        for (a, b) in series[0].points.iter().zip(&series[1].points) {
+            assert!(b.coverage >= a.coverage - 0.05, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn load_sweep_smoke() {
+        let scale = RunScale { scale: 0.02, secs: 8, seed: 2 };
+        let out = load_sweep(&[SystemKind::CloudFogB], &scale);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.len(), LOADS.len());
+    }
+}

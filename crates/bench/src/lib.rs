@@ -1,0 +1,36 @@
+//! # cloudfog-bench
+//!
+//! Reproduction harnesses for every table and figure in the CloudFog
+//! paper's evaluation (§IV), plus criterion microbenchmarks of the
+//! engine and the two QoE strategies.
+//!
+//! Run them all with `cargo bench` from the workspace root. Each
+//! `benches/fig*.rs` target is `harness = false`: it prints the same
+//! series the corresponding paper figure reports and states the
+//! qualitative "paper shape" it reproduces. Scale with
+//! `CLOUDFOG_SCALE` / `CLOUDFOG_SECS` / `CLOUDFOG_SEED`.
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `fig2_quality_table` | Fig. 2 quality-level table |
+//! | `fig5a_coverage_datacenters_sim` | Fig. 5(a), PeerSim |
+//! | `fig5b_coverage_supernodes_sim` | Fig. 5(b), PeerSim |
+//! | `fig6a_coverage_datacenters_plab` | Fig. 6(a), PlanetLab |
+//! | `fig6b_coverage_supernodes_plab` | Fig. 6(b), PlanetLab |
+//! | `fig7_bandwidth` | Fig. 7(a/b) cloud bandwidth vs players |
+//! | `fig8_response_latency` | Fig. 8(a/b) latency per system |
+//! | `fig9_continuity` | Fig. 9(a/b) continuity vs players |
+//! | `fig10_rate_adaptation` | Fig. 10(a/b) adapt vs B |
+//! | `fig11_buffer_scheduling` | Fig. 11(a/b) schedule vs B |
+//! | `econ_model` | §III-A economics (Eqs. 1–6) |
+//! | `ablation_*` | design-choice ablations (DESIGN.md §4) |
+//! | `micro` | criterion microbenchmarks |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod report;
+
+pub use figures::{RunScale, LOADS, REQUIREMENTS_MS};
+pub use report::{mbps, ms, pct, Table};

@@ -1,0 +1,165 @@
+//! Plain-text table rendering for the figure reproductions.
+//!
+//! Every bench target prints one or more [`Table`]s: the same rows or
+//! series the paper's figure reports, plus a `paper shape` note that
+//! states what qualitative result the run is expected to reproduce.
+
+use std::fmt::Write as _;
+
+/// A rendered table: title, column headers, string rows.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Title line printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row should match `headers.len()`).
+    pub rows: Vec<Vec<String>>,
+    /// Qualitative expectation from the paper, printed under the table.
+    pub paper_shape: String,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>) -> Self {
+        Table { title: title.into(), ..Default::default() }
+    }
+
+    /// Set headers.
+    pub fn headers<S: Into<String>>(mut self, headers: impl IntoIterator<Item = S>) -> Self {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Set the paper-shape note.
+    pub fn paper_shape(mut self, shape: impl Into<String>) -> Self {
+        self.paper_shape = shape.into();
+        self
+    }
+
+    /// Append one row.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        if !self.headers.is_empty() {
+            let _ = writeln!(out, "{}", line(&self.headers, &widths));
+            let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        if !self.paper_shape.is_empty() {
+            let _ = writeln!(out, "paper shape: {}", self.paper_shape);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+
+    /// Render as CSV (header row + data rows; commas in cells are
+    /// replaced with semicolons — the tables never need quoting).
+    pub fn to_csv(&self) -> String {
+        let clean = |c: &str| c.replace(',', ";");
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| clean(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| clean(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// When `CLOUDFOG_CSV` is set, also write the table as
+    /// `target/figures/<slug>.csv` so runs leave machine-readable
+    /// artifacts behind. Errors are reported but non-fatal.
+    pub fn maybe_write_csv(&self, slug: &str) {
+        if std::env::var_os("CLOUDFOG_CSV").is_none() {
+            return;
+        }
+        let dir = std::path::Path::new("target").join("figures");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("csv: cannot create {dir:?}: {e}");
+            return;
+        }
+        let path = dir.join(format!("{slug}.csv"));
+        match std::fs::write(&path, self.to_csv()) {
+            Ok(()) => println!("csv: wrote {}", path.display()),
+            Err(e) => eprintln!("csv: cannot write {path:?}: {e}"),
+        }
+    }
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format milliseconds with one decimal.
+pub fn ms(x: f64) -> String {
+    format!("{x:.1}ms")
+}
+
+/// Format Mbps with two decimals.
+pub fn mbps(x: f64) -> String {
+    format!("{x:.2}Mbps")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo").headers(["a", "long-header"]).paper_shape("x > y");
+        t.row(["1", "2"]);
+        t.row(["100", "20000"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("paper shape: x > y"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and rows share the same width.
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new("x").headers(["a", "b"]);
+        t.row(["1", "2,5"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2;5\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(ms(81.25), "81.2ms");
+        assert_eq!(mbps(1.5), "1.50Mbps");
+    }
+}

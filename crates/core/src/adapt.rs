@@ -1,0 +1,419 @@
+//! Receiver-driven encoding rate adaptation (§III-B, Eqs. 7–11).
+//!
+//! The player watches its playout buffer. With segment size τ and
+//! buffered bytes `s(t_k)` estimated by Eq. 7,
+//!
+//! ```text
+//! s(t_k) = s(t_{k−1}) + (t_k − t_{k−1})·(d(t_k) − b_p(t_k))
+//! r      = s(t_k) / τ                                   (Eq. 8)
+//! ```
+//!
+//! the controller adjusts the *encoding* quality the supernode uses:
+//!
+//! * up one level when `r > (1 + β)/ρ` (Eqs. 9–10) — there is enough
+//!   buffered video that even the bigger segments of the next level
+//!   keep playback continuous;
+//! * down one level when `r < θ/ρ` (Eq. 11) — congestion is eating
+//!   the buffer, sacrifice quality for continuity.
+//!
+//! ρ is the game's latency tolerance: latency-sensitive games (small
+//! ρ) need a *larger* buffer before risking an up-switch and bail out
+//! to lower quality *earlier* — both thresholds divide by ρ.
+//!
+//! To avoid oscillation the paper requires the condition to hold for
+//! several consecutive estimations; [`RateController`] implements that
+//! with a run counter.
+//!
+//! ## Beyond the paper: the stable up-probe
+//!
+//! Eq. 9's up-switch needs the buffer to *grow*, i.e. download faster
+//! than real time — but a cloud-gaming source generates video in real
+//! time, so after a congestion episode ends a stream can be healthy
+//! forever (d ≈ 1, r ≈ 1) without ever banking the surplus the rule
+//! demands, and quality never recovers. The opt-in
+//! [`RateController::with_up_probe`] extension fixes that: after `n`
+//! consecutive estimations inside the stable band with r ≥ 1, the
+//! controller probes one level up; if the probe overloads the path,
+//! the ordinary down rule pulls it back within a window.
+
+use cloudfog_sim::time::{SimDuration, SimTime};
+use cloudfog_workload::games::{adjust_up_factor, Game, QualityLevel};
+
+/// What the controller wants done with the encoding rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RateDecision {
+    /// Keep the current quality level.
+    Hold,
+    /// Increase one quality level (to the returned level).
+    Up(u8),
+    /// Decrease one quality level (to the returned level).
+    Down(u8),
+}
+
+/// The receiver-side rate adaptation state machine for one stream.
+#[derive(Clone, Debug)]
+pub struct RateController {
+    /// Current encoding quality level.
+    quality: QualityLevel,
+    /// Ceiling: the game's max level (from its latency requirement).
+    max_quality: QualityLevel,
+    /// Adjust-up factor β (Eq. 10) — a property of the level table.
+    beta: f64,
+    /// Adjust-down threshold θ.
+    theta: f64,
+    /// Latency tolerance degree ρ of the game.
+    rho: f64,
+    /// Estimations the condition must hold for consecutively.
+    window: u32,
+    /// Buffer estimate s(t) in *seconds of video* (bytes/bitrate
+    /// normalization makes τ the unit; see [`RateController::observe`]).
+    buffered: f64,
+    /// Last estimation instant.
+    last_at: Option<SimTime>,
+    /// Consecutive up-condition hits.
+    up_run: u32,
+    /// Consecutive down-condition hits.
+    down_run: u32,
+    /// Opt-in extension: probe a level up after this many consecutive
+    /// stable estimations with r ≥ 1 (`None` = paper-faithful).
+    up_probe_after: Option<u32>,
+    /// Consecutive stable (in-band, r ≥ 1) estimations.
+    stable_run: u32,
+}
+
+impl RateController {
+    /// A controller for `game` starting at the game's maximum quality.
+    pub fn new(game: &Game, theta: f64, window: u32) -> Self {
+        let max_quality = game.max_quality();
+        RateController {
+            quality: max_quality,
+            max_quality,
+            beta: adjust_up_factor(),
+            theta,
+            rho: game.latency_tolerance,
+            window: window.max(1),
+            buffered: 0.0,
+            last_at: None,
+            up_run: 0,
+            down_run: 0,
+            up_probe_after: None,
+            stable_run: 0,
+        }
+    }
+
+    /// Enable the stable up-probe extension (see module docs): after
+    /// `stable_estimations` consecutive in-band estimations with
+    /// r ≥ 1, probe one quality level up.
+    pub fn with_up_probe(mut self, stable_estimations: u32) -> Self {
+        self.up_probe_after = Some(stable_estimations.max(1));
+        self
+    }
+
+    /// Current encoding quality.
+    pub fn quality(&self) -> QualityLevel {
+        self.quality
+    }
+
+    /// The up threshold `(1 + β)/ρ` in segment counts.
+    pub fn up_threshold(&self) -> f64 {
+        (1.0 + self.beta) / self.rho
+    }
+
+    /// The down threshold `θ/ρ` in segment counts.
+    pub fn down_threshold(&self) -> f64 {
+        self.theta / self.rho
+    }
+
+    /// Current buffer estimate in segments (`r` of Eq. 8).
+    pub fn r(&self, segment_duration: SimDuration) -> f64 {
+        self.buffered / segment_duration.as_secs_f64()
+    }
+
+    /// Seed the buffer estimate with a startup prebuffer of
+    /// `segments` segments (clients buffer ahead before playing).
+    pub fn prime(&mut self, segments: f64, segment_duration: SimDuration) {
+        self.buffered = segments * segment_duration.as_secs_f64();
+    }
+
+    /// Feed one estimation step (Eq. 7) and apply Eqs. 9–11.
+    ///
+    /// * `now` — estimation instant t_k;
+    /// * `download_rate` — d(t_k), in units of *video-seconds fetched
+    ///   per wall second* (bytes/s ÷ current bitrate);
+    /// * `playback_rate` — b_p(t_k), video-seconds consumed per wall
+    ///   second (1.0 while playing, 0.0 while stalled);
+    /// * `segment_duration` — τ.
+    pub fn observe(
+        &mut self,
+        now: SimTime,
+        download_rate: f64,
+        playback_rate: f64,
+        segment_duration: SimDuration,
+    ) -> RateDecision {
+        if let Some(prev) = self.last_at {
+            let dt = now.saturating_since(prev).as_secs_f64();
+            // Clamp: a real client buffer is bounded (two segments of
+            // look-ahead credit — more would let one catch-up burst
+            // bank enough surplus to flap straight back up), and never
+            // negative.
+            let cap = 2.0 * segment_duration.as_secs_f64();
+            self.buffered =
+                (self.buffered + dt * (download_rate - playback_rate)).clamp(0.0, cap);
+        }
+        self.last_at = Some(now);
+        self.evaluate(segment_duration)
+    }
+
+    /// Apply Eqs. 9–11 (with hysteresis) to the *current* buffer
+    /// estimate without touching it — the entry point for event-driven
+    /// simulations that maintain the buffer via
+    /// [`RateController::on_segment_arrival`] /
+    /// [`RateController::on_playback`].
+    pub fn evaluate(&mut self, segment_duration: SimDuration) -> RateDecision {
+        let r = self.r(segment_duration);
+        if r > self.up_threshold() {
+            self.up_run += 1;
+            self.down_run = 0;
+            self.stable_run = 0;
+        } else if r < self.down_threshold() {
+            self.down_run += 1;
+            self.up_run = 0;
+            self.stable_run = 0;
+        } else {
+            self.up_run = 0;
+            self.down_run = 0;
+            if r >= 1.0 {
+                self.stable_run += 1;
+            } else {
+                self.stable_run = 0;
+            }
+        }
+
+        // Extension: probe up after sustained healthy stability.
+        if let Some(n) = self.up_probe_after {
+            if self.stable_run >= n {
+                self.stable_run = 0;
+                if self.quality.level < self.max_quality.level {
+                    if let Some(up) = self.quality.up() {
+                        self.quality = up;
+                        return RateDecision::Up(up.level);
+                    }
+                }
+            }
+        }
+
+        if self.up_run >= self.window {
+            self.up_run = 0;
+            if self.quality.level < self.max_quality.level {
+                if let Some(up) = self.quality.up() {
+                    self.quality = up;
+                    return RateDecision::Up(up.level);
+                }
+            }
+            return RateDecision::Hold;
+        }
+        if self.down_run >= self.window {
+            self.down_run = 0;
+            if let Some(down) = self.quality.down() {
+                self.quality = down;
+                return RateDecision::Down(down.level);
+            }
+            return RateDecision::Hold;
+        }
+        RateDecision::Hold
+    }
+
+    /// Directly adjust the buffer estimate when a segment arrives
+    /// (`+τ` seconds of video) — the event-driven complement to the
+    /// rate-based estimator for simulations that know exact arrivals.
+    pub fn on_segment_arrival(&mut self, segment_duration: SimDuration) {
+        self.buffered += segment_duration.as_secs_f64();
+    }
+
+    /// Directly drain the buffer estimate by `dt` of playback.
+    pub fn on_playback(&mut self, dt: SimDuration) {
+        self.buffered = (self.buffered - dt.as_secs_f64()).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudfog_workload::games::GAMES;
+
+    const TAU: SimDuration = SimDuration::from_millis(500);
+
+    fn controller(game_idx: usize) -> RateController {
+        RateController::new(&GAMES[game_idx], 0.5, 3)
+    }
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_micros((secs * 1e6) as u64)
+    }
+
+    #[test]
+    fn starts_at_game_max_quality() {
+        assert_eq!(controller(0).quality().level, 5); // 110 ms game
+        assert_eq!(controller(4).quality().level, 1); // 30 ms game
+    }
+
+    #[test]
+    fn thresholds_follow_the_formulas() {
+        let c = controller(0); // ρ = 1.0
+        assert!((c.up_threshold() - (1.0 + 2.0 / 3.0)).abs() < 1e-9);
+        assert!((c.down_threshold() - 0.5).abs() < 1e-9);
+
+        let c = controller(4); // ρ = 0.6
+        assert!((c.up_threshold() - (1.0 + 2.0 / 3.0) / 0.6).abs() < 1e-9);
+        assert!((c.down_threshold() - 0.5 / 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_sensitive_games_have_higher_thresholds() {
+        // Lower ρ ⇒ both thresholds higher (paper's closing remark of
+        // §III-B).
+        let tolerant = controller(0);
+        let sensitive = controller(4);
+        assert!(sensitive.up_threshold() > tolerant.up_threshold());
+        assert!(sensitive.down_threshold() > tolerant.down_threshold());
+    }
+
+    #[test]
+    fn sustained_surplus_adjusts_up_after_window() {
+        let mut c = controller(1); // max level 4, ρ = 0.9
+        // Force quality down so there is headroom to move up.
+        c.quality = QualityLevel::get(2);
+        // Healthy buffer: download 3× playback, 1 s steps.
+        let mut decisions = Vec::new();
+        for k in 0..10 {
+            decisions.push(c.observe(t(k as f64), 3.0, 1.0, TAU));
+        }
+        let ups = decisions.iter().filter(|d| matches!(d, RateDecision::Up(_))).count();
+        assert!(ups >= 1, "no up-switch in {decisions:?}");
+        // First three observations cannot switch (window = 3).
+        assert_eq!(decisions[0], RateDecision::Hold);
+        assert_eq!(decisions[1], RateDecision::Hold);
+    }
+
+    #[test]
+    fn starvation_adjusts_down_after_window() {
+        let mut c = controller(0); // level 5
+        // Pre-fill a bit, then starve: download 0, playback 1.
+        c.on_segment_arrival(TAU);
+        let mut downs = 0;
+        for k in 0..10 {
+            if let RateDecision::Down(_) = c.observe(t(k as f64), 0.0, 1.0, TAU) {
+                downs += 1;
+            }
+        }
+        assert!(downs >= 1, "no down-switch under starvation");
+        assert!(c.quality().level < 5);
+    }
+
+    #[test]
+    fn never_exceeds_game_max_or_floor() {
+        let mut c = controller(3); // 50 ms game, max level 2
+        for k in 0..50 {
+            c.observe(t(k as f64), 10.0, 1.0, TAU); // extreme surplus
+        }
+        assert!(c.quality().level <= 2, "exceeded game max");
+
+        let mut c = controller(3);
+        for k in 0..50 {
+            c.observe(t(k as f64), 0.0, 1.0, TAU); // extreme starvation
+        }
+        assert_eq!(c.quality().level, 1, "fell below floor");
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_hits() {
+        let mut c = controller(1);
+        c.quality = QualityLevel::get(2);
+        // Alternate surplus and balance: the run counter must reset,
+        // so no switch ever fires.
+        for k in 0..20 {
+            let (d, p) = if k % 2 == 0 { (5.0, 1.0) } else { (1.0, 1.0) };
+            // Drain buffer between surplus steps so r re-enters the
+            // hold band on odd steps.
+            c.buffered = if k % 2 == 0 { 2.0 } else { 0.4 };
+            let dec = c.observe(t(k as f64), d, p, TAU);
+            assert_eq!(dec, RateDecision::Hold, "switched at step {k}");
+        }
+    }
+
+    #[test]
+    fn paper_faithful_controller_never_probes_up_in_steady_state() {
+        let mut c = controller(1);
+        c.quality = QualityLevel::get(2);
+        c.prime(1.0, TAU);
+        for k in 0..200 {
+            // Perfectly healthy realtime stream: d = 1, r pinned ≈ 1.
+            let dec = c.observe(t(k as f64), 1.0, 1.0, TAU);
+            assert_eq!(dec, RateDecision::Hold);
+        }
+        assert_eq!(c.quality().level, 2, "Eq. 9 alone cannot recover quality");
+    }
+
+    #[test]
+    fn up_probe_extension_recovers_quality_in_steady_state() {
+        let mut c = RateController::new(&GAMES[1], 0.5, 3).with_up_probe(10);
+        c.quality = QualityLevel::get(2);
+        c.prime(1.0, TAU);
+        let mut ups = 0;
+        for k in 0..50 {
+            if let RateDecision::Up(_) = c.observe(t(k as f64), 1.0, 1.0, TAU) {
+                ups += 1;
+            }
+        }
+        assert!(ups >= 2, "probe must climb back: {ups} ups");
+        assert_eq!(c.quality().level, 4, "recovered to the game max");
+        // And never beyond the game max.
+        for k in 50..100 {
+            c.observe(t(k as f64), 1.0, 1.0, TAU);
+        }
+        assert_eq!(c.quality().level, 4);
+    }
+
+    #[test]
+    fn up_probe_does_not_fire_while_starving() {
+        let mut c = RateController::new(&GAMES[1], 0.5, 3).with_up_probe(5);
+        c.quality = QualityLevel::get(2);
+        // Starved stream: r ≈ 0, the probe must stay quiet (quality
+        // can only go down).
+        for k in 0..30 {
+            let dec = c.observe(t(k as f64), 0.2, 1.0, TAU);
+            assert!(!matches!(dec, RateDecision::Up(_)), "probed up while starving");
+        }
+        assert_eq!(c.quality().level, 1);
+    }
+
+    #[test]
+    fn buffer_estimate_tracks_eq7() {
+        let mut c = controller(0);
+        c.observe(t(0.0), 2.0, 1.0, TAU);
+        // One second at net +1 video-second/s.
+        c.observe(t(1.0), 2.0, 1.0, TAU);
+        assert!((c.buffered - 1.0).abs() < 1e-9, "buffered {}", c.buffered);
+        assert!((c.r(TAU) - 2.0).abs() < 1e-9, "r {}", c.r(TAU));
+    }
+
+    #[test]
+    fn buffer_never_negative() {
+        let mut c = controller(0);
+        c.observe(t(0.0), 0.0, 1.0, TAU);
+        c.observe(t(100.0), 0.0, 1.0, TAU);
+        assert_eq!(c.buffered, 0.0);
+        c.on_playback(SimDuration::from_secs(5));
+        assert_eq!(c.buffered, 0.0);
+    }
+
+    #[test]
+    fn event_driven_hooks() {
+        let mut c = controller(0);
+        c.on_segment_arrival(TAU);
+        c.on_segment_arrival(TAU);
+        assert!((c.r(TAU) - 2.0).abs() < 1e-9);
+        c.on_playback(TAU);
+        assert!((c.r(TAU) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,290 @@
+//! Supernode cooperation — the paper's §V future work, implemented.
+//!
+//! "In our future work, we will study the cooperation among supernodes
+//! in rendering and transmitting game videos to further reduce
+//! response latency." This module is that study: when a supernode is
+//! overloaded (its assigned players' aggregate streaming demand
+//! approaches its uplink), it offloads players to nearby underloaded
+//! peers. The plan is computed centrally (the cloud has the supernode
+//! table) with a greedy marginal rule:
+//!
+//! 1. rank supernodes by load factor (demand / uplink);
+//! 2. for each overloaded one, move its *most demanding* players to
+//!    the least-loaded peer that (a) has capacity, (b) is within the
+//!    player's `L_max` probe threshold, and (c) would not itself
+//!    become overloaded;
+//! 3. stop when nothing is overloaded or no legal move remains.
+//!
+//! The ablation bench `ablation_coop` measures the queueing relief.
+
+use cloudfog_net::bandwidth::Mbps;
+use cloudfog_net::topology::{DelaySource, HostId, Topology};
+use cloudfog_sim::time::SimDuration;
+use cloudfog_workload::player::PlayerId;
+
+use crate::infra::{SupernodeId, SupernodeTable};
+
+/// A planned player migration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Migration {
+    /// The player to move.
+    pub player: PlayerId,
+    /// Source (overloaded) supernode.
+    pub from: SupernodeId,
+    /// Destination (underloaded) supernode.
+    pub to: SupernodeId,
+}
+
+/// Cooperation policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct CoopPolicy {
+    /// A supernode is overloaded above this demand/uplink factor.
+    pub overload_factor: f64,
+    /// A destination must stay below this factor after the move.
+    pub target_factor: f64,
+    /// Maximum one-way delay a migrated player may have to its new
+    /// supernode.
+    pub max_delay: SimDuration,
+    /// Upper bound on migrations per planning round (hysteresis).
+    pub max_migrations: usize,
+}
+
+impl Default for CoopPolicy {
+    fn default() -> Self {
+        CoopPolicy {
+            overload_factor: 0.85,
+            target_factor: 0.70,
+            max_delay: SimDuration::from_millis(40),
+            max_migrations: 64,
+        }
+    }
+}
+
+/// Per-player streaming demand oracle (Mbps), supplied by the caller
+/// (it knows each player's current quality level).
+pub type DemandFn<'a> = &'a dyn Fn(PlayerId) -> f64;
+
+/// Compute the demand (Mbps) currently assigned to a supernode.
+pub fn supernode_demand(table: &SupernodeTable, sn: SupernodeId, demand: DemandFn) -> f64 {
+    table.get(sn).assigned.iter().map(|&p| demand(p)).sum()
+}
+
+/// Load factor of a supernode given its uplink.
+pub fn load_factor(
+    table: &SupernodeTable,
+    sn: SupernodeId,
+    uplink_of: &dyn Fn(HostId) -> Mbps,
+    demand: DemandFn,
+) -> f64 {
+    let uplink = uplink_of(table.get(sn).host).0;
+    if uplink <= 0.0 {
+        return f64::INFINITY;
+    }
+    supernode_demand(table, sn, demand) / uplink
+}
+
+/// Plan cooperative offloading. Does not mutate the table; apply the
+/// returned migrations with [`apply_migrations`].
+pub fn plan_rebalance(
+    table: &SupernodeTable,
+    topo: &Topology,
+    player_host: &dyn Fn(PlayerId) -> HostId,
+    demand: DemandFn,
+    policy: &CoopPolicy,
+) -> Vec<Migration> {
+    let uplink_of = |h: HostId| topo.host(h).upload;
+    // Current demand per supernode (working copy we update as we plan).
+    let mut demands: Vec<f64> = (0..table.len())
+        .map(|i| supernode_demand(table, SupernodeId(i as u32), demand))
+        .collect();
+    let uplinks: Vec<f64> = (0..table.len())
+        .map(|i| uplink_of(table.get(SupernodeId(i as u32)).host).0)
+        .collect();
+    let mut available: Vec<u32> =
+        (0..table.len()).map(|i| table.get(SupernodeId(i as u32)).available()).collect();
+
+    let mut migrations = Vec::new();
+    // Overloaded supernodes, most loaded first.
+    let mut overloaded: Vec<usize> = (0..table.len())
+        .filter(|&i| uplinks[i] > 0.0 && demands[i] / uplinks[i] > policy.overload_factor)
+        .collect();
+    overloaded.sort_by(|&a, &b| {
+        (demands[b] / uplinks[b]).partial_cmp(&(demands[a] / uplinks[a])).expect("finite")
+    });
+
+    for src in overloaded {
+        // Players of src, most demanding first (moving the heaviest
+        // stream relieves the most per migration).
+        let mut players: Vec<PlayerId> = table.get(SupernodeId(src as u32)).assigned.clone();
+        players.sort_by(|&a, &b| demand(b).partial_cmp(&demand(a)).expect("finite demand"));
+
+        for p in players {
+            if migrations.len() >= policy.max_migrations {
+                return migrations;
+            }
+            if demands[src] / uplinks[src] <= policy.overload_factor {
+                break; // relieved
+            }
+            let p_demand = demand(p);
+            let host = player_host(p);
+            // Least-loaded legal destination.
+            let dest = (0..table.len())
+                .filter(|&d| d != src && available[d] > 0)
+                .filter(|&d| {
+                    uplinks[d] > 0.0
+                        && (demands[d] + p_demand) / uplinks[d] <= policy.target_factor
+                })
+                .filter(|&d| {
+                    let sn_host = table.get(SupernodeId(d as u32)).host;
+                    topo.one_way_ms(host, sn_host)
+                        <= policy.max_delay.as_millis_f64()
+                })
+                .min_by(|&a, &b| {
+                    (demands[a] / uplinks[a])
+                        .partial_cmp(&(demands[b] / uplinks[b]))
+                        .expect("finite")
+                });
+            if let Some(d) = dest {
+                demands[src] -= p_demand;
+                demands[d] += p_demand;
+                available[d] -= 1;
+                migrations.push(Migration {
+                    player: p,
+                    from: SupernodeId(src as u32),
+                    to: SupernodeId(d as u32),
+                });
+            }
+        }
+    }
+    migrations
+}
+
+/// Apply a migration plan to the table (release + assign).
+/// Returns how many migrations were actually applied (a destination
+/// may have filled up since planning).
+pub fn apply_migrations(table: &mut SupernodeTable, plan: &[Migration]) -> usize {
+    let mut applied = 0;
+    for m in plan {
+        if table.get(m.to).has_capacity() {
+            table.release(m.from, m.player);
+            let ok = table.assign(m.to, m.player);
+            debug_assert!(ok);
+            applied += 1;
+        }
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudfog_net::latency::LatencyModel;
+    use cloudfog_net::topology::{HostKind, LinkProfile};
+    use cloudfog_sim::rng::Rng;
+
+    /// Two supernodes in the same metro; SN0 overloaded with 10
+    /// heavy players, SN1 idle.
+    fn scenario() -> (SupernodeTable, Topology, Vec<HostId>) {
+        let mut rng = Rng::new(1);
+        let mut topo = Topology::new(LatencyModel::peersim(1));
+        let links = LinkProfile {
+            upload_median: Mbps(20.0),
+            upload_sigma: 0.0,
+            download_median: Mbps(100.0),
+            download_sigma: 0.0,
+        };
+        let sn0 = topo.add_host_in_city(HostKind::SupernodeCandidate, &links, 0, &mut rng);
+        let sn1 = topo.add_host_in_city(HostKind::SupernodeCandidate, &links, 0, &mut rng);
+        let mut table = SupernodeTable::new();
+        table.register(sn0, 16);
+        table.register(sn1, 16);
+        let mut hosts = Vec::new();
+        for p in 0..10u32 {
+            let h = topo.add_host_in_city(HostKind::Player, &LinkProfile::residential(), 0, &mut rng);
+            hosts.push(h);
+            table.assign(SupernodeId(0), PlayerId(p));
+        }
+        (table, topo, hosts)
+    }
+
+    #[test]
+    fn overload_is_detected_and_relieved() {
+        let (mut table, topo, hosts) = scenario();
+        let demand = |_: PlayerId| 1.8; // everyone at top quality: 18 Mbps on a 20 Mbps uplink
+        let player_host = |p: PlayerId| hosts[p.index()];
+        let policy = CoopPolicy::default();
+
+        let uplink_of = |h: HostId| topo.host(h).upload;
+        let before = load_factor(&table, SupernodeId(0), &uplink_of, &demand);
+        assert!(before > policy.overload_factor, "scenario must start overloaded");
+
+        let plan = plan_rebalance(&table, &topo, &player_host, &demand, &policy);
+        assert!(!plan.is_empty(), "a same-metro idle peer must attract migrations");
+        let applied = apply_migrations(&mut table, &plan);
+        assert_eq!(applied, plan.len());
+
+        let after0 = load_factor(&table, SupernodeId(0), &uplink_of, &demand);
+        let after1 = load_factor(&table, SupernodeId(1), &uplink_of, &demand);
+        assert!(after0 <= policy.overload_factor + 1e-9, "src relieved: {after0}");
+        assert!(after1 <= policy.target_factor + 1e-9, "dest not overloaded: {after1}");
+    }
+
+    #[test]
+    fn no_migration_when_everyone_is_healthy() {
+        let (table, topo, hosts) = scenario();
+        let demand = |_: PlayerId| 0.3; // 3 Mbps total: healthy
+        let player_host = |p: PlayerId| hosts[p.index()];
+        let plan = plan_rebalance(&table, &topo, &player_host, &demand, &CoopPolicy::default());
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn distance_constraint_blocks_far_destinations() {
+        // Destination supernode across the country: no legal move.
+        let mut rng = Rng::new(2);
+        let mut topo = Topology::new(LatencyModel::peersim(2));
+        let links = LinkProfile {
+            upload_median: Mbps(20.0),
+            upload_sigma: 0.0,
+            download_median: Mbps(100.0),
+            download_sigma: 0.0,
+        };
+        let sn0 = topo.add_host_in_city(HostKind::SupernodeCandidate, &links, 0, &mut rng); // NYC
+        let sn1 = topo.add_host_in_city(HostKind::SupernodeCandidate, &links, 46, &mut rng); // LA
+        let mut table = SupernodeTable::new();
+        table.register(sn0, 16);
+        table.register(sn1, 16);
+        let mut hosts = Vec::new();
+        for p in 0..10u32 {
+            let h = topo.add_host_in_city(HostKind::Player, &LinkProfile::residential(), 0, &mut rng);
+            hosts.push(h);
+            table.assign(SupernodeId(0), PlayerId(p));
+        }
+        let demand = |_: PlayerId| 1.8;
+        let player_host = |p: PlayerId| hosts[p.index()];
+        let plan = plan_rebalance(&table, &topo, &player_host, &demand, &CoopPolicy::default());
+        assert!(plan.is_empty(), "a coast-to-coast peer is not 'nearby'");
+    }
+
+    #[test]
+    fn migration_budget_is_respected() {
+        let (table, topo, hosts) = scenario();
+        let demand = |_: PlayerId| 1.8;
+        let player_host = |p: PlayerId| hosts[p.index()];
+        let policy = CoopPolicy { max_migrations: 2, ..Default::default() };
+        let plan = plan_rebalance(&table, &topo, &player_host, &demand, &policy);
+        assert!(plan.len() <= 2);
+    }
+
+    #[test]
+    fn heaviest_players_move_first() {
+        let (table, topo, hosts) = scenario();
+        // Player 0 streams 1.8, everyone else 1.75 — past the 0.85
+        // overload factor on the 20 Mbps uplink.
+        let demand = |p: PlayerId| if p.0 == 0 { 1.8 } else { 1.75 };
+        let player_host = |p: PlayerId| hosts[p.index()];
+        let plan = plan_rebalance(&table, &topo, &player_host, &demand, &CoopPolicy::default());
+        assert!(!plan.is_empty());
+        assert_eq!(plan[0].player, PlayerId(0), "heaviest stream moves first");
+    }
+}

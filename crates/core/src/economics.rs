@@ -1,0 +1,312 @@
+//! The incentive and cost model of §III-A (Equations 1–6).
+//!
+//! Two sides of the market:
+//!
+//! * **Contributors** (organizations/players with idle machines) earn
+//!   `c_s` per unit of upload bandwidth contributed. Eq. 1 gives a
+//!   supernode's profit; a machine is contributed only when profit
+//!   clears the owner's threshold.
+//! * **The game service provider** saves cloud egress because
+//!   supernodes stream the videos. Eq. 2 gives the bandwidth
+//!   reduction, Eq. 3 the provider's objective (with constraints
+//!   Eqs. 4–5), and Eq. 6 the marginal gain of deploying one more
+//!   supernode.
+//!
+//! All quantities keep the paper's units: bandwidth in Mbps, rewards
+//! and costs in "currency per Mbps".
+
+/// A supernode's contribution offer, as seen by the market.
+#[derive(Clone, Copy, Debug)]
+pub struct SupernodeOffer {
+    /// Upload capacity `c_j` (Mbps).
+    pub upload_capacity: f64,
+    /// Expected bandwidth utilization `u_j` ∈ [0, 1].
+    pub utilization: f64,
+    /// Running cost `cost_j` (currency, same unit as rewards).
+    pub running_cost: f64,
+    /// Owner's profit threshold: contribute only if profit exceeds it.
+    pub profit_threshold: f64,
+}
+
+/// Eq. 1: `P_s(j) = c_s × c_j × u_j − cost_j`.
+pub fn supernode_profit(reward_per_mbps: f64, offer: &SupernodeOffer) -> f64 {
+    reward_per_mbps * offer.upload_capacity * offer.utilization - offer.running_cost
+}
+
+/// Whether the owner contributes at reward rate `c_s` (profit clears
+/// the owner's threshold).
+pub fn will_contribute(reward_per_mbps: f64, offer: &SupernodeOffer) -> bool {
+    supernode_profit(reward_per_mbps, offer) > offer.profit_threshold
+}
+
+/// Eq. 2: `B_r⁻ = n·R − Λ·m`.
+///
+/// * `supported_players` — n, players served by supernodes;
+/// * `stream_rate` — R, the game-video streaming rate (Mbps);
+/// * `update_rate` — Λ, cloud→supernode update bandwidth (Mbps);
+/// * `supernodes` — m.
+pub fn bandwidth_reduction(
+    supported_players: usize,
+    stream_rate: f64,
+    update_rate: f64,
+    supernodes: usize,
+) -> f64 {
+    supported_players as f64 * stream_rate - update_rate * supernodes as f64
+}
+
+/// Total supernode bandwidth contribution `B_s = Σ c_j·u_j`.
+pub fn total_contribution(offers: &[SupernodeOffer]) -> f64 {
+    offers.iter().map(|o| o.upload_capacity * o.utilization).sum()
+}
+
+/// Eq. 4 feasibility: `Σ c_j·u_j ≥ n·R` — the recruited supernodes can
+/// actually carry the supported players (Eq. 5's `u_j ≤ 1` is enforced
+/// structurally by [`SupernodeOffer`] construction in
+/// [`MarketOutcome`]).
+pub fn is_feasible(offers: &[SupernodeOffer], supported_players: usize, stream_rate: f64) -> bool {
+    total_contribution(offers) >= supported_players as f64 * stream_rate
+}
+
+/// Eq. 3 objective: `C_g = c_c·B_r⁻ − c_s·B_s` for a given deployment.
+pub fn provider_savings(
+    egress_value_per_mbps: f64,
+    reduction: f64,
+    reward_per_mbps: f64,
+    contribution: f64,
+) -> f64 {
+    egress_value_per_mbps * reduction - reward_per_mbps * contribution
+}
+
+/// Eq. 6: marginal gain of deploying supernode `j` that newly covers
+/// `new_players` (ν) players:
+/// `G_s(j) = c_c·[ν·R − Λ] − c_s·c_j·u_j`.
+pub fn deployment_gain(
+    egress_value_per_mbps: f64,
+    new_players: usize,
+    stream_rate: f64,
+    update_rate: f64,
+    reward_per_mbps: f64,
+    offer: &SupernodeOffer,
+) -> f64 {
+    egress_value_per_mbps * (new_players as f64 * stream_rate - update_rate)
+        - reward_per_mbps * offer.upload_capacity * offer.utilization
+}
+
+/// Outcome of clearing the contribution market at a reward rate.
+#[derive(Clone, Debug)]
+pub struct MarketOutcome {
+    /// Reward rate `c_s` the market cleared at.
+    pub reward_per_mbps: f64,
+    /// Indices (into the offer list) of contributed supernodes.
+    pub contributed: Vec<usize>,
+    /// Total contributed bandwidth `B_s` (Mbps).
+    pub contribution: f64,
+    /// Players supportable at `stream_rate` with that bandwidth
+    /// (`⌊B_s / R⌋`, capped by demand).
+    pub supported_players: usize,
+    /// Eq. 2 bandwidth reduction (Mbps).
+    pub reduction: f64,
+    /// Eq. 3 provider savings (currency).
+    pub provider_savings: f64,
+}
+
+/// Parameters for clearing the market.
+#[derive(Clone, Copy, Debug)]
+pub struct MarketParams {
+    /// Value to the provider of one saved egress Mbps (`c_c`).
+    pub egress_value_per_mbps: f64,
+    /// Game-video streaming rate `R` (Mbps).
+    pub stream_rate: f64,
+    /// Cloud→supernode update bandwidth `Λ` (Mbps).
+    pub update_rate: f64,
+    /// Total player demand (players wanting supernode service).
+    pub player_demand: usize,
+}
+
+/// Clear the market at reward rate `c_s`: every owner whose profit
+/// clears their threshold contributes; the provider then supports as
+/// many players as the contributed bandwidth carries (Eq. 4).
+pub fn clear_market(
+    reward_per_mbps: f64,
+    offers: &[SupernodeOffer],
+    params: &MarketParams,
+) -> MarketOutcome {
+    let contributed: Vec<usize> = offers
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| will_contribute(reward_per_mbps, o))
+        .map(|(i, _)| i)
+        .collect();
+    let contribution: f64 = contributed
+        .iter()
+        .map(|&i| offers[i].upload_capacity * offers[i].utilization)
+        .sum();
+    let supportable = if params.stream_rate > 0.0 {
+        (contribution / params.stream_rate).floor() as usize
+    } else {
+        usize::MAX
+    };
+    let supported_players = supportable.min(params.player_demand);
+    let reduction = bandwidth_reduction(
+        supported_players,
+        params.stream_rate,
+        params.update_rate,
+        contributed.len(),
+    );
+    let savings = provider_savings(
+        params.egress_value_per_mbps,
+        reduction,
+        reward_per_mbps,
+        contribution,
+    );
+    MarketOutcome {
+        reward_per_mbps,
+        contributed,
+        contribution,
+        supported_players,
+        reduction,
+        provider_savings: savings,
+    }
+}
+
+/// Sweep reward rates and return the outcome that maximizes Eq. 3
+/// (the provider's savings), i.e. the provider's optimal `c_s`.
+pub fn optimal_reward(
+    candidate_rates: &[f64],
+    offers: &[SupernodeOffer],
+    params: &MarketParams,
+) -> MarketOutcome {
+    assert!(!candidate_rates.is_empty(), "no candidate reward rates");
+    candidate_rates
+        .iter()
+        .map(|&r| clear_market(r, offers, params))
+        .max_by(|a, b| {
+            a.provider_savings
+                .partial_cmp(&b.provider_savings)
+                .expect("savings are finite")
+        })
+        .expect("at least one rate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offer(cap: f64, util: f64, cost: f64, threshold: f64) -> SupernodeOffer {
+        SupernodeOffer {
+            upload_capacity: cap,
+            utilization: util,
+            running_cost: cost,
+            profit_threshold: threshold,
+        }
+    }
+
+    #[test]
+    fn eq1_profit() {
+        // c_s=2, c_j=40, u_j=0.5 → revenue 40; cost 15 → profit 25.
+        let o = offer(40.0, 0.5, 15.0, 0.0);
+        assert!((supernode_profit(2.0, &o) - 25.0).abs() < 1e-12);
+        assert!(will_contribute(2.0, &o));
+        assert!(!will_contribute(0.1, &o)); // revenue 2 < cost 15
+    }
+
+    #[test]
+    fn threshold_gates_contribution() {
+        let o = offer(10.0, 1.0, 0.0, 25.0);
+        assert!(!will_contribute(2.0, &o)); // profit 20 ≤ threshold 25
+        assert!(will_contribute(3.0, &o)); // profit 30 > 25
+    }
+
+    #[test]
+    fn eq2_bandwidth_reduction() {
+        // n=100 players at R=1.2 Mbps − Λ=0.2 × m=10 = 118 Mbps.
+        let r = bandwidth_reduction(100, 1.2, 0.2, 10);
+        assert!((r - 118.0).abs() < 1e-12);
+        // Degenerate: no supported players, only update overhead.
+        assert!(bandwidth_reduction(0, 1.2, 0.2, 10) < 0.0);
+    }
+
+    #[test]
+    fn eq4_feasibility() {
+        let offers = vec![offer(30.0, 1.0, 0.0, 0.0), offer(30.0, 0.5, 0.0, 0.0)];
+        // B_s = 45 Mbps; 30 players at 1.2 = 36 ≤ 45 feasible.
+        assert!(is_feasible(&offers, 30, 1.2));
+        // 40 players need 48 > 45.
+        assert!(!is_feasible(&offers, 40, 1.2));
+    }
+
+    #[test]
+    fn eq3_savings_shape() {
+        // Savings grow with reduction, shrink with payout.
+        let s1 = provider_savings(1.0, 100.0, 0.5, 120.0);
+        let s2 = provider_savings(1.0, 100.0, 0.5, 200.0);
+        assert!(s1 > s2);
+        assert!((s1 - (100.0 - 60.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq6_deployment_gain_sign() {
+        let o = offer(40.0, 0.8, 0.0, 0.0);
+        // ν=30 new players at R=1.2: value 36−Λ=0.2 → 35.8·c_c=35.8;
+        // payout 0.5·32=16 → gain positive.
+        let g = deployment_gain(1.0, 30, 1.2, 0.2, 0.5, &o);
+        assert!(g > 0.0);
+        // ν=0: pure payout, gain negative.
+        let g0 = deployment_gain(1.0, 0, 1.2, 0.2, 0.5, &o);
+        assert!(g0 < 0.0);
+    }
+
+    #[test]
+    fn market_clears_monotonically_in_reward() {
+        let offers: Vec<SupernodeOffer> = (0..100)
+            .map(|i| offer(20.0 + i as f64, 0.8, 5.0 + (i % 7) as f64, 2.0))
+            .collect();
+        let params = MarketParams {
+            egress_value_per_mbps: 1.0,
+            stream_rate: 1.2,
+            update_rate: 0.2,
+            player_demand: 10_000,
+        };
+        let low = clear_market(0.05, &offers, &params);
+        let high = clear_market(0.5, &offers, &params);
+        assert!(high.contributed.len() >= low.contributed.len());
+        assert!(high.contribution >= low.contribution);
+        assert!(high.supported_players >= low.supported_players);
+    }
+
+    #[test]
+    fn supported_players_capped_by_demand() {
+        let offers = vec![offer(10_000.0, 1.0, 0.0, 0.0)];
+        let params = MarketParams {
+            egress_value_per_mbps: 1.0,
+            stream_rate: 1.0,
+            update_rate: 0.1,
+            player_demand: 50,
+        };
+        let out = clear_market(1.0, &offers, &params);
+        assert_eq!(out.supported_players, 50);
+    }
+
+    #[test]
+    fn optimal_reward_beats_endpoints() {
+        // Owners with spread thresholds: too low a rate recruits no
+        // one (no savings), too high overpays; the sweep must find a
+        // rate with savings ≥ both endpoints.
+        let offers: Vec<SupernodeOffer> = (0..200)
+            .map(|i| offer(30.0, 0.9, 3.0 + (i as f64) * 0.1, 1.0))
+            .collect();
+        let params = MarketParams {
+            egress_value_per_mbps: 1.0,
+            stream_rate: 1.2,
+            update_rate: 0.2,
+            player_demand: 100_000,
+        };
+        let rates: Vec<f64> = (1..=40).map(|i| i as f64 * 0.05).collect();
+        let best = optimal_reward(&rates, &offers, &params);
+        let lo = clear_market(rates[0], &offers, &params);
+        let hi = clear_market(*rates.last().unwrap(), &offers, &params);
+        assert!(best.provider_savings >= lo.provider_savings);
+        assert!(best.provider_savings >= hi.provider_savings);
+        assert!(best.provider_savings > 0.0, "market should be profitable");
+    }
+}

@@ -1,0 +1,175 @@
+//! Cloud datacenters: placement and the state-computation tier.
+//!
+//! The paper varies the number of "main datacenters" (Figures 5a/6a)
+//! and fixes defaults of 5 (PeerSim) and 2 (PlanetLab — Princeton and
+//! UCLA). Placement here is deterministic: the PlanetLab profile uses
+//! the paper's two real sites; the simulation profile places
+//! datacenters with a greedy k-center heuristic over the metro anchors
+//! (first the heaviest metro, then always the anchor farthest from
+//! every chosen site) — the same "spread them out nationwide" shape
+//! real deployments aim for, and reproducible without an RNG.
+
+use cloudfog_net::geo::{Coord, ANCHOR_CITIES};
+use cloudfog_net::topology::{HostId, HostKind, LinkProfile, Topology};
+use cloudfog_sim::rng::Rng;
+
+/// A deployed datacenter.
+#[derive(Clone, Copy, Debug)]
+pub struct Datacenter {
+    /// The datacenter's host entry in the topology.
+    pub host: HostId,
+    /// Anchor city it sits in.
+    pub city: usize,
+}
+
+/// Deterministic k-center-style choice of `k` anchor cities.
+///
+/// Starts from the heaviest metro, then greedily adds the anchor that
+/// maximizes the minimum distance to already-chosen sites.
+pub fn select_sites(k: usize) -> Vec<usize> {
+    assert!(k >= 1, "at least one datacenter");
+    let k = k.min(ANCHOR_CITIES.len());
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let first = ANCHOR_CITIES
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.weight.partial_cmp(&b.1.weight).expect("finite weights"))
+        .map(|(i, _)| i)
+        .expect("city table non-empty");
+    chosen.push(first);
+    while chosen.len() < k {
+        let next = (0..ANCHOR_CITIES.len())
+            .filter(|i| !chosen.contains(i))
+            .max_by(|&a, &b| {
+                let da = min_dist_to(&chosen, a);
+                let db = min_dist_to(&chosen, b);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("k ≤ city count");
+        chosen.push(next);
+    }
+    chosen
+}
+
+fn min_dist_to(chosen: &[usize], candidate: usize) -> f64 {
+    let c = ANCHOR_CITIES[candidate].coord();
+    chosen
+        .iter()
+        .map(|&i| ANCHOR_CITIES[i].coord().distance_km(&c))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The paper's two PlanetLab datacenter sites: Princeton University
+/// and UCLA.
+pub fn planetlab_sites() -> Vec<Coord> {
+    vec![Coord::from_lat_lon(40.34, -74.66), Coord::from_lat_lon(34.07, -118.44)]
+}
+
+/// Deploy `k` datacenters into `topo` at k-center sites.
+pub fn deploy_datacenters(topo: &mut Topology, k: usize, rng: &mut Rng) -> Vec<Datacenter> {
+    select_sites(k)
+        .into_iter()
+        .map(|city| {
+            let host = topo.add_host_at(
+                HostKind::Datacenter,
+                &LinkProfile::datacenter(),
+                ANCHOR_CITIES[city].coord(),
+                city,
+                rng,
+            );
+            Datacenter { host, city }
+        })
+        .collect()
+}
+
+/// Deploy the paper's two PlanetLab datacenters (Princeton, UCLA).
+pub fn deploy_planetlab_datacenters(topo: &mut Topology, rng: &mut Rng) -> Vec<Datacenter> {
+    let princeton_city = ANCHOR_CITIES
+        .iter()
+        .position(|c| c.name.starts_with("Princeton"))
+        .expect("Princeton anchor exists");
+    let la_city = ANCHOR_CITIES
+        .iter()
+        .position(|c| c.name.starts_with("Los Angeles"))
+        .expect("LA anchor exists");
+    planetlab_sites()
+        .into_iter()
+        .zip([princeton_city, la_city])
+        .map(|(coord, city)| {
+            let host =
+                topo.add_host_at(HostKind::Datacenter, &LinkProfile::datacenter(), coord, city, rng);
+            Datacenter { host, city }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudfog_net::latency::LatencyModel;
+
+    #[test]
+    fn first_site_is_heaviest_metro() {
+        let sites = select_sites(1);
+        assert_eq!(ANCHOR_CITIES[sites[0]].name, "New York, NY");
+    }
+
+    #[test]
+    fn sites_spread_out() {
+        let sites = select_sites(5);
+        assert_eq!(sites.len(), 5);
+        // Pairwise distances of a 5-site k-center layout over the US
+        // should all exceed 900 km.
+        for (i, &a) in sites.iter().enumerate() {
+            for &b in &sites[i + 1..] {
+                let d = ANCHOR_CITIES[a].coord().distance_km(&ANCHOR_CITIES[b].coord());
+                assert!(d > 900.0, "{} and {} only {d} km apart", ANCHOR_CITIES[a].name, ANCHOR_CITIES[b].name);
+            }
+        }
+    }
+
+    #[test]
+    fn site_lists_are_nested_and_deterministic() {
+        // Greedy construction ⇒ selecting k sites gives a prefix of
+        // selecting k+5 sites, and repeat calls agree.
+        let five = select_sites(5);
+        let ten = select_sites(10);
+        assert_eq!(&ten[..5], &five[..]);
+        assert_eq!(select_sites(10), ten);
+    }
+
+    #[test]
+    fn k_is_capped_at_city_count() {
+        let all = select_sites(500);
+        assert_eq!(all.len(), ANCHOR_CITIES.len());
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "sites must be distinct");
+    }
+
+    #[test]
+    fn deployment_creates_datacenter_hosts() {
+        let mut rng = Rng::new(1);
+        let mut topo = Topology::new(LatencyModel::peersim(1));
+        let dcs = deploy_datacenters(&mut topo, 5, &mut rng);
+        assert_eq!(dcs.len(), 5);
+        for dc in &dcs {
+            assert_eq!(topo.host(dc.host).kind, HostKind::Datacenter);
+            assert!(topo.host(dc.host).upload.0 >= 10_000.0);
+        }
+    }
+
+    #[test]
+    fn planetlab_sites_are_princeton_and_ucla() {
+        let mut rng = Rng::new(2);
+        let mut topo = Topology::new(LatencyModel::planetlab(2));
+        let dcs = deploy_planetlab_datacenters(&mut topo, &mut rng);
+        assert_eq!(dcs.len(), 2);
+        let d = topo
+            .host(dcs[0].host)
+            .position
+            .distance_km(&topo.host(dcs[1].host).position);
+        assert!((3_500.0..4_400.0).contains(&d), "Princeton-UCLA {d} km");
+    }
+}

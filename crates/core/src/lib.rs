@@ -1,0 +1,71 @@
+//! # cloudfog-core
+//!
+//! The paper's contribution: the CloudFog fog-assisted cloud gaming
+//! system (Lin & Shen, ICPP 2015) and the baselines it is evaluated
+//! against.
+//!
+//! * [`config`] — §IV experiment profiles and protocol constants.
+//! * [`economics`] — the §III-A incentive/cost model (Eqs. 1–6).
+//! * [`infra`] — datacenters, supernodes, and the §III-A.3 assignment
+//!   protocol.
+//! * [`adapt`] — receiver-driven encoding rate adaptation (§III-B,
+//!   Eqs. 7–11).
+//! * [`schedule`] — deadline-driven sender buffer scheduling (§III-C,
+//!   Eqs. 12–14).
+//! * [`streaming`] — segments, packetization, per-player QoE
+//!   bookkeeping.
+//! * [`metrics`] — §IV metrics: coverage, latency, continuity,
+//!   satisfaction, cloud bandwidth.
+//! * [`systems`] — the six systems under test (Cloud, EdgeCloud, the
+//!   four CloudFog variants), static coverage analysis and the
+//!   event-driven streaming simulation.
+//! * [`coop`] — supernode cooperation (§V future work): cooperative
+//!   offloading of players from overloaded supernodes.
+//! * [`security`] — supernode trust (§V future work): beta
+//!   reputations, render challenges, quarantine.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cloudfog_core::systems::{StreamingSim, StreamingSimConfig, SystemKind};
+//!
+//! let cfg = StreamingSimConfig::quick(SystemKind::CloudFogA, 100, 42);
+//! let summary = StreamingSim::run(cfg);
+//! assert!(summary.mean_continuity > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adapt;
+pub mod config;
+pub mod coop;
+pub mod economics;
+pub mod infra;
+pub mod metrics;
+pub mod schedule;
+pub mod security;
+pub mod streaming;
+pub mod systems;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::adapt::{RateController, RateDecision};
+    pub use crate::config::{ExperimentProfile, SystemParams, Testbed};
+    pub use crate::economics::{
+        bandwidth_reduction, clear_market, deployment_gain, optimal_reward, provider_savings,
+        supernode_profit, MarketOutcome, MarketParams, SupernodeOffer,
+    };
+    pub use crate::coop::{apply_migrations, plan_rebalance, CoopPolicy, Migration};
+    pub use crate::infra::{assign_player, Assignment, SupernodeId, SupernodeTable};
+    pub use crate::security::{Reputation, TrustEvent, TrustManager};
+    pub use crate::metrics::{MetricsCollector, TrafficSource};
+    pub use crate::schedule::{DropReport, SchedulingPolicy, SenderBuffer};
+    pub use crate::streaming::{PlayerStreamStats, Segment, SegmentId};
+    pub use crate::infra::{plan_deployment, DeploymentPlan, PlanParams};
+    pub use crate::systems::{
+        coverage_curve, supernode_load_experiment, CoveragePoint, Deployment, GameQoe,
+        JoinPattern, LoadExperimentConfig, LoadPoint, QoeSeries, RunSummary, StreamingSim,
+        StreamingSimConfig, StreamSource, SystemKind,
+    };
+}

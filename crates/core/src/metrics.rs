@@ -1,0 +1,302 @@
+//! Experiment-level QoE metrics (§IV definitions).
+//!
+//! * **User coverage** — fraction of players whose response latency is
+//!   within their game's requirement ("a user is covered ... if the
+//!   response latency is no more than the latency requirement of the
+//!   user's game").
+//! * **Response latency** — mean per-player segment response latency.
+//! * **Playback continuity** — on-time packets over all packets.
+//! * **Satisfied players** — players receiving ≥ 95 % of packets
+//!   within the latency requirement.
+//! * **Cloud bandwidth** — bytes the *cloud* (datacenters) pushed;
+//!   supernode traffic is free to the provider, and EdgeCloud's edge
+//!   servers are accounted separately (the paper's Fig. 7 footnote).
+
+use std::collections::BTreeMap;
+
+use cloudfog_sim::stats::Welford;
+use cloudfog_sim::time::SimTime;
+use cloudfog_workload::games::GameId;
+use cloudfog_workload::player::PlayerId;
+
+use crate::streaming::{PlayerStreamStats, Segment};
+
+/// Where traffic originated, for bandwidth attribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrafficSource {
+    /// A cloud datacenter (costs the provider egress).
+    Cloud,
+    /// An EdgeCloud edge server.
+    EdgeServer,
+    /// A fog supernode.
+    Supernode,
+}
+
+/// Running aggregation of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsCollector {
+    /// Per-player packet/latency bookkeeping.
+    players: BTreeMap<PlayerId, PlayerStreamStats>,
+    /// Bytes sent per source class.
+    bytes_by_source: BTreeMap<TrafficSource, u64>,
+    /// Update-message bytes the cloud sent to supernodes.
+    update_bytes: u64,
+    /// Horizon the run covered (set at finish).
+    horizon: Option<SimTime>,
+    /// QoE arrivals before this instant are ignored (warmup — join
+    /// ramps and pre-adaptation transients would otherwise dominate
+    /// the 95 % satisfaction bar). Byte accounting is not gated.
+    measure_from: SimTime,
+}
+
+impl MetricsCollector {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ignore QoE arrivals before `from` (warmup exclusion).
+    pub fn set_measure_from(&mut self, from: SimTime) {
+        self.measure_from = from;
+    }
+
+    /// Record a segment arriving at its player.
+    pub fn record_arrival(&mut self, segment: &Segment, first_packet: SimTime, arrival: SimTime) {
+        if arrival < self.measure_from {
+            return;
+        }
+        self.players
+            .entry(segment.player)
+            .or_default()
+            .record_arrival(segment, first_packet, arrival);
+    }
+
+    /// Record `bytes` of video leaving a source.
+    pub fn record_video_bytes(&mut self, source: TrafficSource, bytes: u64) {
+        *self.bytes_by_source.entry(source).or_insert(0) += bytes;
+    }
+
+    /// Record cloud→supernode update traffic.
+    pub fn record_update_bytes(&mut self, bytes: u64) {
+        self.update_bytes += bytes;
+    }
+
+    /// Mark the end of the run (for rate computations).
+    pub fn finish(&mut self, horizon: SimTime) {
+        self.horizon = Some(horizon);
+    }
+
+    /// Number of players with any traffic.
+    pub fn players_seen(&self) -> usize {
+        self.players.len()
+    }
+
+    /// Per-player stats (for drill-down).
+    pub fn player_stats(&self, id: PlayerId) -> Option<&PlayerStreamStats> {
+        self.players.get(&id)
+    }
+
+    /// §IV satisfied-player ratio over players with traffic.
+    pub fn satisfied_ratio(&self, bar: f64) -> f64 {
+        if self.players.is_empty() {
+            return 0.0;
+        }
+        let satisfied = self.players.values().filter(|s| s.satisfied(bar)).count();
+        satisfied as f64 / self.players.len() as f64
+    }
+
+    /// Mean playback continuity over players (macro average, so a
+    /// starved player is not hidden by heavy traffic elsewhere).
+    pub fn mean_continuity(&self) -> f64 {
+        if self.players.is_empty() {
+            return 0.0;
+        }
+        self.players.values().map(PlayerStreamStats::continuity).sum::<f64>()
+            / self.players.len() as f64
+    }
+
+    /// Distribution of per-player mean response latencies (ms).
+    pub fn latency_distribution(&self) -> Welford {
+        let mut w = Welford::new();
+        for s in self.players.values() {
+            if s.segments > 0 {
+                w.push(s.mean_latency_ms());
+            }
+        }
+        w
+    }
+
+    /// §IV coverage: fraction of players whose *mean* response latency
+    /// meets their game's requirement. The per-player requirement is
+    /// supplied by the caller (it knows each player's game).
+    pub fn coverage(&self, requirement_ms: impl Fn(PlayerId) -> f64) -> f64 {
+        if self.players.is_empty() {
+            return 0.0;
+        }
+        let covered = self
+            .players
+            .iter()
+            .filter(|(id, s)| s.segments > 0 && s.mean_latency_ms() <= requirement_ms(**id))
+            .count();
+        covered as f64 / self.players.len() as f64
+    }
+
+    /// Total cloud egress (video from datacenters + updates), bytes.
+    pub fn cloud_bytes(&self) -> u64 {
+        self.bytes_by_source.get(&TrafficSource::Cloud).copied().unwrap_or(0) + self.update_bytes
+    }
+
+    /// Video bytes sent by a source class.
+    pub fn video_bytes(&self, source: TrafficSource) -> u64 {
+        self.bytes_by_source.get(&source).copied().unwrap_or(0)
+    }
+
+    /// Cloud egress rate in Mbps over the run horizon.
+    pub fn cloud_mbps(&self) -> f64 {
+        let secs = self
+            .horizon
+            .map(|h| h.as_secs_f64())
+            .unwrap_or(0.0);
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.cloud_bytes() as f64 * 8.0 / secs / 1_000_000.0
+    }
+
+    /// Update-message bytes sent cloud→supernodes.
+    pub fn update_bytes_total(&self) -> u64 {
+        self.update_bytes
+    }
+
+    /// Per-game QoE breakdown: `(game, players, mean continuity,
+    /// satisfied ratio, mean latency ms)` — the paper's motivation that
+    /// "different games have different tolerance on packet loss rate
+    /// and response delay" made measurable.
+    pub fn by_game(&self, bar: f64) -> Vec<(GameId, usize, f64, f64, f64)> {
+        let mut per: BTreeMap<GameId, (usize, f64, usize, Welford)> = BTreeMap::new();
+        for stats in self.players.values() {
+            let Some(game) = stats.game else { continue };
+            let entry = per.entry(game).or_insert((0, 0.0, 0, Welford::new()));
+            entry.0 += 1;
+            entry.1 += stats.continuity();
+            if stats.satisfied(bar) {
+                entry.2 += 1;
+            }
+            if stats.segments > 0 {
+                entry.3.push(stats.mean_latency_ms());
+            }
+        }
+        per.into_iter()
+            .map(|(game, (n, cont_sum, sat, lat))| {
+                (game, n, cont_sum / n as f64, sat as f64 / n as f64, lat.mean())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemParams;
+    use crate::streaming::SegmentId;
+    use cloudfog_workload::games::{QualityLevel, GAMES};
+
+    fn arrival(collector: &mut MetricsCollector, player: u32, game_idx: usize, late: bool) {
+        let p = SystemParams::default();
+        let t_m = SimTime::from_millis(1_000);
+        let seg = Segment::new(
+            SegmentId(player as u64),
+            PlayerId(player),
+            &GAMES[game_idx],
+            QualityLevel::get(1),
+            t_m,
+            t_m,
+            &p,
+        );
+        let budget = GAMES[game_idx].latency_requirement_ms as u64;
+        let offset = if late { budget + 100 } else { budget / 2 };
+        let end = t_m + cloudfog_sim::time::SimDuration::from_millis(offset);
+        collector.record_arrival(&seg, end, end);
+    }
+
+    #[test]
+    fn satisfaction_and_continuity() {
+        let mut m = MetricsCollector::new();
+        arrival(&mut m, 1, 0, false);
+        arrival(&mut m, 2, 0, true);
+        assert_eq!(m.players_seen(), 2);
+        assert!((m.satisfied_ratio(0.95) - 0.5).abs() < 1e-12);
+        assert!((m.mean_continuity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_uses_per_player_requirements() {
+        let mut m = MetricsCollector::new();
+        arrival(&mut m, 1, 0, false); // 110 ms game, on time (55 ms)
+        arrival(&mut m, 2, 4, true); // 30 ms game, late (130 ms)
+        let cov = m.coverage(|id| if id.0 == 1 { 110.0 } else { 30.0 });
+        assert!((cov - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_attribution() {
+        let mut m = MetricsCollector::new();
+        m.record_video_bytes(TrafficSource::Cloud, 1_000_000);
+        m.record_video_bytes(TrafficSource::Supernode, 9_000_000);
+        m.record_video_bytes(TrafficSource::EdgeServer, 4_000_000);
+        m.record_update_bytes(50_000);
+        assert_eq!(m.cloud_bytes(), 1_050_000);
+        assert_eq!(m.video_bytes(TrafficSource::Supernode), 9_000_000);
+        assert_eq!(m.video_bytes(TrafficSource::EdgeServer), 4_000_000);
+        // 1.05 MB over 10 s = 0.84 Mbps.
+        m.finish(SimTime::from_secs(10));
+        assert!((m.cloud_mbps() - 0.84).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_collector_is_calm() {
+        let m = MetricsCollector::new();
+        assert_eq!(m.satisfied_ratio(0.95), 0.0);
+        assert_eq!(m.mean_continuity(), 0.0);
+        assert_eq!(m.cloud_mbps(), 0.0);
+        assert_eq!(m.latency_distribution().count(), 0);
+    }
+
+    #[test]
+    fn warmup_gating_skips_early_arrivals() {
+        let mut m = MetricsCollector::new();
+        m.set_measure_from(SimTime::from_secs(10));
+        arrival(&mut m, 1, 0, false); // arrives ~1.055 s — inside warmup
+        assert_eq!(m.players_seen(), 0, "warmup arrivals are invisible");
+        // Bytes are NOT gated.
+        m.record_video_bytes(TrafficSource::Cloud, 500);
+        assert_eq!(m.cloud_bytes(), 500);
+    }
+
+    #[test]
+    fn per_game_breakdown_partitions_players() {
+        let mut m = MetricsCollector::new();
+        arrival(&mut m, 1, 0, false);
+        arrival(&mut m, 2, 0, true);
+        arrival(&mut m, 3, 4, false);
+        let rows = m.by_game(0.95);
+        assert_eq!(rows.len(), 2, "two games present");
+        let total_players: usize = rows.iter().map(|r| r.1).sum();
+        assert_eq!(total_players, 3);
+        let game0 = rows.iter().find(|r| r.0 == GameId(0)).unwrap();
+        assert_eq!(game0.1, 2);
+        assert!((game0.3 - 0.5).abs() < 1e-12, "one of two satisfied");
+        let game4 = rows.iter().find(|r| r.0 == GameId(4)).unwrap();
+        assert_eq!(game4.1, 1);
+    }
+
+    #[test]
+    fn latency_distribution_aggregates_players() {
+        let mut m = MetricsCollector::new();
+        arrival(&mut m, 1, 0, false);
+        arrival(&mut m, 2, 0, false);
+        let dist = m.latency_distribution();
+        assert_eq!(dist.count(), 2);
+        assert!((dist.mean() - 55.0).abs() < 1.0);
+    }
+}

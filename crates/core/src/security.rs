@@ -1,0 +1,313 @@
+//! Supernode trust — the paper's §V security future work, implemented.
+//!
+//! §III-A.1 requires supernodes to be "reliable, as malicious
+//! supernodes may distribute spam or virus", and §V defers "dealing
+//! with malicious supernodes and preventing cheating" to future work.
+//! This module provides the mechanism a deployment needs:
+//!
+//! * a **beta reputation** per supernode (Jøsang-style `(α, β)`
+//!   counts with exponential forgetting), fed by client reports —
+//!   each delivered segment is implicitly a positive interaction,
+//!   each integrity violation (bad hash, tampered frame, spam) a
+//!   negative one;
+//! * **render challenges**: the cloud already knows the authoritative
+//!   state, so it can send a supernode a known scene and compare the
+//!   returned frame hash — a failed challenge is strong evidence and
+//!   weighs accordingly;
+//! * a **quarantine** rule: supernodes whose reputation drops below a
+//!   threshold are removed from the assignment pool (their players
+//!   fail over via their backup lists).
+
+use std::collections::BTreeMap;
+
+use crate::infra::{SupernodeId, SupernodeTable};
+use cloudfog_workload::player::PlayerId;
+
+/// What a client (or the cloud) observed about a supernode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrustEvent {
+    /// A segment delivered and verified clean.
+    CleanSegment,
+    /// Segment integrity violation (hash mismatch, corrupted frames).
+    IntegrityViolation,
+    /// Unsolicited/spam content pushed to the player.
+    Spam,
+    /// The supernode answered a cloud render-challenge correctly.
+    ChallengePassed,
+    /// The supernode failed a cloud render-challenge.
+    ChallengeFailed,
+}
+
+impl TrustEvent {
+    /// Evidence weight `(positive, negative)` of the event. Challenge
+    /// outcomes are first-party evidence and weigh far more than a
+    /// single client report.
+    pub fn weight(self) -> (f64, f64) {
+        match self {
+            TrustEvent::CleanSegment => (1.0, 0.0),
+            TrustEvent::IntegrityViolation => (0.0, 8.0),
+            TrustEvent::Spam => (0.0, 12.0),
+            TrustEvent::ChallengePassed => (25.0, 0.0),
+            TrustEvent::ChallengeFailed => (0.0, 100.0),
+        }
+    }
+}
+
+/// Beta-reputation state for one supernode.
+#[derive(Clone, Copy, Debug)]
+pub struct Reputation {
+    /// Accumulated positive evidence (α).
+    pub positive: f64,
+    /// Accumulated negative evidence (β).
+    pub negative: f64,
+}
+
+impl Default for Reputation {
+    fn default() -> Self {
+        // Uninformative prior: one pseudo-observation each.
+        Reputation { positive: 1.0, negative: 1.0 }
+    }
+}
+
+impl Reputation {
+    /// Expected trustworthiness `α / (α + β)` ∈ (0, 1).
+    pub fn score(&self) -> f64 {
+        self.positive / (self.positive + self.negative)
+    }
+
+    /// Fold in one event.
+    pub fn record(&mut self, event: TrustEvent) {
+        let (p, n) = event.weight();
+        self.positive += p;
+        self.negative += n;
+    }
+
+    /// Exponential forgetting: discount old evidence by `factor`
+    /// (e.g. 0.95 per epoch) so recent behaviour dominates and a
+    /// reformed node can eventually recover.
+    pub fn decay(&mut self, factor: f64) {
+        debug_assert!((0.0..=1.0).contains(&factor));
+        // Decay toward the prior, not toward zero evidence.
+        self.positive = 1.0 + (self.positive - 1.0) * factor;
+        self.negative = 1.0 + (self.negative - 1.0) * factor;
+    }
+}
+
+/// The trust manager for a deployment's supernodes.
+#[derive(Clone, Debug)]
+pub struct TrustManager {
+    reputations: BTreeMap<SupernodeId, Reputation>,
+    /// Quarantine threshold on the beta score.
+    pub quarantine_below: f64,
+    /// Minimum total evidence (α + β) before the threshold applies —
+    /// a single early report must not assassinate a new supernode.
+    pub min_evidence: f64,
+    quarantined: BTreeMap<SupernodeId, bool>,
+}
+
+impl Default for TrustManager {
+    fn default() -> Self {
+        Self::new(0.5)
+    }
+}
+
+impl TrustManager {
+    /// A manager quarantining below `threshold`.
+    pub fn new(threshold: f64) -> TrustManager {
+        TrustManager {
+            reputations: BTreeMap::new(),
+            quarantine_below: threshold,
+            min_evidence: 20.0,
+            quarantined: BTreeMap::new(),
+        }
+    }
+
+    /// Current reputation of a supernode.
+    pub fn reputation(&self, sn: SupernodeId) -> Reputation {
+        self.reputations.get(&sn).copied().unwrap_or_default()
+    }
+
+    /// Record an event for `sn`; returns true if this event pushed the
+    /// supernode into quarantine.
+    pub fn record(&mut self, sn: SupernodeId, event: TrustEvent) -> bool {
+        let rep = self.reputations.entry(sn).or_default();
+        rep.record(event);
+        let enough_evidence = rep.positive + rep.negative >= self.min_evidence;
+        let newly = enough_evidence
+            && rep.score() < self.quarantine_below
+            && !self.quarantined.get(&sn).copied().unwrap_or(false);
+        if newly {
+            self.quarantined.insert(sn, true);
+        }
+        newly
+    }
+
+    /// Is `sn` currently quarantined?
+    pub fn is_quarantined(&self, sn: SupernodeId) -> bool {
+        self.quarantined.get(&sn).copied().unwrap_or(false)
+    }
+
+    /// Is `sn` assignable (not quarantined)?
+    pub fn is_trusted(&self, sn: SupernodeId) -> bool {
+        !self.is_quarantined(sn)
+    }
+
+    /// Epoch maintenance: decay all evidence and release supernodes
+    /// whose score recovered above the threshold (with hysteresis:
+    /// release requires threshold + 0.1).
+    pub fn epoch(&mut self, decay_factor: f64) {
+        for (sn, rep) in self.reputations.iter_mut() {
+            rep.decay(decay_factor);
+            if rep.score() > self.quarantine_below + 0.1 {
+                self.quarantined.insert(*sn, false);
+            }
+        }
+    }
+
+    /// Enforce quarantine on the table: retire quarantined supernodes
+    /// and return the displaced players (to be failed over via their
+    /// backups).
+    pub fn enforce(&self, table: &mut SupernodeTable) -> Vec<(SupernodeId, Vec<PlayerId>)> {
+        let mut displaced = Vec::new();
+        for (&sn, &q) in &self.quarantined {
+            if q && table.get(sn).capacity > 0 {
+                let orphans = table.retire(sn);
+                displaced.push((sn, orphans));
+            }
+        }
+        displaced
+    }
+
+    /// Number of quarantined supernodes.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.values().filter(|&&q| q).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudfog_net::latency::LatencyModel;
+    use cloudfog_net::topology::{HostKind, LinkProfile, Topology};
+    use cloudfog_sim::rng::Rng;
+
+    #[test]
+    fn fresh_reputation_is_neutral() {
+        let rep = Reputation::default();
+        assert!((rep.score() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn honest_service_builds_trust() {
+        let mut trust = TrustManager::default();
+        let sn = SupernodeId(0);
+        for _ in 0..200 {
+            trust.record(sn, TrustEvent::CleanSegment);
+        }
+        assert!(trust.reputation(sn).score() > 0.95);
+        assert!(trust.is_trusted(sn));
+    }
+
+    #[test]
+    fn sparse_false_reports_do_not_kill_an_honest_node() {
+        let mut trust = TrustManager::default();
+        let sn = SupernodeId(1);
+        // 1 % of interactions are (false) violation reports.
+        for i in 0..1_000 {
+            if i % 100 == 0 {
+                trust.record(sn, TrustEvent::IntegrityViolation);
+            } else {
+                trust.record(sn, TrustEvent::CleanSegment);
+            }
+        }
+        assert!(trust.is_trusted(sn), "score {}", trust.reputation(sn).score());
+        assert!(trust.reputation(sn).score() > 0.8);
+    }
+
+    #[test]
+    fn malicious_node_is_quarantined_quickly() {
+        let mut trust = TrustManager::default();
+        let sn = SupernodeId(2);
+        // Some history of good service, then it turns: spam + bad
+        // segments.
+        for _ in 0..50 {
+            trust.record(sn, TrustEvent::CleanSegment);
+        }
+        let mut events_to_quarantine = 0;
+        for _ in 0..100 {
+            events_to_quarantine += 1;
+            if trust.record(sn, TrustEvent::Spam) {
+                break;
+            }
+        }
+        assert!(trust.is_quarantined(sn));
+        assert!(
+            events_to_quarantine <= 10,
+            "quarantine took {events_to_quarantine} spam events"
+        );
+    }
+
+    #[test]
+    fn failed_challenge_is_near_immediate_quarantine() {
+        let mut trust = TrustManager::default();
+        let sn = SupernodeId(3);
+        for _ in 0..80 {
+            trust.record(sn, TrustEvent::CleanSegment);
+        }
+        trust.record(sn, TrustEvent::ChallengeFailed);
+        let second = trust.record(sn, TrustEvent::ChallengeFailed);
+        assert!(trust.is_quarantined(sn), "score {}", trust.reputation(sn).score());
+        let _ = second;
+    }
+
+    #[test]
+    fn decay_allows_redemption() {
+        let mut trust = TrustManager::default();
+        let sn = SupernodeId(4);
+        for _ in 0..3 {
+            trust.record(sn, TrustEvent::Spam);
+        }
+        assert!(trust.is_quarantined(sn));
+        // Epochs pass; behaviour (if re-admitted on probation) is clean.
+        for _ in 0..40 {
+            trust.epoch(0.85);
+            trust.record(sn, TrustEvent::ChallengePassed);
+        }
+        assert!(trust.is_trusted(sn), "score {}", trust.reputation(sn).score());
+    }
+
+    #[test]
+    fn enforce_retires_quarantined_supernodes() {
+        let mut rng = Rng::new(5);
+        let mut topo = Topology::new(LatencyModel::peersim(5));
+        let mut table = SupernodeTable::new();
+        for _ in 0..3 {
+            let h = topo.add_host(HostKind::SupernodeCandidate, &LinkProfile::supernode(), &mut rng);
+            table.register(h, 8);
+        }
+        table.assign(SupernodeId(1), PlayerId(7));
+        table.assign(SupernodeId(1), PlayerId(8));
+
+        let mut trust = TrustManager::default();
+        for _ in 0..3 {
+            trust.record(SupernodeId(1), TrustEvent::Spam);
+        }
+        let displaced = trust.enforce(&mut table);
+        assert_eq!(displaced.len(), 1);
+        let (sn, orphans) = &displaced[0];
+        assert_eq!(*sn, SupernodeId(1));
+        assert_eq!(orphans.len(), 2);
+        assert!(!table.get(SupernodeId(1)).has_capacity(), "retired");
+        assert!(table.get(SupernodeId(0)).has_capacity(), "others untouched");
+    }
+
+    #[test]
+    fn challenge_passes_outweigh_scattered_reports() {
+        let mut trust = TrustManager::default();
+        let sn = SupernodeId(6);
+        trust.record(sn, TrustEvent::IntegrityViolation);
+        trust.record(sn, TrustEvent::ChallengePassed);
+        assert!(trust.is_trusted(sn));
+        assert!(trust.reputation(sn).score() > 0.7);
+    }
+}

@@ -1,0 +1,331 @@
+//! The streaming data path: segments, packetization and the player's
+//! playout accounting.
+//!
+//! A player action at `t_m` eventually produces one encoded video
+//! segment. The segment is packetized at the MTU; the QoE metrics of
+//! §IV are defined on *packets*: playback continuity is "the
+//! proportion of packets arrived within the required response latency
+//! over all packets in a game video", and a player is satisfied when
+//! ≥ 95 % of its packets make their deadline.
+
+use cloudfog_sim::time::{SimDuration, SimTime};
+use cloudfog_workload::games::{Game, GameId, QualityLevel};
+use cloudfog_workload::player::PlayerId;
+
+use crate::config::SystemParams;
+
+/// Identifier of a segment (unique per simulation run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub u64);
+
+/// One encoded video segment in flight.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// Identifier.
+    pub id: SegmentId,
+    /// Receiving player.
+    pub player: PlayerId,
+    /// The player's game.
+    pub game: GameId,
+    /// Encoding quality when produced.
+    pub quality: QualityLevel,
+    /// When the player made the action this segment answers (t_m).
+    pub action_time: SimTime,
+    /// Response-latency requirement of the game (L̃_r).
+    pub latency_requirement: SimDuration,
+    /// Packet-loss tolerance rate of the game (L̃_t).
+    pub loss_tolerance: f64,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Packets after MTU packetization.
+    pub packets: u32,
+    /// Packets dropped by the sender's scheduler before transmission.
+    pub dropped_packets: u32,
+    /// When the segment entered the sender's queue.
+    pub enqueued_at: SimTime,
+}
+
+impl Segment {
+    /// Build a segment for `player`'s `game` at `quality`, answering
+    /// an action made at `action_time`.
+    pub fn new(
+        id: SegmentId,
+        player: PlayerId,
+        game: &Game,
+        quality: QualityLevel,
+        action_time: SimTime,
+        enqueued_at: SimTime,
+        params: &SystemParams,
+    ) -> Segment {
+        let bytes = params.segment_bytes(quality.bitrate_kbps);
+        Segment {
+            id,
+            player,
+            game: game.id,
+            quality,
+            action_time,
+            latency_requirement: game.latency_requirement(),
+            loss_tolerance: game.loss_tolerance,
+            bytes,
+            packets: params.segment_packets(quality.bitrate_kbps),
+            dropped_packets: 0,
+            enqueued_at,
+        }
+    }
+
+    /// The expected arrival time `t_a = t_m + L̃_r` (§III-C).
+    pub fn expected_arrival(&self) -> SimTime {
+        self.action_time + self.latency_requirement
+    }
+
+    /// Packets that will actually be transmitted.
+    pub fn surviving_packets(&self) -> u32 {
+        self.packets - self.dropped_packets
+    }
+
+    /// Bytes that will actually be transmitted.
+    pub fn surviving_bytes(&self, params: &SystemParams) -> u64 {
+        (self.surviving_packets() as u64) * params.mtu as u64
+    }
+
+    /// Most packets a scheduler may drop while respecting the game's
+    /// loss tolerance (`⌊L̃_t × packets⌋`, minus already-dropped).
+    pub fn droppable_packets(&self) -> u32 {
+        let budget = (self.loss_tolerance * self.packets as f64).floor() as u32;
+        budget.saturating_sub(self.dropped_packets)
+    }
+
+    /// Drop up to `n` packets, clamped to the loss-tolerance budget;
+    /// returns how many were actually dropped.
+    pub fn drop_packets(&mut self, n: u32) -> u32 {
+        let dropped = n.min(self.droppable_packets());
+        self.dropped_packets += dropped;
+        dropped
+    }
+}
+
+/// Per-player packet bookkeeping: deadline hits, drops, latencies.
+#[derive(Clone, Debug, Default)]
+pub struct PlayerStreamStats {
+    /// Packets that arrived within the game's latency requirement.
+    pub packets_on_time: u64,
+    /// Packets that arrived late.
+    pub packets_late: u64,
+    /// Packets dropped at the sender.
+    pub packets_dropped: u64,
+    /// Segments received.
+    pub segments: u64,
+    /// Sum of segment response latencies (for the mean), ms.
+    pub latency_sum_ms: f64,
+    /// Worst segment response latency seen, ms.
+    pub latency_max_ms: f64,
+    /// Packet-loss tolerance of the player's game (recorded from the
+    /// arriving segments; used by the satisfaction grade).
+    pub loss_tolerance: f64,
+    /// The player's game (from the most recent arrival), for per-genre
+    /// breakdowns.
+    pub game: Option<GameId>,
+}
+
+impl PlayerStreamStats {
+    /// Record the arrival of `segment` completing at `arrival`.
+    ///
+    /// All surviving packets of the segment share its completion time
+    /// (the paper measures per-packet deadlines; transmitting is
+    /// serialized so the segment's last packet dominates — we grade
+    /// the earlier packets by interpolating between the first-packet
+    /// and last-packet times to avoid a cliff).
+    pub fn record_arrival(&mut self, segment: &Segment, first_packet: SimTime, arrival: SimTime) {
+        let deadline = segment.expected_arrival();
+        let surviving = segment.surviving_packets() as u64;
+        self.packets_dropped += segment.dropped_packets as u64;
+        self.segments += 1;
+        self.loss_tolerance = segment.loss_tolerance;
+        self.game = Some(segment.game);
+
+        let latency_ms = arrival.saturating_since(segment.action_time).as_millis_f64();
+        self.latency_sum_ms += latency_ms;
+        self.latency_max_ms = self.latency_max_ms.max(latency_ms);
+
+        if surviving == 0 {
+            return;
+        }
+        // Packets complete uniformly between first_packet and arrival.
+        if arrival <= deadline {
+            self.packets_on_time += surviving;
+        } else if first_packet > deadline {
+            self.packets_late += surviving;
+        } else {
+            let span = arrival.saturating_since(first_packet).as_micros() as f64;
+            let good = deadline.saturating_since(first_packet).as_micros() as f64;
+            let frac = if span <= 0.0 { 1.0 } else { (good / span).clamp(0.0, 1.0) };
+            let on_time = (surviving as f64 * frac).round() as u64;
+            self.packets_on_time += on_time;
+            self.packets_late += surviving - on_time;
+        }
+    }
+
+    /// Total packets attributable to this player (arrived + dropped).
+    pub fn packets_total(&self) -> u64 {
+        self.packets_on_time + self.packets_late + self.packets_dropped
+    }
+
+    /// §IV playback continuity: on-time packets over all packets.
+    pub fn continuity(&self) -> f64 {
+        let total = self.packets_total();
+        if total == 0 {
+            return 1.0;
+        }
+        self.packets_on_time as f64 / total as f64
+    }
+
+    /// §IV satisfaction — "QoE is determined by packet loss rate and
+    /// response delay": a player is satisfied when (a) at least `bar`
+    /// (95 %) of the packets it *received* made the deadline, and (b)
+    /// the fraction deliberately dropped at the sender stayed within
+    /// the game's packet-loss tolerance. Players with no traffic yet
+    /// are unsatisfied (no evidence of QoE).
+    pub fn satisfied(&self, bar: f64) -> bool {
+        let total = self.packets_total();
+        if total == 0 {
+            return false;
+        }
+        let received = self.packets_on_time + self.packets_late;
+        let delay_ok =
+            received > 0 && self.packets_on_time as f64 / received as f64 >= bar;
+        let loss_ok = self.packets_dropped as f64 / total as f64 <= self.loss_tolerance;
+        delay_ok && loss_ok
+    }
+
+    /// Mean segment response latency (ms); 0 with no segments.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.segments == 0 {
+            0.0
+        } else {
+            self.latency_sum_ms / self.segments as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudfog_workload::games::GAMES;
+
+    fn params() -> SystemParams {
+        SystemParams::default()
+    }
+
+    fn seg(game_idx: usize, quality: u8, t_m: SimTime) -> Segment {
+        Segment::new(
+            SegmentId(1),
+            PlayerId(0),
+            &GAMES[game_idx],
+            QualityLevel::get(quality),
+            t_m,
+            t_m,
+            &params(),
+        )
+    }
+
+    #[test]
+    fn segment_sizing_follows_quality() {
+        let s = seg(0, 5, SimTime::ZERO);
+        // 1800 kbps × 0.2 s = 45 000 B = 30 packets.
+        assert_eq!(s.bytes, 45_000);
+        assert_eq!(s.packets, 30);
+        let s1 = seg(0, 1, SimTime::ZERO);
+        assert!(s1.bytes < s.bytes);
+    }
+
+    #[test]
+    fn expected_arrival_is_tm_plus_requirement() {
+        let s = seg(1, 4, SimTime::from_millis(1_000)); // 90 ms game
+        assert_eq!(s.expected_arrival(), SimTime::from_millis(1_090));
+    }
+
+    #[test]
+    fn drop_budget_respects_loss_tolerance() {
+        let mut s = seg(4, 1, SimTime::ZERO); // FPS: tolerance 0.6, 5 packets
+        let budget = s.droppable_packets();
+        assert_eq!(budget, (0.6f64 * 5.0).floor() as u32);
+        let dropped = s.drop_packets(100);
+        assert_eq!(dropped, budget, "cannot exceed tolerance");
+        assert_eq!(s.droppable_packets(), 0);
+        assert_eq!(s.surviving_packets(), s.packets - budget);
+    }
+
+    #[test]
+    fn incremental_drops_accumulate() {
+        let mut s = seg(4, 1, SimTime::ZERO);
+        // 5 packets at tolerance 0.6 → budget 3.
+        let first = s.drop_packets(2);
+        let second = s.drop_packets(2);
+        assert_eq!(first, 2);
+        assert_eq!(second, 1, "budget exhausted after 3");
+        assert_eq!(s.dropped_packets, 3);
+    }
+
+    #[test]
+    fn on_time_arrival_counts_all_packets() {
+        let mut stats = PlayerStreamStats::default();
+        let s = seg(0, 5, SimTime::ZERO); // 110 ms budget
+        stats.record_arrival(&s, SimTime::from_millis(40), SimTime::from_millis(80));
+        assert_eq!(stats.packets_on_time, s.packets as u64);
+        assert_eq!(stats.packets_late, 0);
+        assert!((stats.continuity() - 1.0).abs() < 1e-12);
+        assert!(stats.satisfied(0.95));
+    }
+
+    #[test]
+    fn fully_late_arrival_counts_all_late() {
+        let mut stats = PlayerStreamStats::default();
+        let s = seg(4, 1, SimTime::ZERO); // 30 ms budget
+        stats.record_arrival(&s, SimTime::from_millis(50), SimTime::from_millis(90));
+        assert_eq!(stats.packets_on_time, 0);
+        assert_eq!(stats.packets_late, s.packets as u64);
+        assert!(!stats.satisfied(0.95));
+    }
+
+    #[test]
+    fn straddling_arrival_interpolates() {
+        let mut stats = PlayerStreamStats::default();
+        let s = seg(0, 5, SimTime::ZERO); // deadline at 110 ms
+        // First packet at 100 ms, last at 120 ms: half on time.
+        stats.record_arrival(&s, SimTime::from_millis(100), SimTime::from_millis(120));
+        let on = stats.packets_on_time as f64;
+        let total = s.packets as f64;
+        assert!((on / total - 0.5).abs() < 0.05, "fraction {}", on / total);
+    }
+
+    #[test]
+    fn dropped_packets_hurt_continuity() {
+        let mut stats = PlayerStreamStats::default();
+        let mut s = seg(4, 1, SimTime::ZERO);
+        s.drop_packets(6); // clamps to the budget of 3 (of 5 packets)
+        stats.record_arrival(&s, SimTime::from_millis(5), SimTime::from_millis(10));
+        assert_eq!(stats.packets_dropped, 3);
+        assert!(stats.continuity() < 1.0);
+        // 2 of 5 on time → 40 %.
+        assert!((stats.continuity() - 2.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_stats_track_mean_and_max() {
+        let mut stats = PlayerStreamStats::default();
+        let s1 = seg(0, 5, SimTime::ZERO);
+        stats.record_arrival(&s1, SimTime::from_millis(40), SimTime::from_millis(60));
+        let s2 = seg(0, 5, SimTime::from_millis(1_000));
+        stats.record_arrival(&s2, SimTime::from_millis(1_050), SimTime::from_millis(1_100));
+        assert!((stats.mean_latency_ms() - 80.0).abs() < 1e-9);
+        assert!((stats.latency_max_ms - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_unsatisfied_but_continuous() {
+        let stats = PlayerStreamStats::default();
+        assert_eq!(stats.continuity(), 1.0);
+        assert!(!stats.satisfied(0.95));
+        assert_eq!(stats.mean_latency_ms(), 0.0);
+    }
+}

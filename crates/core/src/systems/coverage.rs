@@ -1,0 +1,192 @@
+//! Static coverage analysis — Figures 5 and 6.
+//!
+//! "A user is covered ... if the response latency is no more than the
+//! latency requirement of the user's game." The figures sweep the
+//! *network latency requirement* from 30 to 110 ms and plot the
+//! covered fraction against the number of datacenters (5a/6a) or
+//! supernodes (5b/6b).
+//!
+//! Players stream at a fixed reference quality (level 4, 1200 kbps —
+//! the paper's economics likewise use a single streaming rate `R`)
+//! and are graded on their per-packet response latency against `T`.
+//! The analysis is static — no event loop — which is what makes the
+//! 10 000-player × 6-system × 25-datacenter sweeps of Figure 5
+//! tractable; the event-driven simulation validates the same latency
+//! model dynamically.
+
+use cloudfog_sim::rng::Rng;
+use cloudfog_workload::games::{Game, GameId, QualityLevel};
+use cloudfog_workload::player::PlayerId;
+
+use crate::config::{ExperimentProfile, SystemParams};
+use crate::systems::deployment::{Deployment, SystemKind};
+
+/// One point of a coverage curve.
+#[derive(Clone, Copy, Debug)]
+pub struct CoveragePoint {
+    /// Network latency requirement (ms).
+    pub requirement_ms: u32,
+    /// Covered fraction of players.
+    pub coverage: f64,
+}
+
+/// A synthetic game used by the sweep: the requirement under test with
+/// neutral tolerance parameters (they do not affect static coverage).
+fn sweep_game(requirement_ms: u32) -> Game {
+    Game {
+        id: GameId(0),
+        name: "sweep",
+        genre: "sweep",
+        latency_requirement_ms: requirement_ms,
+        latency_tolerance: 1.0,
+        loss_tolerance: 0.3,
+    }
+}
+
+/// Compute the covered fraction of all players in `deployment` at one
+/// requirement value.
+///
+/// Players are processed in a random order (capacity contention at
+/// popular supernodes depends on arrival order, as in the real join
+/// protocol); supernode capacity consumed during the sweep is released
+/// afterwards so the deployment can be reused.
+pub fn coverage_at(
+    deployment: &mut Deployment,
+    requirement_ms: u32,
+    params: &SystemParams,
+    rng: &mut Rng,
+) -> f64 {
+    let n = deployment.population.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let game = sweep_game(requirement_ms);
+    // Fixed reference streaming quality for the whole sweep (the
+    // requirement axis varies the latency budget, not the bitrate):
+    // level 4, 1200 kbps — the 720p-class rate of the paper's era.
+    let bitrate_kbps = QualityLevel::get(4).bitrate_kbps;
+
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut order);
+
+    let mut covered = 0usize;
+    let mut assignments = Vec::with_capacity(n);
+    for &p in &order {
+        let pid = PlayerId(p);
+        let source = deployment.resolve_source(pid, &game, params, rng);
+        let latency = deployment.nominal_latency_ms(pid, &source, bitrate_kbps, params);
+        if latency <= requirement_ms as f64 {
+            covered += 1;
+        }
+        assignments.push((pid, source));
+    }
+    for (pid, source) in assignments {
+        deployment.release(pid, &source);
+    }
+    covered as f64 / n as f64
+}
+
+/// Coverage across a sweep of requirements for a freshly built
+/// deployment of `kind`.
+pub fn coverage_curve(
+    kind: SystemKind,
+    profile: &ExperimentProfile,
+    requirements_ms: &[u32],
+    seed: u64,
+    datacenter_override: Option<usize>,
+    supernode_override: Option<usize>,
+    params: &SystemParams,
+) -> Vec<CoveragePoint> {
+    let mut deployment =
+        Deployment::build(kind, profile, seed, datacenter_override, supernode_override);
+    let mut rng = Rng::new(seed ^ 0xC0_7E4A);
+    requirements_ms
+        .iter()
+        .map(|&req| CoveragePoint {
+            requirement_ms: req,
+            coverage: coverage_at(&mut deployment, req, params, &mut rng),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ExperimentProfile {
+        ExperimentProfile::peersim(0.05) // 500 players
+    }
+
+    const REQS: [u32; 3] = [30, 70, 110];
+
+    #[test]
+    fn coverage_grows_with_laxer_requirements() {
+        let params = SystemParams::default();
+        let curve =
+            coverage_curve(SystemKind::Cloud, &profile(), &REQS, 1, None, None, &params);
+        assert_eq!(curve.len(), 3);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].coverage >= w[0].coverage,
+                "coverage must not shrink as the budget grows: {curve:?}"
+            );
+        }
+        for p in &curve {
+            assert!((0.0..=1.0).contains(&p.coverage));
+        }
+    }
+
+    #[test]
+    fn more_datacenters_cover_more_players() {
+        let params = SystemParams::default();
+        let few = coverage_curve(SystemKind::Cloud, &profile(), &[70], 2, Some(2), None, &params);
+        let many =
+            coverage_curve(SystemKind::Cloud, &profile(), &[70], 2, Some(20), None, &params);
+        assert!(
+            many[0].coverage >= few[0].coverage,
+            "20 DCs {:.3} vs 2 DCs {:.3}",
+            many[0].coverage,
+            few[0].coverage
+        );
+    }
+
+    #[test]
+    fn supernodes_lift_coverage_over_bare_cloud() {
+        let params = SystemParams::default();
+        let bare = coverage_curve(SystemKind::Cloud, &profile(), &[70], 3, Some(5), None, &params);
+        let fog = coverage_curve(
+            SystemKind::CloudFogB,
+            &profile(),
+            &[70],
+            3,
+            Some(5),
+            None,
+            &params,
+        );
+        assert!(
+            fog[0].coverage > bare[0].coverage,
+            "fog {:.3} must beat cloud {:.3}",
+            fog[0].coverage,
+            bare[0].coverage
+        );
+    }
+
+    #[test]
+    fn deployment_capacity_is_restored_after_sweep() {
+        let params = SystemParams::default();
+        let mut d = Deployment::build(SystemKind::CloudFogB, &profile(), 4, None, None);
+        let mut rng = Rng::new(5);
+        coverage_at(&mut d, 70, &params, &mut rng);
+        assert_eq!(d.supernodes.total_assigned(), 0, "sweep must release capacity");
+    }
+
+    #[test]
+    fn coverage_is_deterministic_per_seed() {
+        let params = SystemParams::default();
+        let a = coverage_curve(SystemKind::CloudFogB, &profile(), &REQS, 7, None, None, &params);
+        let b = coverage_curve(SystemKind::CloudFogB, &profile(), &REQS, 7, None, None, &params);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.coverage, y.coverage);
+        }
+    }
+}

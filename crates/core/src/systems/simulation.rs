@@ -1,0 +1,1005 @@
+//! The end-to-end event-driven streaming simulation (Figures 7–9).
+//!
+//! One [`StreamingSim`] drives a full gaming session mix through the
+//! deployed system:
+//!
+//! ```text
+//! Join ──▶ Action ──(uplink+compute[+update+render])──▶ Enqueue at sender
+//!            ▲                                             │
+//!            └── every 1/actions_per_sec                   ▼
+//!                                  sender port serializes: StartTx ─▶ Deliver
+//!                                                                      │
+//!                 adaptation feedback (quality for next segments) ◀────┘
+//! ```
+//!
+//! * every player action produces one video segment at the player's
+//!   current encoding quality;
+//! * senders (datacenters, edge servers, supernodes) each have one
+//!   uplink port that transmits queued segments serially — queueing
+//!   delay under load is what the deadline scheduler (§III-C) manages;
+//! * the effective per-segment rate is capped by the TCP throughput
+//!   over the path, so far-away senders are slow — the mechanism
+//!   behind the paper's latency/continuity gaps between systems;
+//! * arrivals feed the §III-B rate controller (when enabled), whose
+//!   decisions change the encoding quality of subsequent segments;
+//! * the cloud streams an update feed at Λ Mbps to every supernode
+//!   with at least one active player (bandwidth accounting of Eq. 2).
+
+use std::collections::{BTreeMap, HashMap};
+
+use cloudfog_net::bandwidth::Mbps;
+use cloudfog_net::topology::{DelaySource, HostId};
+use cloudfog_sim::engine::{Model, Scheduler, Simulation};
+use cloudfog_sim::event::EventQueue;
+use cloudfog_sim::rng::Rng;
+use cloudfog_sim::series::{CounterSeries, TimeSeries};
+use cloudfog_sim::time::{SimDuration, SimTime};
+use cloudfog_workload::arrival::{DiurnalArrivals, SessionCycle};
+use cloudfog_workload::games::{Game, GameId, QualityLevel, GAMES};
+
+/// Per-game QoE row of a run (see [`RunSummary::game_breakdown`]).
+#[derive(Clone, Copy, Debug)]
+pub struct GameQoe {
+    /// The game.
+    pub game: GameId,
+    /// Players who played it (with traffic).
+    pub players: usize,
+    /// Mean playback continuity.
+    pub continuity: f64,
+    /// Satisfied-player ratio.
+    pub satisfied: f64,
+    /// Mean response latency (ms).
+    pub latency_ms: f64,
+}
+use cloudfog_workload::player::PlayerId;
+
+use crate::adapt::{RateController, RateDecision};
+use crate::config::{ExperimentProfile, SystemParams};
+use crate::metrics::{MetricsCollector, TrafficSource};
+use crate::schedule::{SchedulingPolicy, SenderBuffer};
+use crate::streaming::{Segment, SegmentId};
+use crate::systems::deployment::{Deployment, StreamSource, SystemKind};
+
+/// How players enter the system.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum JoinPattern {
+    /// Everyone joins once, spread uniformly over the ramp (default:
+    /// keeps sweep cells comparable).
+    Ramp,
+    /// Joins follow a diurnal non-homogeneous Poisson process (§IV
+    /// runs 4 simulated days; populations breathe with the clock).
+    /// Player ids cycle through the population.
+    Diurnal {
+        /// Base join rate (players per second).
+        base_rate: f64,
+        /// Swing amplitude in [0, 1).
+        amplitude: f64,
+        /// Peak hour of day (0–24).
+        peak_hour: f64,
+    },
+}
+
+/// Configuration of one streaming run.
+#[derive(Clone, Debug)]
+pub struct StreamingSimConfig {
+    /// System under test.
+    pub kind: SystemKind,
+    /// Universe profile (player count, datacenters, …).
+    pub profile: ExperimentProfile,
+    /// Protocol constants.
+    pub params: SystemParams,
+    /// RNG seed.
+    pub seed: u64,
+    /// Players join uniformly over this window (then churn per their
+    /// session cycles).
+    pub ramp: SimDuration,
+    /// Simulated horizon; metrics cover the whole run.
+    pub horizon: SimDuration,
+    /// Optional datacenter-count override.
+    pub datacenter_override: Option<usize>,
+    /// Optional supernode-count override.
+    pub supernode_override: Option<usize>,
+    /// Failure injection: mean time between supernode failures across
+    /// the whole fog (`None` = no churn). A failed supernode retires
+    /// gracelessly; its players fail over via their §III-A.3 backups,
+    /// or back to the cloud.
+    pub supernode_mtbf: Option<SimDuration>,
+    /// Mean time to repair: a failed supernode is revived this long
+    /// (exponentially distributed) after its failure. `None` = gone
+    /// for good.
+    pub supernode_mttr: Option<SimDuration>,
+    /// Record time-bucketed QoE series with this bucket width
+    /// (`None` = aggregates only).
+    pub series_bucket: Option<SimDuration>,
+    /// How players join.
+    pub join_pattern: JoinPattern,
+}
+
+impl StreamingSimConfig {
+    /// A small default: the given system over a scaled-down PeerSim
+    /// profile — suitable for tests and quick examples.
+    pub fn quick(kind: SystemKind, players: usize, seed: u64) -> Self {
+        let scale = (players as f64 / 10_000.0).clamp(0.001, 1.0);
+        StreamingSimConfig {
+            kind,
+            profile: ExperimentProfile::peersim(scale),
+            params: SystemParams::default(),
+            seed,
+            ramp: SimDuration::from_secs(10),
+            horizon: SimDuration::from_secs(60),
+            datacenter_override: None,
+            supernode_override: None,
+            supernode_mtbf: None,
+            supernode_mttr: None,
+            series_bucket: None,
+            join_pattern: JoinPattern::Ramp,
+        }
+    }
+}
+
+/// Aggregated outcome of a run.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// System under test.
+    pub kind: SystemKind,
+    /// Players in the universe.
+    pub players: usize,
+    /// Fraction of players served by supernodes (0 for baselines).
+    pub fog_share: f64,
+    /// §IV satisfied-player ratio.
+    pub satisfied_ratio: f64,
+    /// Mean playback continuity.
+    pub mean_continuity: f64,
+    /// Mean per-player response latency (ms).
+    pub mean_latency_ms: f64,
+    /// Coverage: players whose mean latency met their game requirement.
+    pub coverage: f64,
+    /// Cloud egress over the run (bytes; video + updates).
+    pub cloud_bytes: u64,
+    /// Cloud egress rate (Mbps).
+    pub cloud_mbps: f64,
+    /// Video bytes served by supernodes.
+    pub supernode_bytes: u64,
+    /// Video bytes served by edge servers.
+    pub edge_bytes: u64,
+    /// Packets dropped by deadline schedulers.
+    pub scheduler_drops: u64,
+    /// Supernode failures injected (0 without churn).
+    pub failures_injected: u64,
+    /// Displaced players rescued by a §III-A.3 backup (vs cloud
+    /// fallback).
+    pub failovers_rescued: u64,
+    /// Total engine events executed.
+    pub events: u64,
+    /// Per-game QoE rows (empty after cross-seed averaging when game
+    /// populations differ between seeds).
+    pub game_breakdown: Vec<GameQoe>,
+}
+
+/// Time-bucketed QoE curves of a run (enabled via
+/// [`StreamingSimConfig::series_bucket`]).
+#[derive(Clone, Debug)]
+pub struct QoeSeries {
+    /// Mean segment response latency per bucket (ms).
+    pub latency_ms: TimeSeries,
+    /// Fraction of on-time segments per bucket (each delivery is a
+    /// 0/1 sample of "last packet met the deadline").
+    pub on_time: TimeSeries,
+    /// Segment deliveries per bucket.
+    pub deliveries: CounterSeries,
+    /// Supernode failures per bucket (churn runs).
+    pub failures: CounterSeries,
+}
+
+impl QoeSeries {
+    fn new(bucket: SimDuration) -> Self {
+        QoeSeries {
+            latency_ms: TimeSeries::new(bucket),
+            on_time: TimeSeries::new(bucket),
+            deliveries: CounterSeries::new(bucket),
+            failures: CounterSeries::new(bucket),
+        }
+    }
+}
+
+/// Per-active-player state.
+struct ActivePlayer {
+    game: GameId,
+    source: StreamSource,
+    /// §III-A.3 backup supernodes for failover.
+    backups: Vec<crate::infra::SupernodeId>,
+    controller: Option<RateController>,
+    /// Fixed quality when no controller runs.
+    quality: QualityLevel,
+    /// Last instant the controller's buffer estimate was advanced.
+    last_buffer_event: SimTime,
+}
+
+/// Per-sender state: one uplink port with one queue.
+struct Sender {
+    buffer: SenderBuffer,
+    #[allow(dead_code)] // kept for diagnostics/ablation hooks
+    class: TrafficSource,
+    busy: bool,
+}
+
+/// Simulation events (public because it is [`StreamingSim`]'s
+/// associated `Model::Event` type; construct runs via
+/// [`StreamingSim::run`], not by hand-crafting events).
+#[allow(missing_docs)]
+pub enum Ev {
+    Join(PlayerId),
+    Action(PlayerId),
+    Enqueue(Box<Segment>),
+    StartTx(HostId),
+    Deliver {
+        segment: Box<Segment>,
+        sender: HostId,
+        first_packet: SimTime,
+        propagation: SimDuration,
+    },
+    Leave(PlayerId),
+    /// Failure injection: a random live supernode dies.
+    SupernodeFailure,
+    /// A previously failed supernode comes back.
+    SupernodeRecovery(crate::infra::SupernodeId),
+}
+
+/// The streaming simulation model.
+pub struct StreamingSim {
+    cfg: StreamingSimConfig,
+    deployment: Deployment,
+    active: HashMap<PlayerId, ActivePlayer>,
+    senders: HashMap<HostId, Sender>,
+    /// Game each player most recently played (survives leave, for
+    /// coverage grading).
+    last_game: Vec<Option<GameId>>,
+    /// Session cycles per player.
+    cycles: Vec<SessionCycle>,
+    metrics: MetricsCollector,
+    /// Per-player flow availability: a player's segments serialize
+    /// over their last-mile flow (TCP cannot deliver above the path
+    /// rate, so back-to-back segments queue behind each other).
+    flow_free_at: HashMap<PlayerId, SimTime>,
+    /// Supernode hosts with ≥1 active player: host → (count, since).
+    update_feeds: BTreeMap<HostId, (u32, SimTime)>,
+    /// Accumulated update-feed seconds.
+    update_feed_secs: f64,
+    scheduler_drops: u64,
+    /// Optional QoE-over-time recording.
+    series: Option<QoeSeries>,
+    /// Failure-injection bookkeeping.
+    failures_injected: u64,
+    failovers_rescued: u64,
+    next_segment: u64,
+    rng_assign: Rng,
+    rng_game: Rng,
+    rng_net: Rng,
+}
+
+impl StreamingSim {
+    /// Build the deployment and player schedules for `cfg`.
+    pub fn new(cfg: StreamingSimConfig) -> Self {
+        let deployment = Deployment::build(
+            cfg.kind,
+            &cfg.profile,
+            cfg.seed,
+            cfg.datacenter_override,
+            cfg.supernode_override,
+        );
+        let mut root = Rng::new(cfg.seed ^ 0x5712_EA11);
+        let rng_assign = root.fork();
+        let rng_game = root.fork();
+        let rng_net = root.fork();
+        let mut rng_cycles = root.fork();
+        let n = deployment.population.len();
+        let cycles = (0..n)
+            .map(|p| {
+                let class = deployment.population.players[p].play_class;
+                SessionCycle::new(class, rng_cycles.fork())
+            })
+            .collect();
+        let series = cfg.series_bucket.map(QoeSeries::new);
+        StreamingSim {
+            cfg,
+            deployment,
+            active: HashMap::new(),
+            senders: HashMap::new(),
+            last_game: vec![None; n],
+            cycles,
+            metrics: MetricsCollector::new(),
+            flow_free_at: HashMap::new(),
+            update_feeds: BTreeMap::new(),
+            update_feed_secs: 0.0,
+            scheduler_drops: 0,
+            series,
+            failures_injected: 0,
+            failovers_rescued: 0,
+            next_segment: 0,
+            rng_assign,
+            rng_game,
+            rng_net,
+        }
+    }
+
+    /// Run to the horizon and summarize, also returning the QoE
+    /// series when [`StreamingSimConfig::series_bucket`] is set.
+    pub fn run_detailed(cfg: StreamingSimConfig) -> (RunSummary, Option<QoeSeries>) {
+        let horizon = cfg.horizon;
+        let ramp = cfg.ramp;
+        let mut model = StreamingSim::new(cfg);
+        model.metrics.set_measure_from(SimTime::ZERO + ramp + ramp / 2);
+        let n = model.deployment.population.len();
+        let mut sim = Simulation::new(model).with_horizon(SimTime::ZERO + horizon);
+        match sim.model.cfg.join_pattern {
+            JoinPattern::Ramp => {
+                for p in 0..n {
+                    let at = ramp.mul_f64(p as f64 / n.max(1) as f64);
+                    sim.seed_at(SimTime::ZERO + at, Ev::Join(PlayerId(p as u32)));
+                }
+            }
+            JoinPattern::Diurnal { base_rate, amplitude, peak_hour } => {
+                let rng = sim.model.rng_assign.fork();
+                let arrivals = DiurnalArrivals::new(
+                    base_rate,
+                    amplitude,
+                    peak_hour,
+                    SimTime::ZERO,
+                    rng,
+                );
+                let end = SimTime::ZERO + horizon;
+                for (i, at) in arrivals.take_while(|t| *t < end).enumerate() {
+                    // Player ids cycle; Join on an already-active
+                    // player is a no-op, so this models re-engagement.
+                    sim.seed_at(at, Ev::Join(PlayerId((i % n.max(1)) as u32)));
+                }
+            }
+        }
+        if sim.model.cfg.supernode_mtbf.is_some() {
+            sim.seed_at(SimTime::ZERO + ramp, Ev::SupernodeFailure);
+        }
+        let report = sim.run();
+        let mut model = sim.model;
+        model.finish(report.end_time);
+        let summary = model.summarize(report.events_executed, report.end_time);
+        (summary, model.series)
+    }
+
+    /// Run to the horizon and summarize.
+    ///
+    /// Players join uniformly over the ramp (deterministic stride —
+    /// the Poisson variant lives in the workload crate; a uniform
+    /// ramp keeps sweep points comparable). QoE measurement starts
+    /// after the join ramp plus a short settling period
+    /// (pre-adaptation transients are warmup).
+    pub fn run(cfg: StreamingSimConfig) -> RunSummary {
+        Self::run_detailed(cfg).0
+    }
+
+    fn game_of(&self, id: GameId) -> Game {
+        GAMES[id.index()]
+    }
+
+    fn action_period(&self) -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / self.cfg.params.actions_per_sec)
+    }
+
+    /// Account an update-feed transition on a supernode host.
+    fn update_feed_delta(&mut self, host: HostId, now: SimTime, delta: i32) {
+        let entry = self.update_feeds.entry(host).or_insert((0, now));
+        if delta > 0 {
+            if entry.0 == 0 {
+                entry.1 = now;
+            }
+            entry.0 += delta as u32;
+        } else {
+            let d = (-delta) as u32;
+            debug_assert!(entry.0 >= d);
+            entry.0 = entry.0.saturating_sub(d);
+            if entry.0 == 0 {
+                self.update_feed_secs += now.saturating_since(entry.1).as_secs_f64();
+            }
+        }
+    }
+
+    fn finish(&mut self, end: SimTime) {
+        // Close any open update feeds and convert to bytes.
+        for (_, (count, since)) in std::mem::take(&mut self.update_feeds) {
+            if count > 0 {
+                self.update_feed_secs += end.saturating_since(since).as_secs_f64();
+            }
+        }
+        let update_bytes =
+            (self.cfg.params.update_rate_mbps * self.update_feed_secs * 1_000_000.0 / 8.0) as u64;
+        self.metrics.record_update_bytes(update_bytes);
+        self.metrics.finish(end);
+    }
+
+    fn summarize(&self, events: u64, _end: SimTime) -> RunSummary {
+        let params = &self.cfg.params;
+        let last_game = &self.last_game;
+        let coverage = self.metrics.coverage(|pid: PlayerId| {
+            last_game[pid.index()]
+                .map(|g| GAMES[g.index()].latency_requirement_ms as f64)
+                .unwrap_or(0.0)
+        });
+        let fogged = self
+            .last_game
+            .iter()
+            .enumerate()
+            .filter(|(p, g)| {
+                g.is_some()
+                    && self
+                        .active
+                        .get(&PlayerId(*p as u32))
+                        .map(|a| a.source.supernode.is_some())
+                        .unwrap_or(false)
+            })
+            .count();
+        let seen = self.metrics.players_seen().max(1);
+        RunSummary {
+            kind: self.cfg.kind,
+            players: self.deployment.population.len(),
+            fog_share: fogged as f64 / seen as f64,
+            satisfied_ratio: self.metrics.satisfied_ratio(params.satisfaction_bar),
+            mean_continuity: self.metrics.mean_continuity(),
+            mean_latency_ms: self.metrics.latency_distribution().mean(),
+            coverage,
+            cloud_bytes: self.metrics.cloud_bytes(),
+            cloud_mbps: self.metrics.cloud_mbps(),
+            supernode_bytes: self.metrics.video_bytes(TrafficSource::Supernode),
+            edge_bytes: self.metrics.video_bytes(TrafficSource::EdgeServer),
+            scheduler_drops: self.scheduler_drops,
+            failures_injected: self.failures_injected,
+            failovers_rescued: self.failovers_rescued,
+            events,
+            game_breakdown: self
+                .metrics
+                .by_game(params.satisfaction_bar)
+                .into_iter()
+                .map(|(game, players, continuity, satisfied, latency_ms)| GameQoe {
+                    game,
+                    players,
+                    continuity,
+                    satisfied,
+                    latency_ms,
+                })
+                .collect(),
+        }
+    }
+
+    /// Policy for a sender: deadline scheduling only applies at
+    /// supernodes of scheduling-enabled systems.
+    fn policy_for(&self, class: TrafficSource) -> SchedulingPolicy {
+        if self.cfg.kind.uses_scheduling() && class == TrafficSource::Supernode {
+            SchedulingPolicy::DeadlineDriven
+        } else {
+            SchedulingPolicy::Fifo
+        }
+    }
+
+    fn handle_join(&mut self, p: PlayerId, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        if self.active.contains_key(&p) {
+            return;
+        }
+        let now = sched.now();
+        // Friend-majority game choice (§IV).
+        let game_id = {
+            let last_game = &self.last_game;
+            let active = &self.active;
+            self.deployment.population.friends.choose_game(
+                p,
+                |f| active.get(&f).and(last_game[f.index()]),
+                &mut self.rng_game,
+            )
+        };
+        let game = self.game_of(game_id);
+        let (source, backups) = self.deployment.resolve_source_with_backups(
+            p,
+            &game,
+            &self.cfg.params,
+            &mut self.rng_assign,
+        );
+        self.last_game[p.index()] = Some(game_id);
+
+        // Ensure sender state exists.
+        let params = &self.cfg.params;
+        let policy = self.policy_for(source.class);
+        let uplink = self.deployment.topology().host(source.host).upload;
+        self.senders.entry(source.host).or_insert_with(|| Sender {
+            buffer: SenderBuffer::new(policy, uplink, params),
+            class: source.class,
+            busy: false,
+        });
+
+        if source.class == TrafficSource::Supernode {
+            self.update_feed_delta(source.host, now, 1);
+        }
+
+        let controller = self.cfg.kind.uses_adaptation().then(|| {
+            let mut c =
+                RateController::new(&game, self.cfg.params.theta, self.cfg.params.hysteresis_window);
+            if let Some(n) = self.cfg.params.up_probe_after {
+                c = c.with_up_probe(n);
+            }
+            // Startup prebuffer: clients buffer one segment ahead.
+            c.prime(1.0, self.cfg.params.segment_duration);
+            c
+        });
+        let quality = game.max_quality();
+        self.active.insert(
+            p,
+            ActivePlayer {
+                game: game_id,
+                source,
+                backups,
+                controller,
+                quality,
+                last_buffer_event: now,
+            },
+        );
+
+        // First action lands somewhere inside one action period to
+        // desynchronize players; session end via the player's cycle.
+        let period = self.action_period();
+        let offset = period.mul_f64(self.rng_game.f64());
+        sched.schedule_in(offset, Ev::Action(p));
+        let session = self.cycles[p.index()].next_session();
+        sched.schedule_in(session, Ev::Leave(p));
+    }
+
+    fn handle_action(&mut self, p: PlayerId, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let Some(active) = self.active.get(&p) else { return };
+        let now = sched.now();
+        let game = self.game_of(active.game);
+        let quality = active
+            .controller
+            .as_ref()
+            .map(|c| c.quality())
+            .unwrap_or(active.quality);
+
+        let id = SegmentId(self.next_segment);
+        self.next_segment += 1;
+
+        // Path to the sender: player → nearest DC (action uplink),
+        // compute; fog adds DC → supernode update + render.
+        let host = self.deployment.population.host_of(p);
+        let dc = self.deployment.nearest_datacenter(host);
+        let topo = self.deployment.topology();
+        // Processing (state compute + rendering) happens in every
+        // system — in the cloud, on an edge server, or on a supernode.
+        // It is charged to the §I 20 ms playout/processing budget, so
+        // the segment's *network* clock starts after it.
+        let processing = self.cfg.params.cloud_compute + self.cfg.params.render_time;
+        let mut delay = topo.sample_one_way(host, dc.host, &mut self.rng_net) + processing;
+        if active.source.supernode.is_some() {
+            // Fog adds the cloud → supernode update hop (network).
+            let sn_dc = self.deployment.nearest_datacenter(active.source.host);
+            delay += self.deployment.topology().sample_one_way(
+                    sn_dc.host,
+                    active.source.host,
+                    &mut self.rng_net,
+                );
+        }
+
+        let enqueue_at = now + delay;
+        let network_t0 = now + processing;
+        let mut segment =
+            Segment::new(id, p, &game, quality, network_t0, enqueue_at, &self.cfg.params);
+        segment.enqueued_at = enqueue_at;
+        sched.schedule_at(enqueue_at, Ev::Enqueue(Box::new(segment)));
+        sched.schedule_in(self.action_period(), Ev::Action(p));
+    }
+
+    fn handle_enqueue(&mut self, segment: Segment, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let Some(active) = self.active.get(&segment.player) else { return };
+        let host = active.source.host;
+        let Some(sender) = self.senders.get_mut(&host) else { return };
+        let report = sender.buffer.enqueue(segment, sched.now(), &self.cfg.params);
+        self.scheduler_drops += report.packets_dropped as u64;
+        if !sender.busy {
+            sender.busy = true;
+            sched.schedule_in(SimDuration::ZERO, Ev::StartTx(host));
+        }
+    }
+
+    fn handle_start_tx(&mut self, host: HostId, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let now = sched.now();
+        // Pop until we find a segment whose player is still active.
+        let segment = loop {
+            let Some(sender) = self.senders.get_mut(&host) else { return };
+            match sender.buffer.pop_next() {
+                None => {
+                    sender.busy = false;
+                    return;
+                }
+                Some(seg) => {
+                    if self.active.contains_key(&seg.player) {
+                        break seg;
+                    }
+                    // Player left: segment evaporates (its packets are
+                    // not charged to anyone, matching the paper's
+                    // per-player accounting).
+                }
+            }
+        };
+
+        let active = &self.active[&segment.player];
+        let source = active.source;
+        let player_host = self.deployment.population.host_of(segment.player);
+
+        // Staleness skip: a segment already hopeless (deadline missed
+        // by several segment durations) is not worth transmitting —
+        // real streamers skip frames. Its packets count as late.
+        let hopeless =
+            segment.expected_arrival() + self.cfg.params.segment_duration * 5;
+        if now > hopeless {
+            self.metrics.record_arrival(&segment, now, now);
+            sched.schedule_in(SimDuration::ZERO, Ev::StartTx(host));
+            return;
+        }
+
+        let bytes = segment.surviving_bytes(&self.cfg.params);
+        // Port occupancy: the sender's uplink is a shared serial
+        // resource — the next queued segment starts once this one has
+        // left the uplink.
+        let uplink = self.deployment.topology().host(host).upload;
+        let port_time = uplink.transmission_time(bytes);
+        // Flow delivery: the segment completes at the per-flow rate
+        // (TCP cap / downlink), which can be slower than the uplink.
+        // A player's segments serialize over their own flow: TCP
+        // cannot deliver above the path rate, so sustained demand
+        // beyond it accumulates delay — this is what the §III-B
+        // controller senses and corrects.
+        let flow_rate = self
+            .deployment
+            .flow_rate_mbps(segment.player, &source, &self.cfg.params);
+        let flow_time = Mbps(flow_rate).transmission_time(bytes);
+        let flow_start = (*self
+            .flow_free_at
+            .entry(segment.player)
+            .or_insert(now))
+        .max(now);
+        let flow_end = flow_start + flow_time;
+        self.flow_free_at.insert(segment.player, flow_end);
+        let propagation = self
+            .deployment
+            .topology()
+            .sample_one_way(host, player_host, &mut self.rng_net);
+
+        self.metrics.record_video_bytes(source.class, bytes);
+
+        let first_packet = flow_start + propagation;
+        let arrival = flow_end.max(now + port_time) + propagation;
+        sched.schedule_at(
+            arrival,
+            Ev::Deliver { segment: Box::new(segment), sender: host, first_packet, propagation },
+        );
+        sched.schedule_in(port_time, Ev::StartTx(host));
+    }
+
+    fn handle_deliver(
+        &mut self,
+        segment: Box<Segment>,
+        sender: HostId,
+        first_packet: SimTime,
+        propagation: SimDuration,
+        sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>,
+    ) {
+        let now = sched.now();
+        self.metrics.record_arrival(&segment, first_packet, now);
+        if let Some(series) = self.series.as_mut() {
+            let latency = now.saturating_since(segment.action_time).as_millis_f64();
+            series.latency_ms.record(now, latency);
+            series
+                .on_time
+                .record(now, if now <= segment.expected_arrival() { 1.0 } else { 0.0 });
+            series.deliveries.bump(now);
+        }
+        // Feed the Eq. 13 propagation estimator of the sender.
+        if let Some(s) = self.senders.get_mut(&sender) {
+            s.buffer.record_propagation(segment.player, propagation);
+        }
+        // Receiver-driven adaptation: Eq. 7 with the measured
+        // download rate d(t) = τ / inter-arrival over the last
+        // estimation interval, playback rate b_p = 1 (real time).
+        let params = self.cfg.params;
+        if let Some(active) = self.active.get_mut(&segment.player) {
+            if let Some(controller) = active.controller.as_mut() {
+                let inter = now.saturating_since(active.last_buffer_event).as_secs_f64();
+                let tau = params.segment_duration.as_secs_f64();
+                let d = if inter > 0.0 { (tau / inter).min(2.0) } else { 2.0 };
+                active.last_buffer_event = now;
+                // Quality changes take effect on the next Action; the
+                // controller tracks its own level.
+                let _decision: RateDecision = controller.observe(now, d, 1.0, params.segment_duration);
+            }
+        }
+    }
+
+    fn handle_leave(&mut self, p: PlayerId, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let Some(active) = self.active.remove(&p) else { return };
+        let now = sched.now();
+        if active.source.class == TrafficSource::Supernode {
+            self.update_feed_delta(active.source.host, now, -1);
+        }
+        self.deployment.release(p, &active.source);
+        // Rejoin after resting (ignored if past the horizon).
+        let session_just_played = self.cycles[p.index()].next_session();
+        let rest = self.cycles[p.index()].next_rest(session_just_played);
+        sched.schedule_in(rest, Ev::Join(p));
+    }
+}
+
+impl StreamingSim {
+    /// Kill one random live supernode and fail its players over.
+    fn handle_supernode_failure(&mut self, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let now = sched.now();
+        // Schedule the next failure first (Poisson process).
+        if let Some(mtbf) = self.cfg.supernode_mtbf {
+            let gap = self.rng_assign.exponential(1.0 / mtbf.as_secs_f64().max(1e-9));
+            sched.schedule_in(SimDuration::from_secs_f64(gap), Ev::SupernodeFailure);
+        }
+        // Pick a live (non-retired) supernode.
+        let live: Vec<crate::infra::SupernodeId> = self
+            .deployment
+            .supernodes
+            .iter()
+            .filter(|sn| sn.capacity > 0)
+            .map(|sn| sn.id)
+            .collect();
+        if live.is_empty() {
+            return;
+        }
+        let victim = live[self.rng_assign.index(live.len())];
+        let orphans = self.deployment.supernodes.retire(victim);
+        self.failures_injected += 1;
+        if let Some(mttr) = self.cfg.supernode_mttr {
+            let repair = self.rng_assign.exponential(1.0 / mttr.as_secs_f64().max(1e-9));
+            sched.schedule_in(SimDuration::from_secs_f64(repair), Ev::SupernodeRecovery(victim));
+        }
+        if let Some(series) = self.series.as_mut() {
+            series.failures.bump(now);
+        }
+
+        for p in orphans {
+            let Some(active) = self.active.get(&p) else { continue };
+            let (old_source, game_id, backups) =
+                (active.source, active.game, active.backups.clone());
+            if old_source.class == TrafficSource::Supernode {
+                self.update_feed_delta(old_source.host, now, -1);
+            }
+            let game = self.game_of(game_id);
+            let host = self.deployment.population.host_of(p);
+            // §III-A.3 failover: first live backup within L_max, else
+            // direct to cloud.
+            let next = crate::infra::failover(
+                self.deployment.topology(),
+                &self.deployment.supernodes,
+                host,
+                &game,
+                &self.cfg.params,
+                &backups,
+                &mut self.rng_assign,
+            );
+            let new_source = match next {
+                Some((sn, _)) => {
+                    let ok = self.deployment.supernodes.assign(sn, p);
+                    debug_assert!(ok);
+                    self.failovers_rescued += 1;
+                    StreamSource {
+                        host: self.deployment.supernodes.get(sn).host,
+                        class: TrafficSource::Supernode,
+                        supernode: Some(sn),
+                    }
+                }
+                None => {
+                    let dc = self.deployment.nearest_datacenter(host);
+                    StreamSource { host: dc.host, class: TrafficSource::Cloud, supernode: None }
+                }
+            };
+            // Ensure sender state for the new source exists.
+            let policy = self.policy_for(new_source.class);
+            let uplink = self.deployment.topology().host(new_source.host).upload;
+            let params = &self.cfg.params;
+            self.senders.entry(new_source.host).or_insert_with(|| Sender {
+                buffer: SenderBuffer::new(policy, uplink, params),
+                class: new_source.class,
+                busy: false,
+            });
+            if new_source.class == TrafficSource::Supernode {
+                self.update_feed_delta(new_source.host, now, 1);
+            }
+            if let Some(active) = self.active.get_mut(&p) {
+                active.source = new_source;
+            }
+        }
+    }
+}
+
+impl Model for StreamingSim {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        match event {
+            Ev::Join(p) => self.handle_join(p, sched),
+            Ev::Action(p) => self.handle_action(p, sched),
+            Ev::Enqueue(segment) => self.handle_enqueue(*segment, sched),
+            Ev::StartTx(host) => self.handle_start_tx(host, sched),
+            Ev::Deliver { segment, sender, first_packet, propagation } => {
+                self.handle_deliver(segment, sender, first_packet, propagation, sched)
+            }
+            Ev::Leave(p) => self.handle_leave(p, sched),
+            Ev::SupernodeFailure => self.handle_supernode_failure(sched),
+            Ev::SupernodeRecovery(sn) => {
+                self.deployment.supernodes.revive(sn);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(kind: SystemKind, players: usize, seed: u64) -> RunSummary {
+        let mut cfg = StreamingSimConfig::quick(kind, players, seed);
+        cfg.ramp = SimDuration::from_secs(5);
+        cfg.horizon = SimDuration::from_secs(30);
+        StreamingSim::run(cfg)
+    }
+
+    #[test]
+    fn run_produces_traffic_and_metrics() {
+        let s = quick(SystemKind::Cloud, 150, 1);
+        assert!(s.events > 1_000, "events {}", s.events);
+        assert!(s.cloud_bytes > 0);
+        assert!(s.mean_latency_ms > 0.0);
+        assert!((0.0..=1.0).contains(&s.mean_continuity));
+        assert!((0.0..=1.0).contains(&s.satisfied_ratio));
+    }
+
+    #[test]
+    fn cloudfog_offloads_cloud_bandwidth() {
+        let cloud = quick(SystemKind::Cloud, 200, 2);
+        let fog = quick(SystemKind::CloudFogB, 200, 2);
+        assert!(
+            fog.cloud_bytes < cloud.cloud_bytes,
+            "fog cloud bytes {} must be below cloud {}",
+            fog.cloud_bytes,
+            cloud.cloud_bytes
+        );
+        assert!(fog.supernode_bytes > 0, "supernodes must carry traffic");
+    }
+
+    #[test]
+    fn edgecloud_uses_edge_servers() {
+        let s = quick(SystemKind::EdgeCloud, 200, 3);
+        assert!(s.edge_bytes > 0, "edge servers must carry traffic");
+        let cloud = quick(SystemKind::Cloud, 200, 3);
+        assert!(s.cloud_bytes < cloud.cloud_bytes);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = quick(SystemKind::CloudFogA, 100, 7);
+        let b = quick(SystemKind::CloudFogA, 100, 7);
+        assert_eq!(a.cloud_bytes, b.cloud_bytes);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
+        assert_eq!(a.scheduler_drops, b.scheduler_drops);
+    }
+
+    #[test]
+    fn scheduling_only_drops_in_scheduling_systems() {
+        let b = quick(SystemKind::CloudFogB, 150, 4);
+        assert_eq!(b.scheduler_drops, 0, "B never drops");
+        // CloudFog/A may or may not drop at this scale, but the knob
+        // must exist; assert the field is present and sane.
+        let a = quick(SystemKind::CloudFogA, 150, 4);
+        assert!(a.scheduler_drops < 1_000_000);
+    }
+
+    #[test]
+    fn fog_latency_beats_cloud() {
+        let cloud = quick(SystemKind::Cloud, 250, 5);
+        let fog = quick(SystemKind::CloudFogB, 250, 5);
+        assert!(
+            fog.mean_latency_ms < cloud.mean_latency_ms,
+            "fog {:.1} ms should beat cloud {:.1} ms",
+            fog.mean_latency_ms,
+            cloud.mean_latency_ms
+        );
+    }
+
+    #[test]
+    fn churn_injection_fails_over_players() {
+        let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 200, 9);
+        cfg.ramp = SimDuration::from_secs(5);
+        cfg.horizon = SimDuration::from_secs(30);
+        cfg.supernode_mtbf = Some(SimDuration::from_secs(2));
+        let s = StreamingSim::run(cfg);
+        assert!(s.failures_injected > 3, "churn must fire: {}", s.failures_injected);
+        // The system keeps serving: traffic flows and QoE is defined.
+        assert!(s.cloud_bytes + s.supernode_bytes > 0);
+        assert!((0.0..=1.0).contains(&s.mean_continuity));
+    }
+
+    #[test]
+    fn backups_rescue_some_displaced_players() {
+        // Dense fog (many same-metro supernodes) ⇒ failovers should
+        // often land on a backup instead of the cloud.
+        let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 400, 10);
+        cfg.ramp = SimDuration::from_secs(5);
+        cfg.horizon = SimDuration::from_secs(30);
+        cfg.supernode_mtbf = Some(SimDuration::from_secs(3));
+        let s = StreamingSim::run(cfg);
+        assert!(s.failures_injected > 0);
+        assert!(
+            s.failovers_rescued > 0,
+            "with {} failures, some backup must qualify",
+            s.failures_injected
+        );
+    }
+
+    #[test]
+    fn recovery_keeps_the_fog_alive_under_sustained_churn() {
+        // Without repair the fog erodes to nothing; with a short MTTR
+        // the steady-state fog share stays materially higher.
+        let run = |mttr: Option<SimDuration>| {
+            let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 300, 12);
+            cfg.ramp = SimDuration::from_secs(5);
+            cfg.horizon = SimDuration::from_secs(60);
+            cfg.supernode_mtbf = Some(SimDuration::from_secs(2));
+            cfg.supernode_mttr = mttr;
+            StreamingSim::run(cfg)
+        };
+        let without = run(None);
+        let with = run(Some(SimDuration::from_secs(6)));
+        assert!(with.failures_injected > 0);
+        assert!(
+            with.fog_share > without.fog_share,
+            "repair must preserve fog share: {} vs {}",
+            with.fog_share,
+            without.fog_share
+        );
+    }
+
+    #[test]
+    fn diurnal_join_pattern_runs_and_differs_from_ramp() {
+        let mk = |pattern| {
+            let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 150, 14);
+            cfg.ramp = SimDuration::from_secs(5);
+            cfg.horizon = SimDuration::from_secs(40);
+            cfg.join_pattern = pattern;
+            StreamingSim::run(cfg)
+        };
+        let ramp = mk(JoinPattern::Ramp);
+        let diurnal = mk(JoinPattern::Diurnal { base_rate: 3.0, amplitude: 0.8, peak_hour: 0.0 });
+        assert!(diurnal.events > 100, "diurnal joins must generate traffic");
+        assert_ne!(ramp.events, diurnal.events, "patterns must differ");
+    }
+
+    #[test]
+    fn no_churn_without_mtbf() {
+        let s = quick(SystemKind::CloudFogB, 100, 11);
+        assert_eq!(s.failures_injected, 0);
+        assert_eq!(s.failovers_rescued, 0);
+    }
+
+    #[test]
+    fn continuity_ordering_matches_figure_9() {
+        // Single-seed cells are noisy (the §IV friend-majority game
+        // choice cascades populations toward one game), so average a
+        // few seeds, as the figure benches do.
+        let avg = |kind: SystemKind| -> f64 {
+            [6u64, 7, 8].iter().map(|&s| quick(kind, 250, s).mean_continuity).sum::<f64>() / 3.0
+        };
+        let cloud = avg(SystemKind::Cloud);
+        let edge = avg(SystemKind::EdgeCloud);
+        let fog_b = avg(SystemKind::CloudFogB);
+        assert!(fog_b >= edge - 0.01, "B {fog_b:.3} vs Edge {edge:.3}");
+        assert!(edge >= cloud - 0.01, "Edge {edge:.3} vs Cloud {cloud:.3}");
+        assert!(fog_b > cloud, "B {fog_b:.3} vs Cloud {cloud:.3}");
+    }
+}

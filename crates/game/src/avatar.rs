@@ -1,0 +1,214 @@
+//! Avatars and player actions.
+//!
+//! The paper's cloud "collects action information from all involved
+//! players ... and performs the computation of the new game state of
+//! the virtual world (including the new shape and position of objects
+//! and states of avatars)". This module is that vocabulary: an avatar
+//! with position, heading, health and combat state, and the action
+//! alphabet players submit.
+
+/// Identifier of an avatar (one per online player).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AvatarId(pub u32);
+
+impl AvatarId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A position in the virtual world (metres on a flat map).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct WorldPos {
+    /// East–west coordinate.
+    pub x: f64,
+    /// North–south coordinate.
+    pub y: f64,
+}
+
+impl WorldPos {
+    /// Euclidean distance.
+    pub fn distance(&self, other: &WorldPos) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// What a player asks their avatar to do this tick (§III-A's "launching
+/// a strike or moving to a new place").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Action {
+    /// Stand still.
+    Idle,
+    /// Move toward a destination at the avatar's speed.
+    MoveTo(WorldPos),
+    /// Strike a target avatar (melee range check applies).
+    Strike(AvatarId),
+    /// Cast a ranged ability at a target.
+    Cast(AvatarId),
+    /// Emote/chat — state-light but still an update.
+    Emote(u8),
+}
+
+/// Combat/life state of an avatar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LifeState {
+    /// Normal play.
+    Alive,
+    /// Downed; respawns after a delay.
+    Dead,
+}
+
+/// One avatar's authoritative state.
+#[derive(Clone, Debug)]
+pub struct Avatar {
+    /// Identifier.
+    pub id: AvatarId,
+    /// Current position.
+    pub pos: WorldPos,
+    /// Current movement destination, if moving.
+    pub destination: Option<WorldPos>,
+    /// Movement speed (m per tick).
+    pub speed: f64,
+    /// Hit points.
+    pub hp: i32,
+    /// Maximum hit points.
+    pub max_hp: i32,
+    /// Life state.
+    pub life: LifeState,
+    /// Ticks remaining until respawn when dead.
+    pub respawn_in: u32,
+    /// Monotone version: bumped every time any field changes, so
+    /// update generation can diff cheaply.
+    pub version: u64,
+}
+
+impl Avatar {
+    /// A fresh avatar at `pos`.
+    pub fn new(id: AvatarId, pos: WorldPos) -> Avatar {
+        Avatar {
+            id,
+            pos,
+            destination: None,
+            speed: 5.0,
+            hp: 100,
+            max_hp: 100,
+            life: LifeState::Alive,
+            respawn_in: 0,
+            version: 0,
+        }
+    }
+
+    /// True when the avatar can act.
+    pub fn alive(&self) -> bool {
+        self.life == LifeState::Alive
+    }
+
+    /// Apply `damage`, possibly dying; returns true if state changed.
+    pub fn take_damage(&mut self, damage: i32, respawn_ticks: u32) -> bool {
+        if !self.alive() || damage <= 0 {
+            return false;
+        }
+        self.hp -= damage;
+        if self.hp <= 0 {
+            self.hp = 0;
+            self.life = LifeState::Dead;
+            self.respawn_in = respawn_ticks;
+            self.destination = None;
+        }
+        self.version += 1;
+        true
+    }
+
+    /// Advance movement/respawn by one tick; returns true if state
+    /// changed.
+    pub fn tick(&mut self) -> bool {
+        match self.life {
+            LifeState::Dead => {
+                if self.respawn_in > 0 {
+                    self.respawn_in -= 1;
+                    if self.respawn_in == 0 {
+                        self.life = LifeState::Alive;
+                        self.hp = self.max_hp;
+                        self.version += 1;
+                        return true;
+                    }
+                }
+                false
+            }
+            LifeState::Alive => {
+                let Some(dest) = self.destination else { return false };
+                let dist = self.pos.distance(&dest);
+                if dist <= self.speed {
+                    self.pos = dest;
+                    self.destination = None;
+                } else {
+                    let f = self.speed / dist;
+                    self.pos.x += (dest.x - self.pos.x) * f;
+                    self.pos.y += (dest.y - self.pos.y) * f;
+                }
+                self.version += 1;
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movement_converges_to_destination() {
+        let mut a = Avatar::new(AvatarId(0), WorldPos { x: 0.0, y: 0.0 });
+        a.destination = Some(WorldPos { x: 12.0, y: 0.0 });
+        let mut changed = 0;
+        for _ in 0..10 {
+            if a.tick() {
+                changed += 1;
+            }
+        }
+        assert_eq!(a.pos, WorldPos { x: 12.0, y: 0.0 });
+        assert!(a.destination.is_none());
+        assert_eq!(changed, 3, "5 m/tick over 12 m = 3 ticks of change");
+    }
+
+    #[test]
+    fn damage_and_respawn_cycle() {
+        let mut a = Avatar::new(AvatarId(1), WorldPos::default());
+        assert!(a.take_damage(60, 5));
+        assert!(a.alive());
+        assert!(a.take_damage(60, 5));
+        assert!(!a.alive());
+        assert_eq!(a.hp, 0);
+        // Dead avatars take no further damage.
+        assert!(!a.take_damage(10, 5));
+        // Respawn after 5 ticks.
+        for _ in 0..4 {
+            assert!(!a.tick());
+        }
+        assert!(a.tick(), "respawn tick changes state");
+        assert!(a.alive());
+        assert_eq!(a.hp, a.max_hp);
+    }
+
+    #[test]
+    fn versions_only_bump_on_change() {
+        let mut a = Avatar::new(AvatarId(2), WorldPos::default());
+        let v0 = a.version;
+        assert!(!a.tick(), "idle avatar does not change");
+        assert_eq!(a.version, v0);
+        a.destination = Some(WorldPos { x: 3.0, y: 4.0 });
+        a.tick();
+        assert!(a.version > v0);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = WorldPos { x: 0.0, y: 0.0 };
+        let b = WorldPos { x: 3.0, y: 4.0 };
+        assert_eq!(a.distance(&b), 5.0);
+    }
+}

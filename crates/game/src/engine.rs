@@ -1,0 +1,489 @@
+//! The world tick loop — the "intensive computation" the cloud runs.
+//!
+//! Each tick the engine: applies queued player actions, advances
+//! movement and respawns, resolves combat, re-partitions regions when
+//! imbalance grows, rebuilds the interest index, and emits per-
+//! subscriber update messages. It is deliberately a straightforward
+//! authoritative-server loop: the substrate the CloudFog cloud tier
+//! would run, sized so experiments can measure realistic update-feed
+//! bandwidths (Λ).
+
+use cloudfog_sim::rng::Rng;
+use rayon::prelude::*;
+
+use crate::avatar::{Action, Avatar, AvatarId, WorldPos};
+use crate::interest::{union_of_interest, InterestGrid};
+use crate::region::{KdPartition, Rect};
+use crate::update::{update_rate_mbps, UpdateMessage, UpdateTracker};
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct WorldConfig {
+    /// World bounds (metres).
+    pub size: f64,
+    /// Area-of-interest radius (metres).
+    pub aoi_radius: f64,
+    /// Melee strike range (metres).
+    pub strike_range: f64,
+    /// Ranged cast range (metres).
+    pub cast_range: f64,
+    /// Damage per strike.
+    pub strike_damage: i32,
+    /// Damage per cast.
+    pub cast_damage: i32,
+    /// Respawn delay in ticks.
+    pub respawn_ticks: u32,
+    /// Target number of kd-tree regions (server shards).
+    pub regions: usize,
+    /// Re-partition when imbalance exceeds this factor.
+    pub rebalance_threshold: f64,
+    /// Simulation ticks per second (MMOG servers run 10–30 Hz).
+    pub ticks_per_sec: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            size: 4_000.0,
+            aoi_radius: 150.0,
+            strike_range: 5.0,
+            cast_range: 60.0,
+            strike_damage: 15,
+            cast_damage: 8,
+            respawn_ticks: 50,
+            regions: 16,
+            rebalance_threshold: 1.5,
+            ticks_per_sec: 10.0,
+        }
+    }
+}
+
+/// A subscriber: one supernode and the avatars of its players.
+#[derive(Clone, Debug)]
+pub struct Subscriber {
+    /// Stable id (e.g. the supernode index).
+    pub id: u32,
+    /// Avatars of the players this supernode serves.
+    pub players: Vec<AvatarId>,
+}
+
+/// Per-tick output for one subscriber.
+#[derive(Clone, Debug)]
+pub struct TickOutput {
+    /// Subscriber id.
+    pub subscriber: u32,
+    /// The update message.
+    pub message: UpdateMessage,
+}
+
+/// The authoritative virtual world.
+pub struct World {
+    config: WorldConfig,
+    avatars: Vec<Avatar>,
+    /// Actions queued for the next tick, one slot per avatar.
+    pending: Vec<Action>,
+    partition: KdPartition,
+    grid: InterestGrid,
+    tracker: UpdateTracker,
+    tick: u64,
+    /// Bytes sent per subscriber over the run (for Λ estimation).
+    bytes_sent: std::collections::BTreeMap<u32, u64>,
+}
+
+impl World {
+    /// Spawn `n` avatars uniformly over the map.
+    pub fn new(config: WorldConfig, n: usize, rng: &mut Rng) -> World {
+        let avatars: Vec<Avatar> = (0..n)
+            .map(|i| {
+                let pos = WorldPos {
+                    x: rng.range_f64(0.0, config.size),
+                    y: rng.range_f64(0.0, config.size),
+                };
+                Avatar::new(AvatarId(i as u32), pos)
+            })
+            .collect();
+        let bounds = Rect::new(WorldPos { x: 0.0, y: 0.0 }, WorldPos { x: config.size, y: config.size });
+        let positions: Vec<WorldPos> = avatars.iter().map(|a| a.pos).collect();
+        let partition = KdPartition::build(bounds, &positions, config.regions);
+        let mut grid = InterestGrid::new(config.aoi_radius);
+        grid.rebuild(avatars.iter().map(|a| (a.id, &a.pos)));
+        World {
+            config,
+            pending: vec![Action::Idle; n],
+            avatars,
+            partition,
+            grid,
+            tracker: UpdateTracker::new(),
+            tick: 0,
+            bytes_sent: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Current tick number.
+    pub fn tick_count(&self) -> u64 {
+        self.tick
+    }
+
+    /// Avatar state (read-only).
+    pub fn avatar(&self, id: AvatarId) -> &Avatar {
+        &self.avatars[id.index()]
+    }
+
+    /// Number of avatars.
+    pub fn len(&self) -> usize {
+        self.avatars.len()
+    }
+
+    /// True iff the world is empty.
+    pub fn is_empty(&self) -> bool {
+        self.avatars.is_empty()
+    }
+
+    /// The current region partition.
+    pub fn partition(&self) -> &KdPartition {
+        &self.partition
+    }
+
+    /// Queue `action` for `avatar` on the next tick (latest submission
+    /// wins, like a real input stream).
+    pub fn submit(&mut self, avatar: AvatarId, action: Action) {
+        self.pending[avatar.index()] = action;
+    }
+
+    /// Advance one tick and produce update messages for `subscribers`.
+    pub fn step(&mut self, subscribers: &[Subscriber]) -> Vec<TickOutput> {
+        self.step_inner(subscribers, false)
+    }
+
+    /// Like [`World::step`] but parallelized with rayon: movement and
+    /// respawn ticks run as a parallel iterator over avatars, and the
+    /// per-subscriber AoI/diff work fans out across subscribers — the
+    /// point of the kd-tree/AoI decomposition. Produces *identical*
+    /// results to the sequential step (asserted by tests): the
+    /// parallel phases are data-parallel over disjoint state.
+    pub fn step_parallel(&mut self, subscribers: &[Subscriber]) -> Vec<TickOutput> {
+        self.step_inner(subscribers, true)
+    }
+
+    fn step_inner(&mut self, subscribers: &[Subscriber], parallel: bool) -> Vec<TickOutput> {
+        self.tick += 1;
+
+        // 1. Apply actions (serial: attacks write across avatars).
+        let actions = std::mem::replace(&mut self.pending, vec![Action::Idle; self.avatars.len()]);
+        for (idx, action) in actions.into_iter().enumerate() {
+            self.apply(AvatarId(idx as u32), action);
+        }
+
+        // 2. Advance movement and respawns — embarrassingly parallel:
+        // each avatar only touches itself.
+        if parallel {
+            self.avatars.par_iter_mut().for_each(|a| {
+                a.tick();
+            });
+        } else {
+            for a in &mut self.avatars {
+                a.tick();
+            }
+        }
+
+        // 3. Rebalance regions when needed (kd-tree rebuild).
+        if self.partition.imbalance() > self.config.rebalance_threshold {
+            let bounds = Rect::new(
+                WorldPos { x: 0.0, y: 0.0 },
+                WorldPos { x: self.config.size, y: self.config.size },
+            );
+            let positions: Vec<WorldPos> = self.avatars.iter().map(|a| a.pos).collect();
+            self.partition = KdPartition::build(bounds, &positions, self.config.regions);
+        }
+
+        // 4. Refresh the interest index.
+        self.grid.rebuild(self.avatars.iter().map(|a| (a.id, &a.pos)));
+
+        // 5. Emit per-subscriber updates. The AoI queries are
+        // read-only and fan out per subscriber; the tracker diff needs
+        // &mut per subscriber, so compute visible sets (the expensive
+        // part) in parallel, then diff serially in subscriber order.
+        let positions: Vec<WorldPos> = self.avatars.iter().map(|a| a.pos).collect();
+        let pos_of = |id: AvatarId| positions[id.index()];
+        let visible_sets: Vec<Vec<AvatarId>> = if parallel {
+            subscribers
+                .par_iter()
+                .map(|sub| {
+                    let centres: Vec<WorldPos> =
+                        sub.players.iter().map(|&p| positions[p.index()]).collect();
+                    union_of_interest(&self.grid, &centres, self.config.aoi_radius, pos_of)
+                })
+                .collect()
+        } else {
+            subscribers
+                .iter()
+                .map(|sub| {
+                    let centres: Vec<WorldPos> =
+                        sub.players.iter().map(|&p| positions[p.index()]).collect();
+                    union_of_interest(&self.grid, &centres, self.config.aoi_radius, pos_of)
+                })
+                .collect()
+        };
+        subscribers
+            .iter()
+            .zip(visible_sets)
+            .map(|(sub, visible)| {
+                let message = self.tracker.diff(sub.id, &visible, &self.avatars, self.tick);
+                *self.bytes_sent.entry(sub.id).or_insert(0) += message.bytes;
+                TickOutput { subscriber: sub.id, message }
+            })
+            .collect()
+    }
+
+    fn apply(&mut self, actor: AvatarId, action: Action) {
+        if !self.avatars[actor.index()].alive() {
+            return;
+        }
+        match action {
+            Action::Idle => {}
+            Action::MoveTo(dest) => {
+                let clamped = WorldPos {
+                    x: dest.x.clamp(0.0, self.config.size),
+                    y: dest.y.clamp(0.0, self.config.size),
+                };
+                let a = &mut self.avatars[actor.index()];
+                a.destination = Some(clamped);
+                a.version += 1;
+            }
+            Action::Strike(target) => {
+                self.attack(actor, target, self.config.strike_range, self.config.strike_damage)
+            }
+            Action::Cast(target) => {
+                self.attack(actor, target, self.config.cast_range, self.config.cast_damage)
+            }
+            Action::Emote(_) => {
+                self.avatars[actor.index()].version += 1;
+            }
+        }
+    }
+
+    fn attack(&mut self, actor: AvatarId, target: AvatarId, range: f64, damage: i32) {
+        if actor == target || target.index() >= self.avatars.len() {
+            return;
+        }
+        let from = self.avatars[actor.index()].pos;
+        let to = self.avatars[target.index()].pos;
+        if from.distance(&to) <= range {
+            self.avatars[target.index()].take_damage(damage, self.config.respawn_ticks);
+        }
+    }
+
+    /// Mean update-feed bandwidth per subscriber so far (Mbps) — the
+    /// empirical Λ of the paper's Eq. 2.
+    pub fn mean_update_rate_mbps(&self) -> f64 {
+        if self.bytes_sent.is_empty() || self.tick == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.bytes_sent.values().sum();
+        let per_sub_per_tick = total as f64 / self.bytes_sent.len() as f64 / self.tick as f64;
+        update_rate_mbps(per_sub_per_tick, self.config.ticks_per_sec)
+    }
+
+    /// Bytes sent to one subscriber so far.
+    pub fn bytes_to(&self, subscriber: u32) -> u64 {
+        self.bytes_sent.get(&subscriber).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(n: usize, seed: u64) -> World {
+        let mut rng = Rng::new(seed);
+        World::new(WorldConfig::default(), n, &mut rng)
+    }
+
+    fn everyone(n: usize) -> Vec<Subscriber> {
+        vec![Subscriber { id: 0, players: (0..n as u32).map(AvatarId).collect() }]
+    }
+
+    #[test]
+    fn ticks_advance_and_emit_updates() {
+        let mut w = world(100, 1);
+        let subs = everyone(100);
+        let out = w.step(&subs);
+        assert_eq!(w.tick_count(), 1);
+        assert_eq!(out.len(), 1);
+        // First tick: every visible avatar is a fresh delta.
+        assert!(!out[0].message.deltas.is_empty());
+    }
+
+    #[test]
+    fn idle_world_sends_only_overhead() {
+        let mut w = world(50, 2);
+        let subs = everyone(50);
+        w.step(&subs);
+        let out = w.step(&subs);
+        assert!(
+            out[0].message.deltas.is_empty(),
+            "nothing moved, nothing to send: {:?}",
+            out[0].message.deltas.len()
+        );
+    }
+
+    #[test]
+    fn movement_produces_deltas_for_nearby_subscribers_only() {
+        let mut w = world(200, 3);
+        // Subscriber A watches avatar 0's neighbourhood; make a far
+        // avatar move — A should not hear about it unless it's close.
+        let subs = vec![Subscriber { id: 1, players: vec![AvatarId(0)] }];
+        w.step(&subs);
+        // Find an avatar guaranteed far from avatar 0.
+        let p0 = w.avatar(AvatarId(0)).pos;
+        let far = (1..200)
+            .map(|i| AvatarId(i as u32))
+            .find(|&id| w.avatar(id).pos.distance(&p0) > 2.0 * WorldConfig::default().aoi_radius)
+            .expect("someone is far away");
+        w.submit(far, Action::MoveTo(WorldPos { x: p0.x + 3_000.0, y: p0.y }));
+        let out = w.step(&subs);
+        assert!(
+            !out[0].message.deltas.contains(&far),
+            "far movement must not reach an unrelated subscriber"
+        );
+    }
+
+    #[test]
+    fn combat_kills_and_respawns() {
+        let cfg = WorldConfig { respawn_ticks: 3, strike_damage: 100, ..Default::default() };
+        let mut rng = Rng::new(4);
+        let mut w = World::new(cfg, 2, &mut rng);
+        // Teleport avatar 1 next to avatar 0 via a move and ticks.
+        let p0 = w.avatar(AvatarId(0)).pos;
+        w.avatars[1].pos = WorldPos { x: p0.x + 1.0, y: p0.y };
+        w.submit(AvatarId(0), Action::Strike(AvatarId(1)));
+        w.step(&everyone(2));
+        assert!(!w.avatar(AvatarId(1)).alive(), "one-shot strike");
+        for _ in 0..3 {
+            w.step(&everyone(2));
+        }
+        assert!(w.avatar(AvatarId(1)).alive(), "respawned after 3 ticks");
+        assert_eq!(w.avatar(AvatarId(1)).hp, 100);
+    }
+
+    #[test]
+    fn out_of_range_attacks_miss() {
+        let mut w = world(2, 5);
+        w.avatars[1].pos = WorldPos {
+            x: w.avatars[0].pos.x + 1_000.0,
+            y: w.avatars[0].pos.y,
+        };
+        w.submit(AvatarId(0), Action::Strike(AvatarId(1)));
+        w.step(&everyone(2));
+        assert_eq!(w.avatar(AvatarId(1)).hp, 100, "strike out of range");
+    }
+
+    #[test]
+    fn update_rate_is_activity_proportional() {
+        // A busy world (everyone moving) must generate more update
+        // bandwidth than an idle one.
+        let mut rng = Rng::new(6);
+        let mut busy = world(300, 6);
+        let mut idle = world(300, 6);
+        let subs = everyone(300);
+        for _ in 0..20 {
+            for i in 0..300u32 {
+                let dest = WorldPos {
+                    x: rng.range_f64(0.0, 4_000.0),
+                    y: rng.range_f64(0.0, 4_000.0),
+                };
+                busy.submit(AvatarId(i), Action::MoveTo(dest));
+            }
+            busy.step(&subs);
+            idle.step(&subs);
+        }
+        assert!(
+            busy.bytes_to(0) > 2 * idle.bytes_to(0),
+            "busy {} vs idle {}",
+            busy.bytes_to(0),
+            idle.bytes_to(0)
+        );
+        assert!(busy.mean_update_rate_mbps() > 0.0);
+    }
+
+    #[test]
+    fn empirical_lambda_is_in_the_configured_ballpark() {
+        // The default SystemParams uses Λ = 0.1 Mbps per supernode.
+        // A ~15-player supernode in a moderately busy world should
+        // land within an order of magnitude of that.
+        let mut rng = Rng::new(7);
+        let mut w = world(500, 7);
+        let subs = vec![Subscriber { id: 0, players: (0..15).map(AvatarId).collect() }];
+        for _ in 0..50 {
+            for i in 0..500u32 {
+                if rng.chance(0.3) {
+                    let dest = WorldPos {
+                        x: rng.range_f64(0.0, 4_000.0),
+                        y: rng.range_f64(0.0, 4_000.0),
+                    };
+                    w.submit(AvatarId(i), Action::MoveTo(dest));
+                }
+            }
+            w.step(&subs);
+        }
+        let lambda = w.mean_update_rate_mbps();
+        assert!(
+            (0.001..1.0).contains(&lambda),
+            "empirical Λ {lambda} Mbps should be within an order of magnitude of 0.1"
+        );
+    }
+
+    #[test]
+    fn parallel_step_is_identical_to_sequential() {
+        let mut rng_a = Rng::new(99);
+        let mut rng_b = Rng::new(99);
+        let mut seq = World::new(WorldConfig::default(), 400, &mut rng_a);
+        let mut par = World::new(WorldConfig::default(), 400, &mut rng_b);
+        let subs: Vec<Subscriber> = (0..8)
+            .map(|s| Subscriber {
+                id: s,
+                players: (0..50).map(|k| AvatarId(s * 50 + k)).collect(),
+            })
+            .collect();
+        let mut action_rng = Rng::new(5);
+        for _ in 0..15 {
+            for i in 0..400u32 {
+                if action_rng.chance(0.4) {
+                    let dest = WorldPos {
+                        x: action_rng.range_f64(0.0, 4_000.0),
+                        y: action_rng.range_f64(0.0, 4_000.0),
+                    };
+                    seq.submit(AvatarId(i), Action::MoveTo(dest));
+                    par.submit(AvatarId(i), Action::MoveTo(dest));
+                } else if action_rng.chance(0.2) {
+                    let t = AvatarId(action_rng.below(400) as u32);
+                    seq.submit(AvatarId(i), Action::Strike(t));
+                    par.submit(AvatarId(i), Action::Strike(t));
+                }
+            }
+            let a = seq.step(&subs);
+            let b = par.step_parallel(&subs);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.subscriber, y.subscriber);
+                assert_eq!(x.message.deltas, y.message.deltas);
+                assert_eq!(x.message.bytes, y.message.bytes);
+            }
+        }
+        for i in 0..400 {
+            let (sa, pa) = (seq.avatar(AvatarId(i)), par.avatar(AvatarId(i)));
+            assert_eq!(sa.pos, pa.pos);
+            assert_eq!(sa.hp, pa.hp);
+            assert_eq!(sa.version, pa.version);
+        }
+    }
+
+    #[test]
+    fn dead_avatars_cannot_act() {
+        let mut w = world(2, 8);
+        w.avatars[0].take_damage(200, 100);
+        let before = w.avatar(AvatarId(0)).pos;
+        w.submit(AvatarId(0), Action::MoveTo(WorldPos { x: 0.0, y: 0.0 }));
+        w.step(&everyone(2));
+        assert_eq!(w.avatar(AvatarId(0)).pos, before, "dead avatars stay put");
+    }
+}

@@ -1,0 +1,151 @@
+//! Area-of-interest (AoI) management.
+//!
+//! A player only needs updates about entities near their avatar; the
+//! supernode rendering for a set of players needs the union of their
+//! AoIs. This module computes visible sets with a uniform spatial
+//! hash grid — O(1) expected per query — which is what keeps
+//! update-feed sizes (the paper's Λ) proportional to *local* activity
+//! rather than world population.
+
+use std::collections::HashMap;
+
+use crate::avatar::{AvatarId, WorldPos};
+
+/// Uniform grid spatial index over avatar positions.
+#[derive(Clone, Debug)]
+pub struct InterestGrid {
+    cell: f64,
+    cells: HashMap<(i64, i64), Vec<AvatarId>>,
+}
+
+impl InterestGrid {
+    /// Build an index with `cell`-sized buckets (use the AoI radius).
+    pub fn new(cell: f64) -> InterestGrid {
+        assert!(cell > 0.0);
+        InterestGrid { cell, cells: HashMap::new() }
+    }
+
+    fn key(&self, p: &WorldPos) -> (i64, i64) {
+        ((p.x / self.cell).floor() as i64, (p.y / self.cell).floor() as i64)
+    }
+
+    /// Rebuild from positions (called once per tick).
+    pub fn rebuild<'a>(&mut self, avatars: impl Iterator<Item = (AvatarId, &'a WorldPos)>) {
+        self.cells.clear();
+        for (id, pos) in avatars {
+            self.cells.entry(self.key(pos)).or_default().push(id);
+        }
+    }
+
+    /// All avatars within `radius` of `centre` (excluding none; the
+    /// caller filters self if needed). Exact distance check after the
+    /// grid prefilter.
+    pub fn within<'a>(
+        &'a self,
+        centre: &WorldPos,
+        radius: f64,
+        position_of: impl Fn(AvatarId) -> WorldPos + 'a,
+    ) -> Vec<AvatarId> {
+        let r_cells = (radius / self.cell).ceil() as i64;
+        let (cx, cy) = self.key(centre);
+        let mut out = Vec::new();
+        for dx in -r_cells..=r_cells {
+            for dy in -r_cells..=r_cells {
+                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for &id in bucket {
+                        if position_of(id).distance(centre) <= radius {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable(); // deterministic order
+        out
+    }
+
+    /// Number of occupied cells (diagnostics).
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// The union of several players' visible sets — what one supernode
+/// must receive updates for.
+pub fn union_of_interest(
+    grid: &InterestGrid,
+    centres: &[WorldPos],
+    radius: f64,
+    position_of: impl Fn(AvatarId) -> WorldPos + Copy,
+) -> Vec<AvatarId> {
+    let mut all: Vec<AvatarId> = centres
+        .iter()
+        .flat_map(|c| grid.within(c, radius, position_of))
+        .collect();
+    all.sort_unstable();
+    all.dedup();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn positions() -> Vec<WorldPos> {
+        vec![
+            WorldPos { x: 0.0, y: 0.0 },
+            WorldPos { x: 10.0, y: 0.0 },
+            WorldPos { x: 100.0, y: 0.0 },
+            WorldPos { x: 0.0, y: 30.0 },
+            WorldPos { x: 500.0, y: 500.0 },
+        ]
+    }
+
+    fn grid(ps: &[WorldPos]) -> InterestGrid {
+        let mut g = InterestGrid::new(50.0);
+        g.rebuild(ps.iter().enumerate().map(|(i, p)| (AvatarId(i as u32), p)));
+        g
+    }
+
+    #[test]
+    fn within_radius_is_exact() {
+        let ps = positions();
+        let g = grid(&ps);
+        let pos_of = |id: AvatarId| ps[id.index()];
+        let near = g.within(&ps[0], 35.0, pos_of);
+        assert_eq!(near, vec![AvatarId(0), AvatarId(1), AvatarId(3)]);
+        let near = g.within(&ps[0], 5.0, pos_of);
+        assert_eq!(near, vec![AvatarId(0)]);
+    }
+
+    #[test]
+    fn far_avatars_are_excluded() {
+        let ps = positions();
+        let g = grid(&ps);
+        let pos_of = |id: AvatarId| ps[id.index()];
+        let near = g.within(&ps[4], 100.0, pos_of);
+        assert_eq!(near, vec![AvatarId(4)], "the hermit sees only itself");
+    }
+
+    #[test]
+    fn union_deduplicates_overlapping_aois() {
+        let ps = positions();
+        let g = grid(&ps);
+        let pos_of = |id: AvatarId| ps[id.index()];
+        // Two overlapping centres around the cluster at the origin.
+        let centres = [ps[0], ps[1]];
+        let u = union_of_interest(&g, &centres, 35.0, pos_of);
+        assert_eq!(u, vec![AvatarId(0), AvatarId(1), AvatarId(3)]);
+    }
+
+    #[test]
+    fn rebuild_replaces_contents() {
+        let ps = positions();
+        let mut g = grid(&ps);
+        let moved = [WorldPos { x: 900.0, y: 900.0 }];
+        g.rebuild(moved.iter().map(|p| (AvatarId(9), p)));
+        let pos_of = |_: AvatarId| moved[0];
+        assert_eq!(g.within(&moved[0], 10.0, pos_of), vec![AvatarId(9)]);
+        assert_eq!(g.occupied_cells(), 1);
+    }
+}

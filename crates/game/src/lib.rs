@@ -1,0 +1,44 @@
+//! # cloudfog-game
+//!
+//! The MMOG virtual-world substrate CloudFog's cloud tier runs: the
+//! "intensive computation of the new game state of the virtual world"
+//! the paper offloads to datacenters while supernodes only render.
+//!
+//! * [`avatar`] — avatars, positions, the player action alphabet,
+//!   combat/respawn state.
+//! * [`region`] — kd-tree world partitioning with median splits
+//!   (the Bezerra et al. load-balancing scheme the paper cites).
+//! * [`interest`] — area-of-interest visibility via a spatial hash.
+//! * [`update`] — per-subscriber delta generation and wire sizing;
+//!   grounds the paper's Λ (cloud→supernode update bandwidth).
+//! * [`engine`] — the authoritative tick loop tying it together.
+//!
+//! ```
+//! use cloudfog_game::prelude::*;
+//! use cloudfog_sim::rng::Rng;
+//!
+//! let mut rng = Rng::new(1);
+//! let mut world = World::new(WorldConfig::default(), 200, &mut rng);
+//! let subs = vec![Subscriber { id: 0, players: (0..10).map(AvatarId).collect() }];
+//! world.submit(AvatarId(3), Action::MoveTo(WorldPos { x: 10.0, y: 20.0 }));
+//! let out = world.step(&subs);
+//! assert_eq!(out.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod avatar;
+pub mod engine;
+pub mod interest;
+pub mod region;
+pub mod update;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::avatar::{Action, Avatar, AvatarId, LifeState, WorldPos};
+    pub use crate::engine::{Subscriber, TickOutput, World, WorldConfig};
+    pub use crate::interest::{union_of_interest, InterestGrid};
+    pub use crate::region::{KdPartition, Rect};
+    pub use crate::update::{update_rate_mbps, UpdateMessage, UpdateTracker};
+}

@@ -1,0 +1,298 @@
+//! kd-tree partitioning of the virtual world.
+//!
+//! MMOG servers split the world into regions and balance them across
+//! machines; the paper's related work points to Bezerra et al.'s
+//! kd-tree scheme, which recursively splits along the median of the
+//! avatar distribution so each leaf holds a similar number of avatars.
+//! The cloud tier uses this to parallelize state computation; we also
+//! use the leaf populations to quantify load imbalance.
+
+use crate::avatar::WorldPos;
+
+/// A rectangular region of the world.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    /// Minimum corner.
+    pub min: WorldPos,
+    /// Maximum corner.
+    pub max: WorldPos,
+}
+
+impl Rect {
+    /// The whole-world rectangle.
+    pub fn new(min: WorldPos, max: WorldPos) -> Rect {
+        assert!(min.x <= max.x && min.y <= max.y, "degenerate rect");
+        Rect { min, max }
+    }
+
+    /// Point-in-rect test (inclusive).
+    pub fn contains(&self, p: &WorldPos) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Width along x.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+}
+
+/// A node of the kd-tree.
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        bounds: Rect,
+        /// Indices into the position array this leaf holds.
+        members: Vec<usize>,
+    },
+    Split {
+        /// Split along x (true) or y (false).
+        along_x: bool,
+        /// Split coordinate.
+        at: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A balanced kd-tree over avatar positions.
+#[derive(Clone, Debug)]
+pub struct KdPartition {
+    root: Node,
+    leaves: usize,
+}
+
+impl KdPartition {
+    /// Partition `positions` into at most `max_regions` leaves (power
+    /// of two recommended), splitting along the median of the longer
+    /// axis each time — Bezerra et al.'s balancing rule.
+    pub fn build(bounds: Rect, positions: &[WorldPos], max_regions: usize) -> KdPartition {
+        assert!(max_regions >= 1);
+        let indices: Vec<usize> = (0..positions.len()).collect();
+        let mut leaves = 0;
+        let root = Self::split(bounds, indices, positions, max_regions, &mut leaves);
+        KdPartition { root, leaves }
+    }
+
+    fn split(
+        bounds: Rect,
+        mut members: Vec<usize>,
+        positions: &[WorldPos],
+        budget: usize,
+        leaves: &mut usize,
+    ) -> Node {
+        if budget <= 1 || members.len() <= 1 {
+            *leaves += 1;
+            return Node::Leaf { bounds, members };
+        }
+        let along_x = bounds.width() >= bounds.height();
+        members.sort_by(|&a, &b| {
+            let (ka, kb) = if along_x {
+                (positions[a].x, positions[b].x)
+            } else {
+                (positions[a].y, positions[b].y)
+            };
+            ka.partial_cmp(&kb).expect("finite coordinates")
+        });
+        let mid = members.len() / 2;
+        let at = if along_x { positions[members[mid]].x } else { positions[members[mid]].y };
+        let (left_mem, right_mem): (Vec<usize>, Vec<usize>) = {
+            let right = members.split_off(mid);
+            (members, right)
+        };
+        let (lb, rb) = if along_x {
+            (
+                Rect { min: bounds.min, max: WorldPos { x: at, y: bounds.max.y } },
+                Rect { min: WorldPos { x: at, y: bounds.min.y }, max: bounds.max },
+            )
+        } else {
+            (
+                Rect { min: bounds.min, max: WorldPos { x: bounds.max.x, y: at } },
+                Rect { min: WorldPos { x: bounds.min.x, y: at }, max: bounds.max },
+            )
+        };
+        let half = budget / 2;
+        Node::Split {
+            along_x,
+            at,
+            left: Box::new(Self::split(lb, left_mem, positions, half, leaves)),
+            right: Box::new(Self::split(rb, right_mem, positions, budget - half, leaves)),
+        }
+    }
+
+    /// Number of leaf regions.
+    pub fn regions(&self) -> usize {
+        self.leaves
+    }
+
+    /// Index of the leaf region containing `p` (0-based, depth-first
+    /// order).
+    pub fn region_of(&self, p: &WorldPos) -> usize {
+        let mut idx = 0;
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { .. } => return idx,
+                Node::Split { along_x, at, left, right, .. } => {
+                    let key = if *along_x { p.x } else { p.y };
+                    // The build places the median element (key == at)
+                    // in the right half; mirror that here.
+                    if key < *at {
+                        node = left;
+                    } else {
+                        idx += count_leaves(left);
+                        node = right;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Avatar count per leaf region (depth-first order).
+    pub fn loads(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.leaves);
+        collect_loads(&self.root, &mut out);
+        out
+    }
+
+    /// Load imbalance: max leaf load over mean leaf load (1.0 =
+    /// perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let loads = self.loads();
+        let total: usize = loads.iter().sum();
+        if total == 0 || loads.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / loads.len() as f64;
+        let max = *loads.iter().max().expect("non-empty") as f64;
+        max / mean
+    }
+
+    /// Bounds of each leaf region (depth-first order).
+    pub fn region_bounds(&self) -> Vec<Rect> {
+        let mut out = Vec::with_capacity(self.leaves);
+        collect_bounds(&self.root, &mut out);
+        out
+    }
+}
+
+fn count_leaves(node: &Node) -> usize {
+    match node {
+        Node::Leaf { .. } => 1,
+        Node::Split { left, right, .. } => count_leaves(left) + count_leaves(right),
+    }
+}
+
+fn collect_loads(node: &Node, out: &mut Vec<usize>) {
+    match node {
+        Node::Leaf { members, .. } => out.push(members.len()),
+        Node::Split { left, right, .. } => {
+            collect_loads(left, out);
+            collect_loads(right, out);
+        }
+    }
+}
+
+fn collect_bounds(node: &Node, out: &mut Vec<Rect>) {
+    match node {
+        Node::Leaf { bounds, .. } => out.push(*bounds),
+        Node::Split { left, right, .. } => {
+            collect_bounds(left, out);
+            collect_bounds(right, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudfog_sim::rng::Rng;
+
+    fn world() -> Rect {
+        Rect::new(WorldPos { x: 0.0, y: 0.0 }, WorldPos { x: 1000.0, y: 1000.0 })
+    }
+
+    fn random_positions(n: usize, seed: u64) -> Vec<WorldPos> {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|_| WorldPos { x: rng.range_f64(0.0, 1000.0), y: rng.range_f64(0.0, 1000.0) })
+            .collect()
+    }
+
+    #[test]
+    fn builds_the_requested_number_of_regions() {
+        let positions = random_positions(1000, 1);
+        let tree = KdPartition::build(world(), &positions, 16);
+        assert_eq!(tree.regions(), 16);
+        assert_eq!(tree.loads().len(), 16);
+        assert_eq!(tree.region_bounds().len(), 16);
+    }
+
+    #[test]
+    fn uniform_load_is_balanced() {
+        let positions = random_positions(1600, 2);
+        let tree = KdPartition::build(world(), &positions, 16);
+        let loads = tree.loads();
+        assert_eq!(loads.iter().sum::<usize>(), 1600);
+        // Median splits ⇒ leaf loads within ±1 of each other.
+        let min = *loads.iter().min().unwrap();
+        let max = *loads.iter().max().unwrap();
+        assert!(max - min <= 16, "loads {loads:?}");
+        assert!(tree.imbalance() < 1.15, "imbalance {}", tree.imbalance());
+    }
+
+    #[test]
+    fn clustered_load_is_still_balanced_by_median_splits() {
+        // A hotspot city: 90 % of avatars in one corner. The kd-tree's
+        // median splits adapt region sizes so leaf loads stay even —
+        // the whole point of Bezerra et al.'s scheme.
+        let mut rng = Rng::new(3);
+        let mut positions = Vec::new();
+        for _ in 0..900 {
+            positions.push(WorldPos { x: rng.range_f64(0.0, 100.0), y: rng.range_f64(0.0, 100.0) });
+        }
+        for _ in 0..100 {
+            positions.push(WorldPos { x: rng.range_f64(0.0, 1000.0), y: rng.range_f64(0.0, 1000.0) });
+        }
+        let tree = KdPartition::build(world(), &positions, 8);
+        assert!(tree.imbalance() < 1.3, "imbalance {}", tree.imbalance());
+    }
+
+    #[test]
+    fn region_of_agrees_with_membership_counts() {
+        let positions = random_positions(500, 4);
+        let tree = KdPartition::build(world(), &positions, 8);
+        let mut counted = vec![0usize; tree.regions()];
+        for p in &positions {
+            counted[tree.region_of(p)] += 1;
+        }
+        // region_of resolves split boundaries the same way build does
+        // for non-degenerate (distinct-coordinate) inputs.
+        assert_eq!(counted.iter().sum::<usize>(), 500);
+        let loads = tree.loads();
+        let disagreement: usize =
+            counted.iter().zip(&loads).map(|(a, b)| a.abs_diff(*b)).sum();
+        assert!(disagreement <= 4, "counted {counted:?} vs loads {loads:?}");
+    }
+
+    #[test]
+    fn single_region_degenerate_case() {
+        let positions = random_positions(10, 5);
+        let tree = KdPartition::build(world(), &positions, 1);
+        assert_eq!(tree.regions(), 1);
+        assert_eq!(tree.loads(), vec![10]);
+        assert_eq!(tree.region_of(&positions[3]), 0);
+    }
+
+    #[test]
+    fn rect_contains() {
+        let r = world();
+        assert!(r.contains(&WorldPos { x: 500.0, y: 500.0 }));
+        assert!(!r.contains(&WorldPos { x: -1.0, y: 500.0 }));
+        assert!(r.contains(&WorldPos { x: 0.0, y: 0.0 }), "inclusive edges");
+    }
+}

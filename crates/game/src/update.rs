@@ -1,0 +1,181 @@
+//! State-update generation: the cloud → supernode feed.
+//!
+//! After each tick the cloud sends every supernode the deltas of the
+//! entities inside the union of its players' areas of interest
+//! (§III-A: "the cloud sends the update information to the
+//! supernode ... which updates its virtual world accordingly"). This
+//! module diffs avatar versions per subscriber and prices the wire
+//! encoding, grounding the paper's Λ (update bandwidth per supernode)
+//! in actual world activity instead of a free parameter.
+
+use std::collections::HashMap;
+
+use crate::avatar::{Avatar, AvatarId};
+
+/// Wire-size model for one entity delta (position + state), bytes.
+/// id(4) + x(4) + y(4) + hp(2) + flags(1) + version varint(~3).
+pub const BYTES_PER_DELTA: u64 = 18;
+/// Fixed per-message framing overhead, bytes (header + auth + tick).
+pub const MESSAGE_OVERHEAD: u64 = 24;
+
+/// One subscriber's update message for a tick.
+#[derive(Clone, Debug)]
+pub struct UpdateMessage {
+    /// Tick number.
+    pub tick: u64,
+    /// Entities whose state changed since the subscriber's last ack.
+    pub deltas: Vec<AvatarId>,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+}
+
+/// Tracks, per subscriber, the last avatar versions acknowledged, and
+/// emits minimal delta messages.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateTracker {
+    /// subscriber → (avatar → last sent version).
+    acked: HashMap<u32, HashMap<AvatarId, u64>>,
+}
+
+impl UpdateTracker {
+    /// Fresh tracker.
+    pub fn new() -> UpdateTracker {
+        UpdateTracker::default()
+    }
+
+    /// Build the update message for `subscriber` covering the avatars
+    /// in `visible` (its players' AoI union) at `tick`.
+    ///
+    /// An avatar is included when the subscriber has never seen it or
+    /// its version advanced. Avatars that left the visible set are
+    /// dropped from the subscriber's table (a real protocol would send
+    /// a remove notice; we charge one delta for it).
+    pub fn diff(
+        &mut self,
+        subscriber: u32,
+        visible: &[AvatarId],
+        avatars: &[Avatar],
+        tick: u64,
+    ) -> UpdateMessage {
+        let table = self.acked.entry(subscriber).or_default();
+        let mut deltas = Vec::new();
+        for &id in visible {
+            let v = avatars[id.index()].version;
+            match table.get(&id) {
+                Some(&seen) if seen == v => {}
+                _ => {
+                    table.insert(id, v);
+                    deltas.push(id);
+                }
+            }
+        }
+        // Entities that vanished from view: charge a removal delta.
+        let visible_set: std::collections::HashSet<AvatarId> = visible.iter().copied().collect();
+        let stale: Vec<AvatarId> =
+            table.keys().filter(|id| !visible_set.contains(id)).copied().collect();
+        let mut removal_count = 0u64;
+        for id in stale {
+            table.remove(&id);
+            removal_count += 1;
+        }
+        let bytes = MESSAGE_OVERHEAD + (deltas.len() as u64 + removal_count) * BYTES_PER_DELTA;
+        UpdateMessage { tick, deltas, bytes }
+    }
+
+    /// Forget a subscriber entirely (it left the system).
+    pub fn remove_subscriber(&mut self, subscriber: u32) {
+        self.acked.remove(&subscriber);
+    }
+
+    /// Number of tracked subscribers.
+    pub fn subscribers(&self) -> usize {
+        self.acked.len()
+    }
+}
+
+/// Average update bandwidth in Mbps given message sizes and tick rate.
+pub fn update_rate_mbps(bytes_per_tick: f64, ticks_per_sec: f64) -> f64 {
+    bytes_per_tick * ticks_per_sec * 8.0 / 1_000_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::avatar::WorldPos;
+
+    fn avatars(n: usize) -> Vec<Avatar> {
+        (0..n)
+            .map(|i| Avatar::new(AvatarId(i as u32), WorldPos { x: i as f64, y: 0.0 }))
+            .collect()
+    }
+
+    #[test]
+    fn first_diff_sends_everything_visible() {
+        let avs = avatars(5);
+        let mut tracker = UpdateTracker::new();
+        let visible = vec![AvatarId(0), AvatarId(2), AvatarId(4)];
+        let msg = tracker.diff(7, &visible, &avs, 1);
+        assert_eq!(msg.deltas, visible);
+        assert_eq!(msg.bytes, MESSAGE_OVERHEAD + 3 * BYTES_PER_DELTA);
+    }
+
+    #[test]
+    fn unchanged_avatars_are_not_resent() {
+        let avs = avatars(3);
+        let mut tracker = UpdateTracker::new();
+        let visible = vec![AvatarId(0), AvatarId(1)];
+        tracker.diff(1, &visible, &avs, 1);
+        let msg = tracker.diff(1, &visible, &avs, 2);
+        assert!(msg.deltas.is_empty(), "nothing changed");
+        assert_eq!(msg.bytes, MESSAGE_OVERHEAD);
+    }
+
+    #[test]
+    fn changed_avatars_are_resent() {
+        let mut avs = avatars(3);
+        let mut tracker = UpdateTracker::new();
+        let visible = vec![AvatarId(0), AvatarId(1)];
+        tracker.diff(1, &visible, &avs, 1);
+        avs[1].take_damage(10, 5);
+        let msg = tracker.diff(1, &visible, &avs, 2);
+        assert_eq!(msg.deltas, vec![AvatarId(1)]);
+    }
+
+    #[test]
+    fn leaving_the_aoi_costs_a_removal_delta() {
+        let avs = avatars(3);
+        let mut tracker = UpdateTracker::new();
+        tracker.diff(1, &[AvatarId(0), AvatarId(1)], &avs, 1);
+        let msg = tracker.diff(1, &[AvatarId(0)], &avs, 2);
+        assert!(msg.deltas.is_empty());
+        assert_eq!(msg.bytes, MESSAGE_OVERHEAD + BYTES_PER_DELTA, "one removal");
+        // Re-entering is a fresh delta.
+        let msg = tracker.diff(1, &[AvatarId(0), AvatarId(1)], &avs, 3);
+        assert_eq!(msg.deltas, vec![AvatarId(1)]);
+    }
+
+    #[test]
+    fn subscribers_are_independent() {
+        let mut avs = avatars(2);
+        let mut tracker = UpdateTracker::new();
+        let visible = vec![AvatarId(0)];
+        tracker.diff(1, &visible, &avs, 1);
+        avs[0].take_damage(5, 5);
+        // Subscriber 2 never saw avatar 0 → full delta; subscriber 1
+        // sees the change.
+        let m2 = tracker.diff(2, &visible, &avs, 2);
+        let m1 = tracker.diff(1, &visible, &avs, 2);
+        assert_eq!(m2.deltas, vec![AvatarId(0)]);
+        assert_eq!(m1.deltas, vec![AvatarId(0)]);
+        assert_eq!(tracker.subscribers(), 2);
+        tracker.remove_subscriber(2);
+        assert_eq!(tracker.subscribers(), 1);
+    }
+
+    #[test]
+    fn rate_conversion() {
+        // 1 250 bytes per tick at 10 ticks/s = 0.1 Mbps.
+        let mbps = update_rate_mbps(1_250.0, 10.0);
+        assert!((mbps - 0.1).abs() < 1e-12);
+    }
+}

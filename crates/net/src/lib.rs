@@ -1,0 +1,34 @@
+//! # cloudfog-net
+//!
+//! Synthetic network substrate for the CloudFog reproduction: the
+//! stand-in for the paper's PlanetLab trace and testbed.
+//!
+//! * [`geo`] — planar continental-US map, metro anchors, host scatter.
+//! * [`ip`] — synthetic IPv4 plan + city-accurate geolocation (the
+//!   mechanism the cloud uses to find "physically close" supernodes).
+//! * [`latency`] — distance → delay model calibrated to PlanetLab-era
+//!   RTTs (coast-to-coast ≈ 70–100 ms RTT).
+//! * [`bandwidth`] — Mbps units, transmission times, fair-share uplink.
+//! * [`topology`] — host tables and the [`topology::DelaySource`] oracle.
+//! * [`trace`] — freeze delays into a CSV trace and replay it, exactly
+//!   how the paper fed a PlanetLab trace into PeerSim.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bandwidth;
+pub mod geo;
+pub mod ip;
+pub mod latency;
+pub mod topology;
+pub mod trace;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::bandwidth::{Mbps, UploadPort};
+    pub use crate::geo::{Coord, Region, ANCHOR_CITIES};
+    pub use crate::ip::{GeoIpTable, Ipv4};
+    pub use crate::latency::LatencyModel;
+    pub use crate::topology::{DelaySource, Host, HostId, HostKind, LinkProfile, Topology};
+    pub use crate::trace::LatencyTrace;
+}

@@ -1,0 +1,408 @@
+//! Host tables and the delay oracle.
+//!
+//! A [`Topology`] is the set of simulated machines — players,
+//! supernode candidates and datacenters alike — with their true
+//! positions, advertised (geolocated) positions, addresses and link
+//! capacities. Delay between two hosts comes from a [`DelaySource`]:
+//! either the analytic [`crate::latency::LatencyModel`]
+//! directly, or a pre-generated [`LatencyTrace`](crate::trace::LatencyTrace)
+//! (the PeerSim experiments in the paper were driven by a PlanetLab
+//! trace; both paths are supported and interchangeable).
+
+use cloudfog_sim::rng::Rng;
+use cloudfog_sim::time::SimDuration;
+
+use crate::bandwidth::Mbps;
+use crate::geo::{self, Coord, Region};
+use crate::ip::{GeoIpTable, Ipv4};
+use crate::latency::LatencyModel;
+
+/// Identifier of a host in a [`Topology`] (dense, 0-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+impl HostId {
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a host is, for capacity assignment and reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostKind {
+    /// An end-user machine (player).
+    Player,
+    /// A contributed machine powerful enough to act as a supernode.
+    SupernodeCandidate,
+    /// A cloud datacenter (effectively unconstrained uplink).
+    Datacenter,
+    /// An EdgeCloud-style edge server.
+    EdgeServer,
+}
+
+/// One simulated machine.
+#[derive(Clone, Debug)]
+pub struct Host {
+    /// Dense id.
+    pub id: HostId,
+    /// True physical position (km plane).
+    pub position: Coord,
+    /// Anchor city index the host belongs to.
+    pub city: usize,
+    /// Coarse region.
+    pub region: Region,
+    /// Synthetic address.
+    pub ip: Ipv4,
+    /// Role.
+    pub kind: HostKind,
+    /// Uplink capacity.
+    pub upload: Mbps,
+    /// Downlink capacity.
+    pub download: Mbps,
+}
+
+/// Where delays come from.
+pub trait DelaySource {
+    /// Static one-way delay in ms between host indices `a` and `b`.
+    fn one_way_ms(&self, a: HostId, b: HostId) -> f64;
+
+    /// One jittered one-way delay sample.
+    fn sample_one_way(&self, a: HostId, b: HostId, rng: &mut Rng) -> SimDuration;
+
+    /// Static round-trip time in ms.
+    fn rtt_ms(&self, a: HostId, b: HostId) -> f64 {
+        2.0 * self.one_way_ms(a, b)
+    }
+}
+
+/// The set of simulated machines.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    hosts: Vec<Host>,
+    geoip: GeoIpTable,
+    model: LatencyModel,
+    /// Optional recorded trace overriding the analytic model for the
+    /// host pairs it covers — how the paper drove PeerSim from a
+    /// PlanetLab measurement trace. Hosts added after the trace was
+    /// recorded (e.g. datacenters) fall back to the model.
+    trace: Option<crate::trace::LatencyTrace>,
+}
+
+/// Uplink/downlink capacity profile for newly added hosts.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkProfile {
+    /// Median uplink (Mbps); per-host draw is log-normal around it.
+    pub upload_median: Mbps,
+    /// σ of the underlying normal for uplink.
+    pub upload_sigma: f64,
+    /// Median downlink (Mbps).
+    pub download_median: Mbps,
+    /// σ of the underlying normal for downlink.
+    pub download_sigma: f64,
+}
+
+impl LinkProfile {
+    /// Residential player links of the paper's era: a few Mbps up,
+    /// ~10–20 Mbps down (OnLive recommended a 5 Mbps downlink).
+    pub fn residential() -> Self {
+        LinkProfile {
+            upload_median: Mbps(3.0),
+            upload_sigma: 0.5,
+            download_median: Mbps(15.0),
+            download_sigma: 0.5,
+        }
+    }
+
+    /// Contributed supernode machines: organization/enthusiast uplinks.
+    pub fn supernode() -> Self {
+        LinkProfile {
+            upload_median: Mbps(40.0),
+            upload_sigma: 0.4,
+            download_median: Mbps(100.0),
+            download_sigma: 0.3,
+        }
+    }
+
+    /// Datacenter / edge-server links: effectively unconstrained for
+    /// a single experiment.
+    pub fn datacenter() -> Self {
+        LinkProfile {
+            upload_median: Mbps(10_000.0),
+            upload_sigma: 0.0,
+            download_median: Mbps(10_000.0),
+            download_sigma: 0.0,
+        }
+    }
+
+    fn sample(&self, rng: &mut Rng) -> (Mbps, Mbps) {
+        let up = if self.upload_sigma == 0.0 {
+            self.upload_median
+        } else {
+            Mbps(self.upload_median.0 * rng.log_normal(0.0, self.upload_sigma))
+        };
+        let down = if self.download_sigma == 0.0 {
+            self.download_median
+        } else {
+            Mbps(self.download_median.0 * rng.log_normal(0.0, self.download_sigma))
+        };
+        (up, down)
+    }
+}
+
+impl Topology {
+    /// An empty topology using `model` as its delay oracle.
+    pub fn new(model: LatencyModel) -> Self {
+        Topology { hosts: Vec::new(), geoip: GeoIpTable::new(), model, trace: None }
+    }
+
+    /// Drive delays from a recorded trace for the host pairs it
+    /// covers (later-added hosts use the analytic model). This is the
+    /// paper's PeerSim setup: "communication latency between nodes in
+    /// the simulation was set based on the trace from the PlanetLab".
+    pub fn attach_trace(&mut self, trace: crate::trace::LatencyTrace) {
+        self.trace = Some(trace);
+    }
+
+    /// The attached trace, if any.
+    pub fn trace(&self) -> Option<&crate::trace::LatencyTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Add a host scattered around a weighted-random anchor city.
+    pub fn add_host(&mut self, kind: HostKind, links: &LinkProfile, rng: &mut Rng) -> HostId {
+        let city = geo::sample_city(rng);
+        self.add_host_in_city(kind, links, city, rng)
+    }
+
+    /// Add a host scattered around a specific anchor city.
+    pub fn add_host_in_city(
+        &mut self,
+        kind: HostKind,
+        links: &LinkProfile,
+        city: usize,
+        rng: &mut Rng,
+    ) -> HostId {
+        let position = geo::scatter_around(city, rng);
+        self.add_host_at(kind, links, position, city, rng)
+    }
+
+    /// Add a host at an exact position (e.g. a datacenter site).
+    pub fn add_host_at(
+        &mut self,
+        kind: HostKind,
+        links: &LinkProfile,
+        position: Coord,
+        city: usize,
+        rng: &mut Rng,
+    ) -> HostId {
+        let id = HostId(self.hosts.len() as u32);
+        let ip = self.geoip.allocate(city);
+        let (upload, download) = links.sample(rng);
+        self.hosts.push(Host {
+            id,
+            position,
+            city,
+            region: geo::ANCHOR_CITIES[city].region,
+            ip,
+            kind,
+            upload,
+            download,
+        });
+        id
+    }
+
+    /// Host record.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.index()]
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True iff no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// The latency model backing this topology.
+    pub fn model(&self) -> &LatencyModel {
+        &self.model
+    }
+
+    /// Geolocated (city-accurate) position of a host — what the cloud
+    /// sees when it resolves the host's IP, *not* the true position.
+    pub fn geolocated(&self, id: HostId) -> Coord {
+        self.geoip
+            .locate(self.host(id).ip)
+            .expect("host IPs always come from our plan")
+    }
+
+    /// Geolocation distance between two hosts in km (what the cloud
+    /// can compute from IPs; used for supernode candidate search).
+    pub fn geo_distance_km(&self, a: HostId, b: HostId) -> f64 {
+        self.geolocated(a).distance_km(&self.geolocated(b))
+    }
+
+    /// True distance between two hosts in km.
+    pub fn true_distance_km(&self, a: HostId, b: HostId) -> f64 {
+        self.host(a).position.distance_km(&self.host(b).position)
+    }
+}
+
+impl DelaySource for Topology {
+    fn one_way_ms(&self, a: HostId, b: HostId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        if let Some(trace) = &self.trace {
+            if a.index() < trace.len() && b.index() < trace.len() {
+                return trace.get(a.index(), b.index());
+            }
+        }
+        let ha = self.host(a);
+        let hb = self.host(b);
+        self.model
+            .one_way_ms(a.0 as u64, &ha.position, b.0 as u64, &hb.position)
+    }
+
+    fn sample_one_way(&self, a: HostId, b: HostId, rng: &mut Rng) -> SimDuration {
+        if a == b {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_millis_f64(self.one_way_ms(a, b) * self.model.sample_jitter(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_topology(n: usize, seed: u64) -> Topology {
+        let mut rng = Rng::new(seed);
+        let mut topo = Topology::new(LatencyModel::peersim(seed));
+        for _ in 0..n {
+            topo.add_host(HostKind::Player, &LinkProfile::residential(), &mut rng);
+        }
+        topo
+    }
+
+    #[test]
+    fn hosts_get_dense_ids_and_valid_ips() {
+        let topo = small_topology(50, 1);
+        assert_eq!(topo.len(), 50);
+        for (i, h) in topo.hosts().iter().enumerate() {
+            assert_eq!(h.id.index(), i);
+            assert!(topo.geolocated(h.id).distance_km(&h.position) < 500.0);
+        }
+    }
+
+    #[test]
+    fn geolocation_is_city_accurate_not_host_accurate() {
+        let topo = small_topology(100, 2);
+        // Geolocated position is the city centre: distance to the true
+        // position is the metro scatter, almost never exactly zero.
+        let mut nonzero = 0;
+        for h in topo.hosts() {
+            let err = topo.geolocated(h.id).distance_km(&h.position);
+            assert!(err < geo::METRO_SCATTER_KM * 8.0);
+            if err > 0.1 {
+                nonzero += 1;
+            }
+        }
+        assert!(nonzero > 90, "geolocation should usually be imperfect");
+    }
+
+    #[test]
+    fn delay_source_is_symmetric_and_zero_on_self() {
+        let topo = small_topology(20, 3);
+        let a = HostId(3);
+        let b = HostId(17);
+        assert_eq!(topo.one_way_ms(a, a), 0.0);
+        assert!((topo.one_way_ms(a, b) - topo.one_way_ms(b, a)).abs() < 1e-12);
+        assert_eq!(topo.rtt_ms(a, b), 2.0 * topo.one_way_ms(a, b));
+    }
+
+    #[test]
+    fn deterministic_rebuild() {
+        let t1 = small_topology(30, 9);
+        let t2 = small_topology(30, 9);
+        for (a, b) in t1.hosts().iter().zip(t2.hosts()) {
+            assert_eq!(a.position, b.position);
+            assert_eq!(a.ip, b.ip);
+            assert_eq!(a.upload.0, b.upload.0);
+        }
+    }
+
+    #[test]
+    fn link_profiles_are_ordered_sensibly() {
+        let mut rng = Rng::new(4);
+        let (res_up, _) = LinkProfile::residential().sample(&mut rng);
+        let (sn_up, _) = LinkProfile::supernode().sample(&mut rng);
+        let (dc_up, _) = LinkProfile::datacenter().sample(&mut rng);
+        assert!(dc_up.0 > sn_up.0);
+        assert!(sn_up.0 > res_up.0 || sn_up.0 > 5.0);
+        assert_eq!(dc_up.0, 10_000.0, "datacenter links are deterministic");
+    }
+
+    #[test]
+    fn attached_trace_overrides_model_for_covered_pairs() {
+        let mut topo = small_topology(10, 7);
+        // Freeze a doctored trace: every covered delay is exactly 42 ms.
+        let n = topo.len();
+        let trace =
+            crate::trace::LatencyTrace::from_matrix(n, vec![42.0; n * n], 0.0);
+        topo.attach_trace(trace);
+        assert_eq!(topo.one_way_ms(HostId(0), HostId(9)), 42.0);
+        // Hosts added after recording fall back to the model.
+        let mut rng = Rng::new(1);
+        let late = topo.add_host(HostKind::Datacenter, &LinkProfile::datacenter(), &mut rng);
+        let d = topo.one_way_ms(HostId(0), late);
+        assert_ne!(d, 42.0, "uncovered pair must use the model");
+        assert!(d > 0.0);
+        // Self-delay stays zero even under the doctored trace.
+        assert_eq!(topo.one_way_ms(HostId(3), HostId(3)), 0.0);
+        assert!(topo.trace().is_some());
+    }
+
+    #[test]
+    fn freezing_and_attaching_own_trace_is_identity() {
+        let mut topo = small_topology(15, 8);
+        let before: Vec<f64> = (0..15)
+            .flat_map(|a| (0..15).map(move |b| (a, b)))
+            .map(|(a, b)| topo.one_way_ms(HostId(a), HostId(b)))
+            .collect();
+        let trace = crate::trace::LatencyTrace::from_topology(&topo);
+        topo.attach_trace(trace);
+        let after: Vec<f64> = (0..15)
+            .flat_map(|a| (0..15).map(move |b| (a, b)))
+            .map(|(a, b)| topo.one_way_ms(HostId(a), HostId(b)))
+            .collect();
+        for (x, y) in before.iter().zip(&after) {
+            assert!((x - y).abs() < 1e-9, "trace of self must be an identity");
+        }
+    }
+
+    #[test]
+    fn datacenter_placement_at_exact_coords() {
+        let mut rng = Rng::new(5);
+        let mut topo = Topology::new(LatencyModel::planetlab(5));
+        let princeton = Coord::from_lat_lon(40.34, -74.66);
+        let id = topo.add_host_at(
+            HostKind::Datacenter,
+            &LinkProfile::datacenter(),
+            princeton,
+            5,
+            &mut rng,
+        );
+        assert_eq!(topo.host(id).position, princeton);
+        assert_eq!(topo.host(id).kind, HostKind::Datacenter);
+    }
+}

@@ -1,0 +1,271 @@
+//! Latency traces.
+//!
+//! The paper's PeerSim experiments set node-to-node latency "based on
+//! the trace from the PlanetLab". [`LatencyTrace`] is that artifact: a
+//! dense matrix of static one-way delays between `n` hosts. It can be
+//! generated from any [`Topology`] (freezing the analytic model into
+//! data), saved to and loaded from a simple CSV, and used as a
+//! [`DelaySource`] in place of the model — so a simulation can run
+//! from a recorded trace exactly the way the paper's did.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use cloudfog_sim::rng::Rng;
+use cloudfog_sim::stats::Welford;
+use cloudfog_sim::time::SimDuration;
+
+use crate::topology::{DelaySource, HostId, Topology};
+
+/// A dense matrix of static one-way delays (ms), row-major.
+#[derive(Clone, Debug)]
+pub struct LatencyTrace {
+    n: usize,
+    /// `delays[a * n + b]` = one-way ms from a to b.
+    delays: Vec<f64>,
+    /// Per-packet jitter σ to apply on sampling (0 = none).
+    jitter_sigma: f64,
+}
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or numeric parse failure with a description.
+    Parse(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse(msg) => write!(f, "trace parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl LatencyTrace {
+    /// Freeze the static delays of `topo` into a trace.
+    pub fn from_topology(topo: &Topology) -> Self {
+        let n = topo.len();
+        let mut delays = vec![0.0; n * n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = topo.one_way_ms(HostId(a as u32), HostId(b as u32));
+                delays[a * n + b] = d;
+                delays[b * n + a] = d;
+            }
+        }
+        LatencyTrace { n, delays, jitter_sigma: topo.model().jitter_sigma }
+    }
+
+    /// Build directly from a matrix (row-major, `n×n`).
+    pub fn from_matrix(n: usize, delays: Vec<f64>, jitter_sigma: f64) -> Self {
+        assert_eq!(delays.len(), n * n, "matrix shape mismatch");
+        LatencyTrace { n, delays, jitter_sigma }
+    }
+
+    /// Number of hosts covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the trace covers no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Static one-way delay in ms.
+    pub fn get(&self, a: usize, b: usize) -> f64 {
+        self.delays[a * self.n + b]
+    }
+
+    /// Summary statistics over all ordered pairs (a ≠ b).
+    pub fn stats(&self) -> Welford {
+        let mut w = Welford::new();
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if a != b {
+                    w.push(self.delays[a * self.n + b]);
+                }
+            }
+        }
+        w
+    }
+
+    /// Serialize as CSV: a header line `n,jitter_sigma` then one row
+    /// of `n` comma-separated ms values per source host.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.n * self.n * 8);
+        let _ = writeln!(out, "{},{}", self.n, self.jitter_sigma);
+        for a in 0..self.n {
+            let row: Vec<String> =
+                (0..self.n).map(|b| format!("{:.4}", self.get(a, b))).collect();
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Parse the CSV produced by [`LatencyTrace::to_csv`].
+    pub fn from_csv(text: &str) -> Result<Self, TraceError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| TraceError::Parse("empty trace".into()))?;
+        let mut parts = header.split(',');
+        let n: usize = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| TraceError::Parse("bad host count".into()))?;
+        let jitter_sigma: f64 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| TraceError::Parse("bad jitter sigma".into()))?;
+        let mut delays = Vec::with_capacity(n * n);
+        for (i, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            for field in line.split(',') {
+                let v: f64 = field.trim().parse().map_err(|_| {
+                    TraceError::Parse(format!("bad delay value {field:?} on row {i}"))
+                })?;
+                if v < 0.0 || !v.is_finite() {
+                    return Err(TraceError::Parse(format!("negative/NaN delay on row {i}")));
+                }
+                delays.push(v);
+            }
+        }
+        if delays.len() != n * n {
+            return Err(TraceError::Parse(format!(
+                "expected {} values, found {}",
+                n * n,
+                delays.len()
+            )));
+        }
+        Ok(LatencyTrace { n, delays, jitter_sigma })
+    }
+
+    /// Write CSV to a file.
+    pub fn save(&self, path: &Path) -> Result<(), TraceError> {
+        std::fs::write(path, self.to_csv())?;
+        Ok(())
+    }
+
+    /// Read CSV from a file.
+    pub fn load(path: &Path) -> Result<Self, TraceError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_csv(&text)
+    }
+}
+
+impl DelaySource for LatencyTrace {
+    fn one_way_ms(&self, a: HostId, b: HostId) -> f64 {
+        self.get(a.index(), b.index())
+    }
+
+    fn sample_one_way(&self, a: HostId, b: HostId, rng: &mut Rng) -> SimDuration {
+        let base = self.one_way_ms(a, b);
+        let jitter = if self.jitter_sigma == 0.0 {
+            1.0
+        } else {
+            rng.log_normal(0.0, self.jitter_sigma)
+        };
+        SimDuration::from_millis_f64(base * jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::topology::{HostKind, LinkProfile};
+
+    fn topo(n: usize, seed: u64) -> Topology {
+        let mut rng = Rng::new(seed);
+        let mut t = Topology::new(LatencyModel::planetlab(seed));
+        for _ in 0..n {
+            t.add_host(HostKind::Player, &LinkProfile::residential(), &mut rng);
+        }
+        t
+    }
+
+    #[test]
+    fn trace_matches_topology() {
+        let t = topo(25, 11);
+        let trace = LatencyTrace::from_topology(&t);
+        assert_eq!(trace.len(), 25);
+        for a in 0..25 {
+            for b in 0..25 {
+                let want = t.one_way_ms(HostId(a as u32), HostId(b as u32));
+                assert!((trace.get(a, b) - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = topo(10, 12);
+        let trace = LatencyTrace::from_topology(&t);
+        let parsed = LatencyTrace::from_csv(&trace.to_csv()).unwrap();
+        assert_eq!(parsed.len(), trace.len());
+        for a in 0..10 {
+            for b in 0..10 {
+                assert!((parsed.get(a, b) - trace.get(a, b)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(LatencyTrace::from_csv("").is_err());
+        assert!(LatencyTrace::from_csv("x,y\n").is_err());
+        assert!(LatencyTrace::from_csv("2,0.1\n1.0,2.0\n").is_err()); // missing row
+        assert!(LatencyTrace::from_csv("1,0.1\n-5.0\n").is_err()); // negative
+    }
+
+    #[test]
+    fn stats_are_plausible_planetlab() {
+        let t = topo(60, 13);
+        let trace = LatencyTrace::from_topology(&t);
+        let stats = trace.stats();
+        // One-way mean across random US host pairs: ~10–40 ms.
+        assert!((5.0..60.0).contains(&stats.mean()), "mean {}", stats.mean());
+        assert!(stats.min() >= 0.0);
+    }
+
+    #[test]
+    fn sampling_respects_jitter_flag() {
+        let no_jitter = LatencyTrace::from_matrix(2, vec![0.0, 10.0, 10.0, 0.0], 0.0);
+        let mut rng = Rng::new(1);
+        let d = no_jitter.sample_one_way(HostId(0), HostId(1), &mut rng);
+        assert_eq!(d, SimDuration::from_millis(10));
+
+        let jittery = LatencyTrace::from_matrix(2, vec![0.0, 10.0, 10.0, 0.0], 0.3);
+        let samples: Vec<f64> = (0..100)
+            .map(|_| jittery.sample_one_way(HostId(0), HostId(1), &mut rng).as_millis_f64())
+            .collect();
+        let distinct = samples.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(distinct > 50, "jitter should vary samples");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("cloudfog_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let t = topo(5, 14);
+        let trace = LatencyTrace::from_topology(&t);
+        trace.save(&path).unwrap();
+        let loaded = LatencyTrace::load(&path).unwrap();
+        assert_eq!(loaded.len(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+}

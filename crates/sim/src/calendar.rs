@@ -1,0 +1,308 @@
+//! Calendar-queue event scheduler.
+//!
+//! A calendar queue (Brown, CACM 1988) buckets pending events by
+//! firing time modulo a "year" of `num_buckets × bucket_width`. When
+//! event timestamps are roughly uniform at the current time scale —
+//! as in a steady-state streaming simulation where most events are
+//! packet departures a few milliseconds out — enqueue/dequeue are
+//! amortized O(1), versus O(log n) for a binary heap.
+//!
+//! This implementation resizes itself (doubling/halving the bucket
+//! count and re-estimating the bucket width from a sample of pending
+//! events) when occupancy leaves the `[num_buckets/2, 2·num_buckets]`
+//! band, as in Brown's original design.
+//!
+//! It exists as an **ablation substrate**: `cloudfog-bench` compares it
+//! against [`crate::event::EventQueue`] under the CloudFog event mix
+//! (`ablation_event_queue`), and the engine can be instantiated with
+//! either through the [`PendingSet`] trait.
+
+use crate::event::Scheduled;
+use crate::time::SimTime;
+
+/// Abstraction over pending-event containers so the engine can be run
+/// with either the binary heap or the calendar queue.
+pub trait PendingSet<E> {
+    /// Schedule `event` at `time`.
+    fn insert(&mut self, time: SimTime, event: E);
+    /// Remove and return the earliest event (FIFO among ties).
+    fn pop_earliest(&mut self) -> Option<Scheduled<E>>;
+    /// Number of pending events.
+    fn pending(&self) -> usize;
+}
+
+impl<E> PendingSet<E> for crate::event::EventQueue<E> {
+    fn insert(&mut self, time: SimTime, event: E) {
+        self.push(time, event);
+    }
+    fn pop_earliest(&mut self) -> Option<Scheduled<E>> {
+        self.pop()
+    }
+    fn pending(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Calendar queue over µs timestamps.
+#[derive(Debug)]
+pub struct CalendarQueue<E> {
+    /// `buckets[i]` holds events with `time/width ≡ i (mod n)`, each
+    /// bucket sorted ascending by `(time, seq)` at pop time (lazy).
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// Bucket width in µs.
+    width: u64,
+    /// Index of the bucket the current "day" pointer is on.
+    cursor: usize,
+    /// Start of the day the cursor is on (µs).
+    cursor_day_start: u64,
+    len: usize,
+    next_seq: u64,
+}
+
+const INITIAL_BUCKETS: usize = 16;
+const INITIAL_WIDTH_US: u64 = 1_000; // 1 ms — typical packet spacing.
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// An empty queue with default geometry (16 buckets × 1 ms).
+    pub fn new() -> Self {
+        Self::with_geometry(INITIAL_BUCKETS, INITIAL_WIDTH_US)
+    }
+
+    /// An empty queue with an explicit bucket count and width (µs).
+    pub fn with_geometry(num_buckets: usize, width_us: u64) -> Self {
+        assert!(num_buckets > 0 && width_us > 0);
+        CalendarQueue {
+            buckets: (0..num_buckets).map(|_| Vec::new()).collect(),
+            width: width_us,
+            cursor: 0,
+            cursor_day_start: 0,
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket_of(&self, time_us: u64) -> usize {
+        ((time_us / self.width) % self.buckets.len() as u64) as usize
+    }
+
+    /// Schedule `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let idx = self.bucket_of(time.as_micros());
+        self.buckets[idx].push(Scheduled { time, seq, event });
+        self.len += 1;
+        if self.len > 2 * self.buckets.len() {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        // Walk days/buckets until we find an event due in the bucket's
+        // current day window.
+        loop {
+            for _ in 0..n {
+                let day_end = self.cursor_day_start + self.width;
+                let bucket = &mut self.buckets[self.cursor];
+                if !bucket.is_empty() {
+                    // Find the minimum (time, seq) event due this day.
+                    let mut best: Option<usize> = None;
+                    for (i, s) in bucket.iter().enumerate() {
+                        if s.time.as_micros() < day_end {
+                            match best {
+                                None => best = Some(i),
+                                Some(b) => {
+                                    let sb = &bucket[b];
+                                    if (s.time, s.seq) < (sb.time, sb.seq) {
+                                        best = Some(i);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if let Some(i) = best {
+                        let item = bucket.swap_remove(i);
+                        self.len -= 1;
+                        if self.len < self.buckets.len() / 2 && self.buckets.len() > INITIAL_BUCKETS
+                        {
+                            self.resize(self.buckets.len() / 2);
+                        }
+                        return Some(item);
+                    }
+                }
+                // Advance to the next bucket (next day-slot).
+                self.cursor = (self.cursor + 1) % n;
+                self.cursor_day_start += self.width;
+            }
+            // A full year passed with nothing due: jump the calendar to
+            // the earliest pending event (direct search, rare path).
+            let (mut min_t, mut found) = (u64::MAX, false);
+            for b in &self.buckets {
+                for s in b {
+                    if s.time.as_micros() < min_t {
+                        min_t = s.time.as_micros();
+                        found = true;
+                    }
+                }
+            }
+            debug_assert!(found, "len > 0 but no event found");
+            if !found {
+                return None;
+            }
+            self.cursor_day_start = (min_t / self.width) * self.width;
+            self.cursor = self.bucket_of(min_t);
+        }
+    }
+
+    /// Rebuild with `new_n` buckets; re-estimates the width as the mean
+    /// gap between a sample of pending timestamps (clamped to ≥ 1 µs).
+    fn resize(&mut self, new_n: usize) {
+        let mut all: Vec<Scheduled<E>> =
+            self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        // Estimate width from up to 64 sampled timestamps.
+        let mut sample: Vec<u64> = all
+            .iter()
+            .take(64)
+            .map(|s| s.time.as_micros())
+            .collect();
+        sample.sort_unstable();
+        if sample.len() >= 2 {
+            let span = sample[sample.len() - 1] - sample[0];
+            let mean_gap = span / (sample.len() as u64 - 1);
+            self.width = mean_gap.clamp(1, 10_000_000);
+        }
+        self.buckets = (0..new_n).map(|_| Vec::new()).collect();
+        // Reposition the cursor at the earliest pending event.
+        let min_t = all
+            .iter()
+            .map(|s| s.time.as_micros())
+            .min()
+            .unwrap_or(self.cursor_day_start);
+        self.cursor_day_start = (min_t / self.width) * self.width;
+        self.cursor = ((min_t / self.width) % new_n as u64) as usize;
+        for s in all.drain(..) {
+            let idx = ((s.time.as_micros() / self.width) % new_n as u64) as usize;
+            self.buckets[idx].push(s);
+        }
+    }
+}
+
+impl<E> PendingSet<E> for CalendarQueue<E> {
+    fn insert(&mut self, time: SimTime, event: E) {
+        self.push(time, event);
+    }
+    fn pop_earliest(&mut self) -> Option<Scheduled<E>> {
+        self.pop()
+    }
+    fn pending(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn pops_in_time_order_basic() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::from_millis(30), "c");
+        q.push(SimTime::from_millis(10), "a");
+        q.push(SimTime::from_millis(20), "b");
+        assert_eq!(q.pop().unwrap().event, "a");
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert_eq!(q.pop().unwrap().event, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = CalendarQueue::new();
+        let t = SimTime::from_millis(7);
+        for i in 0..50 {
+            q.push(t, i);
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop().unwrap().event, i, "tie order broken");
+        }
+    }
+
+    #[test]
+    fn agrees_with_binary_heap_on_random_mix() {
+        let mut rng = Rng::new(99);
+        let mut cq = CalendarQueue::new();
+        let mut bh = crate::event::EventQueue::new();
+        // Interleave pushes and pops; like a real DES, never insert
+        // before the last popped timestamp. Compare full drain ordering.
+        let mut pending = 0u32;
+        let mut now = SimTime::ZERO;
+        for step in 0..5_000u64 {
+            if pending == 0 || rng.chance(0.6) {
+                let t = now + crate::time::SimDuration::from_micros(rng.below(500_000));
+                cq.push(t, step);
+                bh.push(t, step);
+                pending += 1;
+            } else {
+                let a = cq.pop().unwrap();
+                let b = bh.pop().unwrap();
+                assert_eq!((a.time, a.event), (b.time, b.event));
+                now = a.time;
+                pending -= 1;
+            }
+        }
+        while let Some(b) = bh.pop() {
+            let a = cq.pop().unwrap();
+            assert_eq!((a.time, a.event), (b.time, b.event));
+        }
+        assert!(cq.is_empty());
+    }
+
+    #[test]
+    fn sparse_far_future_events() {
+        // Events far apart force the year-jump path.
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::from_secs(3600), "late");
+        q.push(SimTime::from_secs(10), "early");
+        assert_eq!(q.pop().unwrap().event, "early");
+        assert_eq!(q.pop().unwrap().event, "late");
+    }
+
+    #[test]
+    fn resize_keeps_all_events() {
+        let mut q = CalendarQueue::with_geometry(4, 100);
+        for i in 0..1000u64 {
+            q.push(SimTime::from_micros(i * 37 % 10_000), i);
+        }
+        assert_eq!(q.len(), 1000);
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some(s) = q.pop() {
+            assert!(s.time >= last);
+            last = s.time;
+            n += 1;
+        }
+        assert_eq!(n, 1000);
+    }
+}

@@ -1,0 +1,547 @@
+//! Streaming statistics used to aggregate simulation metrics.
+//!
+//! Everything here is single-pass and allocation-light so it can be
+//! updated from the hot event loop:
+//!
+//! * [`Welford`] — numerically stable online mean/variance;
+//! * [`Histogram`] — fixed-width bins with percentile queries;
+//! * [`TimeWeighted`] — time-weighted average of a piecewise-constant
+//!   signal (e.g. buffer occupancy, utilization);
+//! * [`Ewma`] — exponentially weighted moving average (the propagation
+//!   estimator of Eq. 13 uses the sliding-window variant
+//!   [`SlidingMean`] to match the paper's "average of the last m
+//!   packets" exactly);
+//! * [`Ratio`] — success/trial counters (coverage, satisfaction).
+
+use crate::time::SimTime;
+
+/// Welford's online algorithm for mean and variance.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-width-bin histogram over `[lo, hi)` with overflow/underflow
+/// bins, supporting percentile queries by linear interpolation within
+/// a bin.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Histogram over `[lo, hi)` with `bins` equal-width bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0);
+        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `q`-quantile in `[0,1]`; returns `lo`/`hi` boundaries for mass in
+    /// the under/overflow bins. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut acc = self.underflow as f64;
+        if target <= acc {
+            return Some(self.lo);
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &b) in self.bins.iter().enumerate() {
+            let next = acc + b as f64;
+            if target <= next && b > 0 {
+                let frac = (target - acc) / b as f64;
+                return Some(self.lo + w * (i as f64 + frac));
+            }
+            acc = next;
+        }
+        Some(self.hi)
+    }
+
+    /// Fraction of observations ≤ `x` (counting underflow as below and
+    /// overflow as above).
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if x < self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            // Overflow mass sits at ≥ hi; treat it as above any finite x.
+            return (self.count - self.overflow) as f64 / self.count as f64;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = ((x - self.lo) / w) as usize;
+        let mut acc = self.underflow;
+        for (i, &b) in self.bins.iter().enumerate() {
+            if i > idx {
+                break;
+            }
+            if i < idx {
+                acc += b;
+            } else {
+                // Partial bin, linear interpolation.
+                let frac = ((x - self.lo) - i as f64 * w) / w;
+                acc += (b as f64 * frac).round() as u64;
+            }
+        }
+        acc as f64 / self.count as f64
+    }
+
+    /// Merge another histogram with identical geometry.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            (self.lo, self.hi, self.bins.len()) == (other.lo, other.hi, other.bins.len()),
+            "histogram geometry mismatch"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal.
+///
+/// Call [`TimeWeighted::set`] whenever the signal changes; the value
+/// holds until the next change.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64,
+    started: bool,
+    start_time: SimTime,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+            weighted_sum: 0.0,
+            started: false,
+            start_time: SimTime::ZERO,
+        }
+    }
+
+    /// Record that the signal takes `value` from time `at` onward.
+    pub fn set(&mut self, at: SimTime, value: f64) {
+        if self.started {
+            debug_assert!(at >= self.last_time, "time-weighted signal set in the past");
+            let dt = at.saturating_since(self.last_time).as_secs_f64();
+            self.weighted_sum += self.last_value * dt;
+        } else {
+            self.started = true;
+            self.start_time = at;
+        }
+        self.last_time = at;
+        self.last_value = value;
+    }
+
+    /// Time-weighted mean over `[first set, now]`.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        if !self.started {
+            return 0.0;
+        }
+        let tail = now.saturating_since(self.last_time).as_secs_f64();
+        let total = now.saturating_since(self.start_time).as_secs_f64();
+        if total <= 0.0 {
+            return self.last_value;
+        }
+        (self.weighted_sum + self.last_value * tail) / total
+    }
+
+    /// The current (most recently set) value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+/// Exponentially weighted moving average.
+#[derive(Clone, Copy, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// EWMA with smoothing factor `alpha ∈ (0, 1]` (weight of the
+    /// newest observation).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        Ewma { alpha, value: None }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+
+    /// Current average (`None` before the first observation).
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Mean over a sliding window of the last `m` observations — the
+/// paper's propagation-delay estimator (Eq. 13) averages the last `m`
+/// packets' propagation delays.
+#[derive(Clone, Debug)]
+pub struct SlidingMean {
+    window: Vec<f64>,
+    cap: usize,
+    next: usize,
+    sum: f64,
+}
+
+impl SlidingMean {
+    /// Mean over the last `cap` observations (`cap ≥ 1`).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1);
+        SlidingMean { window: Vec::with_capacity(cap), cap, next: 0, sum: 0.0 }
+    }
+
+    /// Fold in one observation, evicting the oldest when full.
+    pub fn push(&mut self, x: f64) {
+        if self.window.len() < self.cap {
+            self.window.push(x);
+            self.sum += x;
+        } else {
+            self.sum += x - self.window[self.next];
+            self.window[self.next] = x;
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+
+    /// Current mean (`None` before the first observation).
+    pub fn mean(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.window.len() as f64)
+        }
+    }
+
+    /// Number of observations currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True before the first observation.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+}
+
+/// A ratio counter: successes over trials.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// An empty ratio.
+    pub fn new() -> Self {
+        Ratio::default()
+    }
+
+    /// Record one trial with the given outcome.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Record `hits` successes out of `total` trials.
+    pub fn record_many(&mut self, hits: u64, total: u64) {
+        debug_assert!(hits <= total);
+        self.hits += hits;
+        self.total += total;
+    }
+
+    /// Successes.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Trials.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// hits/total (0 when no trials).
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Merge another ratio.
+    pub fn merge(&mut self, other: &Ratio) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    fn welford_empty() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        let mut a = Welford::new();
+        a.merge(&w);
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 50.0).abs() < 1.5, "p50 {p50}");
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((p95 - 95.0).abs() < 1.5, "p95 {p95}");
+        assert_eq!(h.quantile(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn histogram_overflow_and_fraction() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [-5.0, 1.0, 2.0, 3.0, 50.0, 60.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 6);
+        let f = h.fraction_le(5.0);
+        assert!((f - 4.0 / 6.0).abs() < 0.01, "{f}");
+        assert!(h.quantile(1.0).unwrap() >= 10.0 - 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        a.record(1.0);
+        b.record(9.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::from_secs(0), 1.0);
+        tw.set(SimTime::from_secs(10), 3.0);
+        // 10 s at 1.0 then 10 s at 3.0 → mean 2.0 at t=20.
+        let m = tw.mean(SimTime::from_secs(20));
+        assert!((m - 2.0).abs() < 1e-12, "{m}");
+        assert_eq!(tw.current(), 3.0);
+        assert_eq!(TimeWeighted::new().mean(SimTime::from_secs(5)), 0.0);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert!(e.value().is_none());
+        for _ in 0..50 {
+            e.push(10.0);
+        }
+        assert!((e.value().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_mean_window() {
+        let mut s = SlidingMean::new(3);
+        assert!(s.mean().is_none());
+        s.push(1.0);
+        s.push(2.0);
+        s.push(3.0);
+        assert_eq!(s.mean().unwrap(), 2.0);
+        s.push(10.0); // evicts 1.0 → window {2,3,10}
+        assert_eq!(s.mean().unwrap(), 5.0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn ratio_basics() {
+        let mut r = Ratio::new();
+        assert_eq!(r.value(), 0.0);
+        r.record(true);
+        r.record(false);
+        r.record_many(8, 8);
+        assert_eq!(r.hits(), 9);
+        assert_eq!(r.total(), 10);
+        assert!((r.value() - 0.9).abs() < 1e-12);
+        let mut other = Ratio::new();
+        other.record(false);
+        r.merge(&other);
+        assert_eq!(r.total(), 11);
+    }
+}

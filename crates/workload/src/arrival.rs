@@ -1,0 +1,267 @@
+//! Arrival processes and session cycles.
+//!
+//! §IV: "the players join the system following the Poisson
+//! distribution with an average rate of 5 players per second"; each
+//! node "leaves the system after it finishes playing and joins the
+//! system for the next session".
+//!
+//! [`PoissonArrivals`] is the join process (an iterator of absolute
+//! join instants); [`SessionCycle`] turns a player's play class into
+//! an alternating play/rest schedule so long experiments (the paper
+//! runs 4 simulated days) see realistic churn.
+
+use cloudfog_sim::rng::Rng;
+use cloudfog_sim::time::{SimDuration, SimTime};
+
+use crate::player::PlayClass;
+
+/// A Poisson process of join instants.
+#[derive(Clone, Debug)]
+pub struct PoissonArrivals {
+    rate_per_sec: f64,
+    next: SimTime,
+    rng: Rng,
+}
+
+impl PoissonArrivals {
+    /// Joins at `rate_per_sec` starting from `start`.
+    pub fn new(rate_per_sec: f64, start: SimTime, rng: Rng) -> Self {
+        assert!(rate_per_sec > 0.0);
+        PoissonArrivals { rate_per_sec, next: start, rng }
+    }
+
+    /// The paper's default: 5 players per second from t = 0.
+    pub fn paper_default(rng: Rng) -> Self {
+        Self::new(5.0, SimTime::ZERO, rng)
+    }
+}
+
+impl Iterator for PoissonArrivals {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        let gap = self.rng.exponential(self.rate_per_sec);
+        self.next += SimDuration::from_secs_f64(gap);
+        Some(self.next)
+    }
+}
+
+/// A player's alternating play/rest schedule.
+///
+/// A session lasts a class-dependent time (§IV mixture); the following
+/// rest period is drawn so that the *daily total* play time stays in
+/// the class band: rest ≈ (24 h − daily play) scaled to the session's
+/// share of the day, with multiplicative noise.
+#[derive(Clone, Debug)]
+pub struct SessionCycle {
+    class: PlayClass,
+    rng: Rng,
+}
+
+impl SessionCycle {
+    /// A schedule for a player of the given class.
+    pub fn new(class: PlayClass, rng: Rng) -> Self {
+        SessionCycle { class, rng }
+    }
+
+    /// The player's class.
+    pub fn class(&self) -> PlayClass {
+        self.class
+    }
+
+    /// Draw the next session length.
+    pub fn next_session(&mut self) -> SimDuration {
+        self.class.sample_session(&mut self.rng)
+    }
+
+    /// Draw the rest period that follows a session of length
+    /// `session`: sized so play/(play+rest) matches the class's daily
+    /// play share, with ±30 % noise, and at least 10 minutes.
+    pub fn next_rest(&mut self, session: SimDuration) -> SimDuration {
+        let (lo, hi) = self.class.hours_range();
+        let daily_play_hours = (lo + hi) / 2.0;
+        let play_share = (daily_play_hours / 24.0).min(0.95);
+        let ideal_rest_secs = session.as_secs_f64() * (1.0 - play_share) / play_share;
+        let noisy = ideal_rest_secs * self.rng.range_f64(0.7, 1.3);
+        SimDuration::from_secs_f64(noisy.max(600.0))
+    }
+}
+
+/// A non-homogeneous Poisson join process with a diurnal rate curve.
+///
+/// The paper runs experiments over 4 simulated days; real MMOG
+/// populations breathe with the day (evening peaks, pre-dawn troughs).
+/// The instantaneous rate is
+///
+/// ```text
+/// λ(t) = base_rate × (1 + amplitude·sin(2π·(hour − peak + 6)/24))
+/// ```
+///
+/// so the rate tops out at `base×(1+amplitude)` at `peak_hour` and
+/// bottoms at `base×(1−amplitude)` twelve hours away. Sampling uses
+/// thinning (Lewis & Shedler), which stays exact for any bounded rate.
+#[derive(Clone, Debug)]
+pub struct DiurnalArrivals {
+    base_rate: f64,
+    amplitude: f64,
+    peak_hour: f64,
+    next: SimTime,
+    rng: Rng,
+}
+
+impl DiurnalArrivals {
+    /// Joins around `base_rate` per second, swinging ±`amplitude`
+    /// (0..1) with the clock, peaking at `peak_hour` (0–24, e.g. 20 =
+    /// 8 pm).
+    pub fn new(base_rate: f64, amplitude: f64, peak_hour: f64, start: SimTime, rng: Rng) -> Self {
+        assert!(base_rate > 0.0);
+        assert!((0.0..1.0).contains(&amplitude), "amplitude in [0,1)");
+        DiurnalArrivals { base_rate, amplitude, peak_hour, next: start, rng }
+    }
+
+    /// Instantaneous rate at `t` (arrivals per second).
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let hour = (t.as_secs_f64() / 3_600.0) % 24.0;
+        let phase = 2.0 * std::f64::consts::PI * (hour - self.peak_hour + 6.0) / 24.0;
+        self.base_rate * (1.0 + self.amplitude * phase.sin())
+    }
+
+    fn max_rate(&self) -> f64 {
+        self.base_rate * (1.0 + self.amplitude)
+    }
+}
+
+impl Iterator for DiurnalArrivals {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        // Thinning: propose at the max rate, accept with λ(t)/λ_max.
+        loop {
+            let gap = self.rng.exponential(self.max_rate());
+            self.next += SimDuration::from_secs_f64(gap);
+            let accept = self.rate_at(self.next) / self.max_rate();
+            if self.rng.chance(accept) {
+                return Some(self.next);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let arrivals = PoissonArrivals::new(5.0, SimTime::ZERO, Rng::new(1));
+        let times: Vec<SimTime> = arrivals.take(10_000).collect();
+        // 10 000 arrivals at 5/s should take ~2 000 s.
+        let span = times.last().unwrap().as_secs_f64();
+        assert!((span - 2_000.0).abs() < 100.0, "span {span}");
+        // Strictly increasing.
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn paper_default_is_five_per_second() {
+        let arrivals = PoissonArrivals::paper_default(Rng::new(2));
+        let times: Vec<SimTime> = arrivals.take(1_000).collect();
+        let span = times.last().unwrap().as_secs_f64();
+        assert!((span - 200.0).abs() < 30.0, "span {span}");
+    }
+
+    #[test]
+    fn arrivals_start_after_given_origin() {
+        let start = SimTime::from_secs(100);
+        let mut arrivals = PoissonArrivals::new(1.0, start, Rng::new(3));
+        assert!(arrivals.next().unwrap() > start);
+    }
+
+    #[test]
+    fn sessions_and_rests_alternate_sanely() {
+        let mut cycle = SessionCycle::new(PlayClass::Casual, Rng::new(4));
+        for _ in 0..100 {
+            let session = cycle.next_session();
+            let rest = cycle.next_rest(session);
+            let s = session.as_secs_f64() / 3_600.0;
+            assert!(s > 0.0 && s <= 2.0);
+            // Casual players rest much longer than they play.
+            assert!(rest > session, "casual rest {rest} <= session {session}");
+        }
+    }
+
+    #[test]
+    fn heavy_players_rest_less_proportionally() {
+        let mut casual = SessionCycle::new(PlayClass::Casual, Rng::new(5));
+        let mut heavy = SessionCycle::new(PlayClass::Heavy, Rng::new(6));
+        let mut casual_ratio = 0.0;
+        let mut heavy_ratio = 0.0;
+        for _ in 0..200 {
+            let s = casual.next_session();
+            casual_ratio += casual.next_rest(s).as_secs_f64() / s.as_secs_f64();
+            let s = heavy.next_session();
+            heavy_ratio += heavy.next_rest(s).as_secs_f64() / s.as_secs_f64();
+        }
+        assert!(
+            casual_ratio > heavy_ratio * 2.0,
+            "casual {casual_ratio} vs heavy {heavy_ratio}"
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_peaks_at_peak_hour() {
+        let arrivals = DiurnalArrivals::new(5.0, 0.6, 20.0, SimTime::ZERO, Rng::new(8));
+        let at = |h: f64| arrivals.rate_at(SimTime::from_secs((h * 3600.0) as u64));
+        assert!((at(20.0) - 8.0).abs() < 0.01, "peak = base×1.6");
+        assert!((at(8.0) - 2.0).abs() < 0.01, "trough = base×0.4 twelve hours away");
+        assert!(at(14.0) > at(8.0) && at(14.0) < at(20.0), "monotone on the rise");
+    }
+
+    #[test]
+    fn diurnal_long_run_rate_matches_base() {
+        // Over whole days, the average rate integrates back to base.
+        let arrivals = DiurnalArrivals::new(5.0, 0.6, 20.0, SimTime::ZERO, Rng::new(9));
+        let horizon = 2.0 * 24.0 * 3_600.0;
+        let count = arrivals.take_while(|t| t.as_secs_f64() < horizon).count();
+        let mean_rate = count as f64 / horizon;
+        assert!((mean_rate - 5.0).abs() < 0.15, "mean rate {mean_rate}");
+    }
+
+    #[test]
+    fn diurnal_peak_windows_are_busier() {
+        let arrivals = DiurnalArrivals::new(5.0, 0.8, 20.0, SimTime::ZERO, Rng::new(10));
+        let mut peak = 0usize;
+        let mut trough = 0usize;
+        for t in arrivals.take_while(|t| t.as_secs_f64() < 24.0 * 3_600.0) {
+            let hour = t.as_secs_f64() / 3_600.0 % 24.0;
+            if (19.0..21.0).contains(&hour) {
+                peak += 1;
+            }
+            if (7.0..9.0).contains(&hour) {
+                trough += 1;
+            }
+        }
+        assert!(peak as f64 > trough as f64 * 3.0, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn diurnal_arrivals_are_strictly_increasing() {
+        let arrivals = DiurnalArrivals::new(2.0, 0.5, 12.0, SimTime::from_secs(100), Rng::new(11));
+        let times: Vec<SimTime> = arrivals.take(500).collect();
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(times[0] > SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn rest_has_a_floor() {
+        let mut cycle = SessionCycle::new(PlayClass::Heavy, Rng::new(7));
+        for _ in 0..200 {
+            let rest = cycle.next_rest(SimDuration::from_secs(1));
+            assert!(rest >= SimDuration::from_secs(600));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Game catalogue: quality levels and per-genre QoE requirements.
+//!
+//! Figure 2 of the paper defines five video quality levels; §IV defines
+//! five games whose latency requirements are exactly the five levels'
+//! requirements. A game's *latency tolerance degree* ρ and *packet loss
+//! tolerance rate* L̃_t come from the observation (Lee et al. \[11\])
+//! that different genres tolerate delay and loss differently: a slow
+//! RPG shrugs at 110 ms but hates artifacts; a twitch shooter needs
+//! 30 ms but survives dropped packets because scenes change fast.
+
+use cloudfog_sim::time::SimDuration;
+use cloudfog_net::bandwidth::Mbps;
+
+/// A video quality level — one row of the paper's Figure 2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QualityLevel {
+    /// Level index, 1 (lowest) ..= 5 (highest).
+    pub level: u8,
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Encoding bitrate in kbit/s.
+    pub bitrate_kbps: u32,
+    /// Latency requirement for a segment of this quality (ms).
+    pub latency_requirement_ms: u32,
+    /// Latency tolerance degree ρ ∈ (0, 1].
+    pub latency_tolerance: f64,
+}
+
+/// The paper's Figure 2, top (level 5) to bottom (level 1).
+pub const QUALITY_LEVELS: [QualityLevel; 5] = [
+    QualityLevel { level: 1, width: 288, height: 216, bitrate_kbps: 300, latency_requirement_ms: 30, latency_tolerance: 0.6 },
+    QualityLevel { level: 2, width: 384, height: 216, bitrate_kbps: 500, latency_requirement_ms: 50, latency_tolerance: 0.7 },
+    QualityLevel { level: 3, width: 640, height: 480, bitrate_kbps: 800, latency_requirement_ms: 70, latency_tolerance: 0.8 },
+    QualityLevel { level: 4, width: 720, height: 486, bitrate_kbps: 1200, latency_requirement_ms: 90, latency_tolerance: 0.9 },
+    QualityLevel { level: 5, width: 1280, height: 720, bitrate_kbps: 1800, latency_requirement_ms: 110, latency_tolerance: 1.0 },
+];
+
+impl QualityLevel {
+    /// Look up a level by index (1..=5).
+    pub fn get(level: u8) -> QualityLevel {
+        assert!((1..=5).contains(&level), "quality level out of range: {level}");
+        QUALITY_LEVELS[(level - 1) as usize]
+    }
+
+    /// Bitrate as Mbps.
+    pub fn bitrate(&self) -> Mbps {
+        Mbps::from_kbps(self.bitrate_kbps as f64)
+    }
+
+    /// Latency requirement as a duration.
+    pub fn latency_requirement(&self) -> SimDuration {
+        SimDuration::from_millis(self.latency_requirement_ms as u64)
+    }
+
+    /// The next level up, if any.
+    pub fn up(&self) -> Option<QualityLevel> {
+        (self.level < 5).then(|| QualityLevel::get(self.level + 1))
+    }
+
+    /// The next level down, if any.
+    pub fn down(&self) -> Option<QualityLevel> {
+        (self.level > 1).then(|| QualityLevel::get(self.level - 1))
+    }
+
+    /// Highest level whose latency requirement fits within
+    /// `budget_ms` (Fig. 2 reading: a game with a 90 ms requirement
+    /// should be encoded at level 4). Returns level 1 when even the
+    /// lowest does not fit — some video is better than none.
+    pub fn highest_within(budget_ms: u32) -> QualityLevel {
+        QUALITY_LEVELS
+            .iter()
+            .rev()
+            .find(|q| q.latency_requirement_ms <= budget_ms)
+            .copied()
+            .unwrap_or(QUALITY_LEVELS[0])
+    }
+}
+
+/// The paper's adjust-up factor β (Eq. 10):
+/// `β = max_i (b_{q_{i+1}} − b_{q_i}) / b_{q_i}`.
+pub fn adjust_up_factor() -> f64 {
+    QUALITY_LEVELS
+        .windows(2)
+        .map(|w| (w[1].bitrate_kbps as f64 - w[0].bitrate_kbps as f64) / w[0].bitrate_kbps as f64)
+        .fold(0.0, f64::max)
+}
+
+/// Identifier of a game in the catalogue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GameId(pub u8);
+
+impl GameId {
+    /// Dense index into [`GAMES`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A game genre with its QoE envelope.
+#[derive(Clone, Copy, Debug)]
+pub struct Game {
+    /// Identifier.
+    pub id: GameId,
+    /// Display name.
+    pub name: &'static str,
+    /// Genre label (reporting only).
+    pub genre: &'static str,
+    /// Response latency requirement L̃_r (ms) — §I: players begin to
+    /// notice delay at genre-specific thresholds.
+    pub latency_requirement_ms: u32,
+    /// Latency tolerance degree ρ ∈ (0, 1] (higher = more tolerant).
+    pub latency_tolerance: f64,
+    /// Packet loss tolerance rate L̃_t ∈ [0, 1]: fraction of a
+    /// segment's packets that may be dropped without hurting QoE.
+    pub loss_tolerance: f64,
+}
+
+/// The five games of §IV. Latency requirements mirror the five quality
+/// levels; ρ mirrors Fig. 2's tolerance column. Loss tolerances follow
+/// the \[11\] observation that the most latency-sensitive genres are the
+/// most loss-tolerant (fast scene turnover hides drops) — the worked
+/// example in Fig. 4 uses rates in the 0.2–0.6 range, which we span.
+pub const GAMES: [Game; 5] = [
+    Game { id: GameId(0), name: "Realm of Ages", genre: "turn-based RPG", latency_requirement_ms: 110, latency_tolerance: 1.0, loss_tolerance: 0.20 },
+    Game { id: GameId(1), name: "World of Wonder", genre: "MMORPG", latency_requirement_ms: 90, latency_tolerance: 0.9, loss_tolerance: 0.30 },
+    Game { id: GameId(2), name: "Grid League", genre: "sports", latency_requirement_ms: 70, latency_tolerance: 0.8, loss_tolerance: 0.40 },
+    Game { id: GameId(3), name: "Apex Drift", genre: "racing", latency_requirement_ms: 50, latency_tolerance: 0.7, loss_tolerance: 0.50 },
+    Game { id: GameId(4), name: "Strike Vector", genre: "FPS", latency_requirement_ms: 30, latency_tolerance: 0.6, loss_tolerance: 0.60 },
+];
+
+impl Game {
+    /// Look up by id.
+    pub fn get(id: GameId) -> Game {
+        GAMES[id.index()]
+    }
+
+    /// Latency requirement as a duration.
+    pub fn latency_requirement(&self) -> SimDuration {
+        SimDuration::from_millis(self.latency_requirement_ms as u64)
+    }
+
+    /// The highest quality level this game can be encoded at while
+    /// meeting its latency requirement (Fig. 2 mapping).
+    pub fn max_quality(&self) -> QualityLevel {
+        QualityLevel::highest_within(self.latency_requirement_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_table_is_faithful() {
+        // Spot-check the exact rows of the paper's Figure 2.
+        let l5 = QualityLevel::get(5);
+        assert_eq!((l5.width, l5.height), (1280, 720));
+        assert_eq!(l5.bitrate_kbps, 1800);
+        assert_eq!(l5.latency_requirement_ms, 110);
+        assert_eq!(l5.latency_tolerance, 1.0);
+
+        let l2 = QualityLevel::get(2);
+        assert_eq!((l2.width, l2.height), (384, 216));
+        assert_eq!(l2.bitrate_kbps, 500);
+        assert_eq!(l2.latency_requirement_ms, 50);
+        assert_eq!(l2.latency_tolerance, 0.7);
+    }
+
+    #[test]
+    fn levels_are_monotone() {
+        for w in QUALITY_LEVELS.windows(2) {
+            assert!(w[1].bitrate_kbps > w[0].bitrate_kbps);
+            assert!(w[1].latency_requirement_ms > w[0].latency_requirement_ms);
+            assert!(w[1].latency_tolerance > w[0].latency_tolerance);
+            assert!(w[1].width * w[1].height >= w[0].width * w[0].height);
+        }
+    }
+
+    #[test]
+    fn up_down_navigation() {
+        let l3 = QualityLevel::get(3);
+        assert_eq!(l3.up().unwrap().level, 4);
+        assert_eq!(l3.down().unwrap().level, 2);
+        assert!(QualityLevel::get(5).up().is_none());
+        assert!(QualityLevel::get(1).down().is_none());
+    }
+
+    #[test]
+    fn highest_within_matches_paper_example() {
+        // Paper: "if a game video has a latency requirement of 90 ms,
+        // the supernode should use 1200 kbps encoding bitrate,
+        // corresponding to a quality level of 4."
+        assert_eq!(QualityLevel::highest_within(90).level, 4);
+        assert_eq!(QualityLevel::highest_within(110).level, 5);
+        assert_eq!(QualityLevel::highest_within(95).level, 4);
+        assert_eq!(QualityLevel::highest_within(30).level, 1);
+        // Below every requirement, fall back to level 1.
+        assert_eq!(QualityLevel::highest_within(10).level, 1);
+    }
+
+    #[test]
+    fn adjust_up_factor_is_the_max_relative_step() {
+        // Steps: 300→500 (66.7%), 500→800 (60%), 800→1200 (50%),
+        // 1200→1800 (50%). Max = 2/3.
+        let beta = adjust_up_factor();
+        assert!((beta - 2.0 / 3.0).abs() < 1e-9, "beta {beta}");
+    }
+
+    #[test]
+    fn games_span_all_latency_requirements() {
+        let mut reqs: Vec<u32> = GAMES.iter().map(|g| g.latency_requirement_ms).collect();
+        reqs.sort_unstable();
+        assert_eq!(reqs, vec![30, 50, 70, 90, 110]);
+    }
+
+    #[test]
+    fn latency_sensitive_games_tolerate_more_loss() {
+        // The catalogue encodes the [11] trade-off: ordering by latency
+        // requirement ascending, loss tolerance descends.
+        let mut games = GAMES;
+        games.sort_by_key(|g| g.latency_requirement_ms);
+        for w in games.windows(2) {
+            assert!(w[0].loss_tolerance >= w[1].loss_tolerance);
+        }
+    }
+
+    #[test]
+    fn max_quality_respects_latency_budget() {
+        for g in GAMES {
+            let q = g.max_quality();
+            assert!(q.latency_requirement_ms <= g.latency_requirement_ms || q.level == 1);
+        }
+        assert_eq!(Game::get(GameId(0)).max_quality().level, 5);
+        assert_eq!(Game::get(GameId(4)).max_quality().level, 1);
+    }
+
+    #[test]
+    fn bitrate_conversion() {
+        let l4 = QualityLevel::get(4);
+        assert!((l4.bitrate().0 - 1.2).abs() < 1e-12);
+    }
+}

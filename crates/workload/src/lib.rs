@@ -1,0 +1,30 @@
+//! # cloudfog-workload
+//!
+//! MMOG workload models for the CloudFog reproduction: everything §IV
+//! of the paper says about who plays, what they play, and when.
+//!
+//! * [`games`] — Figure 2's five quality levels and the five-game
+//!   catalogue with per-genre latency/loss tolerance.
+//! * [`player`] — players, Pareto capacities, 50/30/20 play classes.
+//! * [`social`] — power-law friend graph and friend-majority game
+//!   choice.
+//! * [`arrival`] — Poisson joins (5 players/s) and play/rest cycles.
+//! * [`population`] — one-shot §IV universe assembly from a seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrival;
+pub mod games;
+pub mod player;
+pub mod population;
+pub mod social;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::arrival::{DiurnalArrivals, PoissonArrivals, SessionCycle};
+    pub use crate::games::{adjust_up_factor, Game, GameId, QualityLevel, GAMES, QUALITY_LEVELS};
+    pub use crate::player::{CapacityDistribution, PlayClass, Player, PlayerId};
+    pub use crate::population::{Population, PopulationConfig};
+    pub use crate::social::FriendGraph;
+}

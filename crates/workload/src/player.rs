@@ -1,0 +1,168 @@
+//! Players: identity, device capacity and daily play habits.
+//!
+//! §IV of the paper: 10 000 players, 10 % of which "have the capacity
+//! to be supernodes"; node capacities follow a Pareto distribution with
+//! mean 5 and shape α = 1; 50 % of players play (0, 2] hours a day,
+//! 30 % play (2, 5] and 20 % play (5, 24].
+
+use cloudfog_net::topology::HostId;
+use cloudfog_sim::rng::Rng;
+use cloudfog_sim::time::SimDuration;
+
+/// Identifier of a player (dense, 0-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlayerId(pub u32);
+
+impl PlayerId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How much a player plays per day (§IV session mixture).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlayClass {
+    /// 50 % of players: (0, 2] hours/day.
+    Casual,
+    /// 30 % of players: (2, 5] hours/day.
+    Regular,
+    /// 20 % of players: (5, 24] hours/day.
+    Heavy,
+}
+
+impl PlayClass {
+    /// Draw a class with the paper's 50/30/20 mixture.
+    pub fn sample(rng: &mut Rng) -> PlayClass {
+        let u = rng.f64();
+        if u < 0.5 {
+            PlayClass::Casual
+        } else if u < 0.8 {
+            PlayClass::Regular
+        } else {
+            PlayClass::Heavy
+        }
+    }
+
+    /// Daily play time range in hours (lo exclusive, hi inclusive).
+    pub fn hours_range(self) -> (f64, f64) {
+        match self {
+            PlayClass::Casual => (0.0, 2.0),
+            PlayClass::Regular => (2.0, 5.0),
+            PlayClass::Heavy => (5.0, 24.0),
+        }
+    }
+
+    /// Draw a session length uniformly within the class range.
+    pub fn sample_session(self, rng: &mut Rng) -> SimDuration {
+        let (lo, hi) = self.hours_range();
+        // Uniform over (lo, hi]: flip the half-open end of range_f64.
+        let hours = hi - (hi - lo) * rng.f64();
+        SimDuration::from_secs_f64(hours * 3_600.0)
+    }
+}
+
+/// Pareto capacity parameters of §IV: "the capacities of nodes follow
+/// Pareto distribution with a mean of 5 and shape parameter α = 1".
+/// α = 1 has no finite mean, so (as in the load-balancing literature
+/// the paper cites) "mean" is read as the distribution's scale; we
+/// clamp draws to a generous ceiling to keep single nodes from
+/// swallowing the whole system.
+#[derive(Clone, Copy, Debug)]
+pub struct CapacityDistribution {
+    /// Pareto scale (the paper's "mean of 5").
+    pub scale: f64,
+    /// Pareto shape α.
+    pub alpha: f64,
+    /// Hard ceiling on a node's capacity.
+    pub max: u32,
+}
+
+impl Default for CapacityDistribution {
+    fn default() -> Self {
+        CapacityDistribution { scale: 5.0, alpha: 1.0, max: 50 }
+    }
+}
+
+impl CapacityDistribution {
+    /// Draw a node capacity (number of players a supernode can serve).
+    pub fn sample(&self, rng: &mut Rng) -> u32 {
+        let x = rng.pareto(self.scale, self.alpha);
+        (x.round() as u32).clamp(self.scale as u32, self.max)
+    }
+}
+
+/// One player.
+#[derive(Clone, Debug)]
+pub struct Player {
+    /// Identifier.
+    pub id: PlayerId,
+    /// The machine this player sits on.
+    pub host: HostId,
+    /// Node capacity (players it could serve if promoted to supernode).
+    pub capacity: u32,
+    /// True for the 10 % of machines powerful enough to be supernodes.
+    pub supernode_capable: bool,
+    /// Daily play habits.
+    pub play_class: PlayClass,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn play_class_mixture_matches_paper() {
+        let mut rng = Rng::new(1);
+        let mut counts = [0u32; 3];
+        for _ in 0..100_000 {
+            match PlayClass::sample(&mut rng) {
+                PlayClass::Casual => counts[0] += 1,
+                PlayClass::Regular => counts[1] += 1,
+                PlayClass::Heavy => counts[2] += 1,
+            }
+        }
+        assert!((counts[0] as f64 / 100_000.0 - 0.5).abs() < 0.01);
+        assert!((counts[1] as f64 / 100_000.0 - 0.3).abs() < 0.01);
+        assert!((counts[2] as f64 / 100_000.0 - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn session_lengths_stay_in_class_range() {
+        let mut rng = Rng::new(2);
+        for class in [PlayClass::Casual, PlayClass::Regular, PlayClass::Heavy] {
+            let (lo, hi) = class.hours_range();
+            for _ in 0..1000 {
+                let s = class.sample_session(&mut rng).as_secs_f64() / 3_600.0;
+                assert!(s > lo && s <= hi + 1e-9, "{class:?} session {s}h outside ({lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_distribution_is_bounded_and_heavy_tailed() {
+        let dist = CapacityDistribution::default();
+        let mut rng = Rng::new(3);
+        let samples: Vec<u32> = (0..50_000).map(|_| dist.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&c| (5..=50).contains(&c)));
+        // Pareto(α=1): the median is 2×scale = 10; a visible share of
+        // draws hit the ceiling.
+        let at_max = samples.iter().filter(|&&c| c == 50).count();
+        assert!(at_max > 1000, "expected a heavy tail, got {at_max} at max");
+        // Pareto(α=1) median = 2×scale: half the draws are ≤ 10.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        assert!((9..=11).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn capacity_respects_custom_parameters() {
+        let dist = CapacityDistribution { scale: 2.0, alpha: 2.0, max: 8 };
+        let mut rng = Rng::new(4);
+        for _ in 0..1000 {
+            let c = dist.sample(&mut rng);
+            assert!((2..=8).contains(&c));
+        }
+    }
+}

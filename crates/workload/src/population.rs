@@ -1,0 +1,198 @@
+//! Population assembly: players + hosts + social graph in one shot.
+//!
+//! [`Population::generate`] builds the §IV experimental universe: `n`
+//! players scattered over the US topology, 10 % flagged
+//! supernode-capable, Pareto capacities, 50/30/20 play classes and the
+//! power-law friend graph — all from one seed.
+
+use cloudfog_net::latency::LatencyModel;
+use cloudfog_net::topology::{HostId, HostKind, LinkProfile, Topology};
+use cloudfog_sim::rng::Rng;
+
+use crate::player::{CapacityDistribution, PlayClass, Player, PlayerId};
+use crate::social::FriendGraph;
+
+/// Knobs for population generation, defaulting to the paper's §IV
+/// simulation settings.
+#[derive(Clone, Debug)]
+pub struct PopulationConfig {
+    /// Number of players (paper: 10 000 in PeerSim, 750 on PlanetLab).
+    pub players: usize,
+    /// Fraction of players whose machines can serve as supernodes
+    /// (paper: 10 % in PeerSim, 300/750 = 40 % on PlanetLab).
+    pub supernode_capable_fraction: f64,
+    /// Capacity distribution (Pareto, mean 5, α = 1).
+    pub capacity: CapacityDistribution,
+    /// Friend-count ceiling for the power-law graph.
+    pub max_friends: u64,
+    /// Power-law skew (paper: 0.5).
+    pub friend_skew: f64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            players: 10_000,
+            supernode_capable_fraction: 0.10,
+            capacity: CapacityDistribution::default(),
+            max_friends: 128,
+            friend_skew: 0.5,
+        }
+    }
+}
+
+/// The generated universe: topology + players + friendships.
+#[derive(Clone, Debug)]
+pub struct Population {
+    /// Machines (player hosts; datacenters get added by the system
+    /// under test).
+    pub topology: Topology,
+    /// Players, indexed by [`PlayerId`].
+    pub players: Vec<Player>,
+    /// The social graph.
+    pub friends: FriendGraph,
+}
+
+impl Population {
+    /// Generate a population with the given latency model and seed.
+    pub fn generate(config: &PopulationConfig, model: LatencyModel, seed: u64) -> Population {
+        let mut rng = Rng::new(seed);
+        let mut topo_rng = rng.fork();
+        let mut cap_rng = rng.fork();
+        let mut class_rng = rng.fork();
+        let mut friend_rng = rng.fork();
+        let mut capable_rng = rng.fork();
+
+        let mut topology = Topology::new(model);
+        let mut players = Vec::with_capacity(config.players);
+        for p in 0..config.players {
+            let capable = capable_rng.chance(config.supernode_capable_fraction);
+            let links = if capable {
+                LinkProfile::supernode()
+            } else {
+                LinkProfile::residential()
+            };
+            let kind = if capable {
+                HostKind::SupernodeCandidate
+            } else {
+                HostKind::Player
+            };
+            let host = topology.add_host(kind, &links, &mut topo_rng);
+            players.push(Player {
+                id: PlayerId(p as u32),
+                host,
+                capacity: config.capacity.sample(&mut cap_rng),
+                supernode_capable: capable,
+                play_class: PlayClass::sample(&mut class_rng),
+            });
+        }
+
+        let friends = if config.players >= 2 {
+            FriendGraph::power_law(
+                config.players,
+                config.max_friends,
+                config.friend_skew,
+                &mut friend_rng,
+            )
+        } else {
+            FriendGraph::empty(config.players)
+        };
+
+        Population { topology, players, friends }
+    }
+
+    /// Number of players.
+    pub fn len(&self) -> usize {
+        self.players.len()
+    }
+
+    /// True iff there are no players.
+    pub fn is_empty(&self) -> bool {
+        self.players.is_empty()
+    }
+
+    /// The player record.
+    pub fn player(&self, id: PlayerId) -> &Player {
+        &self.players[id.index()]
+    }
+
+    /// Host of a player.
+    pub fn host_of(&self, id: PlayerId) -> HostId {
+        self.players[id.index()].host
+    }
+
+    /// Ids of all supernode-capable players.
+    pub fn supernode_capable(&self) -> impl Iterator<Item = PlayerId> + '_ {
+        self.players.iter().filter(|p| p.supernode_capable).map(|p| p.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(seed: u64) -> Population {
+        let config = PopulationConfig { players: 1_000, ..Default::default() };
+        Population::generate(&config, LatencyModel::peersim(seed), seed)
+    }
+
+    #[test]
+    fn generates_requested_size() {
+        let pop = small(1);
+        assert_eq!(pop.len(), 1_000);
+        assert_eq!(pop.topology.len(), 1_000);
+        assert_eq!(pop.friends.len(), 1_000);
+        for (i, p) in pop.players.iter().enumerate() {
+            assert_eq!(p.id.index(), i);
+            assert_eq!(p.host.index(), i);
+        }
+    }
+
+    #[test]
+    fn supernode_fraction_near_ten_percent() {
+        let pop = small(2);
+        let capable = pop.supernode_capable().count();
+        assert!((60..=140).contains(&capable), "capable {capable}/1000");
+        // Capable hosts carry the supernode link profile.
+        for id in pop.supernode_capable() {
+            let host = pop.topology.host(pop.host_of(id));
+            assert_eq!(host.kind, HostKind::SupernodeCandidate);
+            assert!(host.upload.0 > 5.0, "supernode uplink too small");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small(3);
+        let b = small(3);
+        for (pa, pb) in a.players.iter().zip(&b.players) {
+            assert_eq!(pa.capacity, pb.capacity);
+            assert_eq!(pa.supernode_capable, pb.supernode_capable);
+            assert_eq!(pa.play_class, pb.play_class);
+        }
+        let c = small(4);
+        let same = a
+            .players
+            .iter()
+            .zip(&c.players)
+            .filter(|(x, y)| x.capacity == y.capacity && x.supernode_capable == y.supernode_capable)
+            .count();
+        assert!(same < 1_000, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn capacities_in_pareto_band() {
+        let pop = small(5);
+        for p in &pop.players {
+            assert!((5..=50).contains(&p.capacity));
+        }
+    }
+
+    #[test]
+    fn tiny_populations_work() {
+        let config = PopulationConfig { players: 1, ..Default::default() };
+        let pop = Population::generate(&config, LatencyModel::peersim(1), 1);
+        assert_eq!(pop.len(), 1);
+        assert_eq!(pop.friends.degree(PlayerId(0)), 0);
+    }
+}

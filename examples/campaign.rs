@@ -1,0 +1,82 @@
+//! A full comparison campaign: all six systems, side by side, on the
+//! same universe — the paper's §IV in one run.
+//!
+//! ```text
+//! cargo run --release --example campaign            # quick (~600 players)
+//! CLOUDFOG_SCALE=0.2 cargo run --release --example campaign
+//! ```
+
+use cloudfog::prelude::*;
+use rayon::prelude::*;
+
+fn main() {
+    let scale: f64 = std::env::var("CLOUDFOG_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.06)
+        .clamp(0.01, 1.0);
+    let players = (10_000.0 * scale) as usize;
+    let seed = 20150701;
+
+    println!("CloudFog campaign — {players} players (scale {scale}), seed {seed}");
+    println!("systems: {}\n", SystemKind::ALL.map(|k| k.label()).join(", "));
+
+    let summaries: Vec<RunSummary> = SystemKind::ALL
+        .par_iter()
+        .map(|&kind| {
+            let mut cfg = StreamingSimConfig::quick(kind, players, seed);
+            cfg.ramp = SimDuration::from_secs(10);
+            cfg.horizon = SimDuration::from_secs(45);
+            StreamingSim::run(cfg)
+        })
+        .collect();
+
+    println!(
+        "{:<18} {:>9} {:>9} {:>10} {:>10} {:>10} {:>11}",
+        "system", "latency", "coverage", "continuity", "satisfied", "fog share", "cloud Mbps"
+    );
+    for s in &summaries {
+        println!(
+            "{:<18} {:>9} {:>9} {:>10} {:>10} {:>10} {:>11}",
+            s.kind.label(),
+            format!("{:.1}ms", s.mean_latency_ms),
+            format!("{:.1}%", s.coverage * 100.0),
+            format!("{:.1}%", s.mean_continuity * 100.0),
+            format!("{:.1}%", s.satisfied_ratio * 100.0),
+            format!("{:.1}%", s.fog_share * 100.0),
+            format!("{:.2}", s.cloud_mbps),
+        );
+    }
+
+    // The paper's headline orderings.
+    let get = |k: SystemKind| summaries.iter().find(|s| s.kind == k).expect("all ran");
+    let cloud = get(SystemKind::Cloud);
+    let edge = get(SystemKind::EdgeCloud);
+    let fog_b = get(SystemKind::CloudFogB);
+    let fog_a = get(SystemKind::CloudFogA);
+
+    println!("\npaper-shape checklist:");
+    let checks: [(&str, bool); 4] = [
+        (
+            "latency: Cloud > EdgeCloud > CloudFog/B",
+            cloud.mean_latency_ms > edge.mean_latency_ms
+                && edge.mean_latency_ms > fog_b.mean_latency_ms,
+        ),
+        (
+            "cloud bandwidth: Cloud > EdgeCloud > CloudFog",
+            cloud.cloud_bytes > edge.cloud_bytes && edge.cloud_bytes > fog_b.cloud_bytes,
+        ),
+        (
+            "continuity: CloudFog/A ≥ CloudFog/B > Cloud",
+            fog_a.mean_continuity >= fog_b.mean_continuity - 0.02
+                && fog_b.mean_continuity > cloud.mean_continuity,
+        ),
+        (
+            "coverage: CloudFog beats the bare cloud",
+            fog_b.coverage > cloud.coverage,
+        ),
+    ];
+    for (label, ok) in checks {
+        println!("  [{}] {label}", if ok { "x" } else { " " });
+    }
+}

@@ -1,0 +1,107 @@
+//! The §III-A economics in action (Equations 1–6).
+//!
+//! ```text
+//! cargo run --release --example supernode_economics
+//! ```
+//!
+//! Models a pool of potential supernode contributors (organizations
+//! and players with idle machines), clears the incentive market at a
+//! range of reward rates, finds the provider's optimal reward, and
+//! evaluates the Eq. 6 deployment rule for individual supernodes.
+
+use cloudfog::prelude::*;
+
+fn contributor_pool(n: usize, seed: u64) -> Vec<SupernodeOffer> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|i| {
+            // Organizations contribute beefier machines than players.
+            let organization = i % 4 == 0;
+            let upload = if organization {
+                rng.range_f64(60.0, 200.0)
+            } else {
+                rng.range_f64(15.0, 60.0)
+            };
+            SupernodeOffer {
+                upload_capacity: upload,
+                utilization: rng.range_f64(0.5, 0.95),
+                running_cost: rng.range_f64(2.0, 15.0),
+                profit_threshold: rng.range_f64(0.0, 4.0),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let pool = contributor_pool(2_000, 7);
+    let params = MarketParams {
+        egress_value_per_mbps: 1.0, // value of one saved egress Mbps
+        stream_rate: 1.2,           // R: reference video rate (Mbps)
+        update_rate: 0.1,           // Λ: cloud→supernode update feed
+        player_demand: 10_000,
+    };
+
+    println!("Supernode incentive market — {} candidate contributors\n", pool.len());
+    println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "c_s", "supernodes", "B_s Mbps", "players", "C_g");
+    let rates: Vec<f64> = (1..=30).map(|i| i as f64 * 0.03).collect();
+    for &r in &rates {
+        let o = clear_market(r, &pool, &params);
+        println!(
+            "{:>6.2} {:>12} {:>12.0} {:>12} {:>12.0}",
+            r,
+            o.contributed.len(),
+            o.contribution,
+            o.supported_players,
+            o.provider_savings
+        );
+    }
+
+    let best = optimal_reward(&rates, &pool, &params);
+    println!(
+        "\nOptimal reward c_s = {:.2}: {} supernodes carry {} players; provider saves {:.0}/unit time",
+        best.reward_per_mbps,
+        best.contributed.len(),
+        best.supported_players,
+        best.provider_savings
+    );
+
+    // Eq. 1: a single contributor's view.
+    let offer = &pool[0];
+    let profit = supernode_profit(best.reward_per_mbps, offer);
+    println!(
+        "\nContributor #0 (c_j = {:.0} Mbps, u_j = {:.2}, cost = {:.1}): profit P_s = {:.1} → {}",
+        offer.upload_capacity,
+        offer.utilization,
+        offer.running_cost,
+        profit,
+        if profit > offer.profit_threshold { "contributes" } else { "declines" }
+    );
+
+    // Eq. 6: should the provider court one more supernode?
+    println!("\nEq. 6 marginal deployment gain G_s(j) by newly covered players ν:");
+    for nu in [0usize, 5, 10, 20, 40] {
+        let g = deployment_gain(
+            params.egress_value_per_mbps,
+            nu,
+            params.stream_rate,
+            params.update_rate,
+            best.reward_per_mbps,
+            offer,
+        );
+        println!("  ν = {nu:>3} new players → G_s = {g:>8.1}  ({})",
+            if g > 0.0 { "deploy" } else { "skip" });
+    }
+
+    // Eq. 2 headline: the bandwidth the fog removes from the cloud.
+    let reduction = bandwidth_reduction(
+        best.supported_players,
+        params.stream_rate,
+        params.update_rate,
+        best.contributed.len(),
+    );
+    println!(
+        "\nEq. 2 bandwidth reduction B_r⁻ = n·R − Λ·m = {reduction:.0} Mbps \
+         ({} players × {:.1} Mbps − {} feeds × {:.1} Mbps)",
+        best.supported_players, params.stream_rate, best.contributed.len(), params.update_rate
+    );
+}

@@ -1,0 +1,93 @@
+//! End-to-end determinism: a simulation is a pure function of its
+//! seed. This is what makes every figure in EXPERIMENTS.md
+//! regenerable bit-for-bit.
+
+use cloudfog::prelude::*;
+
+fn run(kind: SystemKind, seed: u64) -> RunSummary {
+    let mut cfg = StreamingSimConfig::quick(kind, 150, seed);
+    cfg.ramp = SimDuration::from_secs(5);
+    cfg.horizon = SimDuration::from_secs(25);
+    StreamingSim::run(cfg)
+}
+
+#[test]
+fn identical_seeds_give_identical_runs_for_every_system() {
+    for kind in SystemKind::ALL {
+        let a = run(kind, 99);
+        let b = run(kind, 99);
+        assert_eq!(a.events, b.events, "{kind:?} event count");
+        assert_eq!(a.cloud_bytes, b.cloud_bytes, "{kind:?} cloud bytes");
+        assert_eq!(a.supernode_bytes, b.supernode_bytes, "{kind:?} supernode bytes");
+        assert_eq!(a.scheduler_drops, b.scheduler_drops, "{kind:?} drops");
+        assert!(
+            (a.mean_latency_ms - b.mean_latency_ms).abs() < f64::EPSILON,
+            "{kind:?} latency"
+        );
+        assert!(
+            (a.mean_continuity - b.mean_continuity).abs() < f64::EPSILON,
+            "{kind:?} continuity"
+        );
+        assert!(
+            (a.satisfied_ratio - b.satisfied_ratio).abs() < f64::EPSILON,
+            "{kind:?} satisfaction"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let a = run(SystemKind::CloudFogA, 1);
+    let b = run(SystemKind::CloudFogA, 2);
+    // Some metric must differ; byte counts are the most sensitive.
+    assert!(
+        a.cloud_bytes != b.cloud_bytes
+            || a.supernode_bytes != b.supernode_bytes
+            || a.events != b.events,
+        "two seeds produced identical universes"
+    );
+}
+
+#[test]
+fn coverage_analysis_is_deterministic() {
+    let profile = ExperimentProfile::peersim(0.03);
+    let params = SystemParams::default();
+    let reqs = [30, 70, 110];
+    let a = coverage_curve(SystemKind::CloudFogB, &profile, &reqs, 5, None, None, &params);
+    let b = coverage_curve(SystemKind::CloudFogB, &profile, &reqs, 5, None, None, &params);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.coverage, y.coverage);
+    }
+}
+
+#[test]
+fn load_experiment_is_deterministic() {
+    let cfg = || LoadExperimentConfig {
+        kind: SystemKind::CloudFogA,
+        groups: 4,
+        players_per_sn: 18,
+        horizon: SimDuration::from_secs(15),
+        seed: 77,
+        ..Default::default()
+    };
+    let a = supernode_load_experiment(cfg());
+    let b = supernode_load_experiment(cfg());
+    assert_eq!(a.scheduler_drops, b.scheduler_drops);
+    assert_eq!(a.quality_switches, b.quality_switches);
+    assert!((a.satisfied_ratio - b.satisfied_ratio).abs() < f64::EPSILON);
+}
+
+#[test]
+fn population_generation_is_seed_stable_across_calls() {
+    let config = PopulationConfig { players: 300, ..Default::default() };
+    let p1 = Population::generate(&config, LatencyModel::peersim(4), 4);
+    let p2 = Population::generate(&config, LatencyModel::peersim(4), 4);
+    for (a, b) in p1.players.iter().zip(&p2.players) {
+        assert_eq!(a.capacity, b.capacity);
+        assert_eq!(a.supernode_capable, b.supernode_capable);
+    }
+    for (a, b) in p1.topology.hosts().iter().zip(p2.topology.hosts()) {
+        assert_eq!(a.position, b.position);
+        assert_eq!(a.ip, b.ip);
+    }
+}

@@ -1,0 +1,99 @@
+//! Cross-crate integration: the virtual-world substrate feeding the
+//! CloudFog economics — the full §III-A story in one test file.
+//!
+//! The cloud computes world state (cloudfog-game); the update feeds it
+//! sends supernodes have a measurable bandwidth Λ (update tracker);
+//! that Λ plugs into Eq. 2's bandwidth-reduction arithmetic
+//! (cloudfog-core economics), which must come out hugely positive —
+//! the paper's reason CloudFog exists.
+
+use cloudfog::prelude::*;
+use cloudfog_game::prelude::*;
+
+/// Run a moderately busy world and return the measured Λ (Mbps per
+/// supernode subscriber).
+fn measure_lambda(avatars: usize, supernodes: usize, per_sn: usize, seed: u64) -> f64 {
+    let mut rng = Rng::new(seed);
+    let config = WorldConfig::default();
+    let mut world = World::new(config, avatars, &mut rng);
+    let subs: Vec<Subscriber> = (0..supernodes)
+        .map(|s| Subscriber {
+            id: s as u32,
+            players: (0..per_sn).map(|k| AvatarId(((s * per_sn + k) % avatars) as u32)).collect(),
+        })
+        .collect();
+    for _ in 0..100 {
+        for i in 0..avatars as u64 {
+            if rng.chance(0.3) {
+                let dest = WorldPos {
+                    x: rng.range_f64(0.0, config.size),
+                    y: rng.range_f64(0.0, config.size),
+                };
+                world.submit(AvatarId(i as u32), Action::MoveTo(dest));
+            }
+        }
+        world.step(&subs);
+    }
+    world.mean_update_rate_mbps()
+}
+
+#[test]
+fn measured_lambda_makes_eq2_hugely_positive() {
+    let lambda = measure_lambda(800, 20, 15, 1);
+    assert!(lambda > 0.0, "a busy world must generate updates");
+    assert!(lambda < 2.0, "Λ must stay tiny relative to video rates, got {lambda}");
+
+    // Eq. 2 at paper scale with the *measured* Λ.
+    let reduction = bandwidth_reduction(9_000, 1.2, lambda, 600);
+    assert!(
+        reduction > 9_000.0,
+        "the fog must save the vast majority of video bandwidth: {reduction} Mbps"
+    );
+    // Update feeds must cost < 15 % of the video they replace.
+    let feed_share = 600.0 * lambda / (9_000.0 * 1.2);
+    assert!(feed_share < 0.15, "feed share {feed_share}");
+}
+
+#[test]
+fn lambda_scales_with_players_per_supernode_not_world_size() {
+    // AoI makes the feed local: doubling the world population far from
+    // the subscriber's players should not double Λ.
+    let small_world = measure_lambda(400, 8, 10, 2);
+    let big_world = measure_lambda(1_600, 8, 10, 2);
+    assert!(
+        big_world < small_world * 3.0,
+        "AoI must bound the feed: {small_world} vs {big_world}"
+    );
+    // But serving more players per supernode widens the AoI union.
+    let few = measure_lambda(800, 8, 5, 3);
+    let many = measure_lambda(800, 8, 25, 3);
+    assert!(many > few, "more players per supernode ⇒ bigger feed: {few} vs {many}");
+}
+
+#[test]
+fn region_partition_stays_balanced_under_migration() {
+    // The cloud tier's kd-tree must keep state-computation shards
+    // balanced even when the crowd migrates to one corner.
+    let mut rng = Rng::new(4);
+    let config = WorldConfig::default();
+    let mut world = World::new(config, 600, &mut rng);
+    let subs = vec![Subscriber { id: 0, players: (0..30).map(AvatarId).collect() }];
+    // Everyone marches to the same corner over many ticks.
+    for _ in 0..120 {
+        for i in 0..600u32 {
+            world.submit(
+                AvatarId(i),
+                Action::MoveTo(WorldPos {
+                    x: rng.range_f64(0.0, 200.0),
+                    y: rng.range_f64(0.0, 200.0),
+                }),
+            );
+        }
+        world.step(&subs);
+    }
+    assert!(
+        world.partition().imbalance() < 1.6,
+        "rebalancing must keep shards within the threshold: {}",
+        world.partition().imbalance()
+    );
+}

@@ -1,0 +1,140 @@
+//! The paper's qualitative results, asserted end-to-end at test scale.
+//!
+//! These are the §IV findings EXPERIMENTS.md reports; each test runs a
+//! reduced universe and checks the *ordering/shape*, not absolute
+//! numbers (our substrate is a synthetic simulator, not the authors'
+//! PlanetLab slice).
+
+use cloudfog::prelude::*;
+
+fn averaged(kind: SystemKind, players: usize, seeds: &[u64]) -> (f64, f64, u64) {
+    let mut latency = 0.0;
+    let mut continuity = 0.0;
+    let mut cloud_bytes = 0u64;
+    for &seed in seeds {
+        let mut cfg = StreamingSimConfig::quick(kind, players, seed);
+        cfg.ramp = SimDuration::from_secs(5);
+        cfg.horizon = SimDuration::from_secs(30);
+        let s = StreamingSim::run(cfg);
+        latency += s.mean_latency_ms;
+        continuity += s.mean_continuity;
+        cloud_bytes += s.cloud_bytes;
+    }
+    let n = seeds.len() as f64;
+    (latency / n, continuity / n, (cloud_bytes as f64 / n) as u64)
+}
+
+const SEEDS: [u64; 3] = [11, 22, 33];
+
+#[test]
+fn figure7_bandwidth_ordering() {
+    let (_, _, cloud) = averaged(SystemKind::Cloud, 250, &SEEDS);
+    let (_, _, edge) = averaged(SystemKind::EdgeCloud, 250, &SEEDS);
+    let (_, _, fog) = averaged(SystemKind::CloudFogB, 250, &SEEDS);
+    assert!(cloud > edge, "Cloud {cloud} must exceed EdgeCloud {edge}");
+    assert!(edge > fog, "EdgeCloud {edge} must exceed CloudFog/B {fog}");
+}
+
+#[test]
+fn figure8_latency_ordering() {
+    let (cloud, _, _) = averaged(SystemKind::Cloud, 250, &SEEDS);
+    let (edge, _, _) = averaged(SystemKind::EdgeCloud, 250, &SEEDS);
+    let (fog_b, _, _) = averaged(SystemKind::CloudFogB, 250, &SEEDS);
+    assert!(cloud > edge, "Cloud {cloud:.1} vs EdgeCloud {edge:.1}");
+    assert!(edge > fog_b, "EdgeCloud {edge:.1} vs CloudFog/B {fog_b:.1}");
+}
+
+#[test]
+fn figure9_continuity_ordering() {
+    let (_, cloud, _) = averaged(SystemKind::Cloud, 250, &SEEDS);
+    let (_, edge, _) = averaged(SystemKind::EdgeCloud, 250, &SEEDS);
+    let (_, fog_b, _) = averaged(SystemKind::CloudFogB, 250, &SEEDS);
+    let (_, fog_a, _) = averaged(SystemKind::CloudFogA, 250, &SEEDS);
+    assert!(fog_a >= fog_b - 0.02, "A {fog_a:.3} vs B {fog_b:.3}");
+    assert!(fog_b > edge - 0.01, "B {fog_b:.3} vs Edge {edge:.3}");
+    assert!(edge >= cloud - 0.01, "Edge {edge:.3} vs Cloud {cloud:.3}");
+    assert!(fog_b > cloud, "B {fog_b:.3} vs Cloud {cloud:.3}");
+}
+
+#[test]
+fn figure5a_coverage_monotone_in_datacenters_and_requirement() {
+    let profile = ExperimentProfile::peersim(0.04);
+    let params = SystemParams::default();
+    let reqs = [30, 50, 70, 90, 110];
+    let few = coverage_curve(SystemKind::Cloud, &profile, &reqs, 9, Some(5), None, &params);
+    let many = coverage_curve(SystemKind::Cloud, &profile, &reqs, 9, Some(25), None, &params);
+    for (f, m) in few.iter().zip(&many) {
+        assert!(m.coverage >= f.coverage - 0.02, "more DCs can't hurt: {f:?} vs {m:?}");
+    }
+    for w in few.windows(2) {
+        assert!(w[1].coverage >= w[0].coverage, "laxer requirement can't hurt");
+    }
+}
+
+#[test]
+fn figure5b_supernodes_substitute_for_datacenters() {
+    let profile = ExperimentProfile::peersim(0.04);
+    let params = SystemParams::default();
+    let reqs = [90];
+    // Bare cloud with 5 DCs vs fog with 5 DCs + supernodes vs bare
+    // cloud with 25 DCs.
+    let bare5 = coverage_curve(SystemKind::Cloud, &profile, &reqs, 9, Some(5), None, &params);
+    let fog = coverage_curve(SystemKind::CloudFogB, &profile, &reqs, 9, Some(5), None, &params);
+    assert!(
+        fog[0].coverage > bare5[0].coverage,
+        "supernodes must lift coverage: {:.3} vs {:.3}",
+        fog[0].coverage,
+        bare5[0].coverage
+    );
+}
+
+#[test]
+fn figures10_11_strategies_help_at_the_knee() {
+    let run = |kind| {
+        supernode_load_experiment(LoadExperimentConfig {
+            kind,
+            groups: 6,
+            players_per_sn: 25,
+            horizon: SimDuration::from_secs(24),
+            seed: 5,
+            ..Default::default()
+        })
+    };
+    let b = run(SystemKind::CloudFogB);
+    let adapt = run(SystemKind::CloudFogAdapt);
+    let sched = run(SystemKind::CloudFogSchedule);
+    assert!(
+        adapt.satisfied_ratio > b.satisfied_ratio + 0.05,
+        "adapt {:.3} must clearly beat B {:.3} at the knee",
+        adapt.satisfied_ratio,
+        b.satisfied_ratio
+    );
+    assert!(
+        sched.satisfied_ratio > b.satisfied_ratio + 0.05,
+        "schedule {:.3} must clearly beat B {:.3} at the knee",
+        sched.satisfied_ratio,
+        b.satisfied_ratio
+    );
+    assert!(adapt.quality_switches > 0, "adaptation must actually engage");
+    assert!(sched.scheduler_drops > 0, "scheduler must actually engage");
+}
+
+#[test]
+fn fog_reduces_cloud_traffic_as_population_grows() {
+    // Fig. 7's second claim: CloudFog's cloud-bandwidth slope is
+    // smaller, i.e. the saving grows with the population.
+    let small_saving = {
+        let (_, _, c) = averaged(SystemKind::Cloud, 120, &SEEDS);
+        let (_, _, f) = averaged(SystemKind::CloudFogB, 120, &SEEDS);
+        c.saturating_sub(f)
+    };
+    let large_saving = {
+        let (_, _, c) = averaged(SystemKind::Cloud, 360, &SEEDS);
+        let (_, _, f) = averaged(SystemKind::CloudFogB, 360, &SEEDS);
+        c.saturating_sub(f)
+    };
+    assert!(
+        large_saving > small_saving,
+        "saving must grow with population: {small_saving} vs {large_saving}"
+    );
+}

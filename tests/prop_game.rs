@@ -1,0 +1,107 @@
+//! Property-based tests of the virtual-world substrate.
+
+use cloudfog_game::prelude::*;
+use proptest::prelude::*;
+
+fn positions_strategy(n: usize) -> impl Strategy<Value = Vec<WorldPos>> {
+    prop::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 2..n)
+        .prop_map(|v| v.into_iter().map(|(x, y)| WorldPos { x, y }).collect())
+}
+
+proptest! {
+    /// kd-tree leaves always hold every avatar exactly once, and the
+    /// imbalance of a median-split tree over distinct positions stays
+    /// small.
+    #[test]
+    fn kdtree_conserves_members(positions in positions_strategy(300)) {
+        let bounds = Rect::new(WorldPos { x: 0.0, y: 0.0 }, WorldPos { x: 1000.0, y: 1000.0 });
+        let tree = KdPartition::build(bounds, &positions, 8);
+        let loads = tree.loads();
+        prop_assert_eq!(loads.iter().sum::<usize>(), positions.len());
+        prop_assert!(tree.regions() >= 1);
+        prop_assert!(tree.regions() <= 8);
+        // Median splits: no leaf exceeds ceil(n / leaves) + leaves.
+        let bound = positions.len().div_ceil(tree.regions()) + tree.regions();
+        prop_assert!(loads.iter().all(|&l| l <= bound), "loads {loads:?}");
+    }
+
+    /// Every position maps to exactly one region, and that region's
+    /// bounds contain it (within boundary ties).
+    #[test]
+    fn region_of_is_total(positions in positions_strategy(150)) {
+        let bounds = Rect::new(WorldPos { x: 0.0, y: 0.0 }, WorldPos { x: 1000.0, y: 1000.0 });
+        let tree = KdPartition::build(bounds, &positions, 16);
+        for p in &positions {
+            let r = tree.region_of(p);
+            prop_assert!(r < tree.regions());
+        }
+    }
+
+    /// The interest grid's `within` agrees with brute force.
+    #[test]
+    fn interest_grid_matches_brute_force(
+        positions in positions_strategy(120),
+        centre_idx in 0usize..100,
+        radius in 1.0f64..300.0,
+    ) {
+        let centre_idx = centre_idx % positions.len();
+        let mut grid = InterestGrid::new(75.0);
+        grid.rebuild(
+            positions
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (AvatarId(i as u32), p)),
+        );
+        let centre = positions[centre_idx];
+        let pos_of = |id: AvatarId| positions[id.index()];
+        let fast = grid.within(&centre, radius, pos_of);
+        let mut brute: Vec<AvatarId> = positions
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(&centre) <= radius)
+            .map(|(i, _)| AvatarId(i as u32))
+            .collect();
+        brute.sort_unstable();
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// Update diffs are minimal: a second diff over unchanged avatars
+    /// is empty, whatever the visible set.
+    #[test]
+    fn update_diffs_are_minimal(visible_bits in prop::collection::vec(any::<bool>(), 30)) {
+        let avatars: Vec<Avatar> = (0..30)
+            .map(|i| Avatar::new(AvatarId(i as u32), WorldPos { x: i as f64, y: 0.0 }))
+            .collect();
+        let visible: Vec<AvatarId> = visible_bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| AvatarId(i as u32))
+            .collect();
+        let mut tracker = UpdateTracker::new();
+        let first = tracker.diff(1, &visible, &avatars, 1);
+        prop_assert_eq!(first.deltas.len(), visible.len(), "first diff sends all");
+        let second = tracker.diff(1, &visible, &avatars, 2);
+        prop_assert!(second.deltas.is_empty(), "unchanged world resends nothing");
+    }
+
+    /// Avatar movement never overshoots and always terminates.
+    #[test]
+    fn movement_terminates(x in 0.0f64..4000.0, y in 0.0f64..4000.0, speed in 0.5f64..50.0) {
+        let mut a = Avatar::new(AvatarId(0), WorldPos { x: 0.0, y: 0.0 });
+        a.speed = speed;
+        a.destination = Some(WorldPos { x, y });
+        let dist = (x * x + y * y).sqrt();
+        let max_ticks = (dist / speed).ceil() as usize + 2;
+        let mut arrived = false;
+        for _ in 0..max_ticks {
+            a.tick();
+            if a.destination.is_none() {
+                arrived = true;
+                break;
+            }
+        }
+        prop_assert!(arrived, "movement must converge within {max_ticks} ticks");
+        prop_assert!((a.pos.x - x).abs() < 1e-9 && (a.pos.y - y).abs() < 1e-9);
+    }
+}

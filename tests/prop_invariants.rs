@@ -1,0 +1,228 @@
+//! Property-based tests of the core invariants, spanning crates.
+
+use cloudfog::prelude::*;
+use cloudfog::core::config::SystemParams;
+use cloudfog::workload::games::GAMES;
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue pops in (time, insertion) order for any input.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut queue = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            queue.push(SimTime::from_micros(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some(s) = queue.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(s.time >= lt);
+                if s.time == lt {
+                    prop_assert!(s.event > li, "FIFO tie-break violated");
+                }
+            }
+            last = Some((s.time, s.event));
+        }
+    }
+
+    /// Calendar queue and binary heap agree on any monotone schedule.
+    #[test]
+    fn calendar_agrees_with_heap(deltas in prop::collection::vec(0u64..500_000, 1..150)) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        let mut now = SimTime::ZERO;
+        let mut pending = 0usize;
+        for (i, &d) in deltas.iter().enumerate() {
+            cal.push(now + SimDuration::from_micros(d), i);
+            heap.push(now + SimDuration::from_micros(d), i);
+            pending += 1;
+            if pending > 4 {
+                let a = cal.pop().unwrap();
+                let b = heap.pop().unwrap();
+                prop_assert_eq!(a.time, b.time);
+                prop_assert_eq!(a.event, b.event);
+                now = a.time;
+                pending -= 1;
+            }
+        }
+        while let Some(b) = heap.pop() {
+            let a = cal.pop().unwrap();
+            prop_assert_eq!(a.time, b.time);
+            prop_assert_eq!(a.event, b.event);
+        }
+    }
+
+    /// Welford merge is equivalent to sequential accumulation.
+    #[test]
+    fn welford_merge_is_associative(xs in prop::collection::vec(-1e6f64..1e6, 2..100), split in 1usize..99) {
+        let split = split.min(xs.len() - 1);
+        let mut whole = Welford::new();
+        for &x in &xs { whole.push(x); }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..split] { left.push(x); }
+        for &x in &xs[split..] { right.push(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-4 * (1.0 + whole.variance().abs()));
+    }
+
+    /// Segment drops never exceed the loss-tolerance budget and never
+    /// underflow the packet count.
+    #[test]
+    fn segment_drop_budget_is_respected(game_idx in 0usize..5, quality in 1u8..=5, requests in prop::collection::vec(0u32..50, 0..20)) {
+        let params = SystemParams::default();
+        let game = &GAMES[game_idx];
+        let mut seg = Segment::new(
+            SegmentId(1),
+            PlayerId(0),
+            game,
+            QualityLevel::get(quality),
+            SimTime::ZERO,
+            SimTime::ZERO,
+            &params,
+        );
+        let budget = (game.loss_tolerance * seg.packets as f64).floor() as u32;
+        let mut total = 0;
+        for n in requests {
+            total += seg.drop_packets(n);
+        }
+        prop_assert!(total <= budget);
+        prop_assert_eq!(seg.dropped_packets, total);
+        prop_assert_eq!(seg.surviving_packets(), seg.packets - total);
+    }
+
+    /// The deadline buffer keeps its queue sorted by expected arrival
+    /// regardless of enqueue order, and the estimated response is
+    /// non-negative and grows with queue position.
+    #[test]
+    fn sender_buffer_stays_deadline_sorted(offsets in prop::collection::vec(0u64..400, 1..30)) {
+        let params = SystemParams::default();
+        let mut buf = SenderBuffer::new(SchedulingPolicy::DeadlineDriven, Mbps(50.0), &params);
+        let now = SimTime::from_millis(500);
+        for (i, &off) in offsets.iter().enumerate() {
+            let game = &GAMES[i % 5];
+            let t_m = SimTime::from_millis(100 + off);
+            let mut seg = Segment::new(
+                SegmentId(i as u64),
+                PlayerId(i as u32),
+                game,
+                game.max_quality(),
+                t_m,
+                now,
+                &params,
+            );
+            seg.enqueued_at = now;
+            buf.enqueue(seg, now, &params);
+        }
+        let deadlines = buf.deadlines();
+        for w in deadlines.windows(2) {
+            prop_assert!(w[0] <= w[1], "queue must stay deadline-sorted: {deadlines:?}");
+        }
+        let mut last = None;
+        while let Some(seg) = buf.pop_next() {
+            if let Some(prev) = last {
+                prop_assert!(seg.expected_arrival() >= prev);
+            }
+            last = Some(seg.expected_arrival());
+        }
+    }
+
+    /// The rate controller never leaves [level 1, game max] and its
+    /// buffer estimate never goes negative, for any observation stream.
+    #[test]
+    fn rate_controller_stays_in_bounds(
+        game_idx in 0usize..5,
+        rates in prop::collection::vec(0.0f64..4.0, 1..200),
+    ) {
+        let game = &GAMES[game_idx];
+        let mut c = RateController::new(game, 0.5, 3);
+        let tau = SimDuration::from_millis(200);
+        for (k, &d) in rates.iter().enumerate() {
+            c.observe(SimTime::from_millis(200 * (k as u64 + 1)), d, 1.0, tau);
+            let level = c.quality().level;
+            prop_assert!(level >= 1);
+            prop_assert!(level <= game.max_quality().level);
+            prop_assert!(c.r(tau) >= 0.0);
+        }
+    }
+
+    /// Economics: clearing at a higher reward never recruits fewer
+    /// contributors (supply is monotone in price).
+    #[test]
+    fn market_supply_is_monotone(
+        caps in prop::collection::vec(1.0f64..200.0, 5..50),
+        r1 in 0.01f64..1.0,
+        r2 in 0.01f64..1.0,
+    ) {
+        let offers: Vec<SupernodeOffer> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| SupernodeOffer {
+                upload_capacity: c,
+                utilization: 0.8,
+                running_cost: (i % 7) as f64,
+                profit_threshold: (i % 3) as f64,
+            })
+            .collect();
+        let params = MarketParams {
+            egress_value_per_mbps: 1.0,
+            stream_rate: 1.2,
+            update_rate: 0.1,
+            player_demand: 1_000_000,
+        };
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let a = clear_market(lo, &offers, &params);
+        let b = clear_market(hi, &offers, &params);
+        prop_assert!(b.contributed.len() >= a.contributed.len());
+        prop_assert!(b.contribution >= a.contribution - 1e-9);
+    }
+
+    /// Topology delays: symmetric, non-negative, zero on self, for any
+    /// pair of hosts.
+    #[test]
+    fn topology_delay_axioms(seed in 0u64..1_000, a in 0u32..40, b in 0u32..40) {
+        let mut rng = cloudfog::sim::rng::Rng::new(seed);
+        let mut topo = Topology::new(LatencyModel::peersim(seed));
+        for _ in 0..40 {
+            topo.add_host(HostKind::Player, &LinkProfile::residential(), &mut rng);
+        }
+        let (a, b) = (HostId(a), HostId(b));
+        let ab = topo.one_way_ms(a, b);
+        let ba = topo.one_way_ms(b, a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!(ab >= 0.0);
+        prop_assert_eq!(topo.one_way_ms(a, a), 0.0);
+    }
+
+    /// Player stream stats: continuity ∈ [0,1] and packet conservation
+    /// for any arrival pattern.
+    #[test]
+    fn stream_stats_conserve_packets(
+        arrivals in prop::collection::vec((0u64..300, 0u64..300, 0u32..20), 1..40),
+    ) {
+        let params = SystemParams::default();
+        let mut stats = PlayerStreamStats::default();
+        let mut expected_total = 0u64;
+        for (i, &(t_m, delay, drops)) in arrivals.iter().enumerate() {
+            let game = &GAMES[i % 5];
+            let mut seg = Segment::new(
+                SegmentId(i as u64),
+                PlayerId(0),
+                game,
+                game.max_quality(),
+                SimTime::from_millis(t_m),
+                SimTime::from_millis(t_m),
+                &params,
+            );
+            seg.drop_packets(drops);
+            expected_total += seg.packets as u64;
+            let arrival = SimTime::from_millis(t_m + delay);
+            stats.record_arrival(&seg, arrival, arrival);
+        }
+        prop_assert_eq!(stats.packets_total(), expected_total);
+        let c = stats.continuity();
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+}
