@@ -38,8 +38,14 @@ fn main() {
 
     assert_eq!(a, b);
     println!("== ablation: pending-event set ==");
-    println!("binary heap : {OPS} hold ops in {heap_time:?} ({:.1} Mops/s)", OPS as f64 / heap_time.as_secs_f64() / 1e6);
-    println!("calendar    : {OPS} hold ops in {cal_time:?} ({:.1} Mops/s)", OPS as f64 / cal_time.as_secs_f64() / 1e6);
+    println!(
+        "binary heap : {OPS} hold ops in {heap_time:?} ({:.1} Mops/s)",
+        OPS as f64 / heap_time.as_secs_f64() / 1e6
+    );
+    println!(
+        "calendar    : {OPS} hold ops in {cal_time:?} ({:.1} Mops/s)",
+        OPS as f64 / cal_time.as_secs_f64() / 1e6
+    );
     println!(
         "verdict: {} is faster on this event mix",
         if cal_time < heap_time { "calendar queue" } else { "binary heap" }

@@ -27,8 +27,18 @@ fn main() {
     println!("== ablation: stable up-probe (beyond-paper extension) ==");
     let (sat_off, cont_off, sw_off) = run(None);
     let (sat_on, cont_on, sw_on) = run(Some(20));
-    println!("probe off: satisfied {:.1}%, continuity {:.1}%, {} switches", sat_off * 100.0, cont_off * 100.0, sw_off);
-    println!("probe on : satisfied {:.1}%, continuity {:.1}%, {} switches", sat_on * 100.0, cont_on * 100.0, sw_on);
+    println!(
+        "probe off: satisfied {:.1}%, continuity {:.1}%, {} switches",
+        sat_off * 100.0,
+        cont_off * 100.0,
+        sw_off
+    );
+    println!(
+        "probe on : satisfied {:.1}%, continuity {:.1}%, {} switches",
+        sat_on * 100.0,
+        cont_on * 100.0,
+        sw_on
+    );
     println!("verdict: the probe trades a few more switches for quality recovery after");
     println!("congestion episodes; at a persistent knee the two are comparable.");
 }

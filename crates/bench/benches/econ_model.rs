@@ -33,7 +33,9 @@ fn main() {
 
     let mut t = Table::new("§III-A incentive market — sweep of reward rate c_s")
         .headers(["c_s", "contributed", "B_s (Mbps)", "supported n", "B_r- (Mbps)", "savings C_g"])
-        .paper_shape("a small reward recruits enough supernodes that savings peak at an interior c_s");
+        .paper_shape(
+            "a small reward recruits enough supernodes that savings peak at an interior c_s",
+        );
     let rates: Vec<f64> = (1..=20).map(|i| i as f64 * 0.05).collect();
     for &r in &rates {
         let o = clear_market(r, &pool, &params);

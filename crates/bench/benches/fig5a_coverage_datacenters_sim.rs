@@ -17,10 +17,11 @@ fn main() {
         scale.peersim().population.players
     ))
     .headers(
-        std::iter::once("requirement".to_string())
-            .chain(series.iter().map(|s| s.label.clone())),
+        std::iter::once("requirement".to_string()).chain(series.iter().map(|s| s.label.clone())),
     )
-    .paper_shape("coverage rises with datacenters but saturates; stricter requirement ⇒ lower coverage");
+    .paper_shape(
+        "coverage rises with datacenters but saturates; stricter requirement ⇒ lower coverage",
+    );
     for (i, &req) in figures::REQUIREMENTS_MS.iter().enumerate() {
         t.row(
             std::iter::once(format!("{req} ms"))

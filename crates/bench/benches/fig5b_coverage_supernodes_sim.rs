@@ -8,8 +8,10 @@ use cloudfog_bench::{figures, pct, RunScale, Table};
 
 fn main() {
     let scale = RunScale::from_env();
-    let sweep: Vec<usize> =
-        [0usize, 100, 200, 400, 600].iter().map(|&m| scale.scaled(m.max(1)) * usize::from(m > 0)).collect();
+    let sweep: Vec<usize> = [0usize, 100, 200, 400, 600]
+        .iter()
+        .map(|&m| scale.scaled(m.max(1)) * usize::from(m > 0))
+        .collect();
     let series = figures::coverage_vs_supernodes(&scale.peersim(), &sweep, scale.seed);
 
     let mut t = Table::new(format!(
@@ -17,10 +19,11 @@ fn main() {
         scale.peersim().population.players
     ))
     .headers(
-        std::iter::once("requirement".to_string())
-            .chain(series.iter().map(|s| s.label.clone())),
+        std::iter::once("requirement".to_string()).chain(series.iter().map(|s| s.label.clone())),
     )
-    .paper_shape("supernodes lift coverage well beyond the bare cloud; a few hundred match 25 datacenters");
+    .paper_shape(
+        "supernodes lift coverage well beyond the bare cloud; a few hundred match 25 datacenters",
+    );
     for (i, &req) in figures::REQUIREMENTS_MS.iter().enumerate() {
         t.row(
             std::iter::once(format!("{req} ms"))

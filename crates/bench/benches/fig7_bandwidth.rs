@@ -10,10 +10,8 @@ use cloudfog_core::systems::SystemKind;
 fn main() {
     let scale = RunScale::from_env();
     let base = scale.peersim().population.players;
-    let counts: Vec<usize> = [0.25, 0.5, 0.75, 1.0]
-        .iter()
-        .map(|f| ((base as f64 * f) as usize).max(20))
-        .collect();
+    let counts: Vec<usize> =
+        [0.25, 0.5, 0.75, 1.0].iter().map(|f| ((base as f64 * f) as usize).max(20)).collect();
     let runs = figures::bandwidth_vs_players(&counts, &scale);
 
     let mut t = Table::new("Figure 7 — cloud bandwidth vs #players")

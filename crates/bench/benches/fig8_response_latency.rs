@@ -14,7 +14,12 @@ fn main() {
         .headers(["system", "mean latency", "coverage", "fog share"])
         .paper_shape("Cloud > EdgeCloud > CloudFog/B > CloudFog/A");
     for r in &runs {
-        t.row([r.kind.label().to_string(), ms(r.mean_latency_ms), pct(r.coverage), pct(r.fog_share)]);
+        t.row([
+            r.kind.label().to_string(),
+            ms(r.mean_latency_ms),
+            pct(r.coverage),
+            pct(r.fog_share),
+        ]);
     }
     t.print();
     t.maybe_write_csv("fig8");

@@ -13,12 +13,8 @@ use rayon::prelude::*;
 fn main() {
     let scale = RunScale::from_env();
     let players = scale.peersim().population.players;
-    let systems = [
-        SystemKind::Cloud,
-        SystemKind::EdgeCloud,
-        SystemKind::CloudFogB,
-        SystemKind::CloudFogA,
-    ];
+    let systems =
+        [SystemKind::Cloud, SystemKind::EdgeCloud, SystemKind::CloudFogB, SystemKind::CloudFogA];
     let rows: Vec<(SystemKind, Histogram)> = systems
         .par_iter()
         .map(|&kind| {
@@ -46,7 +42,7 @@ fn main() {
         .headers(["system", "P50", "P75", "P90", "P99"])
         .paper_shape("the Cloud tail is what Choy et al. measured; the fog compresses it");
     for (kind, hist) in &rows {
-        let q = |p: f64| hist.quantile(p).map(|v| ms(v)).unwrap_or_else(|| "-".into());
+        let q = |p: f64| hist.quantile(p).map(ms).unwrap_or_else(|| "-".into());
         t.row([kind.label().to_string(), q(0.50), q(0.75), q(0.90), q(0.99)]);
     }
     t.print();

@@ -155,11 +155,7 @@ fn bench_world_step(c: &mut Criterion) {
                     world.submit(a, Action::MoveTo(dest));
                     let _ = i;
                 }
-                let out = if parallel {
-                    world.step_parallel(&subs)
-                } else {
-                    world.step(&subs)
-                };
+                let out = if parallel { world.step_parallel(&subs) } else { world.step(&subs) };
                 black_box(out.len())
             });
         });

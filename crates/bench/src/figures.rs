@@ -122,22 +122,11 @@ pub fn coverage_vs_supernodes(
     supernodes
         .par_iter()
         .map(|&m| {
-            let (kind, over) = if m == 0 {
-                (SystemKind::Cloud, None)
-            } else {
-                (SystemKind::CloudFogB, Some(m))
-            };
+            let (kind, over) =
+                if m == 0 { (SystemKind::Cloud, None) } else { (SystemKind::CloudFogB, Some(m)) };
             CoverageSeries {
                 label: format!("{m} supernodes"),
-                points: coverage_curve(
-                    kind,
-                    profile,
-                    &REQUIREMENTS_MS,
-                    seed,
-                    None,
-                    over,
-                    &params,
-                ),
+                points: coverage_curve(kind, profile, &REQUIREMENTS_MS, seed, None, over, &params),
             }
         })
         .collect()
@@ -148,11 +137,8 @@ pub fn coverage_vs_supernodes(
 /// friend-majority game choice cascades populations toward one game,
 /// so single-seed cells are noisy.
 pub fn streaming_cell(kind: SystemKind, players: usize, scale: &RunScale) -> RunSummary {
-    let reps: u64 = std::env::var("CLOUDFOG_REPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3)
-        .max(1);
+    let reps: u64 =
+        std::env::var("CLOUDFOG_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3).max(1);
     let runs: Vec<RunSummary> = (0..reps)
         .into_par_iter()
         .map(|r| {
@@ -183,8 +169,15 @@ pub fn average_runs(runs: &[RunSummary]) -> RunSummary {
         supernode_bytes: (runs.iter().map(|r| r.supernode_bytes).sum::<u64>() as f64 / n) as u64,
         edge_bytes: (runs.iter().map(|r| r.edge_bytes).sum::<u64>() as f64 / n) as u64,
         scheduler_drops: (runs.iter().map(|r| r.scheduler_drops).sum::<u64>() as f64 / n) as u64,
-        failures_injected: runs.iter().map(|r| r.failures_injected).sum::<u64>() / runs.len() as u64,
-        failovers_rescued: runs.iter().map(|r| r.failovers_rescued).sum::<u64>() / runs.len() as u64,
+        failures_injected: runs.iter().map(|r| r.failures_injected).sum::<u64>()
+            / runs.len() as u64,
+        failovers_rescued: runs.iter().map(|r| r.failovers_rescued).sum::<u64>()
+            / runs.len() as u64,
+        faults_activated: runs.iter().map(|r| r.faults_activated).sum::<u64>() / runs.len() as u64,
+        mean_detection_ms: mean(&|r| r.mean_detection_ms),
+        orphaned_player_secs: mean(&|r| r.orphaned_player_secs),
+        watchdog_reassignments: runs.iter().map(|r| r.watchdog_reassignments).sum::<u64>()
+            / runs.len() as u64,
         events: runs.iter().map(|r| r.events).sum::<u64>() / runs.len() as u64,
         // Per-game rows don't average cleanly across seeds (different
         // game populations); drop them for averaged cells.
@@ -196,46 +189,25 @@ pub fn average_runs(runs: &[RunSummary]) -> RunSummary {
 /// EdgeCloud and CloudFog/B.
 pub fn bandwidth_vs_players(player_counts: &[usize], scale: &RunScale) -> Vec<RunSummary> {
     let systems = [SystemKind::Cloud, SystemKind::EdgeCloud, SystemKind::CloudFogB];
-    let cells: Vec<(SystemKind, usize)> = systems
-        .iter()
-        .flat_map(|&s| player_counts.iter().map(move |&n| (s, n)))
-        .collect();
-    cells
-        .par_iter()
-        .map(|&(kind, n)| streaming_cell(kind, n, scale))
-        .collect()
+    let cells: Vec<(SystemKind, usize)> =
+        systems.iter().flat_map(|&s| player_counts.iter().map(move |&n| (s, n))).collect();
+    cells.par_iter().map(|&(kind, n)| streaming_cell(kind, n, scale)).collect()
 }
 
 /// Figure 8: average response latency per system at the default scale.
 pub fn latency_by_system(players: usize, scale: &RunScale) -> Vec<RunSummary> {
-    let systems = [
-        SystemKind::Cloud,
-        SystemKind::EdgeCloud,
-        SystemKind::CloudFogB,
-        SystemKind::CloudFogA,
-    ];
-    systems
-        .par_iter()
-        .map(|&kind| streaming_cell(kind, players, scale))
-        .collect()
+    let systems =
+        [SystemKind::Cloud, SystemKind::EdgeCloud, SystemKind::CloudFogB, SystemKind::CloudFogA];
+    systems.par_iter().map(|&kind| streaming_cell(kind, players, scale)).collect()
 }
 
 /// Figure 9: playback continuity vs number of players, per system.
 pub fn continuity_vs_players(player_counts: &[usize], scale: &RunScale) -> Vec<RunSummary> {
-    let systems = [
-        SystemKind::Cloud,
-        SystemKind::EdgeCloud,
-        SystemKind::CloudFogB,
-        SystemKind::CloudFogA,
-    ];
-    let cells: Vec<(SystemKind, usize)> = systems
-        .iter()
-        .flat_map(|&s| player_counts.iter().map(move |&n| (s, n)))
-        .collect();
-    cells
-        .par_iter()
-        .map(|&(kind, n)| streaming_cell(kind, n, scale))
-        .collect()
+    let systems =
+        [SystemKind::Cloud, SystemKind::EdgeCloud, SystemKind::CloudFogB, SystemKind::CloudFogA];
+    let cells: Vec<(SystemKind, usize)> =
+        systems.iter().flat_map(|&s| player_counts.iter().map(move |&n| (s, n))).collect();
+    cells.par_iter().map(|&(kind, n)| streaming_cell(kind, n, scale)).collect()
 }
 
 /// The per-supernode loads the paper sweeps in Figures 10 and 11.

@@ -60,7 +60,9 @@ impl Table {
             cells
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len()))
+                })
                 .collect::<Vec<_>>()
                 .join("  ")
         };
@@ -89,7 +91,11 @@ impl Table {
     pub fn to_csv(&self) -> String {
         let clean = |c: &str| c.replace(',', ";");
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| clean(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| clean(h)).collect::<Vec<_>>().join(",")
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| clean(c)).collect::<Vec<_>>().join(","));
         }

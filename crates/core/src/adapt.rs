@@ -157,8 +157,7 @@ impl RateController {
             // bank enough surplus to flap straight back up), and never
             // negative.
             let cap = 2.0 * segment_duration.as_secs_f64();
-            self.buffered =
-                (self.buffered + dt * (download_rate - playback_rate)).clamp(0.0, cap);
+            self.buffered = (self.buffered + dt * (download_rate - playback_rate)).clamp(0.0, cap);
         }
         self.last_at = Some(now);
         self.evaluate(segment_duration)
@@ -281,7 +280,7 @@ mod tests {
     #[test]
     fn sustained_surplus_adjusts_up_after_window() {
         let mut c = controller(1); // max level 4, ρ = 0.9
-        // Force quality down so there is headroom to move up.
+                                   // Force quality down so there is headroom to move up.
         c.quality = QualityLevel::get(2);
         // Healthy buffer: download 3× playback, 1 s steps.
         let mut decisions = Vec::new();
@@ -298,7 +297,7 @@ mod tests {
     #[test]
     fn starvation_adjusts_down_after_window() {
         let mut c = controller(0); // level 5
-        // Pre-fill a bit, then starve: download 0, playback 1.
+                                   // Pre-fill a bit, then starve: download 0, playback 1.
         c.on_segment_arrival(TAU);
         let mut downs = 0;
         for k in 0..10 {

@@ -94,12 +94,10 @@ pub fn plan_rebalance(
 ) -> Vec<Migration> {
     let uplink_of = |h: HostId| topo.host(h).upload;
     // Current demand per supernode (working copy we update as we plan).
-    let mut demands: Vec<f64> = (0..table.len())
-        .map(|i| supernode_demand(table, SupernodeId(i as u32), demand))
-        .collect();
-    let uplinks: Vec<f64> = (0..table.len())
-        .map(|i| uplink_of(table.get(SupernodeId(i as u32)).host).0)
-        .collect();
+    let mut demands: Vec<f64> =
+        (0..table.len()).map(|i| supernode_demand(table, SupernodeId(i as u32), demand)).collect();
+    let uplinks: Vec<f64> =
+        (0..table.len()).map(|i| uplink_of(table.get(SupernodeId(i as u32)).host).0).collect();
     let mut available: Vec<u32> =
         (0..table.len()).map(|i| table.get(SupernodeId(i as u32)).available()).collect();
 
@@ -131,13 +129,11 @@ pub fn plan_rebalance(
             let dest = (0..table.len())
                 .filter(|&d| d != src && available[d] > 0)
                 .filter(|&d| {
-                    uplinks[d] > 0.0
-                        && (demands[d] + p_demand) / uplinks[d] <= policy.target_factor
+                    uplinks[d] > 0.0 && (demands[d] + p_demand) / uplinks[d] <= policy.target_factor
                 })
                 .filter(|&d| {
                     let sn_host = table.get(SupernodeId(d as u32)).host;
-                    topo.one_way_ms(host, sn_host)
-                        <= policy.max_delay.as_millis_f64()
+                    topo.one_way_ms(host, sn_host) <= policy.max_delay.as_millis_f64()
                 })
                 .min_by(|&a, &b| {
                     (demands[a] / uplinks[a])
@@ -200,7 +196,8 @@ mod tests {
         table.register(sn1, 16);
         let mut hosts = Vec::new();
         for p in 0..10u32 {
-            let h = topo.add_host_in_city(HostKind::Player, &LinkProfile::residential(), 0, &mut rng);
+            let h =
+                topo.add_host_in_city(HostKind::Player, &LinkProfile::residential(), 0, &mut rng);
             hosts.push(h);
             table.assign(SupernodeId(0), PlayerId(p));
         }
@@ -256,7 +253,8 @@ mod tests {
         table.register(sn1, 16);
         let mut hosts = Vec::new();
         for p in 0..10u32 {
-            let h = topo.add_host_in_city(HostKind::Player, &LinkProfile::residential(), 0, &mut rng);
+            let h =
+                topo.add_host_in_city(HostKind::Player, &LinkProfile::residential(), 0, &mut rng);
             hosts.push(h);
             table.assign(SupernodeId(0), PlayerId(p));
         }

@@ -137,10 +137,8 @@ pub fn clear_market(
         .filter(|(_, o)| will_contribute(reward_per_mbps, o))
         .map(|(i, _)| i)
         .collect();
-    let contribution: f64 = contributed
-        .iter()
-        .map(|&i| offers[i].upload_capacity * offers[i].utilization)
-        .sum();
+    let contribution: f64 =
+        contributed.iter().map(|&i| offers[i].upload_capacity * offers[i].utilization).sum();
     let supportable = if params.stream_rate > 0.0 {
         (contribution / params.stream_rate).floor() as usize
     } else {
@@ -153,12 +151,8 @@ pub fn clear_market(
         params.update_rate,
         contributed.len(),
     );
-    let savings = provider_savings(
-        params.egress_value_per_mbps,
-        reduction,
-        reward_per_mbps,
-        contribution,
-    );
+    let savings =
+        provider_savings(params.egress_value_per_mbps, reduction, reward_per_mbps, contribution);
     MarketOutcome {
         reward_per_mbps,
         contributed,
@@ -181,9 +175,7 @@ pub fn optimal_reward(
         .iter()
         .map(|&r| clear_market(r, offers, params))
         .max_by(|a, b| {
-            a.provider_savings
-                .partial_cmp(&b.provider_savings)
-                .expect("savings are finite")
+            a.provider_savings.partial_cmp(&b.provider_savings).expect("savings are finite")
         })
         .expect("at least one rate")
 }
@@ -258,9 +250,8 @@ mod tests {
 
     #[test]
     fn market_clears_monotonically_in_reward() {
-        let offers: Vec<SupernodeOffer> = (0..100)
-            .map(|i| offer(20.0 + i as f64, 0.8, 5.0 + (i % 7) as f64, 2.0))
-            .collect();
+        let offers: Vec<SupernodeOffer> =
+            (0..100).map(|i| offer(20.0 + i as f64, 0.8, 5.0 + (i % 7) as f64, 2.0)).collect();
         let params = MarketParams {
             egress_value_per_mbps: 1.0,
             stream_rate: 1.2,
@@ -292,9 +283,8 @@ mod tests {
         // Owners with spread thresholds: too low a rate recruits no
         // one (no savings), too high overpays; the sweep must find a
         // rate with savings ≥ both endpoints.
-        let offers: Vec<SupernodeOffer> = (0..200)
-            .map(|i| offer(30.0, 0.9, 3.0 + (i as f64) * 0.1, 1.0))
-            .collect();
+        let offers: Vec<SupernodeOffer> =
+            (0..200).map(|i| offer(30.0, 0.9, 3.0 + (i as f64) * 0.1, 1.0)).collect();
         let params = MarketParams {
             egress_value_per_mbps: 1.0,
             stream_rate: 1.2,

@@ -53,10 +53,7 @@ pub fn select_sites(k: usize) -> Vec<usize> {
 
 fn min_dist_to(chosen: &[usize], candidate: usize) -> f64 {
     let c = ANCHOR_CITIES[candidate].coord();
-    chosen
-        .iter()
-        .map(|&i| ANCHOR_CITIES[i].coord().distance_km(&c))
-        .fold(f64::INFINITY, f64::min)
+    chosen.iter().map(|&i| ANCHOR_CITIES[i].coord().distance_km(&c)).fold(f64::INFINITY, f64::min)
 }
 
 /// The paper's two PlanetLab datacenter sites: Princeton University
@@ -96,8 +93,13 @@ pub fn deploy_planetlab_datacenters(topo: &mut Topology, rng: &mut Rng) -> Vec<D
         .into_iter()
         .zip([princeton_city, la_city])
         .map(|(coord, city)| {
-            let host =
-                topo.add_host_at(HostKind::Datacenter, &LinkProfile::datacenter(), coord, city, rng);
+            let host = topo.add_host_at(
+                HostKind::Datacenter,
+                &LinkProfile::datacenter(),
+                coord,
+                city,
+                rng,
+            );
             Datacenter { host, city }
         })
         .collect()
@@ -123,7 +125,12 @@ mod tests {
         for (i, &a) in sites.iter().enumerate() {
             for &b in &sites[i + 1..] {
                 let d = ANCHOR_CITIES[a].coord().distance_km(&ANCHOR_CITIES[b].coord());
-                assert!(d > 900.0, "{} and {} only {d} km apart", ANCHOR_CITIES[a].name, ANCHOR_CITIES[b].name);
+                assert!(
+                    d > 900.0,
+                    "{} and {} only {d} km apart",
+                    ANCHOR_CITIES[a].name,
+                    ANCHOR_CITIES[b].name
+                );
             }
         }
     }
@@ -166,10 +173,7 @@ mod tests {
         let mut topo = Topology::new(LatencyModel::planetlab(2));
         let dcs = deploy_planetlab_datacenters(&mut topo, &mut rng);
         assert_eq!(dcs.len(), 2);
-        let d = topo
-            .host(dcs[0].host)
-            .position
-            .distance_km(&topo.host(dcs[1].host).position);
+        let d = topo.host(dcs[0].host).position.distance_km(&topo.host(dcs[1].host).position);
         assert!((3_500.0..4_400.0).contains(&d), "Princeton-UCLA {d} km");
     }
 }

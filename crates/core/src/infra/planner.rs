@@ -115,20 +115,14 @@ pub fn plan_deployment(
                 .players
                 .iter()
                 .filter(|p| p.id != c)
-                .filter(|p| {
-                    topo.one_way_ms(c_host, p.host) <= params.max_delay.as_millis_f64()
-                })
+                .filter(|p| topo.one_way_ms(c_host, p.host) <= params.max_delay.as_millis_f64())
                 .map(|p| p.id)
                 .collect();
             (c, reachable)
         })
         .collect();
     let reach_of = |c: PlayerId, reach: &[(PlayerId, Vec<PlayerId>)]| -> Vec<PlayerId> {
-        reach
-            .iter()
-            .find(|(id, _)| *id == c)
-            .map(|(_, r)| r.clone())
-            .unwrap_or_default()
+        reach.iter().find(|(id, _)| *id == c).map(|(_, r)| r.clone()).unwrap_or_default()
     };
 
     while plan.supernodes.len() < max_supernodes && !candidates.is_empty() {
@@ -137,14 +131,10 @@ pub fn plan_deployment(
         for (i, &c) in candidates.iter().enumerate() {
             let player = population.player(c);
             let uplink = topo.host(player.host).upload.0;
-            let serveable =
-                (uplink * params.utilization / params.stream_rate).floor() as usize;
+            let serveable = (uplink * params.utilization / params.stream_rate).floor() as usize;
             let cap = (player.capacity as usize).min(serveable);
-            let nu: Vec<PlayerId> = reach_of(c, &reach)
-                .into_iter()
-                .filter(|p| !covered[p.index()])
-                .take(cap)
-                .collect();
+            let nu: Vec<PlayerId> =
+                reach_of(c, &reach).into_iter().filter(|p| !covered[p.index()]).take(cap).collect();
             let offer = SupernodeOffer {
                 upload_capacity: uplink,
                 utilization: params.utilization,
@@ -186,11 +176,8 @@ mod tests {
     use cloudfog_workload::population::PopulationConfig;
 
     fn population(n: usize, seed: u64) -> Population {
-        let config = PopulationConfig {
-            players: n,
-            supernode_capable_fraction: 0.15,
-            ..Default::default()
-        };
+        let config =
+            PopulationConfig { players: n, supernode_capable_fraction: 0.15, ..Default::default() };
         Population::generate(&config, LatencyModel::peersim(seed), seed)
     }
 

@@ -29,12 +29,16 @@ pub struct Supernode {
     pub id: SupernodeId,
     /// The machine.
     pub host: HostId,
-    /// Capacity `C_j`: max simultaneous players served (0 while
-    /// retired).
+    /// Capacity `C_j`: max simultaneous players served. A capacity of
+    /// zero is a legitimate registration (a contributed machine with no
+    /// spare uplink right now) — it is *not* how retirement is encoded.
     pub capacity: u32,
-    /// The capacity the supernode was registered with — what
-    /// [`SupernodeTable::revive`] restores.
+    /// The capacity the supernode was registered with.
     pub nominal_capacity: u32,
+    /// True once the supernode has left the system (gracefully or by
+    /// failure). A retired supernode serves nobody regardless of its
+    /// recorded capacity; [`SupernodeTable::revive`] clears the flag.
+    pub retired: bool,
     /// Players currently assigned.
     pub assigned: Vec<PlayerId>,
     /// Game clients installed (all games, per §III-A.1 pre-install;
@@ -43,19 +47,28 @@ pub struct Supernode {
 }
 
 impl Supernode {
-    /// Remaining capacity.
+    /// Remaining capacity; zero while retired.
     pub fn available(&self) -> u32 {
+        if self.retired {
+            return 0;
+        }
         self.capacity.saturating_sub(self.assigned.len() as u32)
     }
 
-    /// True if at least one more player fits.
+    /// True if at least one more player fits (never for a retired
+    /// supernode).
     pub fn has_capacity(&self) -> bool {
         self.available() > 0
     }
 
+    /// True iff the supernode is in service (not retired).
+    pub fn is_live(&self) -> bool {
+        !self.retired
+    }
+
     /// Current load as a fraction of capacity.
     pub fn load(&self) -> f64 {
-        if self.capacity == 0 {
+        if self.capacity == 0 || self.retired {
             1.0
         } else {
             self.assigned.len() as f64 / self.capacity as f64
@@ -83,6 +96,7 @@ impl SupernodeTable {
             host,
             capacity,
             nominal_capacity: capacity,
+            retired: false,
             assigned: Vec::new(),
             installed_games: cloudfog_workload::games::GAMES.iter().map(|g| g.id).collect(),
         });
@@ -134,7 +148,7 @@ impl SupernodeTable {
     /// leaving"). Returns the players that must be reassigned.
     pub fn retire(&mut self, sn: SupernodeId) -> Vec<PlayerId> {
         let node = &mut self.nodes[sn.index()];
-        node.capacity = 0;
+        node.retired = true;
         std::mem::take(&mut node.assigned)
     }
 
@@ -142,13 +156,18 @@ impl SupernodeTable {
     /// capacity (machine repaired / rejoined). No-op if never retired.
     pub fn revive(&mut self, sn: SupernodeId) {
         let node = &mut self.nodes[sn.index()];
+        node.retired = false;
         node.capacity = node.nominal_capacity;
     }
 
-    /// Is this supernode currently retired (capacity zeroed)?
+    /// Is this supernode currently retired?
     pub fn is_retired(&self, sn: SupernodeId) -> bool {
-        let node = self.get(sn);
-        node.capacity == 0 && node.nominal_capacity > 0
+        self.get(sn).retired
+    }
+
+    /// Ids of all in-service supernodes.
+    pub fn live_ids(&self) -> impl Iterator<Item = SupernodeId> + '_ {
+        self.nodes.iter().filter(|n| n.is_live()).map(|n| n.id)
     }
 
     /// Total assigned players across all supernodes.
@@ -159,15 +178,8 @@ impl SupernodeTable {
     /// Geolocated distance (km) from `player_host` to each supernode,
     /// as the cloud computes it from IP addresses. Returns
     /// `(SupernodeId, km)` pairs, unsorted.
-    pub fn geo_distances(
-        &self,
-        topo: &Topology,
-        player_host: HostId,
-    ) -> Vec<(SupernodeId, f64)> {
-        self.nodes
-            .iter()
-            .map(|n| (n.id, topo.geo_distance_km(player_host, n.host)))
-            .collect()
+    pub fn geo_distances(&self, topo: &Topology, player_host: HostId) -> Vec<(SupernodeId, f64)> {
+        self.nodes.iter().map(|n| (n.id, topo.geo_distance_km(player_host, n.host))).collect()
     }
 }
 
@@ -253,11 +265,24 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_registration_is_not_retirement() {
+        let (mut table, _) = table_with(2, 0);
+        let sn = SupernodeId(0);
+        assert!(!table.is_retired(sn), "capacity 0 must not read as retired");
+        assert!(table.get(sn).is_live());
+        assert!(!table.get(sn).has_capacity());
+        table.retire(sn);
+        assert!(table.is_retired(sn));
+        assert_eq!(table.live_ids().count(), 1);
+        table.revive(sn);
+        assert_eq!(table.live_ids().count(), 2);
+    }
+
+    #[test]
     fn geo_distances_cover_all_supernodes() {
         let (table, mut topo) = table_with(10, 5);
         let mut rng = Rng::new(2);
-        let player =
-            topo.add_host(HostKind::Player, &LinkProfile::residential(), &mut rng);
+        let player = topo.add_host(HostKind::Player, &LinkProfile::residential(), &mut rng);
         let dists = table.geo_distances(&topo, player);
         assert_eq!(dists.len(), 10);
         assert!(dists.iter().all(|&(_, d)| d.is_finite() && d >= 0.0));

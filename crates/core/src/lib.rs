@@ -16,6 +16,9 @@
 //!   bookkeeping.
 //! * [`metrics`] — §IV metrics: coverage, latency, continuity,
 //!   satisfaction, cloud bandwidth.
+//! * [`fault`] — the chaos layer: scripted fault injection (regional
+//!   outages, latency storms, burst loss, gray failures), the
+//!   heartbeat failure detector, and the QoE watchdog policies.
 //! * [`systems`] — the six systems under test (Cloud, EdgeCloud, the
 //!   four CloudFog variants), static coverage analysis and the
 //!   event-driven streaming simulation.
@@ -41,6 +44,7 @@ pub mod adapt;
 pub mod config;
 pub mod coop;
 pub mod economics;
+pub mod fault;
 pub mod infra;
 pub mod metrics;
 pub mod schedule;
@@ -52,20 +56,21 @@ pub mod systems;
 pub mod prelude {
     pub use crate::adapt::{RateController, RateDecision};
     pub use crate::config::{ExperimentProfile, SystemParams, Testbed};
+    pub use crate::coop::{apply_migrations, plan_rebalance, CoopPolicy, Migration};
     pub use crate::economics::{
         bandwidth_reduction, clear_market, deployment_gain, optimal_reward, provider_savings,
         supernode_profit, MarketOutcome, MarketParams, SupernodeOffer,
     };
-    pub use crate::coop::{apply_migrations, plan_rebalance, CoopPolicy, Migration};
+    pub use crate::fault::{DetectorParams, FaultEvent, FaultKind, FaultScript, WatchdogParams};
     pub use crate::infra::{assign_player, Assignment, SupernodeId, SupernodeTable};
-    pub use crate::security::{Reputation, TrustEvent, TrustManager};
+    pub use crate::infra::{plan_deployment, DeploymentPlan, PlanParams};
     pub use crate::metrics::{MetricsCollector, TrafficSource};
     pub use crate::schedule::{DropReport, SchedulingPolicy, SenderBuffer};
+    pub use crate::security::{Reputation, TrustEvent, TrustManager};
     pub use crate::streaming::{PlayerStreamStats, Segment, SegmentId};
-    pub use crate::infra::{plan_deployment, DeploymentPlan, PlanParams};
     pub use crate::systems::{
-        coverage_curve, supernode_load_experiment, CoveragePoint, Deployment, GameQoe,
-        JoinPattern, LoadExperimentConfig, LoadPoint, QoeSeries, RunSummary, StreamingSim,
-        StreamingSimConfig, StreamSource, SystemKind,
+        coverage_curve, supernode_load_experiment, CoveragePoint, Deployment, GameQoe, JoinPattern,
+        LoadExperimentConfig, LoadPoint, QoeSeries, RunSummary, StreamSource, StreamingSim,
+        StreamingSimConfig, SystemKind,
     };
 }

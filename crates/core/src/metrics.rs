@@ -47,6 +47,12 @@ pub struct MetricsCollector {
     /// ramps and pre-adaptation transients would otherwise dominate
     /// the 95 % satisfaction bar). Byte accounting is not gated.
     measure_from: SimTime,
+    /// Failure-detection latencies (ms) over confirmed failures.
+    detection_ms: Welford,
+    /// Player-seconds spent attached to dead, unconfirmed supernodes.
+    orphaned_player_secs: f64,
+    /// Players moved away from degraded supernodes by the watchdog.
+    watchdog_reassignments: u64,
 }
 
 impl MetricsCollector {
@@ -65,10 +71,11 @@ impl MetricsCollector {
         if arrival < self.measure_from {
             return;
         }
-        self.players
-            .entry(segment.player)
-            .or_default()
-            .record_arrival(segment, first_packet, arrival);
+        self.players.entry(segment.player).or_default().record_arrival(
+            segment,
+            first_packet,
+            arrival,
+        );
     }
 
     /// Record `bytes` of video leaving a source.
@@ -79,6 +86,37 @@ impl MetricsCollector {
     /// Record cloud→supernode update traffic.
     pub fn record_update_bytes(&mut self, bytes: u64) {
         self.update_bytes += bytes;
+    }
+
+    /// Record a failure the heartbeat detector confirmed: how long
+    /// detection took and how many player-seconds were orphaned on the
+    /// dead supernode meanwhile.
+    pub fn record_confirmed_failure(&mut self, detection_ms: f64, orphaned_secs: f64) {
+        self.detection_ms.push(detection_ms);
+        self.orphaned_player_secs += orphaned_secs;
+    }
+
+    /// Record one QoE-watchdog re-assignment.
+    pub fn record_watchdog_reassignment(&mut self) {
+        self.watchdog_reassignments += 1;
+    }
+
+    /// Mean detection latency (ms); 0 when nothing was confirmed.
+    pub fn mean_detection_ms(&self) -> f64 {
+        if self.detection_ms.count() == 0 {
+            return 0.0;
+        }
+        self.detection_ms.mean()
+    }
+
+    /// Total orphaned player-seconds across confirmed failures.
+    pub fn orphaned_player_secs(&self) -> f64 {
+        self.orphaned_player_secs
+    }
+
+    /// Total watchdog re-assignments.
+    pub fn watchdog_reassignments(&self) -> u64 {
+        self.watchdog_reassignments
     }
 
     /// Mark the end of the run (for rate computations).
@@ -153,10 +191,7 @@ impl MetricsCollector {
 
     /// Cloud egress rate in Mbps over the run horizon.
     pub fn cloud_mbps(&self) -> f64 {
-        let secs = self
-            .horizon
-            .map(|h| h.as_secs_f64())
-            .unwrap_or(0.0);
+        let secs = self.horizon.map(|h| h.as_secs_f64()).unwrap_or(0.0);
         if secs <= 0.0 {
             return 0.0;
         }

@@ -132,9 +132,7 @@ impl SenderBuffer {
                 // Insert in ascending expected-arrival order; FIFO among
                 // equal deadlines (stable position after the last equal).
                 let t_a = segment.expected_arrival();
-                let pos = self
-                    .queue
-                    .partition_point(|s| s.expected_arrival() <= t_a);
+                let pos = self.queue.partition_point(|s| s.expected_arrival() <= t_a);
                 self.queue.insert(pos, segment);
                 self.rebalance(pos, now, params)
             }
@@ -198,9 +196,7 @@ impl SenderBuffer {
         if total_dropped < to_drop {
             to_drop -= total_dropped;
             let mut order: Vec<usize> = (0..=idx).collect();
-            order.sort_by(|&a, &b| {
-                weights[b].partial_cmp(&weights[a]).expect("finite weights")
-            });
+            order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).expect("finite weights"));
             for k in order {
                 if to_drop == 0 {
                     break;
@@ -429,8 +425,7 @@ mod tests {
         // reproduces the proportional split on those weights.
         let weights = [0.6 * 0.5, 0.2 * 0.1, 0.5 * 0.2];
         let total: f64 = weights.iter().sum();
-        let d: Vec<u32> =
-            weights.iter().map(|w| ((w / total) * 6.0).round() as u32).collect();
+        let d: Vec<u32> = weights.iter().map(|w| ((w / total) * 6.0).round() as u32).collect();
         // Independent rounding can land one off the target (the
         // allocator's spill pass covers the remainder); the *shape*
         // is what Figure 4 illustrates.

@@ -170,7 +170,7 @@ impl TrustManager {
     pub fn enforce(&self, table: &mut SupernodeTable) -> Vec<(SupernodeId, Vec<PlayerId>)> {
         let mut displaced = Vec::new();
         for (&sn, &q) in &self.quarantined {
-            if q && table.get(sn).capacity > 0 {
+            if q && table.get(sn).is_live() {
                 let orphans = table.retire(sn);
                 displaced.push((sn, orphans));
             }
@@ -241,10 +241,7 @@ mod tests {
             }
         }
         assert!(trust.is_quarantined(sn));
-        assert!(
-            events_to_quarantine <= 10,
-            "quarantine took {events_to_quarantine} spam events"
-        );
+        assert!(events_to_quarantine <= 10, "quarantine took {events_to_quarantine} spam events");
     }
 
     #[test]
@@ -282,7 +279,8 @@ mod tests {
         let mut topo = Topology::new(LatencyModel::peersim(5));
         let mut table = SupernodeTable::new();
         for _ in 0..3 {
-            let h = topo.add_host(HostKind::SupernodeCandidate, &LinkProfile::supernode(), &mut rng);
+            let h =
+                topo.add_host(HostKind::SupernodeCandidate, &LinkProfile::supernode(), &mut rng);
             table.register(h, 8);
         }
         table.assign(SupernodeId(1), PlayerId(7));

@@ -102,6 +102,15 @@ impl Segment {
         self.dropped_packets += dropped;
         dropped
     }
+
+    /// Lose up to `n` packets to the network, ignoring the scheduler's
+    /// loss-tolerance budget (the channel is not polite). Clamped only
+    /// to the packets still in flight; returns how many were lost.
+    pub fn lose_packets(&mut self, n: u32) -> u32 {
+        let lost = n.min(self.surviving_packets());
+        self.dropped_packets += lost;
+        lost
+    }
 }
 
 /// Per-player packet bookkeeping: deadline hits, drops, latencies.
@@ -191,8 +200,7 @@ impl PlayerStreamStats {
             return false;
         }
         let received = self.packets_on_time + self.packets_late;
-        let delay_ok =
-            received > 0 && self.packets_on_time as f64 / received as f64 >= bar;
+        let delay_ok = received > 0 && self.packets_on_time as f64 / received as f64 >= bar;
         let loss_ok = self.packets_dropped as f64 / total as f64 <= self.loss_tolerance;
         delay_ok && loss_ok
     }
@@ -291,7 +299,7 @@ mod tests {
     fn straddling_arrival_interpolates() {
         let mut stats = PlayerStreamStats::default();
         let s = seg(0, 5, SimTime::ZERO); // deadline at 110 ms
-        // First packet at 100 ms, last at 120 ms: half on time.
+                                          // First packet at 100 ms, last at 120 ms: half on time.
         stats.record_arrival(&s, SimTime::from_millis(100), SimTime::from_millis(120));
         let on = stats.packets_on_time as f64;
         let total = s.packets as f64;

@@ -122,8 +122,7 @@ mod tests {
     #[test]
     fn coverage_grows_with_laxer_requirements() {
         let params = SystemParams::default();
-        let curve =
-            coverage_curve(SystemKind::Cloud, &profile(), &REQS, 1, None, None, &params);
+        let curve = coverage_curve(SystemKind::Cloud, &profile(), &REQS, 1, None, None, &params);
         assert_eq!(curve.len(), 3);
         for w in curve.windows(2) {
             assert!(
@@ -140,8 +139,7 @@ mod tests {
     fn more_datacenters_cover_more_players() {
         let params = SystemParams::default();
         let few = coverage_curve(SystemKind::Cloud, &profile(), &[70], 2, Some(2), None, &params);
-        let many =
-            coverage_curve(SystemKind::Cloud, &profile(), &[70], 2, Some(20), None, &params);
+        let many = coverage_curve(SystemKind::Cloud, &profile(), &[70], 2, Some(20), None, &params);
         assert!(
             many[0].coverage >= few[0].coverage,
             "20 DCs {:.3} vs 2 DCs {:.3}",
@@ -154,15 +152,8 @@ mod tests {
     fn supernodes_lift_coverage_over_bare_cloud() {
         let params = SystemParams::default();
         let bare = coverage_curve(SystemKind::Cloud, &profile(), &[70], 3, Some(5), None, &params);
-        let fog = coverage_curve(
-            SystemKind::CloudFogB,
-            &profile(),
-            &[70],
-            3,
-            Some(5),
-            None,
-            &params,
-        );
+        let fog =
+            coverage_curve(SystemKind::CloudFogB, &profile(), &[70], 3, Some(5), None, &params);
         assert!(
             fog[0].coverage > bare[0].coverage,
             "fog {:.3} must beat cloud {:.3}",

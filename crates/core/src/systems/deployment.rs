@@ -256,10 +256,7 @@ impl Deployment {
                 if best_class == TrafficSource::EdgeServer {
                     *self.edge_load.entry(best_host).or_insert(0) += 1;
                 }
-                (
-                    StreamSource { host: best_host, class: best_class, supernode: None },
-                    Vec::new(),
-                )
+                (StreamSource { host: best_host, class: best_class, supernode: None }, Vec::new())
             }
             _ => {
                 let assignment: Assignment =
@@ -366,8 +363,7 @@ impl Deployment {
         if !rho.is_finite() || rho >= 1.0 {
             return f64::INFINITY;
         }
-        let chunk_bytes =
-            bitrate_kbps as f64 * 1_000.0 * params.response_chunk.as_secs_f64() / 8.0;
+        let chunk_bytes = bitrate_kbps as f64 * 1_000.0 * params.response_chunk.as_secs_f64() / 8.0;
         let chunk_tx_ms = chunk_bytes * 8.0 / (rate * 1_000.0);
         let congestion = 1.0 + params.video_congestion_factor * rho / (1.0 - rho);
         up_ms + update_ms + down_ms + chunk_tx_ms * congestion
@@ -578,8 +574,7 @@ mod tests {
             .unwrap();
         let near_src =
             StreamSource { host: near.host, class: TrafficSource::Cloud, supernode: None };
-        let far_src =
-            StreamSource { host: far.host, class: TrafficSource::Cloud, supernode: None };
+        let far_src = StreamSource { host: far.host, class: TrafficSource::Cloud, supernode: None };
         let near_rate = d.effective_rate_mbps(pid, &near_src, &params);
         let far_rate = d.effective_rate_mbps(pid, &far_src, &params);
         assert!(near_rate > far_rate, "near {near_rate} vs far {far_rate}");

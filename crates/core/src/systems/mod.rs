@@ -27,7 +27,9 @@ pub mod supernode_load;
 
 pub use coverage::{coverage_curve, CoveragePoint};
 pub use deployment::{Deployment, StreamSource, SystemKind};
-pub use simulation::{GameQoe, JoinPattern, QoeSeries, RunSummary, StreamingSim, StreamingSimConfig};
+pub use simulation::{
+    GameQoe, JoinPattern, QoeSeries, RunSummary, StreamingSim, StreamingSimConfig,
+};
 pub use supernode_load::{supernode_load_experiment, LoadExperimentConfig, LoadPoint};
 
 #[cfg(test)]

@@ -25,10 +25,12 @@
 //! * the cloud streams an update feed at Λ Mbps to every supernode
 //!   with at least one active player (bandwidth accounting of Eq. 2).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use cloudfog_net::bandwidth::Mbps;
-use cloudfog_net::topology::{DelaySource, HostId};
+use cloudfog_net::geo::Region;
+use cloudfog_net::gilbert::GilbertElliott;
+use cloudfog_net::topology::{DelaySource, HostId, Topology};
 use cloudfog_sim::engine::{Model, Scheduler, Simulation};
 use cloudfog_sim::event::EventQueue;
 use cloudfog_sim::rng::Rng;
@@ -55,6 +57,7 @@ use cloudfog_workload::player::PlayerId;
 
 use crate::adapt::{RateController, RateDecision};
 use crate::config::{ExperimentProfile, SystemParams};
+use crate::fault::{DetectorParams, FaultKind, FaultScript, WatchdogParams};
 use crate::metrics::{MetricsCollector, TrafficSource};
 use crate::schedule::{SchedulingPolicy, SenderBuffer};
 use crate::streaming::{Segment, SegmentId};
@@ -113,6 +116,16 @@ pub struct StreamingSimConfig {
     pub series_bucket: Option<SimDuration>,
     /// How players join.
     pub join_pattern: JoinPattern,
+    /// Scripted chaos faults replayed during the run (`None` = no
+    /// chaos). The script composes with MTBF churn; both feed the same
+    /// heartbeat detector.
+    pub fault_script: Option<FaultScript>,
+    /// Heartbeat failure-detector policy. Active whenever churn or a
+    /// fault script is configured; inert otherwise.
+    pub detector: DetectorParams,
+    /// QoE watchdog letting players escape gray-failed supernodes
+    /// (`None` = disabled).
+    pub watchdog: Option<WatchdogParams>,
 }
 
 impl StreamingSimConfig {
@@ -133,6 +146,9 @@ impl StreamingSimConfig {
             supernode_mttr: None,
             series_bucket: None,
             join_pattern: JoinPattern::Ramp,
+            fault_script: None,
+            detector: DetectorParams::default(),
+            watchdog: None,
         }
     }
 }
@@ -164,11 +180,22 @@ pub struct RunSummary {
     pub edge_bytes: u64,
     /// Packets dropped by deadline schedulers.
     pub scheduler_drops: u64,
-    /// Supernode failures injected (0 without churn).
+    /// Supernode failures injected (0 without churn), counting both
+    /// MTBF churn and scripted regional outages.
     pub failures_injected: u64,
     /// Displaced players rescued by a §III-A.3 backup (vs cloud
     /// fallback).
     pub failovers_rescued: u64,
+    /// Scripted fault activations (0 without a fault script).
+    pub faults_activated: u64,
+    /// Mean heartbeat-detection latency (ms) over confirmed supernode
+    /// failures; 0 when nothing was confirmed.
+    pub mean_detection_ms: f64,
+    /// Player-seconds spent attached to a dead supernode between its
+    /// failure and the detector's confirmation.
+    pub orphaned_player_secs: f64,
+    /// Players the QoE watchdog moved away from a degraded supernode.
+    pub watchdog_reassignments: u64,
     /// Total engine events executed.
     pub events: u64,
     /// Per-game QoE rows (empty after cross-seed averaging when game
@@ -189,6 +216,10 @@ pub struct QoeSeries {
     pub deliveries: CounterSeries,
     /// Supernode failures per bucket (churn runs).
     pub failures: CounterSeries,
+    /// Scripted fault activations per bucket.
+    pub faults: CounterSeries,
+    /// QoE-watchdog re-assignments per bucket.
+    pub reassignments: CounterSeries,
 }
 
 impl QoeSeries {
@@ -198,6 +229,8 @@ impl QoeSeries {
             on_time: TimeSeries::new(bucket),
             deliveries: CounterSeries::new(bucket),
             failures: CounterSeries::new(bucket),
+            faults: CounterSeries::new(bucket),
+            reassignments: CounterSeries::new(bucket),
         }
     }
 }
@@ -213,6 +246,52 @@ struct ActivePlayer {
     quality: QualityLevel,
     /// Last instant the controller's buffer estimate was advanced.
     last_buffer_event: SimTime,
+    /// When this session started (orphan accounting).
+    joined_at: SimTime,
+    /// QoE-watchdog window: packets that landed on time.
+    window_on_time: u64,
+    /// QoE-watchdog window: packets owed (delivered, lost, or skipped).
+    window_packets: u64,
+    /// Consecutive below-threshold watchdog checks.
+    low_checks: u32,
+    /// Last watchdog re-assignment (or join), for the cooldown.
+    last_reassign: SimTime,
+}
+
+const NUM_REGIONS: usize = Region::ALL.len();
+
+/// Live chaos effects, indexed by region.
+struct ChaosState {
+    /// One-way-delay multiplier per region (1.0 = nominal).
+    /// Overlapping storms compose multiplicatively.
+    latency_mult: [f64; NUM_REGIONS],
+    /// Access-bandwidth fraction per region (1.0 = nominal).
+    bandwidth_mult: [f64; NUM_REGIONS],
+    /// Burst-loss chain per region (`None` = clean channel).
+    loss: [Option<GilbertElliott>; NUM_REGIONS],
+    /// Gray-failed supernode hosts → remaining send-rate fraction.
+    gray: HashMap<HostId, f64>,
+}
+
+impl ChaosState {
+    fn new() -> Self {
+        ChaosState {
+            latency_mult: [1.0; NUM_REGIONS],
+            bandwidth_mult: [1.0; NUM_REGIONS],
+            loss: std::array::from_fn(|_| None),
+            gray: HashMap::new(),
+        }
+    }
+}
+
+/// Detector bookkeeping for a supernode that stopped heartbeating.
+struct SuspectState {
+    /// Heartbeat sweeps missed so far.
+    missed: u32,
+    /// Probes already fired.
+    probes: u32,
+    /// True once the probe cascade has started.
+    probing: bool,
 }
 
 /// Per-sender state: one uplink port with one queue.
@@ -243,6 +322,16 @@ pub enum Ev {
     SupernodeFailure,
     /// A previously failed supernode comes back.
     SupernodeRecovery(crate::infra::SupernodeId),
+    /// Control-plane heartbeat sweep (the failure detector's clock).
+    HeartbeatSweep,
+    /// Backoff re-probe of a suspected supernode.
+    ProbeSupernode(crate::infra::SupernodeId),
+    /// QoE-watchdog check across active players.
+    WatchdogSweep,
+    /// The scripted fault at this index begins.
+    FaultStart(usize),
+    /// The scripted fault at this index ends.
+    FaultEnd(usize),
 }
 
 /// The streaming simulation model.
@@ -271,10 +360,25 @@ pub struct StreamingSim {
     /// Failure-injection bookkeeping.
     failures_injected: u64,
     failovers_rescued: u64,
+    /// Live chaos effects (latency storms, loss bursts, …).
+    chaos: ChaosState,
+    /// Ground truth: dead supernodes → when they died. The control
+    /// plane does not see this map; it only sees missed heartbeats.
+    dead_since: BTreeMap<crate::infra::SupernodeId, SimTime>,
+    /// Hosts of dead supernodes (data-plane stall check).
+    dead_hosts: HashSet<HostId>,
+    /// Failure-detector state per suspected supernode.
+    suspects: BTreeMap<crate::infra::SupernodeId, SuspectState>,
+    /// Regional-outage fault index → supernodes it killed.
+    outage_victims: HashMap<usize, Vec<crate::infra::SupernodeId>>,
+    /// Gray-failure fault index → degraded host.
+    gray_victims: HashMap<usize, HostId>,
+    faults_activated: u64,
     next_segment: u64,
     rng_assign: Rng,
     rng_game: Rng,
     rng_net: Rng,
+    rng_chaos: Rng,
 }
 
 impl StreamingSim {
@@ -292,6 +396,9 @@ impl StreamingSim {
         let rng_game = root.fork();
         let rng_net = root.fork();
         let mut rng_cycles = root.fork();
+        // Forked last so pre-chaos seeds replay the exact event
+        // sequence they produced before the chaos layer existed.
+        let rng_chaos = root.fork();
         let n = deployment.population.len();
         let cycles = (0..n)
             .map(|p| {
@@ -315,10 +422,18 @@ impl StreamingSim {
             series,
             failures_injected: 0,
             failovers_rescued: 0,
+            chaos: ChaosState::new(),
+            dead_since: BTreeMap::new(),
+            dead_hosts: HashSet::new(),
+            suspects: BTreeMap::new(),
+            outage_victims: HashMap::new(),
+            gray_victims: HashMap::new(),
+            faults_activated: 0,
             next_segment: 0,
             rng_assign,
             rng_game,
             rng_net,
+            rng_chaos,
         }
     }
 
@@ -340,13 +455,8 @@ impl StreamingSim {
             }
             JoinPattern::Diurnal { base_rate, amplitude, peak_hour } => {
                 let rng = sim.model.rng_assign.fork();
-                let arrivals = DiurnalArrivals::new(
-                    base_rate,
-                    amplitude,
-                    peak_hour,
-                    SimTime::ZERO,
-                    rng,
-                );
+                let arrivals =
+                    DiurnalArrivals::new(base_rate, amplitude, peak_hour, SimTime::ZERO, rng);
                 let end = SimTime::ZERO + horizon;
                 for (i, at) in arrivals.take_while(|t| *t < end).enumerate() {
                     // Player ids cycle; Join on an already-active
@@ -357,6 +467,26 @@ impl StreamingSim {
         }
         if sim.model.cfg.supernode_mtbf.is_some() {
             sim.seed_at(SimTime::ZERO + ramp, Ev::SupernodeFailure);
+        }
+        // The heartbeat detector runs whenever failures can happen.
+        let chaos_on = sim.model.cfg.supernode_mtbf.is_some()
+            || sim.model.cfg.fault_script.as_ref().is_some_and(|s| !s.is_empty());
+        if chaos_on {
+            let hb = sim.model.cfg.detector.heartbeat_interval;
+            sim.seed_at(SimTime::ZERO + hb, Ev::HeartbeatSweep);
+        }
+        if let Some(wd) = sim.model.cfg.watchdog {
+            sim.seed_at(SimTime::ZERO + ramp + wd.check_interval, Ev::WatchdogSweep);
+        }
+        let fault_starts: Vec<SimTime> = sim
+            .model
+            .cfg
+            .fault_script
+            .as_ref()
+            .map(|s| s.events().iter().map(|e| e.at).collect())
+            .unwrap_or_default();
+        for (i, at) in fault_starts.into_iter().enumerate() {
+            sim.seed_at(at, Ev::FaultStart(i));
         }
         let report = sim.run();
         let mut model = sim.model;
@@ -452,6 +582,10 @@ impl StreamingSim {
             scheduler_drops: self.scheduler_drops,
             failures_injected: self.failures_injected,
             failovers_rescued: self.failovers_rescued,
+            faults_activated: self.faults_activated,
+            mean_detection_ms: self.metrics.mean_detection_ms(),
+            orphaned_player_secs: self.metrics.orphaned_player_secs(),
+            watchdog_reassignments: self.metrics.watchdog_reassignments(),
             events,
             game_breakdown: self
                 .metrics
@@ -517,8 +651,11 @@ impl StreamingSim {
         }
 
         let controller = self.cfg.kind.uses_adaptation().then(|| {
-            let mut c =
-                RateController::new(&game, self.cfg.params.theta, self.cfg.params.hysteresis_window);
+            let mut c = RateController::new(
+                &game,
+                self.cfg.params.theta,
+                self.cfg.params.hysteresis_window,
+            );
             if let Some(n) = self.cfg.params.up_probe_after {
                 c = c.with_up_probe(n);
             }
@@ -536,6 +673,11 @@ impl StreamingSim {
                 controller,
                 quality,
                 last_buffer_event: now,
+                joined_at: now,
+                window_on_time: 0,
+                window_packets: 0,
+                low_checks: 0,
+                last_reassign: now,
             },
         );
 
@@ -552,11 +694,7 @@ impl StreamingSim {
         let Some(active) = self.active.get(&p) else { return };
         let now = sched.now();
         let game = self.game_of(active.game);
-        let quality = active
-            .controller
-            .as_ref()
-            .map(|c| c.quality())
-            .unwrap_or(active.quality);
+        let quality = active.controller.as_ref().map(|c| c.quality()).unwrap_or(active.quality);
 
         let id = SegmentId(self.next_segment);
         self.next_segment += 1;
@@ -571,15 +709,19 @@ impl StreamingSim {
         // It is charged to the §I 20 ms playout/processing budget, so
         // the segment's *network* clock starts after it.
         let processing = self.cfg.params.cloud_compute + self.cfg.params.render_time;
-        let mut delay = topo.sample_one_way(host, dc.host, &mut self.rng_net) + processing;
+        let mut delay =
+            Self::sample_one_way_chaos(topo, &self.chaos, host, dc.host, &mut self.rng_net)
+                + processing;
         if active.source.supernode.is_some() {
             // Fog adds the cloud → supernode update hop (network).
             let sn_dc = self.deployment.nearest_datacenter(active.source.host);
-            delay += self.deployment.topology().sample_one_way(
-                    sn_dc.host,
-                    active.source.host,
-                    &mut self.rng_net,
-                );
+            delay += Self::sample_one_way_chaos(
+                self.deployment.topology(),
+                &self.chaos,
+                sn_dc.host,
+                active.source.host,
+                &mut self.rng_net,
+            );
         }
 
         let enqueue_at = now + delay;
@@ -594,6 +736,12 @@ impl StreamingSim {
     fn handle_enqueue(&mut self, segment: Segment, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
         let Some(active) = self.active.get(&segment.player) else { return };
         let host = active.source.host;
+        if self.dead_hosts.contains(&host) {
+            // The sender is dead but unconfirmed: the stream stalls
+            // until the detector confirms and the player fails over.
+            self.charge_lost_segment(&segment);
+            return;
+        }
         let Some(sender) = self.senders.get_mut(&host) else { return };
         let report = sender.buffer.enqueue(segment, sched.now(), &self.cfg.params);
         self.scheduler_drops += report.packets_dropped as u64;
@@ -605,8 +753,26 @@ impl StreamingSim {
 
     fn handle_start_tx(&mut self, host: HostId, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
         let now = sched.now();
+        if self.dead_hosts.contains(&host) {
+            // Dead sender (failure not yet confirmed): nothing leaves
+            // the machine. Everything queued is charged as fully late,
+            // so the detection window shows up in continuity.
+            let mut drained = Vec::new();
+            if let Some(sender) = self.senders.get_mut(&host) {
+                while let Some(seg) = sender.buffer.pop_next() {
+                    drained.push(seg);
+                }
+                sender.busy = false;
+            }
+            for seg in &drained {
+                if self.active.contains_key(&seg.player) {
+                    self.charge_lost_segment(seg);
+                }
+            }
+            return;
+        }
         // Pop until we find a segment whose player is still active.
-        let segment = loop {
+        let mut segment = loop {
             let Some(sender) = self.senders.get_mut(&host) else { return };
             match sender.buffer.pop_next() {
                 None => {
@@ -631,10 +797,12 @@ impl StreamingSim {
         // Staleness skip: a segment already hopeless (deadline missed
         // by several segment durations) is not worth transmitting —
         // real streamers skip frames. Its packets count as late.
-        let hopeless =
-            segment.expected_arrival() + self.cfg.params.segment_duration * 5;
+        let hopeless = segment.expected_arrival() + self.cfg.params.segment_duration * 5;
         if now > hopeless {
             self.metrics.record_arrival(&segment, now, now);
+            if let Some(a) = self.active.get_mut(&segment.player) {
+                a.window_packets += u64::from(segment.packets);
+            }
             sched.schedule_in(SimDuration::ZERO, Ev::StartTx(host));
             return;
         }
@@ -644,30 +812,51 @@ impl StreamingSim {
         // resource — the next queued segment starts once this one has
         // left the uplink.
         let uplink = self.deployment.topology().host(host).upload;
-        let port_time = uplink.transmission_time(bytes);
+        let mut port_time = uplink.transmission_time(bytes);
         // Flow delivery: the segment completes at the per-flow rate
         // (TCP cap / downlink), which can be slower than the uplink.
         // A player's segments serialize over their own flow: TCP
         // cannot deliver above the path rate, so sustained demand
         // beyond it accumulates delay — this is what the §III-B
         // controller senses and corrects.
-        let flow_rate = self
-            .deployment
-            .flow_rate_mbps(segment.player, &source, &self.cfg.params);
-        let flow_time = Mbps(flow_rate).transmission_time(bytes);
-        let flow_start = (*self
-            .flow_free_at
-            .entry(segment.player)
-            .or_insert(now))
-        .max(now);
+        let flow_rate = self.deployment.flow_rate_mbps(segment.player, &source, &self.cfg.params);
+        let mut flow_time = Mbps(flow_rate).transmission_time(bytes);
+        // Chaos: a bandwidth collapse at either end, or a gray-failed
+        // sender, stretches transmission — and via the port occupancy
+        // slows the whole sender down.
+        let stretch = {
+            let topo = self.deployment.topology();
+            let collapse = self.chaos.bandwidth_mult[topo.host(host).region.index()]
+                .min(self.chaos.bandwidth_mult[topo.host(player_host).region.index()]);
+            let gray = self.chaos.gray.get(&host).copied().unwrap_or(1.0);
+            1.0 / (collapse * gray).clamp(1e-3, 1.0)
+        };
+        if stretch != 1.0 {
+            port_time = port_time.mul_f64(stretch);
+            flow_time = flow_time.mul_f64(stretch);
+        }
+        let flow_start = (*self.flow_free_at.entry(segment.player).or_insert(now)).max(now);
         let flow_end = flow_start + flow_time;
         self.flow_free_at.insert(segment.player, flow_end);
-        let propagation = self
-            .deployment
-            .topology()
-            .sample_one_way(host, player_host, &mut self.rng_net);
+        let propagation = Self::sample_one_way_chaos(
+            self.deployment.topology(),
+            &self.chaos,
+            host,
+            player_host,
+            &mut self.rng_net,
+        );
 
         self.metrics.record_video_bytes(source.class, bytes);
+
+        // Chaos: bursty access loss at the player's region eats packets
+        // on the wire, past the scheduler's polite loss budget.
+        let region = self.deployment.topology().host(player_host).region.index();
+        if let Some(chain) = self.chaos.loss[region].as_mut() {
+            let surviving = segment.surviving_packets();
+            if surviving > 0 {
+                segment.lose_packets(chain.lose_of(surviving, &mut self.rng_chaos));
+            }
+        }
 
         let first_packet = flow_start + propagation;
         let arrival = flow_end.max(now + port_time) + propagation;
@@ -691,9 +880,7 @@ impl StreamingSim {
         if let Some(series) = self.series.as_mut() {
             let latency = now.saturating_since(segment.action_time).as_millis_f64();
             series.latency_ms.record(now, latency);
-            series
-                .on_time
-                .record(now, if now <= segment.expected_arrival() { 1.0 } else { 0.0 });
+            series.on_time.record(now, if now <= segment.expected_arrival() { 1.0 } else { 0.0 });
             series.deliveries.bump(now);
         }
         // Feed the Eq. 13 propagation estimator of the sender.
@@ -705,6 +892,11 @@ impl StreamingSim {
         // estimation interval, playback rate b_p = 1 (real time).
         let params = self.cfg.params;
         if let Some(active) = self.active.get_mut(&segment.player) {
+            // QoE-watchdog window: packets owed vs packets on time.
+            active.window_packets += u64::from(segment.packets);
+            if now <= segment.expected_arrival() {
+                active.window_on_time += u64::from(segment.surviving_packets());
+            }
             if let Some(controller) = active.controller.as_mut() {
                 let inter = now.saturating_since(active.last_buffer_event).as_secs_f64();
                 let tau = params.segment_duration.as_secs_f64();
@@ -712,7 +904,8 @@ impl StreamingSim {
                 active.last_buffer_event = now;
                 // Quality changes take effect on the next Action; the
                 // controller tracks its own level.
-                let _decision: RateDecision = controller.observe(now, d, 1.0, params.segment_duration);
+                let _decision: RateDecision =
+                    controller.observe(now, d, 1.0, params.segment_duration);
             }
         }
     }
@@ -732,7 +925,38 @@ impl StreamingSim {
 }
 
 impl StreamingSim {
-    /// Kill one random live supernode and fail its players over.
+    /// One-way delay with any active latency-storm multiplier applied
+    /// (the worse of the two endpoint regions wins).
+    fn sample_one_way_chaos(
+        topo: &Topology,
+        chaos: &ChaosState,
+        a: HostId,
+        b: HostId,
+        rng: &mut Rng,
+    ) -> SimDuration {
+        let base = topo.sample_one_way(a, b, rng);
+        let mult = chaos.latency_mult[topo.host(a).region.index()]
+            .max(chaos.latency_mult[topo.host(b).region.index()]);
+        if mult != 1.0 {
+            base.mul_f64(mult)
+        } else {
+            base
+        }
+    }
+
+    /// Charge a segment that will never arrive (dead sender) as fully
+    /// late: every packet misses the deadline and the player's
+    /// watchdog window records the stall.
+    fn charge_lost_segment(&mut self, segment: &Segment) {
+        let late = segment.expected_arrival() + SimDuration::from_millis(1);
+        self.metrics.record_arrival(segment, late, late);
+        if let Some(a) = self.active.get_mut(&segment.player) {
+            a.window_packets += u64::from(segment.packets);
+        }
+    }
+
+    /// Churn tick: one random live supernode dies. Ground truth only —
+    /// the control plane learns of it from missed heartbeats.
     fn handle_supernode_failure(&mut self, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
         let now = sched.now();
         // Schedule the next failure first (Poisson process).
@@ -740,20 +964,18 @@ impl StreamingSim {
             let gap = self.rng_assign.exponential(1.0 / mtbf.as_secs_f64().max(1e-9));
             sched.schedule_in(SimDuration::from_secs_f64(gap), Ev::SupernodeFailure);
         }
-        // Pick a live (non-retired) supernode.
         let live: Vec<crate::infra::SupernodeId> = self
             .deployment
             .supernodes
             .iter()
-            .filter(|sn| sn.capacity > 0)
+            .filter(|sn| sn.is_live() && !self.dead_since.contains_key(&sn.id))
             .map(|sn| sn.id)
             .collect();
         if live.is_empty() {
             return;
         }
         let victim = live[self.rng_assign.index(live.len())];
-        let orphans = self.deployment.supernodes.retire(victim);
-        self.failures_injected += 1;
+        self.kill_supernode(victim, now);
         if let Some(mttr) = self.cfg.supernode_mttr {
             let repair = self.rng_assign.exponential(1.0 / mttr.as_secs_f64().max(1e-9));
             sched.schedule_in(SimDuration::from_secs_f64(repair), Ev::SupernodeRecovery(victim));
@@ -761,57 +983,298 @@ impl StreamingSim {
         if let Some(series) = self.series.as_mut() {
             series.failures.bump(now);
         }
+    }
 
-        for p in orphans {
-            let Some(active) = self.active.get(&p) else { continue };
-            let (old_source, game_id, backups) =
-                (active.source, active.game, active.backups.clone());
-            if old_source.class == TrafficSource::Supernode {
-                self.update_feed_delta(old_source.host, now, -1);
+    /// Ground-truth death: heartbeats and the data plane stop. The
+    /// table entry stays live until the detector confirms.
+    fn kill_supernode(&mut self, sn: crate::infra::SupernodeId, now: SimTime) {
+        let host = self.deployment.supernodes.get(sn).host;
+        self.dead_since.entry(sn).or_insert(now);
+        self.dead_hosts.insert(host);
+        self.failures_injected += 1;
+    }
+
+    /// Ground-truth recovery: heartbeats resume. If the failure had
+    /// already been confirmed (table retired), the supernode rejoins
+    /// the pool with its nominal capacity.
+    fn recover_supernode(&mut self, sn: crate::infra::SupernodeId) {
+        if self.dead_since.remove(&sn).is_none() {
+            return;
+        }
+        let host = self.deployment.supernodes.get(sn).host;
+        self.dead_hosts.remove(&host);
+        self.suspects.remove(&sn);
+        if self.deployment.supernodes.is_retired(sn) {
+            self.deployment.supernodes.revive(sn);
+        }
+    }
+
+    /// Control plane: one heartbeat round. Dead supernodes miss their
+    /// beat; enough misses start the probe cascade. Gray failures keep
+    /// answering and sail through — only the watchdog catches those.
+    fn handle_heartbeat_sweep(&mut self, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let det = self.cfg.detector;
+        sched.schedule_in(det.heartbeat_interval, Ev::HeartbeatSweep);
+        let dead: Vec<crate::infra::SupernodeId> = self.dead_since.keys().copied().collect();
+        for sn in dead {
+            if self.deployment.supernodes.is_retired(sn) {
+                continue; // already confirmed
             }
-            let game = self.game_of(game_id);
-            let host = self.deployment.population.host_of(p);
-            // §III-A.3 failover: first live backup within L_max, else
-            // direct to cloud.
-            let next = crate::infra::failover(
-                self.deployment.topology(),
-                &self.deployment.supernodes,
-                host,
-                &game,
-                &self.cfg.params,
-                &backups,
-                &mut self.rng_assign,
-            );
-            let new_source = match next {
-                Some((sn, _)) => {
-                    let ok = self.deployment.supernodes.assign(sn, p);
-                    debug_assert!(ok);
-                    self.failovers_rescued += 1;
-                    StreamSource {
-                        host: self.deployment.supernodes.get(sn).host,
-                        class: TrafficSource::Supernode,
-                        supernode: Some(sn),
+            let s = self.suspects.entry(sn).or_insert(SuspectState {
+                missed: 0,
+                probes: 0,
+                probing: false,
+            });
+            s.missed += 1;
+            if s.missed >= det.missed_to_suspect && !s.probing {
+                s.probing = true;
+                sched.schedule_in(det.probe_backoff_base, Ev::ProbeSupernode(sn));
+            }
+        }
+    }
+
+    /// A probe of a suspected supernode fires: still silent ⇒ back
+    /// off and retry, exhausted ⇒ confirm the failure.
+    fn handle_probe(
+        &mut self,
+        sn: crate::infra::SupernodeId,
+        sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>,
+    ) {
+        if !self.dead_since.contains_key(&sn) {
+            // Recovered while suspected: clean bill of health.
+            self.suspects.remove(&sn);
+            return;
+        }
+        let det = self.cfg.detector;
+        let Some(state) = self.suspects.get_mut(&sn) else { return };
+        state.probes += 1;
+        if state.probes < det.probes_to_confirm {
+            let backoff = det.probe_backoff_base * (1u64 << state.probes.min(16));
+            sched.schedule_in(backoff, Ev::ProbeSupernode(sn));
+            return;
+        }
+        self.suspects.remove(&sn);
+        self.confirm_failure(sn, sched.now());
+    }
+
+    /// The detector gives up on a supernode: retire it in the table,
+    /// account the detection window, and fail its players over.
+    fn confirm_failure(&mut self, sn: crate::infra::SupernodeId, now: SimTime) {
+        let died_at = self.dead_since.get(&sn).copied().unwrap_or(now);
+        let detection_ms = now.saturating_since(died_at).as_millis_f64();
+        let orphans = self.deployment.supernodes.retire(sn);
+        let mut orphan_secs = 0.0;
+        for p in &orphans {
+            if let Some(a) = self.active.get(p) {
+                let attached_from = died_at.max(a.joined_at);
+                orphan_secs += now.saturating_since(attached_from).as_secs_f64();
+            }
+        }
+        self.metrics.record_confirmed_failure(detection_ms, orphan_secs);
+        for p in orphans {
+            if self.rehome_player(p, now) {
+                self.failovers_rescued += 1;
+            }
+        }
+    }
+
+    /// Move a player off its current supernode: first qualifying
+    /// §III-A.3 backup (excluding the one being abandoned), else
+    /// direct to cloud. Returns true when a backup took over.
+    fn rehome_player(&mut self, p: PlayerId, now: SimTime) -> bool {
+        let Some(active) = self.active.get(&p) else { return false };
+        let (old_source, game_id, backups) = (active.source, active.game, active.backups.clone());
+        if old_source.class == TrafficSource::Supernode {
+            self.update_feed_delta(old_source.host, now, -1);
+        }
+        let exclude = old_source.supernode;
+        let game = self.game_of(game_id);
+        let host = self.deployment.population.host_of(p);
+        let candidates: Vec<crate::infra::SupernodeId> =
+            backups.into_iter().filter(|b| Some(*b) != exclude).collect();
+        let next = crate::infra::failover(
+            self.deployment.topology(),
+            &self.deployment.supernodes,
+            host,
+            &game,
+            &self.cfg.params,
+            &candidates,
+            &mut self.rng_assign,
+        );
+        let rescued = next.is_some();
+        let new_source = match next {
+            Some((sn, _)) => {
+                let ok = self.deployment.supernodes.assign(sn, p);
+                debug_assert!(ok);
+                StreamSource {
+                    host: self.deployment.supernodes.get(sn).host,
+                    class: TrafficSource::Supernode,
+                    supernode: Some(sn),
+                }
+            }
+            None => {
+                let dc = self.deployment.nearest_datacenter(host);
+                StreamSource { host: dc.host, class: TrafficSource::Cloud, supernode: None }
+            }
+        };
+        // Ensure sender state for the new source exists.
+        let policy = self.policy_for(new_source.class);
+        let uplink = self.deployment.topology().host(new_source.host).upload;
+        let params = &self.cfg.params;
+        self.senders.entry(new_source.host).or_insert_with(|| Sender {
+            buffer: SenderBuffer::new(policy, uplink, params),
+            class: new_source.class,
+            busy: false,
+        });
+        if new_source.class == TrafficSource::Supernode {
+            self.update_feed_delta(new_source.host, now, 1);
+        }
+        if let Some(active) = self.active.get_mut(&p) {
+            active.source = new_source;
+        }
+        rescued
+    }
+
+    /// Client-side QoE watchdog: windowed continuity per player with
+    /// consecutive-check hysteresis (the §III-B estimation rule).
+    fn handle_watchdog_sweep(&mut self, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let Some(wd) = self.cfg.watchdog else { return };
+        let now = sched.now();
+        sched.schedule_in(wd.check_interval, Ev::WatchdogSweep);
+        let mut pids: Vec<PlayerId> = self.active.keys().copied().collect();
+        pids.sort_unstable_by_key(|p| p.0);
+        let mut moves = Vec::new();
+        for p in pids {
+            let Some(a) = self.active.get_mut(&p) else { continue };
+            let (on_time, total) = (a.window_on_time, a.window_packets);
+            a.window_on_time = 0;
+            a.window_packets = 0;
+            if a.source.supernode.is_none() {
+                a.low_checks = 0;
+                continue; // nowhere better to go
+            }
+            if total == 0 {
+                continue; // no evidence this window
+            }
+            let continuity = on_time as f64 / total as f64;
+            if continuity < wd.continuity_threshold {
+                a.low_checks += 1;
+            } else {
+                a.low_checks = 0;
+            }
+            if a.low_checks >= wd.consecutive_checks
+                && now.saturating_since(a.last_reassign) >= wd.cooldown
+            {
+                a.low_checks = 0;
+                a.last_reassign = now;
+                moves.push(p);
+            }
+        }
+        for p in moves {
+            self.watchdog_reassign(p, now);
+        }
+    }
+
+    /// Watchdog verdict: abandon the current supernode.
+    fn watchdog_reassign(&mut self, p: PlayerId, now: SimTime) {
+        let Some(active) = self.active.get(&p) else { return };
+        let Some(sn) = active.source.supernode else { return };
+        self.deployment.supernodes.release(sn, p);
+        self.rehome_player(p, now);
+        self.metrics.record_watchdog_reassignment();
+        if let Some(series) = self.series.as_mut() {
+            series.reassignments.bump(now);
+        }
+    }
+
+    /// A scripted fault begins.
+    fn handle_fault_start(&mut self, idx: usize, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let Some(ev) = self.cfg.fault_script.as_ref().and_then(|s| s.events().get(idx)).copied()
+        else {
+            return;
+        };
+        let now = sched.now();
+        self.faults_activated += 1;
+        if let Some(series) = self.series.as_mut() {
+            series.faults.bump(now);
+        }
+        sched.schedule_in(ev.duration, Ev::FaultEnd(idx));
+        match ev.kind {
+            FaultKind::RegionalOutage { region } => {
+                let victims: Vec<crate::infra::SupernodeId> = {
+                    let topo = self.deployment.topology();
+                    self.deployment
+                        .supernodes
+                        .iter()
+                        .filter(|sn| sn.is_live() && !self.dead_since.contains_key(&sn.id))
+                        .filter(|sn| topo.host(sn.host).region == region)
+                        .map(|sn| sn.id)
+                        .collect()
+                };
+                for &sn in &victims {
+                    self.kill_supernode(sn, now);
+                }
+                if let Some(series) = self.series.as_mut() {
+                    for _ in 0..victims.len() {
+                        series.failures.bump(now);
                     }
                 }
-                None => {
-                    let dc = self.deployment.nearest_datacenter(host);
-                    StreamSource { host: dc.host, class: TrafficSource::Cloud, supernode: None }
-                }
-            };
-            // Ensure sender state for the new source exists.
-            let policy = self.policy_for(new_source.class);
-            let uplink = self.deployment.topology().host(new_source.host).upload;
-            let params = &self.cfg.params;
-            self.senders.entry(new_source.host).or_insert_with(|| Sender {
-                buffer: SenderBuffer::new(policy, uplink, params),
-                class: new_source.class,
-                busy: false,
-            });
-            if new_source.class == TrafficSource::Supernode {
-                self.update_feed_delta(new_source.host, now, 1);
+                self.outage_victims.insert(idx, victims);
             }
-            if let Some(active) = self.active.get_mut(&p) {
-                active.source = new_source;
+            FaultKind::LatencyStorm { region, multiplier } => {
+                self.chaos.latency_mult[region.index()] *= multiplier.max(1e-3);
+            }
+            FaultKind::PacketLossBurst { region, mean_loss, mean_burst_packets } => {
+                self.chaos.loss[region.index()] =
+                    Some(GilbertElliott::bursty(mean_loss, mean_burst_packets, 0.5));
+            }
+            FaultKind::BandwidthCollapse { region, factor } => {
+                self.chaos.bandwidth_mult[region.index()] *= factor.clamp(1e-3, 1.0);
+            }
+            FaultKind::GrayFailure { degradation } => {
+                // Target the busiest live supernode: the worst case,
+                // and reproducible without an RNG draw.
+                let victim_host = self
+                    .deployment
+                    .supernodes
+                    .iter()
+                    .filter(|sn| sn.is_live() && !self.dead_since.contains_key(&sn.id))
+                    .filter(|sn| !self.chaos.gray.contains_key(&sn.host))
+                    .max_by_key(|sn| (sn.assigned.len(), std::cmp::Reverse(sn.id)))
+                    .map(|sn| sn.host);
+                if let Some(host) = victim_host {
+                    self.chaos.gray.insert(host, degradation.clamp(0.05, 1.0));
+                    self.gray_victims.insert(idx, host);
+                }
+            }
+        }
+    }
+
+    /// A scripted fault ends; its effect is reversed.
+    fn handle_fault_end(&mut self, idx: usize) {
+        let Some(ev) = self.cfg.fault_script.as_ref().and_then(|s| s.events().get(idx)).copied()
+        else {
+            return;
+        };
+        match ev.kind {
+            FaultKind::RegionalOutage { .. } => {
+                for sn in self.outage_victims.remove(&idx).unwrap_or_default() {
+                    self.recover_supernode(sn);
+                }
+            }
+            FaultKind::LatencyStorm { region, multiplier } => {
+                self.chaos.latency_mult[region.index()] /= multiplier.max(1e-3);
+            }
+            FaultKind::PacketLossBurst { region, .. } => {
+                self.chaos.loss[region.index()] = None;
+            }
+            FaultKind::BandwidthCollapse { region, factor } => {
+                self.chaos.bandwidth_mult[region.index()] /= factor.clamp(1e-3, 1.0);
+            }
+            FaultKind::GrayFailure { .. } => {
+                if let Some(host) = self.gray_victims.remove(&idx) {
+                    self.chaos.gray.remove(&host);
+                }
             }
         }
     }
@@ -831,9 +1294,12 @@ impl Model for StreamingSim {
             }
             Ev::Leave(p) => self.handle_leave(p, sched),
             Ev::SupernodeFailure => self.handle_supernode_failure(sched),
-            Ev::SupernodeRecovery(sn) => {
-                self.deployment.supernodes.revive(sn);
-            }
+            Ev::SupernodeRecovery(sn) => self.recover_supernode(sn),
+            Ev::HeartbeatSweep => self.handle_heartbeat_sweep(sched),
+            Ev::ProbeSupernode(sn) => self.handle_probe(sn, sched),
+            Ev::WatchdogSweep => self.handle_watchdog_sweep(sched),
+            Ev::FaultStart(i) => self.handle_fault_start(i, sched),
+            Ev::FaultEnd(i) => self.handle_fault_end(i),
         }
     }
 }
@@ -985,6 +1451,143 @@ mod tests {
         let s = quick(SystemKind::CloudFogB, 100, 11);
         assert_eq!(s.failures_injected, 0);
         assert_eq!(s.failovers_rescued, 0);
+    }
+
+    #[test]
+    fn detector_reports_latency_and_orphans() {
+        let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 300, 21);
+        cfg.ramp = SimDuration::from_secs(5);
+        cfg.horizon = SimDuration::from_secs(30);
+        cfg.supernode_mtbf = Some(SimDuration::from_secs(2));
+        let worst_ms = cfg.detector.worst_case_detection().as_millis_f64();
+        let s = StreamingSim::run(cfg);
+        assert!(s.failures_injected > 0);
+        assert!(s.mean_detection_ms > 0.0, "confirmations must be timed");
+        assert!(
+            s.mean_detection_ms <= worst_ms + 1.0,
+            "detection {:.0} ms must respect the worst case {:.0} ms",
+            s.mean_detection_ms,
+            worst_ms
+        );
+        assert!(
+            s.orphaned_player_secs > 0.0,
+            "players were attached to dead supernodes during detection"
+        );
+    }
+
+    #[test]
+    fn gray_failure_caught_only_by_watchdog() {
+        let run = |watchdog: Option<WatchdogParams>| {
+            let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 400, 22);
+            cfg.ramp = SimDuration::from_secs(5);
+            cfg.horizon = SimDuration::from_secs(40);
+            cfg.fault_script = Some(FaultScript::new().with(
+                SimTime::from_secs(10),
+                SimDuration::from_secs(25),
+                FaultKind::GrayFailure { degradation: 0.1 },
+            ));
+            cfg.watchdog = watchdog;
+            StreamingSim::run(cfg)
+        };
+        let blind = run(None);
+        assert_eq!(blind.watchdog_reassignments, 0);
+        // Heartbeats answer fine: the detector confirms nothing.
+        assert!(blind.mean_detection_ms == 0.0, "gray failures evade heartbeats");
+        let guarded = run(Some(WatchdogParams::default()));
+        assert!(
+            guarded.watchdog_reassignments > 0,
+            "the watchdog must move players off the gray supernode"
+        );
+    }
+
+    #[test]
+    fn scripted_regional_outages_are_detected_and_reversed() {
+        let mut script = FaultScript::new();
+        for region in cloudfog_net::geo::Region::ALL {
+            script.push(crate::fault::FaultEvent {
+                at: SimTime::from_secs(10),
+                duration: SimDuration::from_secs(10),
+                kind: FaultKind::RegionalOutage { region },
+            });
+        }
+        let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 300, 23);
+        cfg.ramp = SimDuration::from_secs(5);
+        cfg.horizon = SimDuration::from_secs(40);
+        cfg.fault_script = Some(script);
+        let s = StreamingSim::run(cfg);
+        assert_eq!(s.faults_activated, 6, "every scripted fault fires");
+        assert!(s.failures_injected > 0, "some region hosts supernodes");
+        assert!(s.mean_detection_ms > 0.0);
+        // The fog survives: outage victims recover and traffic flows.
+        assert!(s.cloud_bytes + s.supernode_bytes > 0);
+        assert!((0.0..=1.0).contains(&s.mean_continuity));
+    }
+
+    #[test]
+    fn loss_burst_and_latency_storm_degrade_qoe() {
+        let run = |script: Option<FaultScript>| {
+            let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 200, 24);
+            cfg.ramp = SimDuration::from_secs(5);
+            cfg.horizon = SimDuration::from_secs(30);
+            cfg.fault_script = script;
+            StreamingSim::run(cfg)
+        };
+        let baseline = run(None);
+        let mut loss = FaultScript::new();
+        let mut storm = FaultScript::new();
+        for region in cloudfog_net::geo::Region::ALL {
+            loss.push(crate::fault::FaultEvent {
+                at: SimTime::from_secs(8),
+                duration: SimDuration::from_secs(22),
+                kind: FaultKind::PacketLossBurst {
+                    region,
+                    mean_loss: 0.3,
+                    mean_burst_packets: 20.0,
+                },
+            });
+            storm.push(crate::fault::FaultEvent {
+                at: SimTime::from_secs(8),
+                duration: SimDuration::from_secs(22),
+                kind: FaultKind::LatencyStorm { region, multiplier: 4.0 },
+            });
+        }
+        let lossy = run(Some(loss));
+        assert!(
+            lossy.mean_continuity < baseline.mean_continuity,
+            "burst loss must hurt continuity: {} vs {}",
+            lossy.mean_continuity,
+            baseline.mean_continuity
+        );
+        let stormy = run(Some(storm));
+        assert!(
+            stormy.mean_latency_ms > baseline.mean_latency_ms,
+            "a latency storm must raise latency: {} vs {}",
+            stormy.mean_latency_ms,
+            baseline.mean_latency_ms
+        );
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_per_seed() {
+        let run = || {
+            let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogA, 150, 25);
+            cfg.ramp = SimDuration::from_secs(5);
+            cfg.horizon = SimDuration::from_secs(30);
+            cfg.supernode_mtbf = Some(SimDuration::from_secs(4));
+            cfg.supernode_mttr = Some(SimDuration::from_secs(5));
+            cfg.fault_script = Some(FaultScript::generate(99, cfg.horizon, 5));
+            cfg.watchdog = Some(WatchdogParams::default());
+            StreamingSim::run(cfg)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.cloud_bytes, b.cloud_bytes);
+        assert_eq!(a.failures_injected, b.failures_injected);
+        assert_eq!(a.faults_activated, b.faults_activated);
+        assert_eq!(a.watchdog_reassignments, b.watchdog_reassignments);
+        assert_eq!(a.mean_detection_ms, b.mean_detection_ms);
+        assert_eq!(a.orphaned_player_secs, b.orphaned_player_secs);
     }
 
     #[test]

@@ -96,7 +96,12 @@ enum Ev {
     Action(PlayerId),
     Enqueue(Box<Segment>),
     StartTx(HostId),
-    Deliver { segment: Box<Segment>, sender: HostId, first_packet: SimTime, propagation: SimDuration },
+    Deliver {
+        segment: Box<Segment>,
+        sender: HostId,
+        first_packet: SimTime,
+        propagation: SimDuration,
+    },
 }
 
 struct LoadSim {
@@ -125,8 +130,7 @@ impl LoadSim {
         };
         for g in 0..cfg.groups {
             let city = g % cloudfog_net::geo::ANCHOR_CITIES.len();
-            let sn =
-                topo.add_host_in_city(HostKind::SupernodeCandidate, &sn_links, city, &mut rng);
+            let sn = topo.add_host_in_city(HostKind::SupernodeCandidate, &sn_links, city, &mut rng);
             let policy = if cfg.kind.uses_scheduling() {
                 SchedulingPolicy::DeadlineDriven
             } else {
@@ -248,14 +252,18 @@ impl Model for LoadSim {
                 // Same-metro path: the supernode uplink is the binding
                 // constraint (TCP caps are huge at metro RTTs).
                 let tx = self.cfg.uplink.transmission_time(bytes);
-                let propagation =
-                    self.topo.sample_one_way(host, player_host, &mut self.rng_net);
+                let propagation = self.topo.sample_one_way(host, player_host, &mut self.rng_net);
                 self.metrics.record_video_bytes(TrafficSource::Supernode, bytes);
                 let first_packet = now + propagation;
                 let arrival = now + tx + propagation;
                 sched.schedule_at(
                     arrival,
-                    Ev::Deliver { segment: Box::new(segment), sender: host, first_packet, propagation },
+                    Ev::Deliver {
+                        segment: Box::new(segment),
+                        sender: host,
+                        first_packet,
+                        propagation,
+                    },
                 );
                 sched.schedule_in(tx, Ev::StartTx(host));
             }

@@ -102,7 +102,8 @@ impl World {
                 Avatar::new(AvatarId(i as u32), pos)
             })
             .collect();
-        let bounds = Rect::new(WorldPos { x: 0.0, y: 0.0 }, WorldPos { x: config.size, y: config.size });
+        let bounds =
+            Rect::new(WorldPos { x: 0.0, y: 0.0 }, WorldPos { x: config.size, y: config.size });
         let positions: Vec<WorldPos> = avatars.iter().map(|a| a.pos).collect();
         let partition = KdPartition::build(bounds, &positions, config.regions);
         let mut grid = InterestGrid::new(config.aoi_radius);
@@ -369,10 +370,7 @@ mod tests {
     #[test]
     fn out_of_range_attacks_miss() {
         let mut w = world(2, 5);
-        w.avatars[1].pos = WorldPos {
-            x: w.avatars[0].pos.x + 1_000.0,
-            y: w.avatars[0].pos.y,
-        };
+        w.avatars[1].pos = WorldPos { x: w.avatars[0].pos.x + 1_000.0, y: w.avatars[0].pos.y };
         w.submit(AvatarId(0), Action::Strike(AvatarId(1)));
         w.step(&everyone(2));
         assert_eq!(w.avatar(AvatarId(1)).hp, 100, "strike out of range");
@@ -388,10 +386,8 @@ mod tests {
         let subs = everyone(300);
         for _ in 0..20 {
             for i in 0..300u32 {
-                let dest = WorldPos {
-                    x: rng.range_f64(0.0, 4_000.0),
-                    y: rng.range_f64(0.0, 4_000.0),
-                };
+                let dest =
+                    WorldPos { x: rng.range_f64(0.0, 4_000.0), y: rng.range_f64(0.0, 4_000.0) };
                 busy.submit(AvatarId(i), Action::MoveTo(dest));
             }
             busy.step(&subs);
@@ -417,10 +413,8 @@ mod tests {
         for _ in 0..50 {
             for i in 0..500u32 {
                 if rng.chance(0.3) {
-                    let dest = WorldPos {
-                        x: rng.range_f64(0.0, 4_000.0),
-                        y: rng.range_f64(0.0, 4_000.0),
-                    };
+                    let dest =
+                        WorldPos { x: rng.range_f64(0.0, 4_000.0), y: rng.range_f64(0.0, 4_000.0) };
                     w.submit(AvatarId(i), Action::MoveTo(dest));
                 }
             }
@@ -440,10 +434,7 @@ mod tests {
         let mut seq = World::new(WorldConfig::default(), 400, &mut rng_a);
         let mut par = World::new(WorldConfig::default(), 400, &mut rng_b);
         let subs: Vec<Subscriber> = (0..8)
-            .map(|s| Subscriber {
-                id: s,
-                players: (0..50).map(|k| AvatarId(s * 50 + k)).collect(),
-            })
+            .map(|s| Subscriber { id: s, players: (0..50).map(|k| AvatarId(s * 50 + k)).collect() })
             .collect();
         let mut action_rng = Rng::new(5);
         for _ in 0..15 {

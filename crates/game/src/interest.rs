@@ -78,10 +78,8 @@ pub fn union_of_interest(
     radius: f64,
     position_of: impl Fn(AvatarId) -> WorldPos + Copy,
 ) -> Vec<AvatarId> {
-    let mut all: Vec<AvatarId> = centres
-        .iter()
-        .flat_map(|c| grid.within(c, radius, position_of))
-        .collect();
+    let mut all: Vec<AvatarId> =
+        centres.iter().flat_map(|c| grid.within(c, radius, position_of)).collect();
     all.sort_unstable();
     all.dedup();
     all

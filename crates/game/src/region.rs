@@ -256,7 +256,8 @@ mod tests {
             positions.push(WorldPos { x: rng.range_f64(0.0, 100.0), y: rng.range_f64(0.0, 100.0) });
         }
         for _ in 0..100 {
-            positions.push(WorldPos { x: rng.range_f64(0.0, 1000.0), y: rng.range_f64(0.0, 1000.0) });
+            positions
+                .push(WorldPos { x: rng.range_f64(0.0, 1000.0), y: rng.range_f64(0.0, 1000.0) });
         }
         let tree = KdPartition::build(world(), &positions, 8);
         assert!(tree.imbalance() < 1.3, "imbalance {}", tree.imbalance());
@@ -274,8 +275,7 @@ mod tests {
         // for non-degenerate (distinct-coordinate) inputs.
         assert_eq!(counted.iter().sum::<usize>(), 500);
         let loads = tree.loads();
-        let disagreement: usize =
-            counted.iter().zip(&loads).map(|(a, b)| a.abs_diff(*b)).sum();
+        let disagreement: usize = counted.iter().zip(&loads).map(|(a, b)| a.abs_diff(*b)).sum();
         assert!(disagreement <= 4, "counted {counted:?} vs loads {loads:?}");
     }
 

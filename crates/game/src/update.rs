@@ -104,9 +104,7 @@ mod tests {
     use crate::avatar::WorldPos;
 
     fn avatars(n: usize) -> Vec<Avatar> {
-        (0..n)
-            .map(|i| Avatar::new(AvatarId(i as u32), WorldPos { x: i as f64, y: 0.0 }))
-            .collect()
+        (0..n).map(|i| Avatar::new(AvatarId(i as u32), WorldPos { x: i as f64, y: 0.0 })).collect()
     }
 
     #[test]

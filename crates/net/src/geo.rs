@@ -114,16 +114,40 @@ pub const ANCHOR_CITIES: [City; 48] = [
     City { name: "New York, NY", lat: 40.71, lon: -74.01, region: Region::Northeast, weight: 19.0 },
     City { name: "Newark, NJ", lat: 40.74, lon: -74.17, region: Region::Northeast, weight: 2.0 },
     City { name: "Boston, MA", lat: 42.36, lon: -71.06, region: Region::Northeast, weight: 4.9 },
-    City { name: "Philadelphia, PA", lat: 39.95, lon: -75.17, region: Region::Northeast, weight: 6.2 },
-    City { name: "Pittsburgh, PA", lat: 40.44, lon: -79.99, region: Region::Northeast, weight: 2.3 },
+    City {
+        name: "Philadelphia, PA",
+        lat: 39.95,
+        lon: -75.17,
+        region: Region::Northeast,
+        weight: 6.2,
+    },
+    City {
+        name: "Pittsburgh, PA",
+        lat: 40.44,
+        lon: -79.99,
+        region: Region::Northeast,
+        weight: 2.3,
+    },
     City { name: "Princeton, NJ", lat: 40.34, lon: -74.66, region: Region::Northeast, weight: 0.5 },
     City { name: "Ithaca, NY", lat: 42.44, lon: -76.50, region: Region::Northeast, weight: 0.3 },
     City { name: "Buffalo, NY", lat: 42.89, lon: -78.88, region: Region::Northeast, weight: 1.1 },
     City { name: "Hartford, CT", lat: 41.76, lon: -72.67, region: Region::Northeast, weight: 1.2 },
-    City { name: "Washington, DC", lat: 38.91, lon: -77.04, region: Region::Southeast, weight: 6.3 },
+    City {
+        name: "Washington, DC",
+        lat: 38.91,
+        lon: -77.04,
+        region: Region::Southeast,
+        weight: 6.3,
+    },
     City { name: "Baltimore, MD", lat: 39.29, lon: -76.61, region: Region::Southeast, weight: 2.8 },
     City { name: "Richmond, VA", lat: 37.54, lon: -77.44, region: Region::Southeast, weight: 1.3 },
-    City { name: "Raleigh-Durham, NC", lat: 35.79, lon: -78.64, region: Region::Southeast, weight: 2.0 },
+    City {
+        name: "Raleigh-Durham, NC",
+        lat: 35.79,
+        lon: -78.64,
+        region: Region::Southeast,
+        weight: 2.0,
+    },
     City { name: "Charlotte, NC", lat: 35.23, lon: -80.84, region: Region::Southeast, weight: 2.6 },
     City { name: "Atlanta, GA", lat: 33.75, lon: -84.39, region: Region::Southeast, weight: 6.0 },
     City { name: "Clemson, SC", lat: 34.68, lon: -82.84, region: Region::Southeast, weight: 0.3 },
@@ -132,13 +156,25 @@ pub const ANCHOR_CITIES: [City; 48] = [
     City { name: "Tampa, FL", lat: 27.95, lon: -82.46, region: Region::Southeast, weight: 3.2 },
     City { name: "Nashville, TN", lat: 36.16, lon: -86.78, region: Region::Southeast, weight: 2.0 },
     City { name: "Chicago, IL", lat: 41.88, lon: -87.63, region: Region::Midwest, weight: 9.5 },
-    City { name: "Urbana-Champaign, IL", lat: 40.11, lon: -88.21, region: Region::Midwest, weight: 0.3 },
+    City {
+        name: "Urbana-Champaign, IL",
+        lat: 40.11,
+        lon: -88.21,
+        region: Region::Midwest,
+        weight: 0.3,
+    },
     City { name: "Detroit, MI", lat: 42.33, lon: -83.05, region: Region::Midwest, weight: 4.3 },
     City { name: "Ann Arbor, MI", lat: 42.28, lon: -83.74, region: Region::Midwest, weight: 0.4 },
     City { name: "Cleveland, OH", lat: 41.50, lon: -81.69, region: Region::Midwest, weight: 2.1 },
     City { name: "Columbus, OH", lat: 39.96, lon: -83.00, region: Region::Midwest, weight: 2.1 },
     City { name: "Cincinnati, OH", lat: 39.10, lon: -84.51, region: Region::Midwest, weight: 2.2 },
-    City { name: "Indianapolis, IN", lat: 39.77, lon: -86.16, region: Region::Midwest, weight: 2.1 },
+    City {
+        name: "Indianapolis, IN",
+        lat: 39.77,
+        lon: -86.16,
+        region: Region::Midwest,
+        weight: 2.1,
+    },
     City { name: "Minneapolis, MN", lat: 44.98, lon: -93.27, region: Region::Midwest, weight: 3.7 },
     City { name: "Madison, WI", lat: 43.07, lon: -89.40, region: Region::Midwest, weight: 0.7 },
     City { name: "St. Louis, MO", lat: 38.63, lon: -90.20, region: Region::Midwest, weight: 2.8 },
@@ -150,10 +186,22 @@ pub const ANCHOR_CITIES: [City; 48] = [
     City { name: "Oklahoma City, OK", lat: 35.47, lon: -97.52, region: Region::South, weight: 1.4 },
     City { name: "New Orleans, LA", lat: 29.95, lon: -90.07, region: Region::South, weight: 1.3 },
     City { name: "Denver, CO", lat: 39.74, lon: -104.99, region: Region::Mountain, weight: 3.0 },
-    City { name: "Salt Lake City, UT", lat: 40.76, lon: -111.89, region: Region::Mountain, weight: 1.3 },
+    City {
+        name: "Salt Lake City, UT",
+        lat: 40.76,
+        lon: -111.89,
+        region: Region::Mountain,
+        weight: 1.3,
+    },
     City { name: "Phoenix, AZ", lat: 33.45, lon: -112.07, region: Region::Mountain, weight: 5.0 },
     City { name: "Las Vegas, NV", lat: 36.17, lon: -115.14, region: Region::Mountain, weight: 2.3 },
-    City { name: "Albuquerque, NM", lat: 35.08, lon: -106.65, region: Region::Mountain, weight: 0.9 },
+    City {
+        name: "Albuquerque, NM",
+        lat: 35.08,
+        lon: -106.65,
+        region: Region::Mountain,
+        weight: 0.9,
+    },
     City { name: "Seattle, WA", lat: 47.61, lon: -122.33, region: Region::West, weight: 4.0 },
     City { name: "Portland, OR", lat: 45.52, lon: -122.68, region: Region::West, weight: 2.5 },
     City { name: "San Francisco, CA", lat: 37.77, lon: -122.42, region: Region::West, weight: 4.7 },
@@ -181,10 +229,7 @@ pub fn sample_city(rng: &mut Rng) -> usize {
 /// Scatter a host position around city `city_idx`.
 pub fn scatter_around(city_idx: usize, rng: &mut Rng) -> Coord {
     let c = ANCHOR_CITIES[city_idx].coord();
-    Coord {
-        x: c.x + rng.normal(0.0, METRO_SCATTER_KM),
-        y: c.y + rng.normal(0.0, METRO_SCATTER_KM),
-    }
+    Coord { x: c.x + rng.normal(0.0, METRO_SCATTER_KM), y: c.y + rng.normal(0.0, METRO_SCATTER_KM) }
 }
 
 /// The anchor city nearest to `coord` (linear scan; 48 anchors).
@@ -237,10 +282,7 @@ mod tests {
     #[test]
     fn city_table_covers_all_regions() {
         for region in Region::ALL {
-            assert!(
-                ANCHOR_CITIES.iter().any(|c| c.region == region),
-                "no anchor in {region:?}"
-            );
+            assert!(ANCHOR_CITIES.iter().any(|c| c.region == region), "no anchor in {region:?}");
         }
     }
 
@@ -276,7 +318,12 @@ mod tests {
             // A couple of anchors are close (NYC/Newark); accept any
             // anchor within 25 km.
             let d = ANCHOR_CITIES[nearest].coord().distance_km(&c.coord());
-            assert!(nearest == i || d < 25.0, "{} resolved to {}", c.name, ANCHOR_CITIES[nearest].name);
+            assert!(
+                nearest == i || d < 25.0,
+                "{} resolved to {}",
+                c.name,
+                ANCHOR_CITIES[nearest].name
+            );
         }
     }
 

@@ -1,0 +1,172 @@
+//! Gilbert–Elliott two-state burst-loss channel.
+//!
+//! The classic model for access-network packet loss: the link wanders
+//! between a *Good* state (losses rare and independent) and a *Bad*
+//! state (losses dense), with geometric sojourn times. Burstiness —
+//! the thing a Bernoulli loss rate cannot express — is exactly what
+//! degrades streaming QoE: a 1 % loss rate concentrated in 200 ms
+//! bursts wipes out whole segments while the same rate spread evenly
+//! is absorbed by the loss tolerance.
+//!
+//! The chain composes with the log-normal jitter of
+//! [`crate::latency::LatencyModel`]: jitter perturbs *when* packets
+//! arrive, the Gilbert–Elliott overlay decides *whether* they do. All
+//! randomness comes from the caller's [`Rng`] stream, so runs stay
+//! deterministic per seed.
+
+use cloudfog_sim::rng::Rng;
+
+/// A Gilbert–Elliott channel: per-packet loss driven by a two-state
+/// Markov chain.
+#[derive(Clone, Debug)]
+pub struct GilbertElliott {
+    /// P(Good → Bad) per packet.
+    pub p_gb: f64,
+    /// P(Bad → Good) per packet.
+    pub p_bg: f64,
+    /// Loss probability while Good.
+    pub loss_good: f64,
+    /// Loss probability while Bad.
+    pub loss_bad: f64,
+    /// Current state.
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// A channel with explicit transition and loss probabilities.
+    /// Probabilities are clamped to [0, 1]; the chain starts Good.
+    pub fn new(p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64) -> Self {
+        GilbertElliott {
+            p_gb: p_gb.clamp(0.0, 1.0),
+            p_bg: p_bg.clamp(0.0, 1.0),
+            loss_good: loss_good.clamp(0.0, 1.0),
+            loss_bad: loss_bad.clamp(0.0, 1.0),
+            in_bad: false,
+        }
+    }
+
+    /// A bursty channel parameterized the way operators think about
+    /// it: a target long-run loss rate and a mean burst length in
+    /// packets. The Bad state loses `loss_bad` of its packets; the
+    /// Good state is clean.
+    pub fn bursty(mean_loss: f64, mean_burst_packets: f64, loss_bad: f64) -> Self {
+        let loss_bad = loss_bad.clamp(1e-6, 1.0);
+        let mean_loss = mean_loss.clamp(0.0, loss_bad);
+        // Mean Bad sojourn = 1/p_bg packets.
+        let p_bg = 1.0 / mean_burst_packets.max(1.0);
+        // Steady state: π_bad = p_gb / (p_gb + p_bg); mean loss =
+        // π_bad × loss_bad  ⇒  solve for p_gb.
+        let pi_bad = (mean_loss / loss_bad).min(0.999_999);
+        let p_gb = p_bg * pi_bad / (1.0 - pi_bad);
+        GilbertElliott::new(p_gb, p_bg, 0.0, loss_bad)
+    }
+
+    /// Stationary probability of being in the Bad state.
+    pub fn steady_state_bad(&self) -> f64 {
+        if self.p_gb + self.p_bg == 0.0 {
+            return 0.0;
+        }
+        self.p_gb / (self.p_gb + self.p_bg)
+    }
+
+    /// Long-run packet loss rate implied by the parameters.
+    pub fn mean_loss(&self) -> f64 {
+        let pi_bad = self.steady_state_bad();
+        pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+    }
+
+    /// Advance one packet: step the chain, then decide loss in the new
+    /// state. Returns true if the packet is lost.
+    pub fn step(&mut self, rng: &mut Rng) -> bool {
+        let flip = if self.in_bad { self.p_bg } else { self.p_gb };
+        if rng.chance(flip) {
+            self.in_bad = !self.in_bad;
+        }
+        let loss = if self.in_bad { self.loss_bad } else { self.loss_good };
+        rng.chance(loss)
+    }
+
+    /// Walk `packets` packets through the channel and return how many
+    /// are lost. One RNG stream drives the whole walk, so consecutive
+    /// segments through the same channel see correlated (bursty) loss.
+    pub fn lose_of(&mut self, packets: u32, rng: &mut Rng) -> u32 {
+        let mut lost = 0;
+        for _ in 0..packets {
+            if self.step(rng) {
+                lost += 1;
+            }
+        }
+        lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_run_loss_matches_steady_state() {
+        let mut ge = GilbertElliott::bursty(0.05, 20.0, 0.5);
+        assert!((ge.mean_loss() - 0.05).abs() < 1e-9);
+        let mut rng = Rng::new(11);
+        let n = 200_000u32;
+        let lost = ge.lose_of(n, &mut rng);
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.01, "empirical loss {rate}");
+    }
+
+    #[test]
+    fn losses_are_bursty_not_bernoulli() {
+        // P(loss | previous loss) must exceed the marginal loss rate.
+        let mut ge = GilbertElliott::bursty(0.05, 25.0, 0.6);
+        let mut rng = Rng::new(7);
+        let (mut losses, mut after_loss, mut after_loss_losses) = (0u64, 0u64, 0u64);
+        let mut prev_lost = false;
+        let n = 300_000;
+        for _ in 0..n {
+            let lost = ge.step(&mut rng);
+            if lost {
+                losses += 1;
+            }
+            if prev_lost {
+                after_loss += 1;
+                if lost {
+                    after_loss_losses += 1;
+                }
+            }
+            prev_lost = lost;
+        }
+        let marginal = losses as f64 / n as f64;
+        let conditional = after_loss_losses as f64 / after_loss.max(1) as f64;
+        assert!(
+            conditional > marginal * 3.0,
+            "burstiness missing: P(loss|loss) {conditional:.3} vs marginal {marginal:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let walk = |seed| {
+            let mut ge = GilbertElliott::bursty(0.1, 10.0, 0.7);
+            let mut rng = Rng::new(seed);
+            (0..64).map(|_| ge.lose_of(100, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(walk(3), walk(3));
+        assert_ne!(walk(3), walk(4));
+    }
+
+    #[test]
+    fn clean_channel_loses_nothing() {
+        let mut ge = GilbertElliott::new(0.0, 1.0, 0.0, 0.9);
+        let mut rng = Rng::new(5);
+        assert_eq!(ge.lose_of(10_000, &mut rng), 0);
+        assert_eq!(ge.steady_state_bad(), 0.0);
+    }
+
+    #[test]
+    fn bursty_parameterization_is_sane() {
+        let ge = GilbertElliott::bursty(0.02, 15.0, 0.4);
+        assert!(ge.p_gb > 0.0 && ge.p_gb < ge.p_bg);
+        assert!((ge.steady_state_bad() - 0.05).abs() < 1e-9);
+    }
+}

@@ -100,9 +100,7 @@ impl LatencyModel {
     /// efficient, but never geodesic).
     pub fn pair_detour_ms(&self, a: u64, b: u64, dist_km: f64) -> f64 {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        let mut state = self
-            .seed
-            .wrapping_mul(0xDEAD_BEEF_CAFE_F00D)
+        let mut state = self.seed.wrapping_mul(0xDEAD_BEEF_CAFE_F00D)
             ^ lo.wrapping_mul(0x51_7CC1_B727_2202)
             ^ hi.wrapping_mul(0x2545_F491_4F6C_DD1D);
         let z = gaussian_from(&mut state);
@@ -207,9 +205,7 @@ mod tests {
         let model = LatencyModel::peersim(3);
         let a = nyc();
         let b = la();
-        assert!(
-            (model.one_way_ms(5, &a, 9, &b) - model.one_way_ms(9, &b, 5, &a)).abs() < 1e-12
-        );
+        assert!((model.one_way_ms(5, &a, 9, &b) - model.one_way_ms(9, &b, 5, &a)).abs() < 1e-12);
     }
 
     #[test]

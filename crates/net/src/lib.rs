@@ -9,6 +9,8 @@
 //! * [`latency`] — distance → delay model calibrated to PlanetLab-era
 //!   RTTs (coast-to-coast ≈ 70–100 ms RTT).
 //! * [`bandwidth`] — Mbps units, transmission times, fair-share uplink.
+//! * [`gilbert`] — Gilbert–Elliott two-state burst-loss channel, the
+//!   packet-loss overlay the chaos layer drives.
 //! * [`topology`] — host tables and the [`topology::DelaySource`] oracle.
 //! * [`trace`] — freeze delays into a CSV trace and replay it, exactly
 //!   how the paper fed a PlanetLab trace into PeerSim.
@@ -18,6 +20,7 @@
 
 pub mod bandwidth;
 pub mod geo;
+pub mod gilbert;
 pub mod ip;
 pub mod latency;
 pub mod topology;
@@ -27,6 +30,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::bandwidth::{Mbps, UploadPort};
     pub use crate::geo::{Coord, Region, ANCHOR_CITIES};
+    pub use crate::gilbert::GilbertElliott;
     pub use crate::ip::{GeoIpTable, Ipv4};
     pub use crate::latency::LatencyModel;
     pub use crate::topology::{DelaySource, Host, HostId, HostKind, LinkProfile, Topology};

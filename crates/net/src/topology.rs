@@ -240,9 +240,7 @@ impl Topology {
     /// Geolocated (city-accurate) position of a host — what the cloud
     /// sees when it resolves the host's IP, *not* the true position.
     pub fn geolocated(&self, id: HostId) -> Coord {
-        self.geoip
-            .locate(self.host(id).ip)
-            .expect("host IPs always come from our plan")
+        self.geoip.locate(self.host(id).ip).expect("host IPs always come from our plan")
     }
 
     /// Geolocation distance between two hosts in km (what the cloud
@@ -269,8 +267,7 @@ impl DelaySource for Topology {
         }
         let ha = self.host(a);
         let hb = self.host(b);
-        self.model
-            .one_way_ms(a.0 as u64, &ha.position, b.0 as u64, &hb.position)
+        self.model.one_way_ms(a.0 as u64, &ha.position, b.0 as u64, &hb.position)
     }
 
     fn sample_one_way(&self, a: HostId, b: HostId, rng: &mut Rng) -> SimDuration {
@@ -357,8 +354,7 @@ mod tests {
         let mut topo = small_topology(10, 7);
         // Freeze a doctored trace: every covered delay is exactly 42 ms.
         let n = topo.len();
-        let trace =
-            crate::trace::LatencyTrace::from_matrix(n, vec![42.0; n * n], 0.0);
+        let trace = crate::trace::LatencyTrace::from_matrix(n, vec![42.0; n * n], 0.0);
         topo.attach_trace(trace);
         assert_eq!(topo.one_way_ms(HostId(0), HostId(9)), 42.0);
         // Hosts added after recording fall back to the model.

@@ -108,8 +108,7 @@ impl LatencyTrace {
         let mut out = String::with_capacity(self.n * self.n * 8);
         let _ = writeln!(out, "{},{}", self.n, self.jitter_sigma);
         for a in 0..self.n {
-            let row: Vec<String> =
-                (0..self.n).map(|b| format!("{:.4}", self.get(a, b))).collect();
+            let row: Vec<String> = (0..self.n).map(|b| format!("{:.4}", self.get(a, b))).collect();
             let _ = writeln!(out, "{}", row.join(","));
         }
         out
@@ -173,11 +172,8 @@ impl DelaySource for LatencyTrace {
 
     fn sample_one_way(&self, a: HostId, b: HostId, rng: &mut Rng) -> SimDuration {
         let base = self.one_way_ms(a, b);
-        let jitter = if self.jitter_sigma == 0.0 {
-            1.0
-        } else {
-            rng.log_normal(0.0, self.jitter_sigma)
-        };
+        let jitter =
+            if self.jitter_sigma == 0.0 { 1.0 } else { rng.log_normal(0.0, self.jitter_sigma) };
         SimDuration::from_millis_f64(base * jitter)
     }
 }

@@ -178,14 +178,9 @@ impl<E> CalendarQueue<E> {
     /// Rebuild with `new_n` buckets; re-estimates the width as the mean
     /// gap between a sample of pending timestamps (clamped to ≥ 1 µs).
     fn resize(&mut self, new_n: usize) {
-        let mut all: Vec<Scheduled<E>> =
-            self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        let mut all: Vec<Scheduled<E>> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
         // Estimate width from up to 64 sampled timestamps.
-        let mut sample: Vec<u64> = all
-            .iter()
-            .take(64)
-            .map(|s| s.time.as_micros())
-            .collect();
+        let mut sample: Vec<u64> = all.iter().take(64).map(|s| s.time.as_micros()).collect();
         sample.sort_unstable();
         if sample.len() >= 2 {
             let span = sample[sample.len() - 1] - sample[0];
@@ -194,11 +189,7 @@ impl<E> CalendarQueue<E> {
         }
         self.buckets = (0..new_n).map(|_| Vec::new()).collect();
         // Reposition the cursor at the earliest pending event.
-        let min_t = all
-            .iter()
-            .map(|s| s.time.as_micros())
-            .min()
-            .unwrap_or(self.cursor_day_start);
+        let min_t = all.iter().map(|s| s.time.as_micros()).min().unwrap_or(self.cursor_day_start);
         self.cursor_day_start = (min_t / self.width) * self.width;
         self.cursor = ((min_t / self.width) % new_n as u64) as usize;
         for s in all.drain(..) {

@@ -56,7 +56,11 @@ pub trait Model {
     type Event;
 
     /// Handle `event` at time `sched.now()`, scheduling any follow-ups.
-    fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<'_, Self::Event, EventQueue<Self::Event>>);
+    fn handle(
+        &mut self,
+        event: Self::Event,
+        sched: &mut Scheduler<'_, Self::Event, EventQueue<Self::Event>>,
+    );
 }
 
 /// Outcome of a finished run.

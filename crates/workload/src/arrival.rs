@@ -204,10 +204,7 @@ mod tests {
             let s = heavy.next_session();
             heavy_ratio += heavy.next_rest(s).as_secs_f64() / s.as_secs_f64();
         }
-        assert!(
-            casual_ratio > heavy_ratio * 2.0,
-            "casual {casual_ratio} vs heavy {heavy_ratio}"
-        );
+        assert!(casual_ratio > heavy_ratio * 2.0, "casual {casual_ratio} vs heavy {heavy_ratio}");
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! RPG shrugs at 110 ms but hates artifacts; a twitch shooter needs
 //! 30 ms but survives dropped packets because scenes change fast.
 
-use cloudfog_sim::time::SimDuration;
 use cloudfog_net::bandwidth::Mbps;
+use cloudfog_sim::time::SimDuration;
 
 /// A video quality level — one row of the paper's Figure 2.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -30,11 +30,46 @@ pub struct QualityLevel {
 
 /// The paper's Figure 2, top (level 5) to bottom (level 1).
 pub const QUALITY_LEVELS: [QualityLevel; 5] = [
-    QualityLevel { level: 1, width: 288, height: 216, bitrate_kbps: 300, latency_requirement_ms: 30, latency_tolerance: 0.6 },
-    QualityLevel { level: 2, width: 384, height: 216, bitrate_kbps: 500, latency_requirement_ms: 50, latency_tolerance: 0.7 },
-    QualityLevel { level: 3, width: 640, height: 480, bitrate_kbps: 800, latency_requirement_ms: 70, latency_tolerance: 0.8 },
-    QualityLevel { level: 4, width: 720, height: 486, bitrate_kbps: 1200, latency_requirement_ms: 90, latency_tolerance: 0.9 },
-    QualityLevel { level: 5, width: 1280, height: 720, bitrate_kbps: 1800, latency_requirement_ms: 110, latency_tolerance: 1.0 },
+    QualityLevel {
+        level: 1,
+        width: 288,
+        height: 216,
+        bitrate_kbps: 300,
+        latency_requirement_ms: 30,
+        latency_tolerance: 0.6,
+    },
+    QualityLevel {
+        level: 2,
+        width: 384,
+        height: 216,
+        bitrate_kbps: 500,
+        latency_requirement_ms: 50,
+        latency_tolerance: 0.7,
+    },
+    QualityLevel {
+        level: 3,
+        width: 640,
+        height: 480,
+        bitrate_kbps: 800,
+        latency_requirement_ms: 70,
+        latency_tolerance: 0.8,
+    },
+    QualityLevel {
+        level: 4,
+        width: 720,
+        height: 486,
+        bitrate_kbps: 1200,
+        latency_requirement_ms: 90,
+        latency_tolerance: 0.9,
+    },
+    QualityLevel {
+        level: 5,
+        width: 1280,
+        height: 720,
+        bitrate_kbps: 1800,
+        latency_requirement_ms: 110,
+        latency_tolerance: 1.0,
+    },
 ];
 
 impl QualityLevel {
@@ -123,11 +158,46 @@ pub struct Game {
 /// most loss-tolerant (fast scene turnover hides drops) — the worked
 /// example in Fig. 4 uses rates in the 0.2–0.6 range, which we span.
 pub const GAMES: [Game; 5] = [
-    Game { id: GameId(0), name: "Realm of Ages", genre: "turn-based RPG", latency_requirement_ms: 110, latency_tolerance: 1.0, loss_tolerance: 0.20 },
-    Game { id: GameId(1), name: "World of Wonder", genre: "MMORPG", latency_requirement_ms: 90, latency_tolerance: 0.9, loss_tolerance: 0.30 },
-    Game { id: GameId(2), name: "Grid League", genre: "sports", latency_requirement_ms: 70, latency_tolerance: 0.8, loss_tolerance: 0.40 },
-    Game { id: GameId(3), name: "Apex Drift", genre: "racing", latency_requirement_ms: 50, latency_tolerance: 0.7, loss_tolerance: 0.50 },
-    Game { id: GameId(4), name: "Strike Vector", genre: "FPS", latency_requirement_ms: 30, latency_tolerance: 0.6, loss_tolerance: 0.60 },
+    Game {
+        id: GameId(0),
+        name: "Realm of Ages",
+        genre: "turn-based RPG",
+        latency_requirement_ms: 110,
+        latency_tolerance: 1.0,
+        loss_tolerance: 0.20,
+    },
+    Game {
+        id: GameId(1),
+        name: "World of Wonder",
+        genre: "MMORPG",
+        latency_requirement_ms: 90,
+        latency_tolerance: 0.9,
+        loss_tolerance: 0.30,
+    },
+    Game {
+        id: GameId(2),
+        name: "Grid League",
+        genre: "sports",
+        latency_requirement_ms: 70,
+        latency_tolerance: 0.8,
+        loss_tolerance: 0.40,
+    },
+    Game {
+        id: GameId(3),
+        name: "Apex Drift",
+        genre: "racing",
+        latency_requirement_ms: 50,
+        latency_tolerance: 0.7,
+        loss_tolerance: 0.50,
+    },
+    Game {
+        id: GameId(4),
+        name: "Strike Vector",
+        genre: "FPS",
+        latency_requirement_ms: 30,
+        latency_tolerance: 0.6,
+        loss_tolerance: 0.60,
+    },
 ];
 
 impl Game {

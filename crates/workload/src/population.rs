@@ -67,16 +67,8 @@ impl Population {
         let mut players = Vec::with_capacity(config.players);
         for p in 0..config.players {
             let capable = capable_rng.chance(config.supernode_capable_fraction);
-            let links = if capable {
-                LinkProfile::supernode()
-            } else {
-                LinkProfile::residential()
-            };
-            let kind = if capable {
-                HostKind::SupernodeCandidate
-            } else {
-                HostKind::Player
-            };
+            let links = if capable { LinkProfile::supernode() } else { LinkProfile::residential() };
+            let kind = if capable { HostKind::SupernodeCandidate } else { HostKind::Player };
             let host = topology.add_host(kind, &links, &mut topo_rng);
             players.push(Player {
                 id: PlayerId(p as u32),

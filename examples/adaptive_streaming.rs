@@ -11,8 +11,8 @@
 //! The trace prints the measured download rate, the controller's `r`
 //! estimate and quality level, and what the deadline buffer drops.
 
-use cloudfog::prelude::*;
 use cloudfog::core::config::SystemParams;
+use cloudfog::prelude::*;
 
 #[allow(clippy::explicit_counter_loop)]
 fn main() {
@@ -51,15 +51,8 @@ fn main() {
         let available = if (8.0..16.0).contains(&t) { Mbps(1.2) } else { Mbps(6.0) };
 
         let quality = controller.quality();
-        let mut segment = Segment::new(
-            SegmentId(next_id),
-            PlayerId(0),
-            game,
-            quality,
-            now,
-            now,
-            &params,
-        );
+        let mut segment =
+            Segment::new(SegmentId(next_id), PlayerId(0), game, quality, now, now, &params);
         next_id += 1;
         segment.enqueued_at = now;
         let report = buffer.enqueue(segment, now, &params);
@@ -98,7 +91,11 @@ fn main() {
         }
     }
 
-    println!("\nfinal quality: L{} (game max L{})", controller.quality().level, game.max_quality().level);
+    println!(
+        "\nfinal quality: L{} (game max L{})",
+        controller.quality().level,
+        game.max_quality().level
+    );
     println!("deadline-buffer drops over the run: {total_drops} packets");
     println!("\nThe controller rides quality down when congestion starves the buffer");
     println!("(r < θ/ρ), and climbs back once the measured rate recovers (r > (1+β)/ρ).");

@@ -71,10 +71,7 @@ fn main() {
             fog_a.mean_continuity >= fog_b.mean_continuity - 0.02
                 && fog_b.mean_continuity > cloud.mean_continuity,
         ),
-        (
-            "coverage: CloudFog beats the bare cloud",
-            fog_b.coverage > cloud.coverage,
-        ),
+        ("coverage: CloudFog beats the bare cloud", fog_b.coverage > cloud.coverage),
     ];
     for (label, ok) in checks {
         println!("  [{}] {label}", if ok { "x" } else { " " });

@@ -12,15 +12,12 @@
 //! the paper's experiments use.
 
 use cloudfog::core::infra::{plan_deployment, PlanParams};
-use cloudfog::prelude::*;
 use cloudfog::net::geo::ANCHOR_CITIES;
+use cloudfog::prelude::*;
 
 fn main() {
-    let config = PopulationConfig {
-        players: 2_000,
-        supernode_capable_fraction: 0.15,
-        ..Default::default()
-    };
+    let config =
+        PopulationConfig { players: 2_000, supernode_capable_fraction: 0.15, ..Default::default() };
     let population = Population::generate(&config, LatencyModel::peersim(7), 7);
 
     println!(

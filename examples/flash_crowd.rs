@@ -32,12 +32,7 @@ fn main() {
     let failures = series.failures.rows();
     let deliveries = series.deliveries.rows();
     for (i, (start, mean, count)) in series.latency_ms.rows().iter().enumerate() {
-        let on_time = series
-            .on_time
-            .rows()
-            .get(i)
-            .map(|r| r.1)
-            .unwrap_or(0.0);
+        let on_time = series.on_time.rows().get(i).map(|r| r.1).unwrap_or(0.0);
         let delivered = deliveries.get(i).map(|r| r.1).unwrap_or(0);
         let failed = failures.get(i).map(|r| r.1).unwrap_or(0);
         if *count == 0 {

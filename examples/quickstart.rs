@@ -30,8 +30,11 @@ fn main() {
         println!("  coverage              : {:.1}%", s.coverage * 100.0);
         println!("  playback continuity   : {:.1}%", s.mean_continuity * 100.0);
         println!("  satisfied players     : {:.1}%", s.satisfied_ratio * 100.0);
-        println!("  cloud egress          : {:.2} Mbps ({:.2} GB total)",
-            s.cloud_mbps, s.cloud_bytes as f64 / 1e9);
+        println!(
+            "  cloud egress          : {:.2} Mbps ({:.2} GB total)",
+            s.cloud_mbps,
+            s.cloud_bytes as f64 / 1e9
+        );
         println!("  supernode video       : {:.2} GB", s.supernode_bytes as f64 / 1e9);
         println!("  engine events         : {}", s.events);
         println!();

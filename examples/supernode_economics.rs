@@ -17,11 +17,8 @@ fn contributor_pool(n: usize, seed: u64) -> Vec<SupernodeOffer> {
         .map(|i| {
             // Organizations contribute beefier machines than players.
             let organization = i % 4 == 0;
-            let upload = if organization {
-                rng.range_f64(60.0, 200.0)
-            } else {
-                rng.range_f64(15.0, 60.0)
-            };
+            let upload =
+                if organization { rng.range_f64(60.0, 200.0) } else { rng.range_f64(15.0, 60.0) };
             SupernodeOffer {
                 upload_capacity: upload,
                 utilization: rng.range_f64(0.5, 0.95),
@@ -42,7 +39,10 @@ fn main() {
     };
 
     println!("Supernode incentive market — {} candidate contributors\n", pool.len());
-    println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "c_s", "supernodes", "B_s Mbps", "players", "C_g");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "c_s", "supernodes", "B_s Mbps", "players", "C_g"
+    );
     let rates: Vec<f64> = (1..=30).map(|i| i as f64 * 0.03).collect();
     for &r in &rates {
         let o = clear_market(r, &pool, &params);
@@ -88,8 +88,10 @@ fn main() {
             best.reward_per_mbps,
             offer,
         );
-        println!("  ν = {nu:>3} new players → G_s = {g:>8.1}  ({})",
-            if g > 0.0 { "deploy" } else { "skip" });
+        println!(
+            "  ν = {nu:>3} new players → G_s = {g:>8.1}  ({})",
+            if g > 0.0 { "deploy" } else { "skip" }
+        );
     }
 
     // Eq. 2 headline: the bandwidth the fog removes from the cloud.
@@ -102,6 +104,9 @@ fn main() {
     println!(
         "\nEq. 2 bandwidth reduction B_r⁻ = n·R − Λ·m = {reduction:.0} Mbps \
          ({} players × {:.1} Mbps − {} feeds × {:.1} Mbps)",
-        best.supported_players, params.stream_rate, best.contributed.len(), params.update_rate
+        best.supported_players,
+        params.stream_rate,
+        best.contributed.len(),
+        params.update_rate
     );
 }

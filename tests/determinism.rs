@@ -20,10 +20,7 @@ fn identical_seeds_give_identical_runs_for_every_system() {
         assert_eq!(a.cloud_bytes, b.cloud_bytes, "{kind:?} cloud bytes");
         assert_eq!(a.supernode_bytes, b.supernode_bytes, "{kind:?} supernode bytes");
         assert_eq!(a.scheduler_drops, b.scheduler_drops, "{kind:?} drops");
-        assert!(
-            (a.mean_latency_ms - b.mean_latency_ms).abs() < f64::EPSILON,
-            "{kind:?} latency"
-        );
+        assert!((a.mean_latency_ms - b.mean_latency_ms).abs() < f64::EPSILON, "{kind:?} latency");
         assert!(
             (a.mean_continuity - b.mean_continuity).abs() < f64::EPSILON,
             "{kind:?} continuity"
@@ -75,6 +72,39 @@ fn load_experiment_is_deterministic() {
     assert_eq!(a.scheduler_drops, b.scheduler_drops);
     assert_eq!(a.quality_switches, b.quality_switches);
     assert!((a.satisfied_ratio - b.satisfied_ratio).abs() < f64::EPSILON);
+}
+
+#[test]
+fn chaos_fault_scripts_replay_bit_for_bit() {
+    let run = || {
+        let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogA, 120, 1234);
+        cfg.ramp = SimDuration::from_secs(4);
+        cfg.horizon = SimDuration::from_secs(25);
+        cfg.supernode_mtbf = Some(SimDuration::from_secs(4));
+        cfg.supernode_mttr = Some(SimDuration::from_secs(3));
+        cfg.fault_script = Some(FaultScript::generate(77, cfg.horizon, 4).with(
+            SimTime::from_secs(8),
+            SimDuration::from_secs(6),
+            FaultKind::GrayFailure { degradation: 0.2 },
+        ));
+        cfg.watchdog = Some(WatchdogParams::default());
+        StreamingSim::run(cfg)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.events, b.events, "event count");
+    assert_eq!(a.cloud_bytes, b.cloud_bytes, "cloud bytes");
+    assert_eq!(a.supernode_bytes, b.supernode_bytes, "supernode bytes");
+    assert_eq!(a.failures_injected, b.failures_injected, "failures");
+    assert_eq!(a.faults_activated, b.faults_activated, "faults");
+    assert_eq!(a.failovers_rescued, b.failovers_rescued, "rescues");
+    assert_eq!(a.watchdog_reassignments, b.watchdog_reassignments, "reassignments");
+    assert!((a.mean_detection_ms - b.mean_detection_ms).abs() < f64::EPSILON, "detection");
+    assert!(
+        (a.orphaned_player_secs - b.orphaned_player_secs).abs() < f64::EPSILON,
+        "orphan-seconds"
+    );
+    assert!((a.mean_continuity - b.mean_continuity).abs() < f64::EPSILON, "continuity");
 }
 
 #[test]

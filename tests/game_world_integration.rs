@@ -60,10 +60,7 @@ fn lambda_scales_with_players_per_supernode_not_world_size() {
     // the subscriber's players should not double Λ.
     let small_world = measure_lambda(400, 8, 10, 2);
     let big_world = measure_lambda(1_600, 8, 10, 2);
-    assert!(
-        big_world < small_world * 3.0,
-        "AoI must bound the feed: {small_world} vs {big_world}"
-    );
+    assert!(big_world < small_world * 3.0, "AoI must bound the feed: {small_world} vs {big_world}");
     // But serving more players per supernode widens the AoI union.
     let few = measure_lambda(800, 8, 5, 3);
     let many = measure_lambda(800, 8, 25, 3);

@@ -1,0 +1,114 @@
+//! Property-based tests for the chaos layer: failover safety and
+//! simulation sanity under arbitrary fault schedules.
+
+use cloudfog::core::config::SystemParams;
+use cloudfog::core::infra::failover;
+use cloudfog::prelude::*;
+use cloudfog::workload::games::GAMES;
+use proptest::prelude::*;
+
+const SN_COUNT: u32 = 12;
+const SN_CAPACITY: u32 = 3;
+
+proptest! {
+    /// Failover never lands on a retired or over-capacity supernode,
+    /// and per-node player accounting never exceeds capacity, for any
+    /// interleaving of assign/release/retire/revive operations.
+    #[test]
+    fn failover_never_picks_retired_or_full(
+        seed in 0u64..1_000,
+        ops in prop::collection::vec((0u32..4, 0u32..64), 1..120),
+    ) {
+        let mut rng = cloudfog::sim::rng::Rng::new(seed);
+        let mut topo = Topology::new(LatencyModel::peersim(seed));
+        let player_host =
+            topo.add_host(HostKind::Player, &LinkProfile::residential(), &mut rng);
+        let mut table = SupernodeTable::new();
+        let mut ids = Vec::new();
+        for _ in 0..SN_COUNT {
+            let host =
+                topo.add_host(HostKind::SupernodeCandidate, &LinkProfile::supernode(), &mut rng);
+            ids.push(table.register(host, SN_CAPACITY));
+        }
+
+        let mut next_player = 0u32;
+        let mut assigned: Vec<(SupernodeId, PlayerId)> = Vec::new();
+        for &(op, idx) in &ops {
+            let sn = ids[idx as usize % ids.len()];
+            match op {
+                0 => {
+                    let p = PlayerId(next_player);
+                    next_player += 1;
+                    if table.get(sn).has_capacity() && table.assign(sn, p) {
+                        assigned.push((sn, p));
+                    }
+                }
+                1 => {
+                    if let Some(pos) =
+                        assigned.iter().position(|&(s, _)| s == sn)
+                    {
+                        let (s, p) = assigned.swap_remove(pos);
+                        table.release(s, p);
+                    }
+                }
+                2 => {
+                    let orphans = table.retire(sn);
+                    assigned.retain(|&(s, _)| s != sn);
+                    // Retirement hands every assigned player back.
+                    prop_assert!(orphans.len() <= SN_CAPACITY as usize);
+                }
+                _ => table.revive(sn),
+            }
+            // Accounting invariants hold after every single operation.
+            for &id in &ids {
+                let node = table.get(id);
+                prop_assert!(node.assigned.len() as u32 <= node.capacity);
+                if table.is_retired(id) {
+                    prop_assert!(!node.has_capacity());
+                    prop_assert!(node.assigned.is_empty());
+                }
+            }
+            let picked = failover(
+                &topo,
+                &table,
+                player_host,
+                &GAMES[0],
+                &SystemParams::default(),
+                &ids,
+                &mut rng,
+            );
+            if let Some((sn, _delay)) = picked {
+                let node = table.get(sn);
+                prop_assert!(node.is_live(), "failover picked a retired supernode");
+                prop_assert!(node.has_capacity(), "failover picked a full supernode");
+            }
+        }
+    }
+
+    /// A full streaming run under arbitrary churn plus an arbitrary
+    /// generated fault script keeps every summary metric sane: ratios
+    /// stay in [0, 1], counters stay non-negative, and every scripted
+    /// fault fires exactly once.
+    #[test]
+    fn chaos_runs_stay_sane(
+        seed in 0u64..500,
+        script_seed in 0u64..500,
+        mtbf_secs in 2u64..8,
+        faults in 0usize..5,
+    ) {
+        let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 60, seed);
+        cfg.ramp = SimDuration::from_secs(3);
+        cfg.horizon = SimDuration::from_secs(12);
+        cfg.supernode_mtbf = Some(SimDuration::from_secs(mtbf_secs));
+        cfg.supernode_mttr = Some(SimDuration::from_secs(2));
+        cfg.fault_script = Some(FaultScript::generate(script_seed, cfg.horizon, faults));
+        cfg.watchdog = Some(WatchdogParams::default());
+        let s = StreamingSim::run(cfg);
+        prop_assert!((0.0..=1.0).contains(&s.mean_continuity));
+        prop_assert!((0.0..=1.0).contains(&s.satisfied_ratio));
+        prop_assert!(s.mean_latency_ms >= 0.0);
+        prop_assert!(s.mean_detection_ms >= 0.0);
+        prop_assert!(s.orphaned_player_secs >= 0.0);
+        prop_assert_eq!(s.faults_activated as usize, faults);
+    }
+}

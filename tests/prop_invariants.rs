@@ -1,7 +1,7 @@
 //! Property-based tests of the core invariants, spanning crates.
 
-use cloudfog::prelude::*;
 use cloudfog::core::config::SystemParams;
+use cloudfog::prelude::*;
 use cloudfog::workload::games::GAMES;
 use proptest::prelude::*;
 

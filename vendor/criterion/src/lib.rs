@@ -1,0 +1,174 @@
+//! Minimal timing shim for the subset of `criterion` this workspace
+//! uses. The build environment has no network access to crates.io, so
+//! the workspace vendors a replacement that runs each benchmark with a
+//! short warm-up, measures a fixed batch of iterations with
+//! `std::time::Instant`, and prints mean ns/iter. No statistics,
+//! plotting, or CLI — enough to keep `cargo bench` runnable and the
+//! bench targets compiling under `--all-targets`.
+
+use std::time::{Duration, Instant};
+
+/// How to size per-iteration setup batches in [`Bencher::iter_batched`].
+/// The shim runs one setup per iteration regardless of the variant.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; drives the measured loop.
+pub struct Bencher {
+    warmup_iters: u64,
+    measure_iters: u64,
+    /// (total duration, iterations) from the measured loop.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(measure_iters: u64) -> Self {
+        Bencher { warmup_iters: measure_iters / 10 + 1, measure_iters, result: None }
+    }
+
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.warmup_iters {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.measure_iters {
+            std::hint::black_box(routine());
+        }
+        self.result = Some((start.elapsed(), self.measure_iters));
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.warmup_iters.min(3) {
+            std::hint::black_box(routine(setup()));
+        }
+        let mut measured = Duration::ZERO;
+        for _ in 0..self.measure_iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.result = Some((measured, self.measure_iters));
+    }
+}
+
+/// Entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { criterion: self, sample_size: None }
+    }
+}
+
+/// Scoped group of related benchmarks with an optional sample override.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(id, n, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: u64, f: &mut F) {
+    // sample_size plays the role of criterion's sample count: it scales
+    // how many iterations we measure. Keep it bounded so the shim stays
+    // quick even for expensive routines.
+    let iters = sample_size.clamp(10, 1_000);
+    let mut bencher = Bencher::new(iters);
+    f(&mut bencher);
+    match bencher.result {
+        Some((total, n)) if n > 0 => {
+            let ns = total.as_nanos() as f64 / n as f64;
+            println!("bench {id:<40} {ns:>14.1} ns/iter ({n} iters)");
+        }
+        _ => println!("bench {id:<40} (no measurement)"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default();
+        let mut setups = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| x * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(setups >= 10);
+    }
+}

@@ -1,0 +1,92 @@
+//! Sequential shim for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a drop-in replacement: the `par_iter` family
+//! returns ordinary sequential iterators. Every adapter the codebase
+//! chains on a parallel iterator (`map`, `for_each`, `enumerate`,
+//! `collect`, ...) is a std `Iterator` method, so call sites compile
+//! unchanged and produce identical (deterministic) results — just on
+//! one core. Swapping the real rayon back in is a one-line change in
+//! the workspace manifest.
+
+/// `IntoIterator` stand-in for rayon's by-value conversion trait.
+pub trait IntoParallelIterator {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    type Item = T::Item;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Shared-reference conversion: `collection.par_iter()`.
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item: 'data;
+
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoIterator,
+{
+    type Iter = <&'data I as IntoIterator>::IntoIter;
+    type Item = <&'data I as IntoIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Mutable-reference conversion: `collection.par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item: 'data;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoIterator,
+{
+    type Iter = <&'data mut I as IntoIterator>::IntoIter;
+    type Item = <&'data mut I as IntoIterator>::Item;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1u32, 2, 3];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let summed: u32 = (0u32..10).into_par_iter().sum();
+        assert_eq!(summed, 45);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1u32, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+}
