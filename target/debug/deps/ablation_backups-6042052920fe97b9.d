@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_backups-6042052920fe97b9.d: crates/bench/benches/ablation_backups.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_backups-6042052920fe97b9.rmeta: crates/bench/benches/ablation_backups.rs Cargo.toml
+
+crates/bench/benches/ablation_backups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_coop-4e843aa47030af01.d: crates/bench/benches/ablation_coop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_coop-4e843aa47030af01.rmeta: crates/bench/benches/ablation_coop.rs Cargo.toml
+
+crates/bench/benches/ablation_coop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_decay-27fa85e398d5ee73.d: crates/bench/benches/ablation_decay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_decay-27fa85e398d5ee73.rmeta: crates/bench/benches/ablation_decay.rs Cargo.toml
+
+crates/bench/benches/ablation_decay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_event_queue-14c187246b4435ac.d: crates/bench/benches/ablation_event_queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_event_queue-14c187246b4435ac.rmeta: crates/bench/benches/ablation_event_queue.rs Cargo.toml
+
+crates/bench/benches/ablation_event_queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

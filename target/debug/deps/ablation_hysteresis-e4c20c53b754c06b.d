@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_hysteresis-e4c20c53b754c06b.d: crates/bench/benches/ablation_hysteresis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_hysteresis-e4c20c53b754c06b.rmeta: crates/bench/benches/ablation_hysteresis.rs Cargo.toml
+
+crates/bench/benches/ablation_hysteresis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_up_probe-7e168acd0e3d7fa9.d: crates/bench/benches/ablation_up_probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_up_probe-7e168acd0e3d7fa9.rmeta: crates/bench/benches/ablation_up_probe.rs Cargo.toml
+
+crates/bench/benches/ablation_up_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_resilience-a88fc42c6754811c.d: crates/bench/benches/chaos_resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_resilience-a88fc42c6754811c.rmeta: crates/bench/benches/chaos_resilience.rs Cargo.toml
+
+crates/bench/benches/chaos_resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

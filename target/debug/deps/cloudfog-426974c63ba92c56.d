@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cloudfog-426974c63ba92c56.d: src/lib.rs
+
+/root/repo/target/debug/deps/cloudfog-426974c63ba92c56: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cloudfog-ac18c783812f92e3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcloudfog-ac18c783812f92e3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcloudfog-ac18c783812f92e3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cloudfog-c9b40809cebf2fec.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcloudfog-c9b40809cebf2fec.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

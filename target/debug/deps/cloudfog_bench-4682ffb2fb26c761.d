@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cloudfog_bench-4682ffb2fb26c761.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcloudfog_bench-4682ffb2fb26c761.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

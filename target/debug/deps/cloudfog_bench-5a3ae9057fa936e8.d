@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cloudfog_bench-5a3ae9057fa936e8.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/cloudfog_bench-5a3ae9057fa936e8: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cloudfog_bench-5a9c90ca9a0d1ebf.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcloudfog_bench-5a9c90ca9a0d1ebf.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cloudfog_bench-5faaf21071f85a9e.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libcloudfog_bench-5faaf21071f85a9e.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libcloudfog_bench-5faaf21071f85a9e.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:

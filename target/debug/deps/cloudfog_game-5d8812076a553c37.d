@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cloudfog_game-5d8812076a553c37.d: crates/game/src/lib.rs crates/game/src/avatar.rs crates/game/src/engine.rs crates/game/src/interest.rs crates/game/src/region.rs crates/game/src/update.rs
+
+/root/repo/target/debug/deps/cloudfog_game-5d8812076a553c37: crates/game/src/lib.rs crates/game/src/avatar.rs crates/game/src/engine.rs crates/game/src/interest.rs crates/game/src/region.rs crates/game/src/update.rs
+
+crates/game/src/lib.rs:
+crates/game/src/avatar.rs:
+crates/game/src/engine.rs:
+crates/game/src/interest.rs:
+crates/game/src/region.rs:
+crates/game/src/update.rs:

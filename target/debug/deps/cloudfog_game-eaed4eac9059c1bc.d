@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cloudfog_game-eaed4eac9059c1bc.d: crates/game/src/lib.rs crates/game/src/avatar.rs crates/game/src/engine.rs crates/game/src/interest.rs crates/game/src/region.rs crates/game/src/update.rs
+
+/root/repo/target/debug/deps/libcloudfog_game-eaed4eac9059c1bc.rlib: crates/game/src/lib.rs crates/game/src/avatar.rs crates/game/src/engine.rs crates/game/src/interest.rs crates/game/src/region.rs crates/game/src/update.rs
+
+/root/repo/target/debug/deps/libcloudfog_game-eaed4eac9059c1bc.rmeta: crates/game/src/lib.rs crates/game/src/avatar.rs crates/game/src/engine.rs crates/game/src/interest.rs crates/game/src/region.rs crates/game/src/update.rs
+
+crates/game/src/lib.rs:
+crates/game/src/avatar.rs:
+crates/game/src/engine.rs:
+crates/game/src/interest.rs:
+crates/game/src/region.rs:
+crates/game/src/update.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cloudfog_game-f14c2b43f9f1ba26.d: crates/game/src/lib.rs crates/game/src/avatar.rs crates/game/src/engine.rs crates/game/src/interest.rs crates/game/src/region.rs crates/game/src/update.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcloudfog_game-f14c2b43f9f1ba26.rmeta: crates/game/src/lib.rs crates/game/src/avatar.rs crates/game/src/engine.rs crates/game/src/interest.rs crates/game/src/region.rs crates/game/src/update.rs Cargo.toml
+
+crates/game/src/lib.rs:
+crates/game/src/avatar.rs:
+crates/game/src/engine.rs:
+crates/game/src/interest.rs:
+crates/game/src/region.rs:
+crates/game/src/update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cloudfog_net-57c041fffce30050.d: crates/net/src/lib.rs crates/net/src/bandwidth.rs crates/net/src/geo.rs crates/net/src/gilbert.rs crates/net/src/ip.rs crates/net/src/latency.rs crates/net/src/topology.rs crates/net/src/trace.rs
+
+/root/repo/target/debug/deps/cloudfog_net-57c041fffce30050: crates/net/src/lib.rs crates/net/src/bandwidth.rs crates/net/src/geo.rs crates/net/src/gilbert.rs crates/net/src/ip.rs crates/net/src/latency.rs crates/net/src/topology.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/bandwidth.rs:
+crates/net/src/geo.rs:
+crates/net/src/gilbert.rs:
+crates/net/src/ip.rs:
+crates/net/src/latency.rs:
+crates/net/src/topology.rs:
+crates/net/src/trace.rs:

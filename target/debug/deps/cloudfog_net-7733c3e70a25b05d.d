@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cloudfog_net-7733c3e70a25b05d.d: crates/net/src/lib.rs crates/net/src/bandwidth.rs crates/net/src/geo.rs crates/net/src/gilbert.rs crates/net/src/ip.rs crates/net/src/latency.rs crates/net/src/topology.rs crates/net/src/trace.rs
+
+/root/repo/target/debug/deps/libcloudfog_net-7733c3e70a25b05d.rlib: crates/net/src/lib.rs crates/net/src/bandwidth.rs crates/net/src/geo.rs crates/net/src/gilbert.rs crates/net/src/ip.rs crates/net/src/latency.rs crates/net/src/topology.rs crates/net/src/trace.rs
+
+/root/repo/target/debug/deps/libcloudfog_net-7733c3e70a25b05d.rmeta: crates/net/src/lib.rs crates/net/src/bandwidth.rs crates/net/src/geo.rs crates/net/src/gilbert.rs crates/net/src/ip.rs crates/net/src/latency.rs crates/net/src/topology.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/bandwidth.rs:
+crates/net/src/geo.rs:
+crates/net/src/gilbert.rs:
+crates/net/src/ip.rs:
+crates/net/src/latency.rs:
+crates/net/src/topology.rs:
+crates/net/src/trace.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cloudfog_net-b7e04043fc59c15e.d: crates/net/src/lib.rs crates/net/src/bandwidth.rs crates/net/src/geo.rs crates/net/src/gilbert.rs crates/net/src/ip.rs crates/net/src/latency.rs crates/net/src/topology.rs crates/net/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcloudfog_net-b7e04043fc59c15e.rmeta: crates/net/src/lib.rs crates/net/src/bandwidth.rs crates/net/src/geo.rs crates/net/src/gilbert.rs crates/net/src/ip.rs crates/net/src/latency.rs crates/net/src/topology.rs crates/net/src/trace.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/bandwidth.rs:
+crates/net/src/geo.rs:
+crates/net/src/gilbert.rs:
+crates/net/src/ip.rs:
+crates/net/src/latency.rs:
+crates/net/src/topology.rs:
+crates/net/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

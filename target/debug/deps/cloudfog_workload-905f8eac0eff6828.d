@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cloudfog_workload-905f8eac0eff6828.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/games.rs crates/workload/src/player.rs crates/workload/src/population.rs crates/workload/src/social.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcloudfog_workload-905f8eac0eff6828.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/games.rs crates/workload/src/player.rs crates/workload/src/population.rs crates/workload/src/social.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/games.rs:
+crates/workload/src/player.rs:
+crates/workload/src/population.rs:
+crates/workload/src/social.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cloudfog_workload-c008b58637e21877.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/games.rs crates/workload/src/player.rs crates/workload/src/population.rs crates/workload/src/social.rs
+
+/root/repo/target/debug/deps/libcloudfog_workload-c008b58637e21877.rlib: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/games.rs crates/workload/src/player.rs crates/workload/src/population.rs crates/workload/src/social.rs
+
+/root/repo/target/debug/deps/libcloudfog_workload-c008b58637e21877.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/games.rs crates/workload/src/player.rs crates/workload/src/population.rs crates/workload/src/social.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/games.rs:
+crates/workload/src/player.rs:
+crates/workload/src/population.rs:
+crates/workload/src/social.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cloudfog_workload-e4cb3794cffaad63.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/games.rs crates/workload/src/player.rs crates/workload/src/population.rs crates/workload/src/social.rs
+
+/root/repo/target/debug/deps/cloudfog_workload-e4cb3794cffaad63: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/games.rs crates/workload/src/player.rs crates/workload/src/population.rs crates/workload/src/social.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/games.rs:
+crates/workload/src/player.rs:
+crates/workload/src/population.rs:
+crates/workload/src/social.rs:

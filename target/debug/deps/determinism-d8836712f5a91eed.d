@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-d8836712f5a91eed.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-d8836712f5a91eed: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/econ_model-711b92ccd7299c72.d: crates/bench/benches/econ_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecon_model-711b92ccd7299c72.rmeta: crates/bench/benches/econ_model.rs Cargo.toml
+
+crates/bench/benches/econ_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

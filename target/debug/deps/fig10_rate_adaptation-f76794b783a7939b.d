@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_rate_adaptation-f76794b783a7939b.d: crates/bench/benches/fig10_rate_adaptation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_rate_adaptation-f76794b783a7939b.rmeta: crates/bench/benches/fig10_rate_adaptation.rs Cargo.toml
+
+crates/bench/benches/fig10_rate_adaptation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_buffer_scheduling-522f5444608ea5a1.d: crates/bench/benches/fig11_buffer_scheduling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_buffer_scheduling-522f5444608ea5a1.rmeta: crates/bench/benches/fig11_buffer_scheduling.rs Cargo.toml
+
+crates/bench/benches/fig11_buffer_scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_quality_table-fb39a882e4ef074f.d: crates/bench/benches/fig2_quality_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_quality_table-fb39a882e4ef074f.rmeta: crates/bench/benches/fig2_quality_table.rs Cargo.toml
+
+crates/bench/benches/fig2_quality_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

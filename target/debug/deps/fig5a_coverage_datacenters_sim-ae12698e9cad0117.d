@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5a_coverage_datacenters_sim-ae12698e9cad0117.d: crates/bench/benches/fig5a_coverage_datacenters_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5a_coverage_datacenters_sim-ae12698e9cad0117.rmeta: crates/bench/benches/fig5a_coverage_datacenters_sim.rs Cargo.toml
+
+crates/bench/benches/fig5a_coverage_datacenters_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5b_coverage_supernodes_sim-8408bd3b66e2a449.d: crates/bench/benches/fig5b_coverage_supernodes_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5b_coverage_supernodes_sim-8408bd3b66e2a449.rmeta: crates/bench/benches/fig5b_coverage_supernodes_sim.rs Cargo.toml
+
+crates/bench/benches/fig5b_coverage_supernodes_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

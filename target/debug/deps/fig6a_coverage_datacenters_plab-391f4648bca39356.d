@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6a_coverage_datacenters_plab-391f4648bca39356.d: crates/bench/benches/fig6a_coverage_datacenters_plab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6a_coverage_datacenters_plab-391f4648bca39356.rmeta: crates/bench/benches/fig6a_coverage_datacenters_plab.rs Cargo.toml
+
+crates/bench/benches/fig6a_coverage_datacenters_plab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

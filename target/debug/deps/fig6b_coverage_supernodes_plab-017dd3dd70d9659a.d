@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6b_coverage_supernodes_plab-017dd3dd70d9659a.d: crates/bench/benches/fig6b_coverage_supernodes_plab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6b_coverage_supernodes_plab-017dd3dd70d9659a.rmeta: crates/bench/benches/fig6b_coverage_supernodes_plab.rs Cargo.toml
+
+crates/bench/benches/fig6b_coverage_supernodes_plab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_bandwidth-b4a5683e7e2f3405.d: crates/bench/benches/fig7_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_bandwidth-b4a5683e7e2f3405.rmeta: crates/bench/benches/fig7_bandwidth.rs Cargo.toml
+
+crates/bench/benches/fig7_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_response_latency-9740d86bee34a276.d: crates/bench/benches/fig8_response_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_response_latency-9740d86bee34a276.rmeta: crates/bench/benches/fig8_response_latency.rs Cargo.toml
+
+crates/bench/benches/fig8_response_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

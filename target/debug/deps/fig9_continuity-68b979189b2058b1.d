@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_continuity-68b979189b2058b1.d: crates/bench/benches/fig9_continuity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_continuity-68b979189b2058b1.rmeta: crates/bench/benches/fig9_continuity.rs Cargo.toml
+
+crates/bench/benches/fig9_continuity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/game_world_integration-357983f6aa30b4b7.d: tests/game_world_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgame_world_integration-357983f6aa30b4b7.rmeta: tests/game_world_integration.rs Cargo.toml
+
+tests/game_world_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/game_world_integration-4cd920170ced68c3.d: tests/game_world_integration.rs
+
+/root/repo/target/debug/deps/game_world_integration-4cd920170ced68c3: tests/game_world_integration.rs
+
+tests/game_world_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/genre_qoe-5b8fc2940dcfb529.d: crates/bench/benches/genre_qoe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenre_qoe-5b8fc2940dcfb529.rmeta: crates/bench/benches/genre_qoe.rs Cargo.toml
+
+crates/bench/benches/genre_qoe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/latency_cdf-2b352faed0a73e23.d: crates/bench/benches/latency_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblatency_cdf-2b352faed0a73e23.rmeta: crates/bench/benches/latency_cdf.rs Cargo.toml
+
+crates/bench/benches/latency_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-4b56680bdede2b83.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-4b56680bdede2b83: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_chaos-4b8dfadd952535ed.d: tests/prop_chaos.rs
+
+/root/repo/target/debug/deps/prop_chaos-4b8dfadd952535ed: tests/prop_chaos.rs
+
+tests/prop_chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_chaos-a50ec259006feb3e.d: tests/prop_chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_chaos-a50ec259006feb3e.rmeta: tests/prop_chaos.rs Cargo.toml
+
+tests/prop_chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_game-1e89047056a46191.d: tests/prop_game.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_game-1e89047056a46191.rmeta: tests/prop_game.rs Cargo.toml
+
+tests/prop_game.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_game-505cb35bda08a0db.d: tests/prop_game.rs
+
+/root/repo/target/debug/deps/prop_game-505cb35bda08a0db: tests/prop_game.rs
+
+tests/prop_game.rs:

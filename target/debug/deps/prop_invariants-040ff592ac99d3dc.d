@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_invariants-040ff592ac99d3dc.d: tests/prop_invariants.rs
+
+/root/repo/target/debug/deps/prop_invariants-040ff592ac99d3dc: tests/prop_invariants.rs
+
+tests/prop_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_streaming-2f90fc6e91b77d7b.d: examples/adaptive_streaming.rs
+
+/root/repo/target/debug/examples/adaptive_streaming-2f90fc6e91b77d7b: examples/adaptive_streaming.rs
+
+examples/adaptive_streaming.rs:

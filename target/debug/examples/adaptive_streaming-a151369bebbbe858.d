@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_streaming-a151369bebbbe858.d: examples/adaptive_streaming.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_streaming-a151369bebbbe858.rmeta: examples/adaptive_streaming.rs Cargo.toml
+
+examples/adaptive_streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

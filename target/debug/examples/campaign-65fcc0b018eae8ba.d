@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campaign-65fcc0b018eae8ba.d: examples/campaign.rs
+
+/root/repo/target/debug/examples/campaign-65fcc0b018eae8ba: examples/campaign.rs
+
+examples/campaign.rs:

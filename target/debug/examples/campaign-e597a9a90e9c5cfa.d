@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/campaign-e597a9a90e9c5cfa.d: examples/campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcampaign-e597a9a90e9c5cfa.rmeta: examples/campaign.rs Cargo.toml
+
+examples/campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

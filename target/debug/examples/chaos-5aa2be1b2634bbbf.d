@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos-5aa2be1b2634bbbf.d: examples/chaos.rs
+
+/root/repo/target/debug/examples/chaos-5aa2be1b2634bbbf: examples/chaos.rs
+
+examples/chaos.rs:

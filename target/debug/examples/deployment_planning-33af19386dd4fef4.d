@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/deployment_planning-33af19386dd4fef4.d: examples/deployment_planning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdeployment_planning-33af19386dd4fef4.rmeta: examples/deployment_planning.rs Cargo.toml
+
+examples/deployment_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deployment_planning-a502e5dbdbb8aa68.d: examples/deployment_planning.rs
+
+/root/repo/target/debug/examples/deployment_planning-a502e5dbdbb8aa68: examples/deployment_planning.rs
+
+examples/deployment_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flash_crowd-131de0e87637f8a5.d: examples/flash_crowd.rs
+
+/root/repo/target/debug/examples/flash_crowd-131de0e87637f8a5: examples/flash_crowd.rs
+
+examples/flash_crowd.rs:

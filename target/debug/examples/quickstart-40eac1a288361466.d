@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-40eac1a288361466.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-40eac1a288361466: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/supernode_economics-3d319bd81c64bb96.d: examples/supernode_economics.rs
+
+/root/repo/target/debug/examples/supernode_economics-3d319bd81c64bb96: examples/supernode_economics.rs
+
+examples/supernode_economics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/supernode_economics-fe89f0692dd1f9f1.d: examples/supernode_economics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsupernode_economics-fe89f0692dd1f9f1.rmeta: examples/supernode_economics.rs Cargo.toml
+
+examples/supernode_economics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

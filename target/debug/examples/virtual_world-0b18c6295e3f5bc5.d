@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/virtual_world-0b18c6295e3f5bc5.d: examples/virtual_world.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvirtual_world-0b18c6295e3f5bc5.rmeta: examples/virtual_world.rs Cargo.toml
+
+examples/virtual_world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

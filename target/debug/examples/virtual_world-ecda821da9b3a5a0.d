@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/virtual_world-ecda821da9b3a5a0.d: examples/virtual_world.rs
+
+/root/repo/target/debug/examples/virtual_world-ecda821da9b3a5a0: examples/virtual_world.rs
+
+examples/virtual_world.rs:

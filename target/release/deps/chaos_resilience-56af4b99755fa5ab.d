@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_resilience-56af4b99755fa5ab.d: crates/bench/benches/chaos_resilience.rs
+
+/root/repo/target/release/deps/chaos_resilience-56af4b99755fa5ab: crates/bench/benches/chaos_resilience.rs
+
+crates/bench/benches/chaos_resilience.rs:

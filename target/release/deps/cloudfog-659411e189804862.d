@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cloudfog-659411e189804862.d: src/lib.rs
+
+/root/repo/target/release/deps/libcloudfog-659411e189804862.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcloudfog-659411e189804862.rmeta: src/lib.rs
+
+src/lib.rs:

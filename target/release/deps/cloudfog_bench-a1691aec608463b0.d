@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cloudfog_bench-a1691aec608463b0.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libcloudfog_bench-a1691aec608463b0.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libcloudfog_bench-a1691aec608463b0.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cloudfog_game-c656d08525b344cb.d: crates/game/src/lib.rs crates/game/src/avatar.rs crates/game/src/engine.rs crates/game/src/interest.rs crates/game/src/region.rs crates/game/src/update.rs
+
+/root/repo/target/release/deps/libcloudfog_game-c656d08525b344cb.rlib: crates/game/src/lib.rs crates/game/src/avatar.rs crates/game/src/engine.rs crates/game/src/interest.rs crates/game/src/region.rs crates/game/src/update.rs
+
+/root/repo/target/release/deps/libcloudfog_game-c656d08525b344cb.rmeta: crates/game/src/lib.rs crates/game/src/avatar.rs crates/game/src/engine.rs crates/game/src/interest.rs crates/game/src/region.rs crates/game/src/update.rs
+
+crates/game/src/lib.rs:
+crates/game/src/avatar.rs:
+crates/game/src/engine.rs:
+crates/game/src/interest.rs:
+crates/game/src/region.rs:
+crates/game/src/update.rs:

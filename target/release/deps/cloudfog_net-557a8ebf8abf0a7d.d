@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cloudfog_net-557a8ebf8abf0a7d.d: crates/net/src/lib.rs crates/net/src/bandwidth.rs crates/net/src/geo.rs crates/net/src/gilbert.rs crates/net/src/ip.rs crates/net/src/latency.rs crates/net/src/topology.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/libcloudfog_net-557a8ebf8abf0a7d.rlib: crates/net/src/lib.rs crates/net/src/bandwidth.rs crates/net/src/geo.rs crates/net/src/gilbert.rs crates/net/src/ip.rs crates/net/src/latency.rs crates/net/src/topology.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/libcloudfog_net-557a8ebf8abf0a7d.rmeta: crates/net/src/lib.rs crates/net/src/bandwidth.rs crates/net/src/geo.rs crates/net/src/gilbert.rs crates/net/src/ip.rs crates/net/src/latency.rs crates/net/src/topology.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/bandwidth.rs:
+crates/net/src/geo.rs:
+crates/net/src/gilbert.rs:
+crates/net/src/ip.rs:
+crates/net/src/latency.rs:
+crates/net/src/topology.rs:
+crates/net/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cloudfog_workload-a8b664ee629e2dcf.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/games.rs crates/workload/src/player.rs crates/workload/src/population.rs crates/workload/src/social.rs
+
+/root/repo/target/release/deps/libcloudfog_workload-a8b664ee629e2dcf.rlib: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/games.rs crates/workload/src/player.rs crates/workload/src/population.rs crates/workload/src/social.rs
+
+/root/repo/target/release/deps/libcloudfog_workload-a8b664ee629e2dcf.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/games.rs crates/workload/src/player.rs crates/workload/src/population.rs crates/workload/src/social.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/games.rs:
+crates/workload/src/player.rs:
+crates/workload/src/population.rs:
+crates/workload/src/social.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos-ba17e5f733a9985e.d: examples/chaos.rs
+
+/root/repo/target/release/examples/chaos-ba17e5f733a9985e: examples/chaos.rs
+
+examples/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/flash_crowd-2a906a189dbb4e45.d: examples/flash_crowd.rs
+
+/root/repo/target/release/examples/flash_crowd-2a906a189dbb4e45: examples/flash_crowd.rs
+
+examples/flash_crowd.rs:
