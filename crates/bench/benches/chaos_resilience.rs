@@ -36,13 +36,16 @@ fn main() {
     for kind in
         [SystemKind::Cloud, SystemKind::EdgeCloud, SystemKind::CloudFogA, SystemKind::CloudFogB]
     {
-        let mut cfg = StreamingSimConfig::quick(kind, players, scale.seed);
-        cfg.ramp = SimDuration::from_secs((scale.secs / 4).max(5));
-        cfg.horizon = horizon;
-        cfg.supernode_mtbf = Some(SimDuration::from_secs((scale.secs / 8).max(3)));
-        cfg.supernode_mttr = Some(SimDuration::from_secs(5));
-        cfg.fault_script = Some(script.clone());
-        cfg.watchdog = Some(WatchdogParams::default());
+        let cfg = StreamingSimConfig::builder(kind)
+            .players(players)
+            .seed(scale.seed)
+            .ramp(SimDuration::from_secs((scale.secs / 4).max(5)))
+            .horizon(horizon)
+            .supernode_mtbf(SimDuration::from_secs((scale.secs / 8).max(3)))
+            .supernode_mttr(SimDuration::from_secs(5))
+            .fault_script(script.clone())
+            .watchdog(WatchdogParams::default())
+            .build();
         let s = StreamingSim::run(cfg);
         t.row([
             kind.label().to_string(),

@@ -15,10 +15,12 @@ use cloudfog_workload::games::GAMES;
 fn main() {
     let scale = RunScale::from_env();
     for kind in [SystemKind::Cloud, SystemKind::CloudFogA] {
-        let mut cfg =
-            StreamingSimConfig::quick(kind, scale.peersim().population.players, scale.seed);
-        cfg.ramp = SimDuration::from_secs((scale.secs / 4).max(5));
-        cfg.horizon = SimDuration::from_secs(scale.secs);
+        let cfg = StreamingSimConfig::builder(kind)
+            .players(scale.peersim().population.players)
+            .seed(scale.seed)
+            .ramp(SimDuration::from_secs((scale.secs / 4).max(5)))
+            .horizon(SimDuration::from_secs(scale.secs))
+            .build();
         let s = StreamingSim::run(cfg);
 
         let mut t = Table::new(format!("per-genre QoE — {}", kind.label()))

@@ -1,12 +1,12 @@
 //! Response-latency distribution per system — the Choy et al.
 //! measurement view ("median latency of 80 ms or less to only 70 % of
 //! users") that motivates the whole paper, regenerated on our
-//! substrate: per-system P50/P75/P90/P99 of per-player response
-//! latency.
+//! substrate: per-system P50/P95/P99 of per-player response latency,
+//! straight from the telemetry histograms.
 
 use cloudfog_bench::{ms, RunScale, Table};
-use cloudfog_core::systems::{StreamingSim, StreamingSimConfig, SystemKind};
-use cloudfog_sim::stats::Histogram;
+use cloudfog_core::systems::{RunOutput, StreamingSim, StreamingSimConfig, SystemKind};
+use cloudfog_sim::telemetry::TelemetryConfig;
 use cloudfog_sim::time::SimDuration;
 use rayon::prelude::*;
 
@@ -15,35 +15,34 @@ fn main() {
     let players = scale.peersim().population.players;
     let systems =
         [SystemKind::Cloud, SystemKind::EdgeCloud, SystemKind::CloudFogB, SystemKind::CloudFogA];
-    let rows: Vec<(SystemKind, Histogram)> = systems
+    let rows: Vec<(SystemKind, RunOutput)> = systems
         .par_iter()
         .map(|&kind| {
-            let mut cfg = StreamingSimConfig::quick(kind, players, scale.seed);
-            cfg.ramp = SimDuration::from_secs((scale.secs / 4).max(5));
-            cfg.horizon = SimDuration::from_secs(scale.secs);
-            cfg.series_bucket = Some(SimDuration::from_secs(1));
-            let (_, series) = StreamingSim::run_detailed(cfg);
-            let mut hist = Histogram::new(0.0, 1_000.0, 200);
-            if let Some(series) = series {
-                for (_, mean, count) in series.latency_ms.rows() {
-                    if count > 0 {
-                        // Bucket means weighted by delivery count.
-                        for _ in 0..count.min(10_000) {
-                            hist.record(mean);
-                        }
-                    }
-                }
-            }
-            (kind, hist)
+            let cfg = StreamingSimConfig::builder(kind)
+                .players(players)
+                .seed(scale.seed)
+                .ramp(SimDuration::from_secs((scale.secs / 4).max(5)))
+                .horizon(SimDuration::from_secs(scale.secs))
+                .telemetry(TelemetryConfig::default())
+                .build();
+            (kind, StreamingSim::run_instrumented(cfg))
         })
         .collect();
 
     let mut t = Table::new(format!("response-latency distribution ({players} players)"))
-        .headers(["system", "P50", "P75", "P90", "P99"])
+        .headers(["system", "P50", "P95", "P99", "max", "mean"])
         .paper_shape("the Cloud tail is what Choy et al. measured; the fog compresses it");
-    for (kind, hist) in &rows {
-        let q = |p: f64| hist.quantile(p).map(ms).unwrap_or_else(|| "-".into());
-        t.row([kind.label().to_string(), q(0.50), q(0.75), q(0.90), q(0.99)]);
+    for (kind, out) in &rows {
+        let report = out.telemetry.as_ref().expect("telemetry enabled");
+        let q = report.get_quantiles("latency_ms.player").expect("player latency quantiles");
+        t.row([
+            kind.label().to_string(),
+            ms(q.quantiles.p50),
+            ms(q.quantiles.p95),
+            ms(q.quantiles.p99),
+            ms(q.quantiles.max),
+            ms(q.mean),
+        ]);
     }
     t.print();
     t.maybe_write_csv("latency_cdf");

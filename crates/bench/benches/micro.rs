@@ -121,9 +121,12 @@ fn bench_streaming_run(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("streaming_sim_100p_10s", |b| {
         b.iter(|| {
-            let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogA, 100, 9);
-            cfg.ramp = SimDuration::from_secs(2);
-            cfg.horizon = SimDuration::from_secs(10);
+            let cfg = StreamingSimConfig::builder(SystemKind::CloudFogA)
+                .players(100)
+                .seed(9)
+                .ramp(SimDuration::from_secs(2))
+                .horizon(SimDuration::from_secs(10))
+                .build();
             black_box(StreamingSim::run(cfg))
         });
     });

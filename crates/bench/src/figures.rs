@@ -40,11 +40,7 @@ impl RunScale {
     /// environment, falling back to [`RunScale::default_small`].
     pub fn from_env() -> Self {
         let mut s = Self::default_small();
-        if let Ok(v) = std::env::var("CLOUDFOG_SCALE") {
-            if let Ok(f) = v.parse::<f64>() {
-                s.scale = f.clamp(0.001, 1.0);
-            }
-        }
+        s.scale = cloudfog_core::config::scale_from_env(s.scale);
         if let Ok(v) = std::env::var("CLOUDFOG_SECS") {
             if let Ok(n) = v.parse::<u64>() {
                 s.secs = n.max(5);
@@ -142,9 +138,12 @@ pub fn streaming_cell(kind: SystemKind, players: usize, scale: &RunScale) -> Run
     let runs: Vec<RunSummary> = (0..reps)
         .into_par_iter()
         .map(|r| {
-            let mut cfg = StreamingSimConfig::quick(kind, players, scale.seed ^ (r * 0x9E37));
-            cfg.ramp = SimDuration::from_secs((scale.secs / 4).max(5));
-            cfg.horizon = SimDuration::from_secs(scale.secs);
+            let cfg = StreamingSimConfig::builder(kind)
+                .players(players)
+                .seed(scale.seed ^ (r * 0x9E37))
+                .ramp(SimDuration::from_secs((scale.secs / 4).max(5)))
+                .horizon(SimDuration::from_secs(scale.secs))
+                .build();
             StreamingSim::run(cfg)
         })
         .collect();
@@ -244,16 +243,16 @@ mod tests {
     #[test]
     fn average_runs_is_fieldwise_mean() {
         let scale = RunScale { scale: 0.02, secs: 8, seed: 3 };
-        let a = {
-            let mut cfg = StreamingSimConfig::quick(SystemKind::Cloud, 100, 3);
-            cfg.horizon = SimDuration::from_secs(8);
+        let run = |seed: u64| {
+            let cfg = StreamingSimConfig::builder(SystemKind::Cloud)
+                .players(100)
+                .seed(seed)
+                .horizon(SimDuration::from_secs(8))
+                .build();
             StreamingSim::run(cfg)
         };
-        let b = {
-            let mut cfg = StreamingSimConfig::quick(SystemKind::Cloud, 100, 4);
-            cfg.horizon = SimDuration::from_secs(8);
-            StreamingSim::run(cfg)
-        };
+        let a = run(3);
+        let b = run(4);
         let avg = average_runs(&[a.clone(), b.clone()]);
         assert_eq!(avg.kind, a.kind);
         assert!((avg.mean_latency_ms - (a.mean_latency_ms + b.mean_latency_ms) / 2.0).abs() < 1e-9);

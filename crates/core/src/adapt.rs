@@ -36,6 +36,7 @@
 //! controller probes one level up; if the probe overloads the path,
 //! the ordinary down rule pulls it back within a window.
 
+use cloudfog_sim::telemetry::TraceRecord;
 use cloudfog_sim::time::{SimDuration, SimTime};
 use cloudfog_workload::games::{adjust_up_factor, Game, QualityLevel};
 
@@ -48,6 +49,28 @@ pub enum RateDecision {
     Up(u8),
     /// Decrease one quality level (to the returned level).
     Down(u8),
+}
+
+impl RateDecision {
+    /// Trace-record name for up-switches.
+    pub const TRACE_UP: &'static str = "adapt.up";
+    /// Trace-record name for down-switches.
+    pub const TRACE_DOWN: &'static str = "adapt.down";
+
+    /// A telemetry record for this decision — `Some` only when the
+    /// quality level actually changes (`Hold` is not traced). `key`
+    /// identifies the player, `value` is the new level.
+    pub fn trace(&self, at: SimTime, player: u64) -> Option<TraceRecord> {
+        match *self {
+            RateDecision::Hold => None,
+            RateDecision::Up(level) => {
+                Some(TraceRecord::new(at, Self::TRACE_UP, player, level as f64))
+            }
+            RateDecision::Down(level) => {
+                Some(TraceRecord::new(at, Self::TRACE_DOWN, player, level as f64))
+            }
+        }
+    }
 }
 
 /// The receiver-side rate adaptation state machine for one stream.

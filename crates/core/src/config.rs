@@ -86,6 +86,19 @@ impl ExperimentProfile {
     }
 }
 
+/// Universe scale from the `CLOUDFOG_SCALE` environment variable —
+/// the one shared parser behind every example and bench harness.
+/// Falls back to `default` when unset or unparsable; the result is
+/// always clamped to `(0.001, 1.0]` (1.0 = the paper's 10 000-player
+/// PeerSim universe).
+pub fn scale_from_env(default: f64) -> f64 {
+    std::env::var("CLOUDFOG_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(default)
+        .clamp(0.001, 1.0)
+}
+
 /// Protocol and transport constants (§IV defaults plus the streaming
 /// model's physical constants).
 #[derive(Clone, Copy, Debug)]

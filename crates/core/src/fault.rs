@@ -27,7 +27,17 @@
 
 use cloudfog_net::geo::Region;
 use cloudfog_sim::rng::Rng;
+use cloudfog_sim::telemetry::TraceRecord;
 use cloudfog_sim::time::{SimDuration, SimTime};
+
+/// Trace-record name for heartbeat-detector failure confirmations.
+pub const DETECTION_TRACE_KIND: &str = "detector.confirm";
+
+/// A telemetry record for a confirmed supernode failure: `key` is the
+/// supernode's host id, `value` the detection latency in milliseconds.
+pub fn detection_trace(at: SimTime, supernode: u64, detection_ms: f64) -> TraceRecord {
+    TraceRecord::new(at, DETECTION_TRACE_KIND, supernode, detection_ms)
+}
 
 /// What a fault does while active.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -85,6 +95,32 @@ pub struct FaultEvent {
     pub duration: SimDuration,
     /// What it does.
     pub kind: FaultKind,
+}
+
+impl FaultKind {
+    /// Static trace-record name for this fault class.
+    pub fn trace_kind(&self) -> &'static str {
+        match self {
+            FaultKind::RegionalOutage { .. } => "fault.outage",
+            FaultKind::LatencyStorm { .. } => "fault.latency_storm",
+            FaultKind::PacketLossBurst { .. } => "fault.loss_burst",
+            FaultKind::BandwidthCollapse { .. } => "fault.bw_collapse",
+            FaultKind::GrayFailure { .. } => "fault.gray",
+        }
+    }
+}
+
+impl FaultEvent {
+    /// Telemetry record for this fault activating (`key` is the fault
+    /// index in its script, `value` 1 = start).
+    pub fn trace_start(&self, index: usize) -> TraceRecord {
+        TraceRecord::new(self.at, self.kind.trace_kind(), index as u64, 1.0)
+    }
+
+    /// Telemetry record for this fault clearing (`value` 0 = end).
+    pub fn trace_end(&self, index: usize) -> TraceRecord {
+        TraceRecord::new(self.at + self.duration, self.kind.trace_kind(), index as u64, 0.0)
+    }
 }
 
 /// A reproducible schedule of faults, kept sorted by start time.

@@ -55,7 +55,7 @@ pub mod systems;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::adapt::{RateController, RateDecision};
-    pub use crate::config::{ExperimentProfile, SystemParams, Testbed};
+    pub use crate::config::{scale_from_env, ExperimentProfile, SystemParams, Testbed};
     pub use crate::coop::{apply_migrations, plan_rebalance, CoopPolicy, Migration};
     pub use crate::economics::{
         bandwidth_reduction, clear_market, deployment_gain, optimal_reward, provider_savings,
@@ -69,8 +69,10 @@ pub mod prelude {
     pub use crate::security::{Reputation, TrustEvent, TrustManager};
     pub use crate::streaming::{PlayerStreamStats, Segment, SegmentId};
     pub use crate::systems::{
-        coverage_curve, supernode_load_experiment, CoveragePoint, Deployment, GameQoe, JoinPattern,
-        LoadExperimentConfig, LoadPoint, QoeSeries, RunSummary, StreamSource, StreamingSim,
-        StreamingSimConfig, SystemKind,
+        coverage_curve, supernode_load_experiment, CoveragePoint, Deployment, FogStats, GameQoe,
+        JoinPattern, LatencyStats, LoadExperimentConfig, LoadPoint, QoeSeries, QoeStats, RunOutput,
+        RunSummary, StreamSource, StreamingSim, StreamingSimConfig, StreamingSimConfigBuilder,
+        SystemKind, TrafficStats,
     };
+    pub use cloudfog_sim::telemetry::{Quantiles, TelemetryConfig, TelemetryReport};
 }

@@ -14,7 +14,8 @@
 
 use std::collections::BTreeMap;
 
-use cloudfog_sim::stats::Welford;
+use cloudfog_sim::stats::{Histogram, Welford};
+use cloudfog_sim::telemetry::TelemetryConfig;
 use cloudfog_sim::time::SimTime;
 use cloudfog_workload::games::GameId;
 use cloudfog_workload::player::PlayerId;
@@ -53,6 +54,9 @@ pub struct MetricsCollector {
     orphaned_player_secs: f64,
     /// Players moved away from degraded supernodes by the watchdog.
     watchdog_reassignments: u64,
+    /// Segment-level response-latency histogram (ms). `None` unless
+    /// telemetry is enabled, so the hot path pays nothing by default.
+    segment_latency_hist: Option<Histogram>,
 }
 
 impl MetricsCollector {
@@ -66,10 +70,47 @@ impl MetricsCollector {
         self.measure_from = from;
     }
 
+    /// Turn on distribution recording: every measured arrival also
+    /// lands in a segment-latency histogram with `cfg`'s geometry.
+    /// Observation-only — enabling this changes no reported mean.
+    pub fn enable_histograms(&mut self, cfg: &TelemetryConfig) {
+        self.segment_latency_hist = Some(cfg.latency_histogram());
+    }
+
+    /// The segment-latency histogram, when telemetry is enabled.
+    pub fn segment_latency_histogram(&self) -> Option<&Histogram> {
+        self.segment_latency_hist.as_ref()
+    }
+
+    /// Collect-time distribution of per-player *mean* latencies (ms) —
+    /// the per-player view behind the paper's latency CDFs. Zero
+    /// hot-path cost: built from bookkeeping that exists anyway.
+    pub fn player_latency_histogram(&self, cfg: &TelemetryConfig) -> Histogram {
+        let mut h = cfg.latency_histogram();
+        for s in self.players.values() {
+            if s.segments > 0 {
+                h.record(s.mean_latency_ms());
+            }
+        }
+        h
+    }
+
+    /// Collect-time distribution of per-player playback continuity.
+    pub fn continuity_histogram(&self, cfg: &TelemetryConfig) -> Histogram {
+        let mut h = cfg.ratio_histogram();
+        for s in self.players.values() {
+            h.record(s.continuity());
+        }
+        h
+    }
+
     /// Record a segment arriving at its player.
     pub fn record_arrival(&mut self, segment: &Segment, first_packet: SimTime, arrival: SimTime) {
         if arrival < self.measure_from {
             return;
+        }
+        if let Some(hist) = &mut self.segment_latency_hist {
+            hist.record(arrival.saturating_since(segment.action_time).as_millis_f64());
         }
         self.players.entry(segment.player).or_default().record_arrival(
             segment,
@@ -151,6 +192,20 @@ impl MetricsCollector {
         }
         self.players.values().map(PlayerStreamStats::continuity).sum::<f64>()
             / self.players.len() as f64
+    }
+
+    /// Exact mean segment response latency (ms) over every measured
+    /// segment — the mean the segment-level histogram approximates.
+    pub fn segment_latency_mean_ms(&self) -> f64 {
+        let (sum, n) = self
+            .players
+            .values()
+            .fold((0.0, 0u64), |(s, n), p| (s + p.latency_sum_ms, n + p.segments));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
     }
 
     /// Distribution of per-player mean response latencies (ms).
@@ -323,6 +378,28 @@ mod tests {
         assert!((game0.3 - 0.5).abs() < 1e-12, "one of two satisfied");
         let game4 = rows.iter().find(|r| r.0 == GameId(4)).unwrap();
         assert_eq!(game4.1, 1);
+    }
+
+    #[test]
+    fn histograms_are_off_by_default_and_gated_like_qoe() {
+        let cfg = TelemetryConfig::default();
+        let mut m = MetricsCollector::new();
+        arrival(&mut m, 1, 0, false);
+        assert!(m.segment_latency_histogram().is_none(), "zero-cost when off");
+
+        let mut m = MetricsCollector::new();
+        m.enable_histograms(&cfg);
+        m.set_measure_from(SimTime::from_millis(1_010));
+        arrival(&mut m, 1, 0, false); // arrives 1 055 ms — measured
+        let hist = m.segment_latency_histogram().unwrap();
+        assert_eq!(hist.count(), 1);
+        let q = hist.quantile(0.5).unwrap();
+        assert!((q - 55.0).abs() < 5.0, "median near 55 ms, got {q}");
+
+        let player_hist = m.player_latency_histogram(&cfg);
+        assert_eq!(player_hist.count(), 1);
+        let cont = m.continuity_histogram(&cfg);
+        assert_eq!(cont.count(), 1);
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::collections::HashMap;
 
 use cloudfog_net::bandwidth::Mbps;
 use cloudfog_sim::stats::SlidingMean;
+use cloudfog_sim::telemetry::TraceRecord;
 use cloudfog_sim::time::{SimDuration, SimTime};
 use cloudfog_workload::player::PlayerId;
 
@@ -52,6 +53,21 @@ pub struct DropReport {
     pub packets_dropped: u32,
     /// Segments that lost at least one packet.
     pub segments_affected: u32,
+}
+
+impl DropReport {
+    /// Trace-record name for deadline-buffer packet sheds.
+    pub const TRACE_KIND: &'static str = "sched.drop";
+
+    /// A telemetry record for this rebalance — `Some` only when the
+    /// enqueue actually shed packets, so quiet enqueues cost nothing.
+    /// `key` is the enqueued segment's player, `value` the packets
+    /// dropped across the buffer.
+    pub fn trace(&self, at: SimTime, player: PlayerId) -> Option<TraceRecord> {
+        (self.packets_dropped > 0).then(|| {
+            TraceRecord::new(at, Self::TRACE_KIND, player.0 as u64, self.packets_dropped as f64)
+        })
+    }
 }
 
 /// A sender's outgoing segment buffer.

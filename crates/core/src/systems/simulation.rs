@@ -35,6 +35,9 @@ use cloudfog_sim::engine::{Model, Scheduler, Simulation};
 use cloudfog_sim::event::EventQueue;
 use cloudfog_sim::rng::Rng;
 use cloudfog_sim::series::{CounterSeries, TimeSeries};
+use cloudfog_sim::telemetry::{
+    PhaseProfiler, TelemetryConfig, TelemetryReport, TraceRecord, TraceRing,
+};
 use cloudfog_sim::time::{SimDuration, SimTime};
 use cloudfog_workload::arrival::{DiurnalArrivals, SessionCycle};
 use cloudfog_workload::games::{Game, GameId, QualityLevel, GAMES};
@@ -126,30 +129,177 @@ pub struct StreamingSimConfig {
     /// QoE watchdog letting players escape gray-failed supernodes
     /// (`None` = disabled).
     pub watchdog: Option<WatchdogParams>,
+    /// Telemetry recording: histograms, event trace, phase profiling
+    /// (`None` = fully disabled — the hot path pays nothing, and the
+    /// [`RunSummary`] is bit-identical either way).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl StreamingSimConfig {
-    /// A small default: the given system over a scaled-down PeerSim
-    /// profile — suitable for tests and quick examples.
-    pub fn quick(kind: SystemKind, players: usize, seed: u64) -> Self {
-        let scale = (players as f64 / 10_000.0).clamp(0.001, 1.0);
-        StreamingSimConfig {
-            kind,
-            profile: ExperimentProfile::peersim(scale),
-            params: SystemParams::default(),
-            seed,
-            ramp: SimDuration::from_secs(10),
-            horizon: SimDuration::from_secs(60),
-            datacenter_override: None,
-            supernode_override: None,
-            supernode_mtbf: None,
-            supernode_mttr: None,
-            series_bucket: None,
-            join_pattern: JoinPattern::Ramp,
-            fault_script: None,
-            detector: DetectorParams::default(),
-            watchdog: None,
+    /// Start a typed builder for the given system under test.
+    ///
+    /// ```
+    /// use cloudfog_core::prelude::*;
+    /// use cloudfog_sim::time::SimDuration;
+    ///
+    /// let cfg = StreamingSimConfig::builder(SystemKind::CloudFogA)
+    ///     .players(500)
+    ///     .seed(42)
+    ///     .horizon(SimDuration::from_secs(30))
+    ///     .build();
+    /// assert_eq!(cfg.seed, 42);
+    /// ```
+    pub fn builder(kind: SystemKind) -> StreamingSimConfigBuilder {
+        StreamingSimConfigBuilder {
+            cfg: StreamingSimConfig {
+                kind,
+                profile: ExperimentProfile::peersim(0.1),
+                params: SystemParams::default(),
+                seed: 0,
+                ramp: SimDuration::from_secs(10),
+                horizon: SimDuration::from_secs(60),
+                datacenter_override: None,
+                supernode_override: None,
+                supernode_mtbf: None,
+                supernode_mttr: None,
+                series_bucket: None,
+                join_pattern: JoinPattern::Ramp,
+                fault_script: None,
+                detector: DetectorParams::default(),
+                watchdog: None,
+                telemetry: None,
+            },
+            players: 1_000,
+            custom_profile: false,
         }
+    }
+
+    /// A small default: the given system over a scaled-down PeerSim
+    /// profile — suitable for tests and quick examples. Thin wrapper
+    /// over [`StreamingSimConfig::builder`].
+    pub fn quick(kind: SystemKind, players: usize, seed: u64) -> Self {
+        Self::builder(kind).players(players).seed(seed).build()
+    }
+}
+
+/// Typed builder for [`StreamingSimConfig`] (the supported way to
+/// configure a run — no more constructing 16 fields by hand).
+///
+/// Unless [`profile`](StreamingSimConfigBuilder::profile) is set
+/// explicitly, [`build`](StreamingSimConfigBuilder::build) derives a
+/// scaled-down PeerSim profile from the requested player count.
+#[derive(Clone, Debug)]
+pub struct StreamingSimConfigBuilder {
+    cfg: StreamingSimConfig,
+    players: usize,
+    custom_profile: bool,
+}
+
+impl StreamingSimConfigBuilder {
+    /// Target player count (drives the derived profile scale).
+    pub fn players(mut self, players: usize) -> Self {
+        self.players = players;
+        self
+    }
+
+    /// RNG seed — same seed, same universe, same results.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Join-ramp window (players join uniformly over it).
+    pub fn ramp(mut self, ramp: SimDuration) -> Self {
+        self.cfg.ramp = ramp;
+        self
+    }
+
+    /// Simulated horizon.
+    pub fn horizon(mut self, horizon: SimDuration) -> Self {
+        self.cfg.horizon = horizon;
+        self
+    }
+
+    /// Explicit universe profile (overrides the player-derived one).
+    pub fn profile(mut self, profile: ExperimentProfile) -> Self {
+        self.cfg.profile = profile;
+        self.custom_profile = true;
+        self
+    }
+
+    /// Protocol constants.
+    pub fn params(mut self, params: SystemParams) -> Self {
+        self.cfg.params = params;
+        self
+    }
+
+    /// Datacenter-count override.
+    pub fn datacenters(mut self, n: usize) -> Self {
+        self.cfg.datacenter_override = Some(n);
+        self
+    }
+
+    /// Supernode-count override.
+    pub fn supernodes(mut self, n: usize) -> Self {
+        self.cfg.supernode_override = Some(n);
+        self
+    }
+
+    /// Supernode churn: mean time between failures across the fog.
+    pub fn supernode_mtbf(mut self, mtbf: SimDuration) -> Self {
+        self.cfg.supernode_mtbf = Some(mtbf);
+        self
+    }
+
+    /// Supernode repair: mean time to revive a failed supernode.
+    pub fn supernode_mttr(mut self, mttr: SimDuration) -> Self {
+        self.cfg.supernode_mttr = Some(mttr);
+        self
+    }
+
+    /// Record time-bucketed QoE series with this bucket width.
+    pub fn series_bucket(mut self, bucket: SimDuration) -> Self {
+        self.cfg.series_bucket = Some(bucket);
+        self
+    }
+
+    /// How players join (default: uniform ramp).
+    pub fn join_pattern(mut self, pattern: JoinPattern) -> Self {
+        self.cfg.join_pattern = pattern;
+        self
+    }
+
+    /// Scripted chaos faults replayed during the run.
+    pub fn fault_script(mut self, script: FaultScript) -> Self {
+        self.cfg.fault_script = Some(script);
+        self
+    }
+
+    /// Heartbeat failure-detector policy.
+    pub fn detector(mut self, detector: DetectorParams) -> Self {
+        self.cfg.detector = detector;
+        self
+    }
+
+    /// QoE watchdog (escape hatch from gray-failed supernodes).
+    pub fn watchdog(mut self, watchdog: WatchdogParams) -> Self {
+        self.cfg.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Enable telemetry with the given recording config.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.cfg.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Finalize the config.
+    pub fn build(mut self) -> StreamingSimConfig {
+        if !self.custom_profile {
+            let scale = (self.players as f64 / 10_000.0).clamp(0.001, 1.0);
+            self.cfg.profile = ExperimentProfile::peersim(scale);
+        }
+        self.cfg
     }
 }
 
@@ -201,6 +351,115 @@ pub struct RunSummary {
     /// Per-game QoE rows (empty after cross-seed averaging when game
     /// populations differ between seeds).
     pub game_breakdown: Vec<GameQoe>,
+}
+
+/// Latency view of a [`RunSummary`] (see [`RunSummary::latency`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyStats {
+    /// Mean per-player response latency (ms).
+    pub mean_ms: f64,
+    /// Fraction of players whose mean latency met their game's
+    /// requirement (§IV coverage).
+    pub coverage: f64,
+}
+
+/// QoE view of a [`RunSummary`] (see [`RunSummary::qoe`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QoeStats {
+    /// §IV satisfied-player ratio.
+    pub satisfied_ratio: f64,
+    /// Mean playback continuity.
+    pub mean_continuity: f64,
+    /// §IV latency coverage.
+    pub coverage: f64,
+}
+
+/// Fog / resilience view of a [`RunSummary`] (see [`RunSummary::fog`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FogStats {
+    /// Fraction of players served by supernodes.
+    pub share: f64,
+    /// Supernode failures injected (churn + scripted outages).
+    pub failures_injected: u64,
+    /// Displaced players rescued by a §III-A.3 backup.
+    pub failovers_rescued: u64,
+    /// Scripted fault activations.
+    pub faults_activated: u64,
+    /// Mean heartbeat-detection latency (ms).
+    pub mean_detection_ms: f64,
+    /// Player-seconds orphaned on dead supernodes before confirmation.
+    pub orphaned_player_secs: f64,
+    /// QoE-watchdog re-assignments.
+    pub watchdog_reassignments: u64,
+}
+
+/// Traffic view of a [`RunSummary`] (see [`RunSummary::traffic`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrafficStats {
+    /// Cloud egress over the run (bytes; video + updates).
+    pub cloud_bytes: u64,
+    /// Cloud egress rate (Mbps).
+    pub cloud_mbps: f64,
+    /// Video bytes served by supernodes.
+    pub supernode_bytes: u64,
+    /// Video bytes served by edge servers.
+    pub edge_bytes: u64,
+    /// Packets dropped by deadline schedulers.
+    pub scheduler_drops: u64,
+}
+
+impl RunSummary {
+    /// The latency-centric slice of this summary.
+    pub fn latency(&self) -> LatencyStats {
+        LatencyStats { mean_ms: self.mean_latency_ms, coverage: self.coverage }
+    }
+
+    /// The QoE slice of this summary.
+    pub fn qoe(&self) -> QoeStats {
+        QoeStats {
+            satisfied_ratio: self.satisfied_ratio,
+            mean_continuity: self.mean_continuity,
+            coverage: self.coverage,
+        }
+    }
+
+    /// The fog / resilience slice of this summary.
+    pub fn fog(&self) -> FogStats {
+        FogStats {
+            share: self.fog_share,
+            failures_injected: self.failures_injected,
+            failovers_rescued: self.failovers_rescued,
+            faults_activated: self.faults_activated,
+            mean_detection_ms: self.mean_detection_ms,
+            orphaned_player_secs: self.orphaned_player_secs,
+            watchdog_reassignments: self.watchdog_reassignments,
+        }
+    }
+
+    /// The traffic-accounting slice of this summary.
+    pub fn traffic(&self) -> TrafficStats {
+        TrafficStats {
+            cloud_bytes: self.cloud_bytes,
+            cloud_mbps: self.cloud_mbps,
+            supernode_bytes: self.supernode_bytes,
+            edge_bytes: self.edge_bytes,
+            scheduler_drops: self.scheduler_drops,
+        }
+    }
+}
+
+/// Full output of an instrumented run (see
+/// [`StreamingSim::run_instrumented`]).
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Aggregated outcome — bit-identical with telemetry on or off.
+    pub summary: RunSummary,
+    /// Time-bucketed QoE curves (when
+    /// [`StreamingSimConfig::series_bucket`] is set).
+    pub series: Option<QoeSeries>,
+    /// Telemetry artifact (when [`StreamingSimConfig::telemetry`] is
+    /// set): quantiles, CDFs, trace counts, wall-clock phases.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// Time-bucketed QoE curves of a run (enabled via
@@ -294,6 +553,14 @@ struct SuspectState {
     probing: bool,
 }
 
+/// Live telemetry recording state — allocated only when
+/// [`StreamingSimConfig::telemetry`] is set, so a disabled run pays
+/// one pointer-null check per instrumentation point and nothing else.
+struct TelemetryState {
+    cfg: TelemetryConfig,
+    trace: TraceRing,
+}
+
 /// Per-sender state: one uplink port with one queue.
 struct Sender {
     buffer: SenderBuffer,
@@ -374,6 +641,8 @@ pub struct StreamingSim {
     /// Gray-failure fault index → degraded host.
     gray_victims: HashMap<usize, HostId>,
     faults_activated: u64,
+    /// Telemetry recording state (`None` = off, zero cost).
+    telemetry: Option<Box<TelemetryState>>,
     next_segment: u64,
     rng_assign: Rng,
     rng_game: Rng,
@@ -407,6 +676,14 @@ impl StreamingSim {
             })
             .collect();
         let series = cfg.series_bucket.map(QoeSeries::new);
+        let telemetry = cfg.telemetry.clone().map(|tcfg| {
+            let trace = TraceRing::new(tcfg.trace_capacity);
+            Box::new(TelemetryState { cfg: tcfg, trace })
+        });
+        let mut metrics = MetricsCollector::new();
+        if let Some(t) = &telemetry {
+            metrics.enable_histograms(&t.cfg);
+        }
         StreamingSim {
             cfg,
             deployment,
@@ -414,7 +691,7 @@ impl StreamingSim {
             senders: HashMap::new(),
             last_game: vec![None; n],
             cycles,
-            metrics: MetricsCollector::new(),
+            metrics,
             flow_free_at: HashMap::new(),
             update_feeds: BTreeMap::new(),
             update_feed_secs: 0.0,
@@ -429,6 +706,7 @@ impl StreamingSim {
             outage_victims: HashMap::new(),
             gray_victims: HashMap::new(),
             faults_activated: 0,
+            telemetry,
             next_segment: 0,
             rng_assign,
             rng_game,
@@ -437,9 +715,15 @@ impl StreamingSim {
         }
     }
 
-    /// Run to the horizon and summarize, also returning the QoE
-    /// series when [`StreamingSimConfig::series_bucket`] is set.
-    pub fn run_detailed(cfg: StreamingSimConfig) -> (RunSummary, Option<QoeSeries>) {
+    /// Run to the horizon and return everything: summary, optional QoE
+    /// series, and — when [`StreamingSimConfig::telemetry`] is set —
+    /// the [`TelemetryReport`] with quantiles, CDFs, trace counts and
+    /// wall-clock phase timings (setup / event loop / collect).
+    pub fn run_instrumented(cfg: StreamingSimConfig) -> RunOutput {
+        let mut profiler = cfg.telemetry.is_some().then(PhaseProfiler::new);
+        if let Some(p) = profiler.as_mut() {
+            p.enter("setup");
+        }
         let horizon = cfg.horizon;
         let ramp = cfg.ramp;
         let mut model = StreamingSim::new(cfg);
@@ -488,11 +772,29 @@ impl StreamingSim {
         for (i, at) in fault_starts.into_iter().enumerate() {
             sim.seed_at(at, Ev::FaultStart(i));
         }
+        if let Some(p) = profiler.as_mut() {
+            p.enter("event_loop");
+        }
         let report = sim.run();
         let mut model = sim.model;
+        if let Some(p) = profiler.as_mut() {
+            p.enter("collect");
+        }
         model.finish(report.end_time);
         let summary = model.summarize(report.events_executed, report.end_time);
-        (summary, model.series)
+        let telemetry = profiler.map(|mut prof| {
+            let mut t = model.telemetry_report(&summary);
+            t.set_phases(&mut prof);
+            t
+        });
+        RunOutput { summary, series: model.series, telemetry }
+    }
+
+    /// Run to the horizon and summarize, also returning the QoE
+    /// series when [`StreamingSimConfig::series_bucket`] is set.
+    pub fn run_detailed(cfg: StreamingSimConfig) -> (RunSummary, Option<QoeSeries>) {
+        let out = Self::run_instrumented(cfg);
+        (out.summary, out.series)
     }
 
     /// Run to the horizon and summarize.
@@ -602,6 +904,56 @@ impl StreamingSim {
         }
     }
 
+    /// True when the event trace is live — hot paths check this before
+    /// even constructing a record, so disabled runs pay one null check.
+    #[inline]
+    fn tracing(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Push a trace record (no-op when telemetry is off).
+    #[inline]
+    fn trace(&mut self, record: TraceRecord) {
+        if let Some(t) = self.telemetry.as_mut() {
+            t.trace.push(record);
+        }
+    }
+
+    /// Build the telemetry artifact for a finished run. Must only be
+    /// called when telemetry was enabled.
+    fn telemetry_report(&self, summary: &RunSummary) -> TelemetryReport {
+        let state = self.telemetry.as_ref().expect("telemetry enabled");
+        let tcfg = &state.cfg;
+        let mut report = TelemetryReport::new(self.cfg.kind.label());
+        report.scalar("players", summary.players as f64);
+        report.scalar("events", summary.events as f64);
+        report.scalar("fog_share", summary.fog_share);
+        report.scalar("satisfied_ratio", summary.satisfied_ratio);
+        report.scalar("mean_continuity", summary.mean_continuity);
+        report.scalar("mean_latency_ms", summary.mean_latency_ms);
+        report.scalar("coverage", summary.coverage);
+        report.scalar("cloud_mbps", summary.cloud_mbps);
+        report.scalar("scheduler_drops", summary.scheduler_drops as f64);
+        report.scalar("failures_injected", summary.failures_injected as f64);
+        report.scalar("faults_activated", summary.faults_activated as f64);
+        report.scalar("mean_detection_ms", summary.mean_detection_ms);
+        if let Some(hist) = self.metrics.segment_latency_histogram() {
+            report.distribution(
+                "latency_ms.segment",
+                hist,
+                self.metrics.segment_latency_mean_ms(),
+                tcfg,
+                true,
+            );
+        }
+        let player_lat = self.metrics.player_latency_histogram(tcfg);
+        report.distribution("latency_ms.player", &player_lat, summary.mean_latency_ms, tcfg, true);
+        let continuity = self.metrics.continuity_histogram(tcfg);
+        report.distribution("continuity.player", &continuity, summary.mean_continuity, tcfg, false);
+        report.set_trace(&state.trace, tcfg);
+        report
+    }
+
     /// Policy for a sender: deadline scheduling only applies at
     /// supernodes of scheduling-enabled systems.
     fn policy_for(&self, class: TrafficSource) -> SchedulingPolicy {
@@ -681,6 +1033,15 @@ impl StreamingSim {
             },
         );
 
+        if self.tracing() {
+            let class = match self.active[&p].source.class {
+                TrafficSource::Cloud => 0.0,
+                TrafficSource::EdgeServer => 1.0,
+                TrafficSource::Supernode => 2.0,
+            };
+            self.trace(TraceRecord::new(now, "deploy.assign", u64::from(p.0), class));
+        }
+
         // First action lands somewhere inside one action period to
         // desynchronize players; session end via the player's cycle.
         let period = self.action_period();
@@ -742,12 +1103,18 @@ impl StreamingSim {
             self.charge_lost_segment(&segment);
             return;
         }
+        let player = segment.player;
         let Some(sender) = self.senders.get_mut(&host) else { return };
         let report = sender.buffer.enqueue(segment, sched.now(), &self.cfg.params);
         self.scheduler_drops += report.packets_dropped as u64;
         if !sender.busy {
             sender.busy = true;
             sched.schedule_in(SimDuration::ZERO, Ev::StartTx(host));
+        }
+        if self.tracing() {
+            if let Some(r) = report.trace(sched.now(), player) {
+                self.trace(r);
+            }
         }
     }
 
@@ -891,6 +1258,7 @@ impl StreamingSim {
         // download rate d(t) = τ / inter-arrival over the last
         // estimation interval, playback rate b_p = 1 (real time).
         let params = self.cfg.params;
+        let mut decision = RateDecision::Hold;
         if let Some(active) = self.active.get_mut(&segment.player) {
             // QoE-watchdog window: packets owed vs packets on time.
             active.window_packets += u64::from(segment.packets);
@@ -904,8 +1272,12 @@ impl StreamingSim {
                 active.last_buffer_event = now;
                 // Quality changes take effect on the next Action; the
                 // controller tracks its own level.
-                let _decision: RateDecision =
-                    controller.observe(now, d, 1.0, params.segment_duration);
+                decision = controller.observe(now, d, 1.0, params.segment_duration);
+            }
+        }
+        if self.tracing() {
+            if let Some(r) = decision.trace(now, u64::from(segment.player.0)) {
+                self.trace(r);
             }
         }
     }
@@ -1071,6 +1443,10 @@ impl StreamingSim {
             }
         }
         self.metrics.record_confirmed_failure(detection_ms, orphan_secs);
+        if self.tracing() {
+            let host = self.deployment.supernodes.get(sn).host;
+            self.trace(crate::fault::detection_trace(now, u64::from(host.0), detection_ms));
+        }
         for p in orphans {
             if self.rehome_player(p, now) {
                 self.failovers_rescued += 1;
@@ -1132,6 +1508,10 @@ impl StreamingSim {
         if let Some(active) = self.active.get_mut(&p) {
             active.source = new_source;
         }
+        if self.tracing() {
+            let value = if rescued { 1.0 } else { 0.0 };
+            self.trace(TraceRecord::new(now, "deploy.rehome", u64::from(p.0), value));
+        }
         rescued
     }
 
@@ -1182,6 +1562,9 @@ impl StreamingSim {
         self.deployment.supernodes.release(sn, p);
         self.rehome_player(p, now);
         self.metrics.record_watchdog_reassignment();
+        if self.tracing() {
+            self.trace(TraceRecord::new(now, "watchdog.reassign", u64::from(p.0), 1.0));
+        }
         if let Some(series) = self.series.as_mut() {
             series.reassignments.bump(now);
         }
@@ -1195,6 +1578,9 @@ impl StreamingSim {
         };
         let now = sched.now();
         self.faults_activated += 1;
+        if self.tracing() {
+            self.trace(ev.trace_start(idx));
+        }
         if let Some(series) = self.series.as_mut() {
             series.faults.bump(now);
         }
@@ -1256,6 +1642,9 @@ impl StreamingSim {
         else {
             return;
         };
+        if self.tracing() {
+            self.trace(ev.trace_end(idx));
+        }
         match ev.kind {
             FaultKind::RegionalOutage { .. } => {
                 for sn in self.outage_victims.remove(&idx).unwrap_or_default() {
@@ -1309,9 +1698,12 @@ mod tests {
     use super::*;
 
     fn quick(kind: SystemKind, players: usize, seed: u64) -> RunSummary {
-        let mut cfg = StreamingSimConfig::quick(kind, players, seed);
-        cfg.ramp = SimDuration::from_secs(5);
-        cfg.horizon = SimDuration::from_secs(30);
+        let cfg = StreamingSimConfig::builder(kind)
+            .players(players)
+            .seed(seed)
+            .ramp(SimDuration::from_secs(5))
+            .horizon(SimDuration::from_secs(30))
+            .build();
         StreamingSim::run(cfg)
     }
 
@@ -1380,10 +1772,13 @@ mod tests {
 
     #[test]
     fn churn_injection_fails_over_players() {
-        let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 200, 9);
-        cfg.ramp = SimDuration::from_secs(5);
-        cfg.horizon = SimDuration::from_secs(30);
-        cfg.supernode_mtbf = Some(SimDuration::from_secs(2));
+        let cfg = StreamingSimConfig::builder(SystemKind::CloudFogB)
+            .players(200)
+            .seed(9)
+            .ramp(SimDuration::from_secs(5))
+            .horizon(SimDuration::from_secs(30))
+            .supernode_mtbf(SimDuration::from_secs(2))
+            .build();
         let s = StreamingSim::run(cfg);
         assert!(s.failures_injected > 3, "churn must fire: {}", s.failures_injected);
         // The system keeps serving: traffic flows and QoE is defined.
@@ -1395,10 +1790,13 @@ mod tests {
     fn backups_rescue_some_displaced_players() {
         // Dense fog (many same-metro supernodes) ⇒ failovers should
         // often land on a backup instead of the cloud.
-        let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 400, 10);
-        cfg.ramp = SimDuration::from_secs(5);
-        cfg.horizon = SimDuration::from_secs(30);
-        cfg.supernode_mtbf = Some(SimDuration::from_secs(3));
+        let cfg = StreamingSimConfig::builder(SystemKind::CloudFogB)
+            .players(400)
+            .seed(10)
+            .ramp(SimDuration::from_secs(5))
+            .horizon(SimDuration::from_secs(30))
+            .supernode_mtbf(SimDuration::from_secs(3))
+            .build();
         let s = StreamingSim::run(cfg);
         assert!(s.failures_injected > 0);
         assert!(
@@ -1413,12 +1811,16 @@ mod tests {
         // Without repair the fog erodes to nothing; with a short MTTR
         // the steady-state fog share stays materially higher.
         let run = |mttr: Option<SimDuration>| {
-            let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 300, 12);
-            cfg.ramp = SimDuration::from_secs(5);
-            cfg.horizon = SimDuration::from_secs(60);
-            cfg.supernode_mtbf = Some(SimDuration::from_secs(2));
-            cfg.supernode_mttr = mttr;
-            StreamingSim::run(cfg)
+            let mut builder = StreamingSimConfig::builder(SystemKind::CloudFogB)
+                .players(300)
+                .seed(12)
+                .ramp(SimDuration::from_secs(5))
+                .horizon(SimDuration::from_secs(60))
+                .supernode_mtbf(SimDuration::from_secs(2));
+            if let Some(mttr) = mttr {
+                builder = builder.supernode_mttr(mttr);
+            }
+            StreamingSim::run(builder.build())
         };
         let without = run(None);
         let with = run(Some(SimDuration::from_secs(6)));
@@ -1434,10 +1836,13 @@ mod tests {
     #[test]
     fn diurnal_join_pattern_runs_and_differs_from_ramp() {
         let mk = |pattern| {
-            let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 150, 14);
-            cfg.ramp = SimDuration::from_secs(5);
-            cfg.horizon = SimDuration::from_secs(40);
-            cfg.join_pattern = pattern;
+            let cfg = StreamingSimConfig::builder(SystemKind::CloudFogB)
+                .players(150)
+                .seed(14)
+                .ramp(SimDuration::from_secs(5))
+                .horizon(SimDuration::from_secs(40))
+                .join_pattern(pattern)
+                .build();
             StreamingSim::run(cfg)
         };
         let ramp = mk(JoinPattern::Ramp);
@@ -1455,10 +1860,13 @@ mod tests {
 
     #[test]
     fn detector_reports_latency_and_orphans() {
-        let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 300, 21);
-        cfg.ramp = SimDuration::from_secs(5);
-        cfg.horizon = SimDuration::from_secs(30);
-        cfg.supernode_mtbf = Some(SimDuration::from_secs(2));
+        let cfg = StreamingSimConfig::builder(SystemKind::CloudFogB)
+            .players(300)
+            .seed(21)
+            .ramp(SimDuration::from_secs(5))
+            .horizon(SimDuration::from_secs(30))
+            .supernode_mtbf(SimDuration::from_secs(2))
+            .build();
         let worst_ms = cfg.detector.worst_case_detection().as_millis_f64();
         let s = StreamingSim::run(cfg);
         assert!(s.failures_injected > 0);
@@ -1478,16 +1886,20 @@ mod tests {
     #[test]
     fn gray_failure_caught_only_by_watchdog() {
         let run = |watchdog: Option<WatchdogParams>| {
-            let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 400, 22);
-            cfg.ramp = SimDuration::from_secs(5);
-            cfg.horizon = SimDuration::from_secs(40);
-            cfg.fault_script = Some(FaultScript::new().with(
-                SimTime::from_secs(10),
-                SimDuration::from_secs(25),
-                FaultKind::GrayFailure { degradation: 0.1 },
-            ));
-            cfg.watchdog = watchdog;
-            StreamingSim::run(cfg)
+            let mut builder = StreamingSimConfig::builder(SystemKind::CloudFogB)
+                .players(400)
+                .seed(22)
+                .ramp(SimDuration::from_secs(5))
+                .horizon(SimDuration::from_secs(40))
+                .fault_script(FaultScript::new().with(
+                    SimTime::from_secs(10),
+                    SimDuration::from_secs(25),
+                    FaultKind::GrayFailure { degradation: 0.1 },
+                ));
+            if let Some(watchdog) = watchdog {
+                builder = builder.watchdog(watchdog);
+            }
+            StreamingSim::run(builder.build())
         };
         let blind = run(None);
         assert_eq!(blind.watchdog_reassignments, 0);
@@ -1510,10 +1922,13 @@ mod tests {
                 kind: FaultKind::RegionalOutage { region },
             });
         }
-        let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 300, 23);
-        cfg.ramp = SimDuration::from_secs(5);
-        cfg.horizon = SimDuration::from_secs(40);
-        cfg.fault_script = Some(script);
+        let cfg = StreamingSimConfig::builder(SystemKind::CloudFogB)
+            .players(300)
+            .seed(23)
+            .ramp(SimDuration::from_secs(5))
+            .horizon(SimDuration::from_secs(40))
+            .fault_script(script)
+            .build();
         let s = StreamingSim::run(cfg);
         assert_eq!(s.faults_activated, 6, "every scripted fault fires");
         assert!(s.failures_injected > 0, "some region hosts supernodes");
@@ -1526,11 +1941,15 @@ mod tests {
     #[test]
     fn loss_burst_and_latency_storm_degrade_qoe() {
         let run = |script: Option<FaultScript>| {
-            let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 200, 24);
-            cfg.ramp = SimDuration::from_secs(5);
-            cfg.horizon = SimDuration::from_secs(30);
-            cfg.fault_script = script;
-            StreamingSim::run(cfg)
+            let mut builder = StreamingSimConfig::builder(SystemKind::CloudFogB)
+                .players(200)
+                .seed(24)
+                .ramp(SimDuration::from_secs(5))
+                .horizon(SimDuration::from_secs(30));
+            if let Some(script) = script {
+                builder = builder.fault_script(script);
+            }
+            StreamingSim::run(builder.build())
         };
         let baseline = run(None);
         let mut loss = FaultScript::new();
@@ -1570,13 +1989,17 @@ mod tests {
     #[test]
     fn chaos_runs_are_deterministic_per_seed() {
         let run = || {
-            let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogA, 150, 25);
-            cfg.ramp = SimDuration::from_secs(5);
-            cfg.horizon = SimDuration::from_secs(30);
-            cfg.supernode_mtbf = Some(SimDuration::from_secs(4));
-            cfg.supernode_mttr = Some(SimDuration::from_secs(5));
-            cfg.fault_script = Some(FaultScript::generate(99, cfg.horizon, 5));
-            cfg.watchdog = Some(WatchdogParams::default());
+            let horizon = SimDuration::from_secs(30);
+            let cfg = StreamingSimConfig::builder(SystemKind::CloudFogA)
+                .players(150)
+                .seed(25)
+                .ramp(SimDuration::from_secs(5))
+                .horizon(horizon)
+                .supernode_mtbf(SimDuration::from_secs(4))
+                .supernode_mttr(SimDuration::from_secs(5))
+                .fault_script(FaultScript::generate(99, horizon, 5))
+                .watchdog(WatchdogParams::default())
+                .build();
             StreamingSim::run(cfg)
         };
         let a = run();

@@ -17,6 +17,8 @@
 //! * [`stats`] — Welford, histograms, time-weighted means, EWMA,
 //!   sliding-window means, ratio counters.
 //! * [`series`] — time-bucketed metric series (QoE-over-time plots).
+//! * [`telemetry`] — ring-buffered event tracing, quantile/CDF
+//!   summaries, wall-clock phase profiling and JSONL/CSV run reports.
 //!
 //! ## Quick example
 //!
@@ -52,6 +54,7 @@ pub mod event;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 /// Convenience re-exports of the types almost every consumer needs.
@@ -62,5 +65,9 @@ pub mod prelude {
     pub use crate::rng::Rng;
     pub use crate::series::{CounterSeries, TimeSeries};
     pub use crate::stats::{Ewma, Histogram, Ratio, SlidingMean, TimeWeighted, Welford};
+    pub use crate::telemetry::{
+        CdfPoint, PhaseProfiler, Quantiles, TelemetryConfig, TelemetryReport, TraceRecord,
+        TraceRing,
+    };
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -1,33 +1,42 @@
 //! A full comparison campaign: all six systems, side by side, on the
-//! same universe — the paper's §IV in one run.
+//! same universe — the paper's §IV in one run, with telemetry.
 //!
 //! ```text
 //! cargo run --release --example campaign            # quick (~600 players)
 //! CLOUDFOG_SCALE=0.2 cargo run --release --example campaign
 //! ```
+//!
+//! Each run records full telemetry: segment-latency histograms
+//! (p50/p95/p99 below), an event trace, and wall-clock phase timings.
+//! The per-system reports are appended as JSONL to
+//! `target/telemetry/BENCH_campaign.jsonl` — the machine-readable
+//! artifact the bench trajectory tracks.
 
+use std::path::Path;
+
+use cloudfog::core::config::scale_from_env;
 use cloudfog::prelude::*;
 use rayon::prelude::*;
 
 fn main() {
-    let scale: f64 = std::env::var("CLOUDFOG_SCALE")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(0.06)
-        .clamp(0.01, 1.0);
+    let scale = scale_from_env(0.06);
     let players = (10_000.0 * scale) as usize;
     let seed = 20150701;
 
     println!("CloudFog campaign — {players} players (scale {scale}), seed {seed}");
     println!("systems: {}\n", SystemKind::ALL.map(|k| k.label()).join(", "));
 
-    let summaries: Vec<RunSummary> = SystemKind::ALL
+    let outputs: Vec<RunOutput> = SystemKind::ALL
         .par_iter()
         .map(|&kind| {
-            let mut cfg = StreamingSimConfig::quick(kind, players, seed);
-            cfg.ramp = SimDuration::from_secs(10);
-            cfg.horizon = SimDuration::from_secs(45);
-            StreamingSim::run(cfg)
+            let cfg = StreamingSimConfig::builder(kind)
+                .players(players)
+                .seed(seed)
+                .ramp(SimDuration::from_secs(10))
+                .horizon(SimDuration::from_secs(45))
+                .telemetry(TelemetryConfig::default())
+                .build();
+            StreamingSim::run_instrumented(cfg)
         })
         .collect();
 
@@ -35,11 +44,12 @@ fn main() {
         "{:<18} {:>9} {:>9} {:>10} {:>10} {:>10} {:>11}",
         "system", "latency", "coverage", "continuity", "satisfied", "fog share", "cloud Mbps"
     );
-    for s in &summaries {
+    for out in &outputs {
+        let s = &out.summary;
         println!(
             "{:<18} {:>9} {:>9} {:>10} {:>10} {:>10} {:>11}",
             s.kind.label(),
-            format!("{:.1}ms", s.mean_latency_ms),
+            format!("{:.1}ms", s.latency().mean_ms),
             format!("{:.1}%", s.coverage * 100.0),
             format!("{:.1}%", s.mean_continuity * 100.0),
             format!("{:.1}%", s.satisfied_ratio * 100.0),
@@ -48,8 +58,29 @@ fn main() {
         );
     }
 
+    // Segment-latency distribution per system — the tails the paper's
+    // CDF figures are about, straight from the telemetry histograms.
+    println!(
+        "\n{:<18} {:>9} {:>9} {:>9} {:>10}",
+        "segment latency", "p50", "p95", "p99", "segments"
+    );
+    for out in &outputs {
+        let report = out.telemetry.as_ref().expect("telemetry enabled");
+        let row = report.get_quantiles("latency_ms.segment").expect("segment histogram");
+        let q = row.quantiles;
+        println!(
+            "{:<18} {:>9} {:>9} {:>9} {:>10}",
+            out.summary.kind.label(),
+            format!("{:.1}ms", q.p50),
+            format!("{:.1}ms", q.p95),
+            format!("{:.1}ms", q.p99),
+            q.count,
+        );
+    }
+
     // The paper's headline orderings.
-    let get = |k: SystemKind| summaries.iter().find(|s| s.kind == k).expect("all ran");
+    let get =
+        |k: SystemKind| outputs.iter().map(|o| &o.summary).find(|s| s.kind == k).expect("all ran");
     let cloud = get(SystemKind::Cloud);
     let edge = get(SystemKind::EdgeCloud);
     let fog_b = get(SystemKind::CloudFogB);
@@ -76,4 +107,16 @@ fn main() {
     for (label, ok) in checks {
         println!("  [{}] {label}", if ok { "x" } else { " " });
     }
+
+    // Machine-readable artifact: one JSONL line per system.
+    let path = Path::new("target/telemetry/BENCH_campaign.jsonl");
+    let _ = std::fs::remove_file(path);
+    for out in &outputs {
+        let report = out.telemetry.as_ref().expect("telemetry enabled");
+        if let Err(e) = report.append_jsonl(path) {
+            eprintln!("telemetry export failed: {e}");
+            return;
+        }
+    }
+    println!("\ntelemetry: wrote {} reports to {}", outputs.len(), path.display());
 }

@@ -33,14 +33,15 @@ fn script() -> FaultScript {
 }
 
 fn config(kind: SystemKind, chaotic: bool) -> StreamingSimConfig {
-    let mut cfg = StreamingSimConfig::quick(kind, PLAYERS, SEED);
-    cfg.ramp = SimDuration::from_secs(10);
-    cfg.horizon = SimDuration::from_secs(60);
+    let mut builder = StreamingSimConfig::builder(kind)
+        .players(PLAYERS)
+        .seed(SEED)
+        .ramp(SimDuration::from_secs(10))
+        .horizon(SimDuration::from_secs(60));
     if chaotic {
-        cfg.fault_script = Some(script());
-        cfg.watchdog = Some(WatchdogParams::default());
+        builder = builder.fault_script(script()).watchdog(WatchdogParams::default());
     }
-    cfg
+    builder.build()
 }
 
 fn main() {

@@ -15,11 +15,14 @@ use cloudfog::core::systems::simulation::QoeSeries;
 use cloudfog::prelude::*;
 
 fn main() {
-    let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogA, 500, 77);
-    cfg.ramp = SimDuration::from_secs(10);
-    cfg.horizon = SimDuration::from_secs(90);
-    cfg.supernode_mtbf = Some(SimDuration::from_secs(4));
-    cfg.series_bucket = Some(SimDuration::from_secs(5));
+    let cfg = StreamingSimConfig::builder(SystemKind::CloudFogA)
+        .players(500)
+        .seed(77)
+        .ramp(SimDuration::from_secs(10))
+        .horizon(SimDuration::from_secs(90))
+        .supernode_mtbf(SimDuration::from_secs(4))
+        .series_bucket(SimDuration::from_secs(5))
+        .build();
 
     println!("flash crowd: 500 players join over 10 s; supernode MTBF 4 s; CloudFog/A\n");
     let (summary, series) = StreamingSim::run_detailed(cfg);

@@ -18,9 +18,12 @@ fn main() {
     println!("CloudFog quickstart — {players} players, seed {seed}\n");
 
     for kind in [SystemKind::Cloud, SystemKind::CloudFogA] {
-        let mut cfg = StreamingSimConfig::quick(kind, players, seed);
-        cfg.ramp = SimDuration::from_secs(10);
-        cfg.horizon = SimDuration::from_secs(60);
+        let cfg = StreamingSimConfig::builder(kind)
+            .players(players)
+            .seed(seed)
+            .ramp(SimDuration::from_secs(10))
+            .horizon(SimDuration::from_secs(60))
+            .build();
         let s = StreamingSim::run(cfg);
 
         println!("[{}]", kind.label());

@@ -27,14 +27,20 @@
 //! use cloudfog::prelude::*;
 //!
 //! // Run a scaled-down CloudFog/A universe for 30 simulated seconds.
-//! let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogA, 150, 42);
-//! cfg.horizon = SimDuration::from_secs(30);
+//! let cfg = StreamingSimConfig::builder(SystemKind::CloudFogA)
+//!     .players(150)
+//!     .seed(42)
+//!     .horizon(SimDuration::from_secs(30))
+//!     .build();
 //! let summary = StreamingSim::run(cfg);
+//! let qoe = summary.qoe();
 //! println!(
 //!     "continuity {:.3}, latency {:.1} ms, cloud {:.2} Mbps",
-//!     summary.mean_continuity, summary.mean_latency_ms, summary.cloud_mbps
+//!     qoe.mean_continuity,
+//!     summary.latency().mean_ms,
+//!     summary.traffic().cloud_mbps
 //! );
-//! assert!(summary.mean_continuity > 0.0);
+//! assert!(qoe.mean_continuity > 0.0);
 //! ```
 //!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the

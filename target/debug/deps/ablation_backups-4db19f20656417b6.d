@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_backups-4db19f20656417b6.d: crates/bench/benches/ablation_backups.rs
+
+/root/repo/target/debug/deps/ablation_backups-4db19f20656417b6: crates/bench/benches/ablation_backups.rs
+
+crates/bench/benches/ablation_backups.rs:

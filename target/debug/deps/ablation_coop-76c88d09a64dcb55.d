@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_coop-76c88d09a64dcb55.d: crates/bench/benches/ablation_coop.rs
+
+/root/repo/target/debug/deps/ablation_coop-76c88d09a64dcb55: crates/bench/benches/ablation_coop.rs
+
+crates/bench/benches/ablation_coop.rs:

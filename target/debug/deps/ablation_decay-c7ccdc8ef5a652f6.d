@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_decay-c7ccdc8ef5a652f6.d: crates/bench/benches/ablation_decay.rs
+
+/root/repo/target/debug/deps/ablation_decay-c7ccdc8ef5a652f6: crates/bench/benches/ablation_decay.rs
+
+crates/bench/benches/ablation_decay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_event_queue-1e7dca58d861eebf.d: crates/bench/benches/ablation_event_queue.rs
+
+/root/repo/target/debug/deps/ablation_event_queue-1e7dca58d861eebf: crates/bench/benches/ablation_event_queue.rs
+
+crates/bench/benches/ablation_event_queue.rs:

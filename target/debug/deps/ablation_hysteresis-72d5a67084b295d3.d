@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hysteresis-72d5a67084b295d3.d: crates/bench/benches/ablation_hysteresis.rs
+
+/root/repo/target/debug/deps/ablation_hysteresis-72d5a67084b295d3: crates/bench/benches/ablation_hysteresis.rs
+
+crates/bench/benches/ablation_hysteresis.rs:

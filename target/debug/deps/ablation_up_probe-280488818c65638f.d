@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_up_probe-280488818c65638f.d: crates/bench/benches/ablation_up_probe.rs
+
+/root/repo/target/debug/deps/ablation_up_probe-280488818c65638f: crates/bench/benches/ablation_up_probe.rs
+
+crates/bench/benches/ablation_up_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_resilience-d86346726c06c865.d: crates/bench/benches/chaos_resilience.rs
+
+/root/repo/target/debug/deps/chaos_resilience-d86346726c06c865: crates/bench/benches/chaos_resilience.rs
+
+crates/bench/benches/chaos_resilience.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/cloudfog_sim-7fd22c905c6ded01.d: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/cloudfog_sim-7fd22c905c6ded01.d: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/telemetry.rs crates/sim/src/time.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcloudfog_sim-7fd22c905c6ded01.rmeta: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/libcloudfog_sim-7fd22c905c6ded01.rmeta: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/telemetry.rs crates/sim/src/time.rs Cargo.toml
 
 crates/sim/src/lib.rs:
 crates/sim/src/calendar.rs:
@@ -9,6 +9,7 @@ crates/sim/src/event.rs:
 crates/sim/src/rng.rs:
 crates/sim/src/series.rs:
 crates/sim/src/stats.rs:
+crates/sim/src/telemetry.rs:
 crates/sim/src/time.rs:
 Cargo.toml:
 

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/cloudfog_sim-923da3f4141d5f70.d: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/cloudfog_sim-923da3f4141d5f70.d: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/telemetry.rs crates/sim/src/time.rs
 
-/root/repo/target/debug/deps/libcloudfog_sim-923da3f4141d5f70.rlib: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/libcloudfog_sim-923da3f4141d5f70.rlib: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/telemetry.rs crates/sim/src/time.rs
 
-/root/repo/target/debug/deps/libcloudfog_sim-923da3f4141d5f70.rmeta: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/libcloudfog_sim-923da3f4141d5f70.rmeta: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/telemetry.rs crates/sim/src/time.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/calendar.rs:
@@ -11,4 +11,5 @@ crates/sim/src/event.rs:
 crates/sim/src/rng.rs:
 crates/sim/src/series.rs:
 crates/sim/src/stats.rs:
+crates/sim/src/telemetry.rs:
 crates/sim/src/time.rs:

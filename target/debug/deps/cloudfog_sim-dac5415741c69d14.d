@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/cloudfog_sim-dac5415741c69d14.d: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/cloudfog_sim-dac5415741c69d14.d: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/telemetry.rs crates/sim/src/time.rs
 
-/root/repo/target/debug/deps/cloudfog_sim-dac5415741c69d14: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/cloudfog_sim-dac5415741c69d14: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/telemetry.rs crates/sim/src/time.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/calendar.rs:
@@ -9,4 +9,5 @@ crates/sim/src/event.rs:
 crates/sim/src/rng.rs:
 crates/sim/src/series.rs:
 crates/sim/src/stats.rs:
+crates/sim/src/telemetry.rs:
 crates/sim/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/econ_model-e7a0b2eba88f18c4.d: crates/bench/benches/econ_model.rs
+
+/root/repo/target/debug/deps/econ_model-e7a0b2eba88f18c4: crates/bench/benches/econ_model.rs
+
+crates/bench/benches/econ_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_rate_adaptation-ba5ad123684c1c59.d: crates/bench/benches/fig10_rate_adaptation.rs
+
+/root/repo/target/debug/deps/fig10_rate_adaptation-ba5ad123684c1c59: crates/bench/benches/fig10_rate_adaptation.rs
+
+crates/bench/benches/fig10_rate_adaptation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_buffer_scheduling-25222a751533273c.d: crates/bench/benches/fig11_buffer_scheduling.rs
+
+/root/repo/target/debug/deps/fig11_buffer_scheduling-25222a751533273c: crates/bench/benches/fig11_buffer_scheduling.rs
+
+crates/bench/benches/fig11_buffer_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_quality_table-67282d34d6aeffd1.d: crates/bench/benches/fig2_quality_table.rs
+
+/root/repo/target/debug/deps/fig2_quality_table-67282d34d6aeffd1: crates/bench/benches/fig2_quality_table.rs
+
+crates/bench/benches/fig2_quality_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a_coverage_datacenters_sim-77b98c583f935238.d: crates/bench/benches/fig5a_coverage_datacenters_sim.rs
+
+/root/repo/target/debug/deps/fig5a_coverage_datacenters_sim-77b98c583f935238: crates/bench/benches/fig5a_coverage_datacenters_sim.rs
+
+crates/bench/benches/fig5a_coverage_datacenters_sim.rs:

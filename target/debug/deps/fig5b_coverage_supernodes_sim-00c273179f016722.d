@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b_coverage_supernodes_sim-00c273179f016722.d: crates/bench/benches/fig5b_coverage_supernodes_sim.rs
+
+/root/repo/target/debug/deps/fig5b_coverage_supernodes_sim-00c273179f016722: crates/bench/benches/fig5b_coverage_supernodes_sim.rs
+
+crates/bench/benches/fig5b_coverage_supernodes_sim.rs:

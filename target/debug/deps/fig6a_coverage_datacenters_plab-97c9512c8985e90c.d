@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6a_coverage_datacenters_plab-97c9512c8985e90c.d: crates/bench/benches/fig6a_coverage_datacenters_plab.rs
+
+/root/repo/target/debug/deps/fig6a_coverage_datacenters_plab-97c9512c8985e90c: crates/bench/benches/fig6a_coverage_datacenters_plab.rs
+
+crates/bench/benches/fig6a_coverage_datacenters_plab.rs:

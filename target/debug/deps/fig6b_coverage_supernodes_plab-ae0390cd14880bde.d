@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6b_coverage_supernodes_plab-ae0390cd14880bde.d: crates/bench/benches/fig6b_coverage_supernodes_plab.rs
+
+/root/repo/target/debug/deps/fig6b_coverage_supernodes_plab-ae0390cd14880bde: crates/bench/benches/fig6b_coverage_supernodes_plab.rs
+
+crates/bench/benches/fig6b_coverage_supernodes_plab.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_bandwidth-b9d0ab4242bfe170.d: crates/bench/benches/fig7_bandwidth.rs
+
+/root/repo/target/debug/deps/fig7_bandwidth-b9d0ab4242bfe170: crates/bench/benches/fig7_bandwidth.rs
+
+crates/bench/benches/fig7_bandwidth.rs:

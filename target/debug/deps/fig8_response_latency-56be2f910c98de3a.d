@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_response_latency-56be2f910c98de3a.d: crates/bench/benches/fig8_response_latency.rs
+
+/root/repo/target/debug/deps/fig8_response_latency-56be2f910c98de3a: crates/bench/benches/fig8_response_latency.rs
+
+crates/bench/benches/fig8_response_latency.rs:

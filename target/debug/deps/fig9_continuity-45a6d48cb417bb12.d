@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_continuity-45a6d48cb417bb12.d: crates/bench/benches/fig9_continuity.rs
+
+/root/repo/target/debug/deps/fig9_continuity-45a6d48cb417bb12: crates/bench/benches/fig9_continuity.rs
+
+crates/bench/benches/fig9_continuity.rs:

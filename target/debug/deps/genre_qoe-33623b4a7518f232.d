@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/genre_qoe-33623b4a7518f232.d: crates/bench/benches/genre_qoe.rs
+
+/root/repo/target/debug/deps/genre_qoe-33623b4a7518f232: crates/bench/benches/genre_qoe.rs
+
+crates/bench/benches/genre_qoe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/latency_cdf-cedf56071886cc63.d: crates/bench/benches/latency_cdf.rs
+
+/root/repo/target/debug/deps/latency_cdf-cedf56071886cc63: crates/bench/benches/latency_cdf.rs
+
+crates/bench/benches/latency_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-eb4f609c3ca88dff.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-eb4f609c3ca88dff: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

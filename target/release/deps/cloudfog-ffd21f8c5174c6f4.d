@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cloudfog-ffd21f8c5174c6f4.d: src/lib.rs
+
+/root/repo/target/release/deps/cloudfog-ffd21f8c5174c6f4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cloudfog_bench-df63b04e9afd071e.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/cloudfog_bench-df63b04e9afd071e: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:

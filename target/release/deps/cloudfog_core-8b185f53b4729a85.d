@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/cloudfog_core-8b185f53b4729a85.d: crates/core/src/lib.rs crates/core/src/adapt.rs crates/core/src/config.rs crates/core/src/coop.rs crates/core/src/economics.rs crates/core/src/fault.rs crates/core/src/infra/mod.rs crates/core/src/infra/assignment.rs crates/core/src/infra/cloud.rs crates/core/src/infra/planner.rs crates/core/src/infra/supernode.rs crates/core/src/metrics.rs crates/core/src/schedule.rs crates/core/src/security.rs crates/core/src/streaming.rs crates/core/src/systems/mod.rs crates/core/src/systems/coverage.rs crates/core/src/systems/deployment.rs crates/core/src/systems/simulation.rs crates/core/src/systems/supernode_load.rs
+
+/root/repo/target/release/deps/cloudfog_core-8b185f53b4729a85: crates/core/src/lib.rs crates/core/src/adapt.rs crates/core/src/config.rs crates/core/src/coop.rs crates/core/src/economics.rs crates/core/src/fault.rs crates/core/src/infra/mod.rs crates/core/src/infra/assignment.rs crates/core/src/infra/cloud.rs crates/core/src/infra/planner.rs crates/core/src/infra/supernode.rs crates/core/src/metrics.rs crates/core/src/schedule.rs crates/core/src/security.rs crates/core/src/streaming.rs crates/core/src/systems/mod.rs crates/core/src/systems/coverage.rs crates/core/src/systems/deployment.rs crates/core/src/systems/simulation.rs crates/core/src/systems/supernode_load.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adapt.rs:
+crates/core/src/config.rs:
+crates/core/src/coop.rs:
+crates/core/src/economics.rs:
+crates/core/src/fault.rs:
+crates/core/src/infra/mod.rs:
+crates/core/src/infra/assignment.rs:
+crates/core/src/infra/cloud.rs:
+crates/core/src/infra/planner.rs:
+crates/core/src/infra/supernode.rs:
+crates/core/src/metrics.rs:
+crates/core/src/schedule.rs:
+crates/core/src/security.rs:
+crates/core/src/streaming.rs:
+crates/core/src/systems/mod.rs:
+crates/core/src/systems/coverage.rs:
+crates/core/src/systems/deployment.rs:
+crates/core/src/systems/simulation.rs:
+crates/core/src/systems/supernode_load.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cloudfog_game-4e608da7a9dbb1c9.d: crates/game/src/lib.rs crates/game/src/avatar.rs crates/game/src/engine.rs crates/game/src/interest.rs crates/game/src/region.rs crates/game/src/update.rs
+
+/root/repo/target/release/deps/cloudfog_game-4e608da7a9dbb1c9: crates/game/src/lib.rs crates/game/src/avatar.rs crates/game/src/engine.rs crates/game/src/interest.rs crates/game/src/region.rs crates/game/src/update.rs
+
+crates/game/src/lib.rs:
+crates/game/src/avatar.rs:
+crates/game/src/engine.rs:
+crates/game/src/interest.rs:
+crates/game/src/region.rs:
+crates/game/src/update.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cloudfog_net-839180ea69fc9c5a.d: crates/net/src/lib.rs crates/net/src/bandwidth.rs crates/net/src/geo.rs crates/net/src/gilbert.rs crates/net/src/ip.rs crates/net/src/latency.rs crates/net/src/topology.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/cloudfog_net-839180ea69fc9c5a: crates/net/src/lib.rs crates/net/src/bandwidth.rs crates/net/src/geo.rs crates/net/src/gilbert.rs crates/net/src/ip.rs crates/net/src/latency.rs crates/net/src/topology.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/bandwidth.rs:
+crates/net/src/geo.rs:
+crates/net/src/gilbert.rs:
+crates/net/src/ip.rs:
+crates/net/src/latency.rs:
+crates/net/src/topology.rs:
+crates/net/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cloudfog_sim-e41c6c9d905fe689.d: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/telemetry.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/cloudfog_sim-e41c6c9d905fe689: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/telemetry.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calendar.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/series.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/telemetry.rs:
+crates/sim/src/time.rs:

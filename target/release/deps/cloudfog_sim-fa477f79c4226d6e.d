@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/cloudfog_sim-fa477f79c4226d6e.d: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/release/deps/cloudfog_sim-fa477f79c4226d6e.d: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/telemetry.rs crates/sim/src/time.rs
 
-/root/repo/target/release/deps/libcloudfog_sim-fa477f79c4226d6e.rlib: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/release/deps/libcloudfog_sim-fa477f79c4226d6e.rlib: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/telemetry.rs crates/sim/src/time.rs
 
-/root/repo/target/release/deps/libcloudfog_sim-fa477f79c4226d6e.rmeta: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/release/deps/libcloudfog_sim-fa477f79c4226d6e.rmeta: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/telemetry.rs crates/sim/src/time.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/calendar.rs:
@@ -11,4 +11,5 @@ crates/sim/src/event.rs:
 crates/sim/src/rng.rs:
 crates/sim/src/series.rs:
 crates/sim/src/stats.rs:
+crates/sim/src/telemetry.rs:
 crates/sim/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cloudfog_workload-01860592a5a04c0e.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/games.rs crates/workload/src/player.rs crates/workload/src/population.rs crates/workload/src/social.rs
+
+/root/repo/target/release/deps/cloudfog_workload-01860592a5a04c0e: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/games.rs crates/workload/src/player.rs crates/workload/src/population.rs crates/workload/src/social.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/games.rs:
+crates/workload/src/player.rs:
+crates/workload/src/population.rs:
+crates/workload/src/social.rs:

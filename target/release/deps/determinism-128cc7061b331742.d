@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-128cc7061b331742.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-128cc7061b331742: tests/determinism.rs
+
+tests/determinism.rs:

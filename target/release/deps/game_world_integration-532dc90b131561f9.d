@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/game_world_integration-532dc90b131561f9.d: tests/game_world_integration.rs
+
+/root/repo/target/release/deps/game_world_integration-532dc90b131561f9: tests/game_world_integration.rs
+
+tests/game_world_integration.rs:

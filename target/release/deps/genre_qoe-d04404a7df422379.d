@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/genre_qoe-d04404a7df422379.d: crates/bench/benches/genre_qoe.rs
+
+/root/repo/target/release/deps/genre_qoe-d04404a7df422379: crates/bench/benches/genre_qoe.rs
+
+crates/bench/benches/genre_qoe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/latency_cdf-19ba640dfcd59992.d: crates/bench/benches/latency_cdf.rs
+
+/root/repo/target/release/deps/latency_cdf-19ba640dfcd59992: crates/bench/benches/latency_cdf.rs
+
+crates/bench/benches/latency_cdf.rs:

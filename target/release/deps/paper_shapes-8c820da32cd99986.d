@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shapes-8c820da32cd99986.d: tests/paper_shapes.rs
+
+/root/repo/target/release/deps/paper_shapes-8c820da32cd99986: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_chaos-617fb2433d5b1be6.d: tests/prop_chaos.rs
+
+/root/repo/target/release/deps/prop_chaos-617fb2433d5b1be6: tests/prop_chaos.rs
+
+tests/prop_chaos.rs:

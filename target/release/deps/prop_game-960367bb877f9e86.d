@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_game-960367bb877f9e86.d: tests/prop_game.rs
+
+/root/repo/target/release/deps/prop_game-960367bb877f9e86: tests/prop_game.rs
+
+tests/prop_game.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_invariants-a1fcbd312ac6ba09.d: tests/prop_invariants.rs
+
+/root/repo/target/release/deps/prop_invariants-a1fcbd312ac6ba09: tests/prop_invariants.rs
+
+tests/prop_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-fe6c864b9ec2d9d8.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-fe6c864b9ec2d9d8: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-9870f2b18375e435.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/rayon-9870f2b18375e435: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry-9c04551d57f98e39.d: tests/telemetry.rs
+
+/root/repo/target/release/deps/telemetry-9c04551d57f98e39: tests/telemetry.rs
+
+tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adaptive_streaming-988a6f4363ede644.d: examples/adaptive_streaming.rs
+
+/root/repo/target/release/examples/adaptive_streaming-988a6f4363ede644: examples/adaptive_streaming.rs
+
+examples/adaptive_streaming.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/campaign-72a02dafde923ae7.d: examples/campaign.rs
+
+/root/repo/target/release/examples/campaign-72a02dafde923ae7: examples/campaign.rs
+
+examples/campaign.rs:

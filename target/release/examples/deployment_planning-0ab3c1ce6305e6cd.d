@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/deployment_planning-0ab3c1ce6305e6cd.d: examples/deployment_planning.rs
+
+/root/repo/target/release/examples/deployment_planning-0ab3c1ce6305e6cd: examples/deployment_planning.rs
+
+examples/deployment_planning.rs:

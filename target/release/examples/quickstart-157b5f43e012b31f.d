@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-157b5f43e012b31f.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-157b5f43e012b31f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/supernode_economics-0888b8ffdbb036f3.d: examples/supernode_economics.rs
+
+/root/repo/target/release/examples/supernode_economics-0888b8ffdbb036f3: examples/supernode_economics.rs
+
+examples/supernode_economics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/virtual_world-4bdb9b156aaf0d4a.d: examples/virtual_world.rs
+
+/root/repo/target/release/examples/virtual_world-4bdb9b156aaf0d4a: examples/virtual_world.rs
+
+examples/virtual_world.rs:

@@ -5,9 +5,12 @@
 use cloudfog::prelude::*;
 
 fn run(kind: SystemKind, seed: u64) -> RunSummary {
-    let mut cfg = StreamingSimConfig::quick(kind, 150, seed);
-    cfg.ramp = SimDuration::from_secs(5);
-    cfg.horizon = SimDuration::from_secs(25);
+    let cfg = StreamingSimConfig::builder(kind)
+        .players(150)
+        .seed(seed)
+        .ramp(SimDuration::from_secs(5))
+        .horizon(SimDuration::from_secs(25))
+        .build();
     StreamingSim::run(cfg)
 }
 
@@ -77,17 +80,21 @@ fn load_experiment_is_deterministic() {
 #[test]
 fn chaos_fault_scripts_replay_bit_for_bit() {
     let run = || {
-        let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogA, 120, 1234);
-        cfg.ramp = SimDuration::from_secs(4);
-        cfg.horizon = SimDuration::from_secs(25);
-        cfg.supernode_mtbf = Some(SimDuration::from_secs(4));
-        cfg.supernode_mttr = Some(SimDuration::from_secs(3));
-        cfg.fault_script = Some(FaultScript::generate(77, cfg.horizon, 4).with(
-            SimTime::from_secs(8),
-            SimDuration::from_secs(6),
-            FaultKind::GrayFailure { degradation: 0.2 },
-        ));
-        cfg.watchdog = Some(WatchdogParams::default());
+        let horizon = SimDuration::from_secs(25);
+        let cfg = StreamingSimConfig::builder(SystemKind::CloudFogA)
+            .players(120)
+            .seed(1234)
+            .ramp(SimDuration::from_secs(4))
+            .horizon(horizon)
+            .supernode_mtbf(SimDuration::from_secs(4))
+            .supernode_mttr(SimDuration::from_secs(3))
+            .fault_script(FaultScript::generate(77, horizon, 4).with(
+                SimTime::from_secs(8),
+                SimDuration::from_secs(6),
+                FaultKind::GrayFailure { degradation: 0.2 },
+            ))
+            .watchdog(WatchdogParams::default())
+            .build();
         StreamingSim::run(cfg)
     };
     let a = run();

@@ -12,9 +12,12 @@ fn averaged(kind: SystemKind, players: usize, seeds: &[u64]) -> (f64, f64, u64) 
     let mut continuity = 0.0;
     let mut cloud_bytes = 0u64;
     for &seed in seeds {
-        let mut cfg = StreamingSimConfig::quick(kind, players, seed);
-        cfg.ramp = SimDuration::from_secs(5);
-        cfg.horizon = SimDuration::from_secs(30);
+        let cfg = StreamingSimConfig::builder(kind)
+            .players(players)
+            .seed(seed)
+            .ramp(SimDuration::from_secs(5))
+            .horizon(SimDuration::from_secs(30))
+            .build();
         let s = StreamingSim::run(cfg);
         latency += s.mean_latency_ms;
         continuity += s.mean_continuity;

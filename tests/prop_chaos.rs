@@ -96,13 +96,17 @@ proptest! {
         mtbf_secs in 2u64..8,
         faults in 0usize..5,
     ) {
-        let mut cfg = StreamingSimConfig::quick(SystemKind::CloudFogB, 60, seed);
-        cfg.ramp = SimDuration::from_secs(3);
-        cfg.horizon = SimDuration::from_secs(12);
-        cfg.supernode_mtbf = Some(SimDuration::from_secs(mtbf_secs));
-        cfg.supernode_mttr = Some(SimDuration::from_secs(2));
-        cfg.fault_script = Some(FaultScript::generate(script_seed, cfg.horizon, faults));
-        cfg.watchdog = Some(WatchdogParams::default());
+        let horizon = SimDuration::from_secs(12);
+        let cfg = StreamingSimConfig::builder(SystemKind::CloudFogB)
+            .players(60)
+            .seed(seed)
+            .ramp(SimDuration::from_secs(3))
+            .horizon(horizon)
+            .supernode_mtbf(SimDuration::from_secs(mtbf_secs))
+            .supernode_mttr(SimDuration::from_secs(2))
+            .fault_script(FaultScript::generate(script_seed, horizon, faults))
+            .watchdog(WatchdogParams::default())
+            .build();
         let s = StreamingSim::run(cfg);
         prop_assert!((0.0..=1.0).contains(&s.mean_continuity));
         prop_assert!((0.0..=1.0).contains(&s.satisfied_ratio));
