@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-927ac95cbcb321de.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-927ac95cbcb321de: tests/telemetry.rs
+
+tests/telemetry.rs:
