@@ -43,7 +43,7 @@ use cloudfog_workload::arrival::{DiurnalArrivals, SessionCycle};
 use cloudfog_workload::games::{Game, GameId, QualityLevel, GAMES};
 
 /// Per-game QoE row of a run (see [`RunSummary::game_breakdown`]).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GameQoe {
     /// The game.
     pub game: GameId,
@@ -304,7 +304,12 @@ impl StreamingSimConfigBuilder {
 }
 
 /// Aggregated outcome of a run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field bit-for-bit — that is what lets
+/// the simulation-testing harness assert that two runs (or two merges
+/// of the same matrix under different worker schedules) are literally
+/// the same result, not merely close.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunSummary {
     /// System under test.
     pub kind: SystemKind,

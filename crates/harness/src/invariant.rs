@@ -1,0 +1,348 @@
+//! Pluggable invariants checked against every run of a matrix.
+//!
+//! An [`Invariant`] either checks one finished run (`check_run`, fired
+//! on the worker thread that produced the run) or the whole merged
+//! matrix (`check_matrix`, fired once after the merge — this is where
+//! cross-system claims like "CloudFog/A beats Cloud on latency" live).
+//! The [`InvariantRegistry`] owns a set of them; [`stock`] is the
+//! suite every matrix should run unless it has a reason not to.
+//!
+//! Invariants return human-readable violation details rather than
+//! panicking, because a violation is not the end: the shrinker picks
+//! it up and bisects the scenario toward a minimal reproducer.
+
+use std::collections::BTreeMap;
+
+use cloudfog_core::systems::{RunOutput, SystemKind};
+
+use crate::exec::MatrixReport;
+use crate::scenario::Scenario;
+
+/// One invariant violation, tagged with where it happened.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Scenario id of the offending cell (`None` when the violation
+    /// names a whole group of cells).
+    pub scenario_id: Option<usize>,
+    /// Invariant that fired.
+    pub invariant: &'static str,
+    /// Offending scenario name (or group description).
+    pub scenario_name: String,
+    /// What was violated, with the observed numbers.
+    pub detail: String,
+}
+
+/// A named property every run (or matrix) must satisfy.
+pub trait Invariant: Send + Sync {
+    /// Stable name, `area.property` style (used in reports and to look
+    /// the invariant back up for shrinking).
+    fn name(&self) -> &'static str;
+
+    /// Check one finished run. `Err` carries the violation detail.
+    fn check_run(&self, _scenario: &Scenario, _output: &RunOutput) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Check the merged matrix (cross-run claims).
+    fn check_matrix(&self, _report: &MatrixReport) -> Vec<Violation> {
+        Vec::new()
+    }
+}
+
+/// An ordered set of invariants applied to every run of a matrix.
+#[derive(Default)]
+pub struct InvariantRegistry {
+    invariants: Vec<Box<dyn Invariant>>,
+}
+
+impl InvariantRegistry {
+    /// A registry with nothing registered.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The stock suite: QoE bounds, traffic-source conservation,
+    /// quantile monotonicity, fault-recovery bounds, and the
+    /// fog-dominates-cloud latency claim.
+    pub fn stock() -> Self {
+        let mut r = Self::empty();
+        r.register(QoeBounds);
+        r.register(SourceConservation);
+        r.register(QuantileMonotone);
+        r.register(FaultRecoveryBounded);
+        r.register(FogDominatesCloud::default());
+        r
+    }
+
+    /// Add an invariant (checked after all previously registered ones).
+    pub fn register(&mut self, invariant: impl Invariant + 'static) {
+        self.invariants.push(Box::new(invariant));
+    }
+
+    /// Registered invariant names, in check order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.invariants.iter().map(|i| i.name()).collect()
+    }
+
+    /// Look an invariant up by name (the shrinker's entry point).
+    pub fn get(&self, name: &str) -> Option<&dyn Invariant> {
+        self.invariants.iter().find(|i| i.name() == name).map(|b| b.as_ref())
+    }
+
+    /// Run every `check_run` against one finished run.
+    pub fn check_run(&self, scenario: &Scenario, output: &RunOutput) -> Vec<Violation> {
+        self.invariants
+            .iter()
+            .filter_map(|inv| {
+                inv.check_run(scenario, output).err().map(|detail| Violation {
+                    scenario_id: Some(scenario.id),
+                    invariant: inv.name(),
+                    scenario_name: scenario.name.clone(),
+                    detail,
+                })
+            })
+            .collect()
+    }
+
+    /// Run every `check_matrix` against the merged report.
+    pub fn check_matrix(&self, report: &MatrixReport) -> Vec<Violation> {
+        self.invariants.iter().flat_map(|inv| inv.check_matrix(report)).collect()
+    }
+}
+
+/// Every ratio metric stays in [0, 1] and every duration/latency is
+/// finite and non-negative. The cheapest smoke alarm: almost any
+/// accounting bug eventually pushes one of these out of range.
+pub struct QoeBounds;
+
+impl Invariant for QoeBounds {
+    fn name(&self) -> &'static str {
+        "qoe.bounds"
+    }
+
+    fn check_run(&self, _scenario: &Scenario, output: &RunOutput) -> Result<(), String> {
+        let s = &output.summary;
+        let unit = [
+            ("mean_continuity", s.mean_continuity),
+            ("satisfied_ratio", s.satisfied_ratio),
+            ("coverage", s.coverage),
+            ("fog_share", s.fog_share),
+        ];
+        for (name, v) in unit {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} = {v} outside [0, 1]"));
+            }
+        }
+        let nonneg = [
+            ("mean_latency_ms", s.mean_latency_ms),
+            ("cloud_mbps", s.cloud_mbps),
+            ("mean_detection_ms", s.mean_detection_ms),
+            ("orphaned_player_secs", s.orphaned_player_secs),
+        ];
+        for (name, v) in nonneg {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} = {v} not finite and non-negative"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Bytes come from the sources the deployed system actually has:
+/// baselines without fog serve no supernode bytes (and can have no
+/// supernode failures), systems without edge servers serve no edge
+/// bytes, and a positive cloud rate implies positive cloud bytes.
+pub struct SourceConservation;
+
+impl Invariant for SourceConservation {
+    fn name(&self) -> &'static str {
+        "traffic.source_conservation"
+    }
+
+    fn check_run(&self, scenario: &Scenario, output: &RunOutput) -> Result<(), String> {
+        let s = &output.summary;
+        if !scenario.kind.uses_fog() {
+            if s.supernode_bytes != 0 {
+                return Err(format!(
+                    "{} served {} supernode bytes with no fog deployed",
+                    scenario.kind.label(),
+                    s.supernode_bytes
+                ));
+            }
+            if s.fog_share != 0.0 {
+                return Err(format!("fog_share = {} with no fog deployed", s.fog_share));
+            }
+            if s.failures_injected != 0 {
+                return Err(format!(
+                    "{} supernode failures injected with no supernodes",
+                    s.failures_injected
+                ));
+            }
+        }
+        if !scenario.kind.uses_edges() && s.edge_bytes != 0 {
+            return Err(format!(
+                "{} served {} edge bytes with no edge servers",
+                scenario.kind.label(),
+                s.edge_bytes
+            ));
+        }
+        if s.cloud_mbps > 0.0 && s.cloud_bytes == 0 {
+            return Err(format!("cloud_mbps = {} but cloud_bytes = 0", s.cloud_mbps));
+        }
+        if s.events == 0 {
+            return Err("run executed zero events".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Telemetry quantiles are ordered (min ≤ p50 ≤ p95 ≤ p99 ≤ max) and
+/// every exported CDF is monotone with fractions in [0, 1]. Only
+/// meaningful for cells that record telemetry; clean cells skip.
+pub struct QuantileMonotone;
+
+impl Invariant for QuantileMonotone {
+    fn name(&self) -> &'static str {
+        "telemetry.quantile_monotone"
+    }
+
+    fn check_run(&self, _scenario: &Scenario, output: &RunOutput) -> Result<(), String> {
+        let Some(report) = &output.telemetry else { return Ok(()) };
+        for row in &report.quantiles {
+            let q = row.quantiles;
+            if q.count == 0 {
+                continue;
+            }
+            let ordered = q.min <= q.p50 && q.p50 <= q.p95 && q.p95 <= q.p99 && q.p99 <= q.max;
+            if !ordered {
+                return Err(format!(
+                    "{}: quantiles not monotone (min {} p50 {} p95 {} p99 {} max {})",
+                    row.name, q.min, q.p50, q.p95, q.p99, q.max
+                ));
+            }
+        }
+        for (name, points) in &report.cdfs {
+            for pair in points.windows(2) {
+                if pair[1].fraction < pair[0].fraction {
+                    return Err(format!("{name}: CDF not monotone at x = {}", pair[1].x));
+                }
+            }
+            if let Some(p) = points.iter().find(|p| !(0.0..=1.0).contains(&p.fraction)) {
+                return Err(format!("{name}: CDF fraction {} outside [0, 1]", p.fraction));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fault round-trip accounting: a run with no supernode failures
+/// accrues zero orphaned player-seconds, and when failures do happen
+/// under a script that heals before the horizon, the orphaned time is
+/// bounded by (failures × population × worst-case detection window) —
+/// the detector must actually confirm and fail players over, not leave
+/// them attached to dead supernodes.
+pub struct FaultRecoveryBounded;
+
+impl Invariant for FaultRecoveryBounded {
+    fn name(&self) -> &'static str {
+        "fault.recovery_bounded"
+    }
+
+    fn check_run(&self, scenario: &Scenario, output: &RunOutput) -> Result<(), String> {
+        let s = &output.summary;
+        if s.failures_injected == 0 {
+            if s.orphaned_player_secs != 0.0 {
+                return Err(format!(
+                    "orphaned_player_secs = {} with zero failures injected",
+                    s.orphaned_player_secs
+                ));
+            }
+            return Ok(());
+        }
+        let Some(script) = scenario.script() else { return Ok(()) };
+        let end_of_run = cloudfog_sim::time::SimTime::ZERO + scenario.horizon;
+        let heals = script.events().iter().all(|e| e.at + e.duration <= end_of_run);
+        if !heals {
+            return Ok(()); // faults outlive the run: no recovery claim
+        }
+        let cfg = scenario.config();
+        let window = cfg.detector.worst_case_detection() + cfg.detector.heartbeat_interval;
+        let bound = s.failures_injected as f64 * s.players as f64 * window.as_secs_f64();
+        if s.orphaned_player_secs > bound {
+            return Err(format!(
+                "orphaned_player_secs = {:.1} exceeds recovery bound {:.1} \
+                 ({} failures × {} players × {:.1}s detection window)",
+                s.orphaned_player_secs,
+                bound,
+                s.failures_injected,
+                s.players,
+                window.as_secs_f64()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The paper's headline claim, §IV Fig. 8: CloudFog/A beats the Cloud
+/// baseline on mean response latency. Checked per (players, seed,
+/// template) group at paper scales (≥ `min_players`), with a small
+/// tolerance for borderline universes.
+pub struct FogDominatesCloud {
+    /// Only groups at or above this player count are checked (tiny
+    /// universes are too noisy for a dominance claim).
+    pub min_players: usize,
+    /// CloudFog/A may be at most this factor of Cloud's latency.
+    pub tolerance: f64,
+}
+
+impl Default for FogDominatesCloud {
+    fn default() -> Self {
+        FogDominatesCloud { min_players: 100, tolerance: 1.05 }
+    }
+}
+
+impl Invariant for FogDominatesCloud {
+    fn name(&self) -> &'static str {
+        "latency.fog_dominates_cloud"
+    }
+
+    fn check_matrix(&self, report: &MatrixReport) -> Vec<Violation> {
+        // Group by (players, seed, template label); compare within.
+        // Value = (Cloud latency, CloudFog/A latency, fog scenario id).
+        type Group = (Option<f64>, Option<f64>, usize);
+        let mut groups: BTreeMap<(usize, u64, String), Group> = BTreeMap::new();
+        for cell in report.cells() {
+            let sc = &cell.scenario;
+            if sc.players < self.min_players {
+                continue;
+            }
+            let key = (sc.players, sc.seed, sc.template.label());
+            let entry = groups.entry(key).or_insert((None, None, sc.id));
+            match sc.kind {
+                SystemKind::Cloud => entry.0 = Some(cell.summary.mean_latency_ms),
+                SystemKind::CloudFogA => {
+                    entry.1 = Some(cell.summary.mean_latency_ms);
+                    entry.2 = sc.id;
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::new();
+        for ((players, seed, template), (cloud, fog, fog_id)) in groups {
+            let (Some(cloud_ms), Some(fog_ms)) = (cloud, fog) else { continue };
+            if fog_ms > cloud_ms * self.tolerance {
+                out.push(Violation {
+                    scenario_id: Some(fog_id),
+                    invariant: self.name(),
+                    scenario_name: format!("p{players}/s{seed}/{template}"),
+                    detail: format!(
+                        "CloudFog/A mean latency {fog_ms:.1} ms exceeds Cloud baseline \
+                         {cloud_ms:.1} ms × {:.2}",
+                        self.tolerance
+                    ),
+                });
+            }
+        }
+        out
+    }
+}

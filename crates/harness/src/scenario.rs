@@ -1,0 +1,284 @@
+//! Scenario vocabulary: what one cell of the test matrix runs.
+//!
+//! A [`Scenario`] is a fully concrete run description — system, seed,
+//! scale, horizon, chaos template — that deterministically expands to
+//! a [`StreamingSimConfig`]. The [`ScenarioMatrix`] builder takes the
+//! cross product (template × players × seed × system) and numbers the
+//! cells, so a scenario id means the same run on every machine and
+//! under every worker schedule.
+
+use cloudfog_core::fault::{FaultScript, WatchdogParams};
+use cloudfog_core::systems::{StreamingSimConfig, SystemKind};
+use cloudfog_sim::telemetry::TelemetryConfig;
+use cloudfog_sim::time::SimDuration;
+
+/// How a scenario derives its chaos script.
+///
+/// Templates are *recipes*, not scripts: a `Generated` template
+/// produces a different concrete [`FaultScript`] per scenario seed, so
+/// a seed sweep explores many fault timelines while staying fully
+/// reproducible from `(seed, salt, count)`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultTemplate {
+    /// No chaos: clean-network run.
+    None,
+    /// `FaultScript::generate(seed ^ salt, horizon, count)` — a fresh
+    /// fault mix per scenario seed.
+    Generated {
+        /// XORed into the scenario seed so the fault timeline is
+        /// decorrelated from the universe.
+        salt: u64,
+        /// Faults per script.
+        count: usize,
+    },
+    /// The same hand-written script replayed in every cell.
+    Fixed(FaultScript),
+}
+
+impl FaultTemplate {
+    /// The concrete script for a scenario with this seed and horizon
+    /// (`None` for clean runs).
+    pub fn script(&self, seed: u64, horizon: SimDuration) -> Option<FaultScript> {
+        match self {
+            FaultTemplate::None => None,
+            FaultTemplate::Generated { salt, count } => {
+                Some(FaultScript::generate(seed ^ salt, horizon, *count))
+            }
+            FaultTemplate::Fixed(script) => Some(script.clone()),
+        }
+    }
+
+    /// Short label for scenario names and report keys.
+    pub fn label(&self) -> String {
+        match self {
+            FaultTemplate::None => "clean".to_string(),
+            FaultTemplate::Generated { count, .. } => format!("chaos{count}"),
+            FaultTemplate::Fixed(script) => format!("fixed{}", script.len()),
+        }
+    }
+}
+
+/// One fully concrete cell of the matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Cell index in matrix expansion order (stable across runs).
+    pub id: usize,
+    /// Human-readable cell name, e.g. `CloudFog/A/p300/s7/chaos3`.
+    pub name: String,
+    /// System under test.
+    pub kind: SystemKind,
+    /// Player count (drives the derived profile scale).
+    pub players: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Join-ramp window.
+    pub ramp: SimDuration,
+    /// Simulated horizon.
+    pub horizon: SimDuration,
+    /// Chaos recipe.
+    pub template: FaultTemplate,
+    /// Telemetry recording (histograms + quantiles) for this cell.
+    pub telemetry: Option<TelemetryConfig>,
+}
+
+impl Scenario {
+    /// Expand to the concrete run configuration. Pure: the same
+    /// scenario always yields the same config, hence the same run.
+    pub fn config(&self) -> StreamingSimConfig {
+        let mut b = StreamingSimConfig::builder(self.kind)
+            .players(self.players)
+            .seed(self.seed)
+            .ramp(self.ramp)
+            .horizon(self.horizon);
+        if let Some(script) = self.template.script(self.seed, self.horizon) {
+            b = b.fault_script(script).watchdog(WatchdogParams::default());
+        }
+        if let Some(t) = &self.telemetry {
+            b = b.telemetry(t.clone());
+        }
+        b.build()
+    }
+
+    /// The concrete chaos script this cell replays (if any).
+    pub fn script(&self) -> Option<FaultScript> {
+        self.template.script(self.seed, self.horizon)
+    }
+}
+
+/// Builder for the scenario cross product
+/// (template × players × seed × system).
+///
+/// ```
+/// use cloudfog_harness::prelude::*;
+/// use cloudfog_core::systems::SystemKind;
+///
+/// let matrix = ScenarioMatrix::new()
+///     .systems(&SystemKind::ALL)
+///     .seeds(0..4)
+///     .players(&[150])
+///     .template(FaultTemplate::Generated { salt: 0xC4A0, count: 2 })
+///     .build();
+/// assert_eq!(matrix.len(), SystemKind::ALL.len() * 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScenarioMatrix {
+    systems: Vec<SystemKind>,
+    seeds: Vec<u64>,
+    players: Vec<usize>,
+    ramp: SimDuration,
+    horizon: SimDuration,
+    templates: Vec<FaultTemplate>,
+    telemetry: Option<TelemetryConfig>,
+}
+
+impl Default for ScenarioMatrix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioMatrix {
+    /// An empty matrix: all systems, seed 0, 150 players, no chaos.
+    pub fn new() -> Self {
+        ScenarioMatrix {
+            systems: SystemKind::ALL.to_vec(),
+            seeds: vec![0],
+            players: vec![150],
+            ramp: SimDuration::from_secs(5),
+            horizon: SimDuration::from_secs(25),
+            templates: Vec::new(),
+            telemetry: None,
+        }
+    }
+
+    /// Systems under test (replaces the default full set).
+    pub fn systems(mut self, systems: &[SystemKind]) -> Self {
+        self.systems = systems.to_vec();
+        self
+    }
+
+    /// Seed sweep (replaces the default single seed 0).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Scale sweep: one matrix axis per player count.
+    pub fn players(mut self, players: &[usize]) -> Self {
+        self.players = players.to_vec();
+        self
+    }
+
+    /// Join-ramp window for every cell.
+    pub fn ramp(mut self, ramp: SimDuration) -> Self {
+        self.ramp = ramp;
+        self
+    }
+
+    /// Simulated horizon for every cell.
+    pub fn horizon(mut self, horizon: SimDuration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Append a chaos template axis (no template ⇒ one clean axis).
+    pub fn template(mut self, template: FaultTemplate) -> Self {
+        self.templates.push(template);
+        self
+    }
+
+    /// Record per-cell telemetry (histograms, quantiles, CDFs) so the
+    /// quantile invariants have something to check.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
+        self
+    }
+
+    /// Expand the cross product into numbered scenarios. Expansion
+    /// order is `template × players × seed × system` (system varies
+    /// fastest, matching the paper's side-by-side comparisons).
+    pub fn build(&self) -> Vec<Scenario> {
+        let templates: &[FaultTemplate] =
+            if self.templates.is_empty() { &[FaultTemplate::None] } else { &self.templates };
+        let mut out = Vec::with_capacity(
+            templates.len() * self.players.len() * self.seeds.len() * self.systems.len(),
+        );
+        for template in templates {
+            for &players in &self.players {
+                for &seed in &self.seeds {
+                    for &kind in &self.systems {
+                        let id = out.len();
+                        out.push(Scenario {
+                            id,
+                            name: format!(
+                                "{}/p{players}/s{seed}/{}",
+                                kind.label(),
+                                template.label()
+                            ),
+                            kind,
+                            players,
+                            seed,
+                            ramp: self.ramp,
+                            horizon: self.horizon,
+                            template: template.clone(),
+                            telemetry: self.telemetry.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_deterministic_and_numbered() {
+        let m = ScenarioMatrix::new()
+            .systems(&[SystemKind::Cloud, SystemKind::CloudFogA])
+            .seeds(0..3)
+            .players(&[100, 200])
+            .template(FaultTemplate::None)
+            .template(FaultTemplate::Generated { salt: 7, count: 2 });
+        let a = m.build();
+        let b = m.build();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2 * 2 * 3 * 2);
+        for (i, s) in a.iter().enumerate() {
+            assert_eq!(s.id, i);
+        }
+        // System varies fastest.
+        assert_eq!(a[0].kind, SystemKind::Cloud);
+        assert_eq!(a[1].kind, SystemKind::CloudFogA);
+        assert_eq!(a[0].seed, a[1].seed);
+    }
+
+    #[test]
+    fn generated_template_varies_with_seed_but_not_call() {
+        let t = FaultTemplate::Generated { salt: 99, count: 3 };
+        let h = SimDuration::from_secs(60);
+        assert_eq!(t.script(1, h), t.script(1, h));
+        assert_ne!(t.script(1, h), t.script(2, h));
+        assert_eq!(t.script(1, h).unwrap().len(), 3);
+        assert_eq!(FaultTemplate::None.script(1, h), None);
+    }
+
+    #[test]
+    fn scenario_config_matches_fields() {
+        let s = ScenarioMatrix::new()
+            .systems(&[SystemKind::CloudFogA])
+            .seeds([42])
+            .players(&[120])
+            .template(FaultTemplate::Generated { salt: 1, count: 2 })
+            .build()
+            .remove(0);
+        let cfg = s.config();
+        assert_eq!(cfg.kind, SystemKind::CloudFogA);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.fault_script.as_ref().map(|f| f.len()), Some(2));
+        assert!(cfg.watchdog.is_some(), "chaos cells get the QoE watchdog");
+    }
+}

@@ -297,7 +297,10 @@ pub struct QuantileRow {
 /// Deterministic fields (scalars, quantiles, CDFs, trace counts) are a
 /// pure function of the run seed; wall-clock phase times are the only
 /// non-deterministic part and are clearly segregated under `phases`.
-#[derive(Clone, Debug, Default)]
+/// `PartialEq` compares every field, including the wall-clock
+/// `phases` rows; deterministic-comparison users (the DST harness)
+/// strip or ignore `phases` before comparing.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TelemetryReport {
     /// Run label (system under test, scenario name, …).
     pub run: String,
@@ -468,7 +471,9 @@ impl TelemetryReport {
 }
 
 /// JSON-safe float rendering (finite shortest form; NaN/inf → null).
-fn json_f64(x: f64) -> String {
+/// Public so downstream report writers (bench tables, the harness
+/// failure report) emit floats the same canonical way.
+pub fn json_f64(x: f64) -> String {
     if x.is_finite() {
         if x == x.trunc() && x.abs() < 1e15 {
             format!("{:.1}", x)
@@ -481,7 +486,7 @@ fn json_f64(x: f64) -> String {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -20,6 +20,7 @@
 //! | [`workload`] | games, players, social graph, arrivals (§IV settings) |
 //! | [`core`] | the CloudFog system, baselines, metrics, experiments |
 //! | [`game`] | MMOG virtual world: avatars, regions, AoI, update feeds |
+//! | [`harness`] | DST harness: scenario matrix, invariants, shrinking |
 //!
 //! ## Quick start
 //!
@@ -51,6 +52,7 @@
 
 pub use cloudfog_core as core;
 pub use cloudfog_game as game;
+pub use cloudfog_harness as harness;
 pub use cloudfog_net as net;
 pub use cloudfog_sim as sim;
 pub use cloudfog_workload as workload;
@@ -58,6 +60,7 @@ pub use cloudfog_workload as workload;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use cloudfog_core::prelude::*;
+    pub use cloudfog_harness::prelude::*;
     pub use cloudfog_net::prelude::*;
     pub use cloudfog_sim::prelude::*;
     pub use cloudfog_workload::prelude::*;

@@ -14,25 +14,28 @@ fn run(kind: SystemKind, seed: u64) -> RunSummary {
     StreamingSim::run(cfg)
 }
 
+/// A 16-seed sweep of every system, run twice through the harness
+/// worker pool, must merge to bit-identical reports. This subsumes the
+/// old single-seed spot check: every `RunSummary` field of every one
+/// of the 96 cells is compared via `PartialEq`, not a hand-picked
+/// subset, and the thread pool is part of what is being pinned.
 #[test]
-fn identical_seeds_give_identical_runs_for_every_system() {
-    for kind in SystemKind::ALL {
-        let a = run(kind, 99);
-        let b = run(kind, 99);
-        assert_eq!(a.events, b.events, "{kind:?} event count");
-        assert_eq!(a.cloud_bytes, b.cloud_bytes, "{kind:?} cloud bytes");
-        assert_eq!(a.supernode_bytes, b.supernode_bytes, "{kind:?} supernode bytes");
-        assert_eq!(a.scheduler_drops, b.scheduler_drops, "{kind:?} drops");
-        assert!((a.mean_latency_ms - b.mean_latency_ms).abs() < f64::EPSILON, "{kind:?} latency");
-        assert!(
-            (a.mean_continuity - b.mean_continuity).abs() < f64::EPSILON,
-            "{kind:?} continuity"
-        );
-        assert!(
-            (a.satisfied_ratio - b.satisfied_ratio).abs() < f64::EPSILON,
-            "{kind:?} satisfaction"
-        );
-    }
+fn sixteen_seed_sweep_of_every_system_is_stable_across_executions() {
+    let matrix = || {
+        ScenarioMatrix::new()
+            .systems(&SystemKind::ALL)
+            .seeds(0..16)
+            .players(&[60])
+            .ramp(SimDuration::from_secs(3))
+            .horizon(SimDuration::from_secs(12))
+    };
+    let a = Harness::new(matrix()).workers(available_workers()).run();
+    let b = Harness::new(matrix()).workers(available_workers()).run();
+    assert_eq!(a.matrix.len(), 16 * SystemKind::ALL.len());
+    assert!(a.passed(), "stock invariants violated on the sweep:\n{}", a.render());
+    assert_eq!(a.matrix, b.matrix, "same sweep, different results");
+    assert_eq!(a.matrix.fingerprint(), b.matrix.fingerprint());
+    assert_eq!(a.matrix.aggregate(), b.matrix.aggregate());
 }
 
 #[test]

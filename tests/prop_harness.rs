@@ -1,0 +1,149 @@
+//! Property tests for the harness merge algebra: merging
+//! [`MatrixReport`]s is commutative and associative, so worker
+//! scheduling can never change the merged outcome.
+
+use cloudfog::prelude::*;
+use proptest::prelude::*;
+
+/// A synthetic run summary whose every field is a deterministic
+/// function of `(id, seed)` — awkward floats included, to make
+/// accidental reliance on float-addition order visible.
+fn summary(id: usize, seed: u64) -> RunSummary {
+    let f = |k: u64| {
+        ((seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(k * id as u64 + k)) % 10_007) as f64
+            / 10_007.0
+    };
+    RunSummary {
+        kind: SystemKind::ALL[id % SystemKind::ALL.len()],
+        players: 50 + (seed as usize + id) % 500,
+        fog_share: f(1),
+        satisfied_ratio: f(2),
+        mean_continuity: f(3),
+        mean_latency_ms: 40.0 + 300.0 * f(4),
+        coverage: f(5),
+        cloud_bytes: seed.wrapping_mul(7).wrapping_add(id as u64) % 1_000_000,
+        cloud_mbps: 10.0 * f(6),
+        supernode_bytes: seed.wrapping_mul(11).wrapping_add(id as u64) % 1_000_000,
+        edge_bytes: seed.wrapping_mul(13) % 1_000,
+        scheduler_drops: seed % 97,
+        failures_injected: seed % 5,
+        failovers_rescued: seed % 3,
+        faults_activated: seed % 7,
+        mean_detection_ms: 1000.0 * f(7),
+        orphaned_player_secs: 50.0 * f(8),
+        watchdog_reassignments: seed % 11,
+        events: 1 + seed % 100_000,
+        game_breakdown: Vec::new(),
+    }
+}
+
+fn cell(id: usize, seed: u64) -> CellResult {
+    CellResult {
+        scenario: Scenario {
+            id,
+            name: format!("synthetic/{id}"),
+            kind: SystemKind::ALL[id % SystemKind::ALL.len()],
+            players: 100,
+            seed,
+            ramp: SimDuration::from_secs(5),
+            horizon: SimDuration::from_secs(25),
+            template: FaultTemplate::None,
+            telemetry: None,
+        },
+        summary: summary(id, seed),
+        telemetry: None,
+    }
+}
+
+/// Fisher–Yates driven by the sampled swap vector.
+fn permuted(n: usize, swaps: &[usize]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for (i, s) in swaps.iter().enumerate().take(n.saturating_sub(1)) {
+        let j = i + s % (n - i);
+        order.swap(i, j);
+    }
+    order
+}
+
+proptest! {
+    /// Folding singleton reports in any order yields the same report,
+    /// the same aggregate, and the same fingerprint — bit for bit.
+    #[test]
+    fn merge_is_commutative(
+        n in 2usize..10,
+        seed in 0u64..1_000_000,
+        swaps in prop::collection::vec(0usize..64, 16),
+    ) {
+        let cells: Vec<CellResult> = (0..n).map(|i| cell(i, seed ^ i as u64)).collect();
+        let forward = cells
+            .iter()
+            .fold(MatrixReport::new(), |acc, c| acc.merge(MatrixReport::singleton(c.clone())));
+        let order = permuted(n, &swaps);
+        let shuffled = order
+            .iter()
+            .fold(MatrixReport::new(), |acc, &i| {
+                acc.merge(MatrixReport::singleton(cells[i].clone()))
+            });
+        prop_assert_eq!(&forward, &shuffled);
+        prop_assert_eq!(forward.aggregate(), shuffled.aggregate());
+        prop_assert_eq!(forward.fingerprint(), shuffled.fingerprint());
+    }
+
+    /// `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)` for arbitrary three-way splits of
+    /// a cell set — the property that lets workers pre-merge their own
+    /// results before the global merge.
+    #[test]
+    fn merge_is_associative(
+        n in 3usize..12,
+        seed in 0u64..1_000_000,
+        cut1 in 0usize..64,
+        cut2 in 0usize..64,
+    ) {
+        let cells: Vec<CellResult> = (0..n).map(|i| cell(i, seed.rotate_left(i as u32))).collect();
+        let (c1, c2) = {
+            let a = 1 + cut1 % (n - 1);
+            let b = 1 + cut2 % (n - 1);
+            (a.min(b).min(n - 1).max(1), a.max(b).max(1))
+        };
+        let part = |range: std::ops::Range<usize>| {
+            cells[range]
+                .iter()
+                .fold(MatrixReport::new(), |acc, c| acc.merge(MatrixReport::singleton(c.clone())))
+        };
+        let (a, b, c) = (part(0..c1), part(c1..c2), part(c2..n));
+        let left = a.clone().merge(b.clone()).merge(c.clone());
+        let right = a.merge(b.merge(c));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.aggregate(), right.aggregate());
+        prop_assert_eq!(left.fingerprint(), right.fingerprint());
+    }
+
+    /// Merging a report with the empty report is the identity from
+    /// both sides.
+    #[test]
+    fn empty_report_is_the_merge_identity(n in 1usize..8, seed in 0u64..1_000_000) {
+        let report = (0..n)
+            .map(|i| cell(i, seed ^ (i as u64) << 8))
+            .fold(MatrixReport::new(), |acc, c| acc.merge(MatrixReport::singleton(c)));
+        let left = MatrixReport::new().merge(report.clone());
+        let right = report.clone().merge(MatrixReport::new());
+        prop_assert_eq!(&left, &report);
+        prop_assert_eq!(&right, &report);
+    }
+
+    /// Re-merging a result already present (the same cell twice) is
+    /// idempotent rather than double-counting.
+    #[test]
+    fn merge_is_idempotent_on_duplicate_cells(n in 1usize..6, seed in 0u64..1_000_000) {
+        let cells: Vec<CellResult> = (0..n).map(|i| cell(i, seed)).collect();
+        let once = cells
+            .iter()
+            .fold(MatrixReport::new(), |acc, c| acc.merge(MatrixReport::singleton(c.clone())));
+        let twice = cells
+            .iter()
+            .chain(cells.iter())
+            .fold(MatrixReport::new(), |acc, c| acc.merge(MatrixReport::singleton(c.clone())));
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(once.aggregate(), twice.aggregate());
+    }
+}
