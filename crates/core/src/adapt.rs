@@ -36,7 +36,6 @@
 //! controller probes one level up; if the probe overloads the path,
 //! the ordinary down rule pulls it back within a window.
 
-use cloudfog_sim::telemetry::TraceRecord;
 use cloudfog_sim::time::{SimDuration, SimTime};
 use cloudfog_workload::games::{adjust_up_factor, Game, QualityLevel};
 
@@ -51,26 +50,30 @@ pub enum RateDecision {
     Down(u8),
 }
 
-impl RateDecision {
-    /// Trace-record name for up-switches.
-    pub const TRACE_UP: &'static str = "adapt.up";
-    /// Trace-record name for down-switches.
-    pub const TRACE_DOWN: &'static str = "adapt.down";
-
-    /// A telemetry record for this decision — `Some` only when the
-    /// quality level actually changes (`Hold` is not traced). `key`
-    /// identifies the player, `value` is the new level.
-    pub fn trace(&self, at: SimTime, player: u64) -> Option<TraceRecord> {
-        match *self {
-            RateDecision::Hold => None,
-            RateDecision::Up(level) => {
-                Some(TraceRecord::new(at, Self::TRACE_UP, player, level as f64))
-            }
-            RateDecision::Down(level) => {
-                Some(TraceRecord::new(at, Self::TRACE_DOWN, player, level as f64))
-            }
-        }
-    }
+/// Why a rate decision happened: the Eqs. 7–11 state at the moment of
+/// decision, snapshotted by [`RateController::evaluate_explained`].
+///
+/// Counters are captured after the current estimation was counted but
+/// before a firing run resets, so a switch carries the run length that
+/// actually triggered it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptExplain {
+    /// Buffer-derived rate estimate `r = buffered / τ`.
+    pub r: f64,
+    /// Up-switch threshold `(1 + β)/ρ`.
+    pub up_threshold: f64,
+    /// Down-switch threshold `θ/ρ`.
+    pub down_threshold: f64,
+    /// Consecutive estimations above the up threshold.
+    pub up_run: u32,
+    /// Consecutive estimations below the down threshold.
+    pub down_run: u32,
+    /// Consecutive healthy-stable estimations (probe fuel).
+    pub stable_run: u32,
+    /// Quality level before the decision.
+    pub from_level: u8,
+    /// Whether the stability up-probe (not a threshold run) fired.
+    pub probe: bool,
 }
 
 /// The receiver-side rate adaptation state machine for one stream.
@@ -173,6 +176,20 @@ impl RateController {
         playback_rate: f64,
         segment_duration: SimDuration,
     ) -> RateDecision {
+        self.observe_explained(now, download_rate, playback_rate, segment_duration).0
+    }
+
+    /// [`Self::observe`], additionally returning the decision's
+    /// provenance — the rate estimate, thresholds and
+    /// consecutive-estimation counters at the moment the decision was
+    /// made. The decision itself is identical to [`Self::observe`].
+    pub fn observe_explained(
+        &mut self,
+        now: SimTime,
+        download_rate: f64,
+        playback_rate: f64,
+        segment_duration: SimDuration,
+    ) -> (RateDecision, AdaptExplain) {
         if let Some(prev) = self.last_at {
             let dt = now.saturating_since(prev).as_secs_f64();
             // Clamp: a real client buffer is bounded (two segments of
@@ -183,7 +200,7 @@ impl RateController {
             self.buffered = (self.buffered + dt * (download_rate - playback_rate)).clamp(0.0, cap);
         }
         self.last_at = Some(now);
-        self.evaluate(segment_duration)
+        self.evaluate_explained(segment_duration)
     }
 
     /// Apply Eqs. 9–11 (with hysteresis) to the *current* buffer
@@ -192,6 +209,18 @@ impl RateController {
     /// [`RateController::on_segment_arrival`] /
     /// [`RateController::on_playback`].
     pub fn evaluate(&mut self, segment_duration: SimDuration) -> RateDecision {
+        self.evaluate_explained(segment_duration).0
+    }
+
+    /// [`Self::evaluate`], additionally returning the decision's
+    /// provenance. The explain snapshot captures the rate estimate,
+    /// both thresholds and the consecutive-estimation counters *after*
+    /// this estimation was counted but *before* a firing run is reset
+    /// — so a switch shows the run length that actually triggered it.
+    pub fn evaluate_explained(
+        &mut self,
+        segment_duration: SimDuration,
+    ) -> (RateDecision, AdaptExplain) {
         let r = self.r(segment_duration);
         if r > self.up_threshold() {
             self.up_run += 1;
@@ -210,6 +239,16 @@ impl RateController {
                 self.stable_run = 0;
             }
         }
+        let mut explain = AdaptExplain {
+            r,
+            up_threshold: self.up_threshold(),
+            down_threshold: self.down_threshold(),
+            up_run: self.up_run,
+            down_run: self.down_run,
+            stable_run: self.stable_run,
+            from_level: self.quality.level,
+            probe: false,
+        };
 
         // Extension: probe up after sustained healthy stability.
         if let Some(n) = self.up_probe_after {
@@ -218,7 +257,8 @@ impl RateController {
                 if self.quality.level < self.max_quality.level {
                     if let Some(up) = self.quality.up() {
                         self.quality = up;
-                        return RateDecision::Up(up.level);
+                        explain.probe = true;
+                        return (RateDecision::Up(up.level), explain);
                     }
                 }
             }
@@ -229,20 +269,20 @@ impl RateController {
             if self.quality.level < self.max_quality.level {
                 if let Some(up) = self.quality.up() {
                     self.quality = up;
-                    return RateDecision::Up(up.level);
+                    return (RateDecision::Up(up.level), explain);
                 }
             }
-            return RateDecision::Hold;
+            return (RateDecision::Hold, explain);
         }
         if self.down_run >= self.window {
             self.down_run = 0;
             if let Some(down) = self.quality.down() {
                 self.quality = down;
-                return RateDecision::Down(down.level);
+                return (RateDecision::Down(down.level), explain);
             }
-            return RateDecision::Hold;
+            return (RateDecision::Hold, explain);
         }
-        RateDecision::Hold
+        (RateDecision::Hold, explain)
     }
 
     /// Directly adjust the buffer estimate when a segment arrives

@@ -30,15 +30,6 @@ use cloudfog_sim::rng::Rng;
 use cloudfog_sim::telemetry::TraceRecord;
 use cloudfog_sim::time::{SimDuration, SimTime};
 
-/// Trace-record name for heartbeat-detector failure confirmations.
-pub const DETECTION_TRACE_KIND: &str = "detector.confirm";
-
-/// A telemetry record for a confirmed supernode failure: `key` is the
-/// supernode's host id, `value` the detection latency in milliseconds.
-pub fn detection_trace(at: SimTime, supernode: u64, detection_ms: f64) -> TraceRecord {
-    TraceRecord::new(at, DETECTION_TRACE_KIND, supernode, detection_ms)
-}
-
 /// What a fault does while active.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FaultKind {
@@ -98,14 +89,15 @@ pub struct FaultEvent {
 }
 
 impl FaultKind {
-    /// Static trace-record name for this fault class.
+    /// Static trace-record name for this fault class (from the
+    /// canonical [`crate::obs::kind`] vocabulary).
     pub fn trace_kind(&self) -> &'static str {
         match self {
-            FaultKind::RegionalOutage { .. } => "fault.outage",
-            FaultKind::LatencyStorm { .. } => "fault.latency_storm",
-            FaultKind::PacketLossBurst { .. } => "fault.loss_burst",
-            FaultKind::BandwidthCollapse { .. } => "fault.bw_collapse",
-            FaultKind::GrayFailure { .. } => "fault.gray",
+            FaultKind::RegionalOutage { .. } => crate::obs::kind::FAULT_OUTAGE,
+            FaultKind::LatencyStorm { .. } => crate::obs::kind::FAULT_LATENCY_STORM,
+            FaultKind::PacketLossBurst { .. } => crate::obs::kind::FAULT_LOSS_BURST,
+            FaultKind::BandwidthCollapse { .. } => crate::obs::kind::FAULT_BW_COLLAPSE,
+            FaultKind::GrayFailure { .. } => crate::obs::kind::FAULT_GRAY,
         }
     }
 }

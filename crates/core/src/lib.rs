@@ -19,6 +19,8 @@
 //! * [`fault`] — the chaos layer: scripted fault injection (regional
 //!   outages, latency storms, burst loss, gray failures), the
 //!   heartbeat failure detector, and the QoE watchdog policies.
+//! * [`obs`] — the canonical trace-record vocabulary shared by every
+//!   subsystem (one record type, one constant per kind).
 //! * [`systems`] — the six systems under test (Cloud, EdgeCloud, the
 //!   four CloudFog variants), static coverage analysis and the
 //!   event-driven streaming simulation.
@@ -47,6 +49,7 @@ pub mod economics;
 pub mod fault;
 pub mod infra;
 pub mod metrics;
+pub mod obs;
 pub mod schedule;
 pub mod security;
 pub mod streaming;
@@ -54,6 +57,7 @@ pub mod systems;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::adapt::AdaptExplain;
     pub use crate::adapt::{RateController, RateDecision};
     pub use crate::config::{scale_from_env, ExperimentProfile, SystemParams, Testbed};
     pub use crate::coop::{apply_migrations, plan_rebalance, CoopPolicy, Migration};
@@ -65,14 +69,19 @@ pub mod prelude {
     pub use crate::infra::{assign_player, Assignment, SupernodeId, SupernodeTable};
     pub use crate::infra::{plan_deployment, DeploymentPlan, PlanParams};
     pub use crate::metrics::{MetricsCollector, TrafficSource};
+    pub use crate::obs::{self, TraceRecord, TraceRing};
     pub use crate::schedule::{DropReport, SchedulingPolicy, SenderBuffer};
     pub use crate::security::{Reputation, TrustEvent, TrustManager};
-    pub use crate::streaming::{PlayerStreamStats, Segment, SegmentId};
+    pub use crate::streaming::{PlayerStreamStats, Segment, SegmentId, SegmentIdAlloc};
     pub use crate::systems::{
         coverage_curve, supernode_load_experiment, CoveragePoint, Deployment, FogStats, GameQoe,
         JoinPattern, LatencyStats, LoadExperimentConfig, LoadPoint, QoeSeries, QoeStats, RunOutput,
         RunSummary, StreamSource, StreamingSim, StreamingSimConfig, StreamingSimConfigBuilder,
         SystemKind, TrafficStats,
+    };
+    pub use cloudfog_sim::causal::{
+        AdaptProvenance, CausalLog, CausalReport, DropProvenance, DropShare, Outcome, SegmentTrace,
+        Stage,
     };
     pub use cloudfog_sim::telemetry::{Quantiles, TelemetryConfig, TelemetryReport};
 }

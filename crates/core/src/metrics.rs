@@ -57,6 +57,10 @@ pub struct MetricsCollector {
     /// Segment-level response-latency histogram (ms). `None` unless
     /// telemetry is enabled, so the hot path pays nothing by default.
     segment_latency_hist: Option<Histogram>,
+    /// Segment-level transmission-span histogram (ms): last packet
+    /// minus first packet, the `l_t` term of Eq. 12. Gated like the
+    /// latency histogram.
+    transmission_hist: Option<Histogram>,
 }
 
 impl MetricsCollector {
@@ -75,11 +79,18 @@ impl MetricsCollector {
     /// Observation-only — enabling this changes no reported mean.
     pub fn enable_histograms(&mut self, cfg: &TelemetryConfig) {
         self.segment_latency_hist = Some(cfg.latency_histogram());
+        self.transmission_hist = Some(cfg.latency_histogram());
     }
 
     /// The segment-latency histogram, when telemetry is enabled.
     pub fn segment_latency_histogram(&self) -> Option<&Histogram> {
         self.segment_latency_hist.as_ref()
+    }
+
+    /// The transmission-span (`l_t`) histogram, when telemetry is
+    /// enabled.
+    pub fn transmission_histogram(&self) -> Option<&Histogram> {
+        self.transmission_hist.as_ref()
     }
 
     /// Collect-time distribution of per-player *mean* latencies (ms) —
@@ -111,6 +122,9 @@ impl MetricsCollector {
         }
         if let Some(hist) = &mut self.segment_latency_hist {
             hist.record(arrival.saturating_since(segment.action_time).as_millis_f64());
+        }
+        if let Some(hist) = &mut self.transmission_hist {
+            hist.record(arrival.saturating_since(first_packet).as_millis_f64());
         }
         self.players.entry(segment.player).or_default().record_arrival(
             segment,
@@ -201,6 +215,20 @@ impl MetricsCollector {
             .players
             .values()
             .fold((0.0, 0u64), |(s, n), p| (s + p.latency_sum_ms, n + p.segments));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Exact mean transmission span (ms): last packet minus first
+    /// packet, averaged over every measured segment.
+    pub fn mean_transmission_ms(&self) -> f64 {
+        let (sum, n) = self
+            .players
+            .values()
+            .fold((0.0, 0u64), |(s, n), p| (s + p.transmission_sum_ms, n + p.segments));
         if n == 0 {
             0.0
         } else {

@@ -1,0 +1,142 @@
+//! Canonical observability vocabulary.
+//!
+//! Exactly one trace record type exists in the workspace —
+//! [`cloudfog_sim::telemetry::TraceRecord`], re-exported here — and
+//! every record kind the simulation emits is named by a constant in
+//! [`kind`]. The per-type `trace()` helpers that used to live on
+//! [`DropReport`], [`RateDecision`] and in [`crate::fault`] are
+//! unified as the free constructors below, so a consumer can match on
+//! `record.kind` against this module without chasing duplicated
+//! string literals.
+//!
+//! Lightweight ring-buffer tracing (this module) answers *what
+//! happened when*; full causal lifecycle tracing with provenance and
+//! latency attribution lives in [`cloudfog_sim::causal`].
+
+use crate::adapt::RateDecision;
+use crate::schedule::DropReport;
+use cloudfog_sim::time::SimTime;
+use cloudfog_workload::player::PlayerId;
+
+pub use cloudfog_sim::telemetry::{TraceRecord, TraceRing};
+
+/// Every trace-record kind the simulation emits, as `record.kind`
+/// string constants.
+pub mod kind {
+    /// Deadline-buffer packet shed (Eq. 14 rebalance). `key` = player,
+    /// `value` = packets dropped.
+    pub const SCHED_DROP: &str = "sched.drop";
+    /// Rate-adaptation up-switch. `key` = player, `value` = new level.
+    pub const ADAPT_UP: &str = "adapt.up";
+    /// Rate-adaptation down-switch. `key` = player, `value` = new level.
+    pub const ADAPT_DOWN: &str = "adapt.down";
+    /// Heartbeat detector confirmed a supernode failure. `key` = host,
+    /// `value` = detection latency (ms).
+    pub const DETECTOR_CONFIRM: &str = "detector.confirm";
+    /// Player assigned to a streaming source at join. `key` = player,
+    /// `value` = source class (0 cloud, 1 supernode, 2 none).
+    pub const DEPLOY_ASSIGN: &str = "deploy.assign";
+    /// Player re-homed after a failure. `key` = player, `value` =
+    /// source class.
+    pub const DEPLOY_REHOME: &str = "deploy.rehome";
+    /// QoE watchdog moved a player off a gray supernode. `key` =
+    /// player, `value` = 1.
+    pub const WATCHDOG_REASSIGN: &str = "watchdog.reassign";
+    /// Regional outage active window. `key` = fault index, `value` =
+    /// 1 start / 0 end.
+    pub const FAULT_OUTAGE: &str = "fault.outage";
+    /// Latency-storm active window.
+    pub const FAULT_LATENCY_STORM: &str = "fault.latency_storm";
+    /// Burst-loss active window.
+    pub const FAULT_LOSS_BURST: &str = "fault.loss_burst";
+    /// Bandwidth-collapse active window.
+    pub const FAULT_BW_COLLAPSE: &str = "fault.bw_collapse";
+    /// Gray-failure active window.
+    pub const FAULT_GRAY: &str = "fault.gray";
+
+    /// All kinds, for exhaustive matching in tooling.
+    pub const ALL: [&str; 12] = [
+        SCHED_DROP,
+        ADAPT_UP,
+        ADAPT_DOWN,
+        DETECTOR_CONFIRM,
+        DEPLOY_ASSIGN,
+        DEPLOY_REHOME,
+        WATCHDOG_REASSIGN,
+        FAULT_OUTAGE,
+        FAULT_LATENCY_STORM,
+        FAULT_LOSS_BURST,
+        FAULT_BW_COLLAPSE,
+        FAULT_GRAY,
+    ];
+}
+
+/// Record for a deadline-buffer rebalance — `Some` only when the
+/// enqueue actually shed packets, so quiet enqueues cost nothing.
+/// `key` is the enqueued segment's player, `value` the packets dropped
+/// across the buffer.
+pub fn drop_trace(report: &DropReport, at: SimTime, player: PlayerId) -> Option<TraceRecord> {
+    (report.packets_dropped > 0).then(|| {
+        TraceRecord::new(at, kind::SCHED_DROP, u64::from(player.0), report.packets_dropped as f64)
+    })
+}
+
+/// Record for a rate decision — `Some` only when the quality level
+/// actually changes (`Hold` is not traced). `key` identifies the
+/// player, `value` is the new level.
+pub fn adapt_trace(decision: RateDecision, at: SimTime, player: u64) -> Option<TraceRecord> {
+    match decision {
+        RateDecision::Hold => None,
+        RateDecision::Up(level) => {
+            Some(TraceRecord::new(at, kind::ADAPT_UP, player, f64::from(level)))
+        }
+        RateDecision::Down(level) => {
+            Some(TraceRecord::new(at, kind::ADAPT_DOWN, player, f64::from(level)))
+        }
+    }
+}
+
+/// Record for a confirmed supernode failure: `key` is the supernode's
+/// host id, `value` the detection latency in milliseconds.
+pub fn detection_trace(at: SimTime, supernode: u64, detection_ms: f64) -> TraceRecord {
+    TraceRecord::new(at, kind::DETECTOR_CONFIRM, supernode, detection_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_outcomes_are_not_traced() {
+        let report = DropReport::default();
+        assert!(drop_trace(&report, SimTime::ZERO, PlayerId(3)).is_none());
+        assert!(adapt_trace(RateDecision::Hold, SimTime::ZERO, 3).is_none());
+    }
+
+    #[test]
+    fn records_carry_the_canonical_kinds() {
+        let report = DropReport { packets_dropped: 4, segments_affected: 1 };
+        let r = drop_trace(&report, SimTime::from_secs(1), PlayerId(9)).unwrap();
+        assert_eq!(r.kind, kind::SCHED_DROP);
+        assert_eq!(r.key, 9);
+        assert_eq!(r.value, 4.0);
+
+        let up = adapt_trace(RateDecision::Up(3), SimTime::from_secs(2), 7).unwrap();
+        assert_eq!(up.kind, kind::ADAPT_UP);
+        let down = adapt_trace(RateDecision::Down(1), SimTime::from_secs(2), 7).unwrap();
+        assert_eq!(down.kind, kind::ADAPT_DOWN);
+
+        let det = detection_trace(SimTime::from_secs(3), 5, 120.0);
+        assert_eq!(det.kind, kind::DETECTOR_CONFIRM);
+        assert_eq!(det.value, 120.0);
+    }
+
+    #[test]
+    fn kind_list_is_unique() {
+        for (i, a) in kind::ALL.iter().enumerate() {
+            for b in &kind::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -29,8 +29,8 @@
 use std::collections::HashMap;
 
 use cloudfog_net::bandwidth::Mbps;
+use cloudfog_sim::causal::{DropProvenance, DropShare};
 use cloudfog_sim::stats::SlidingMean;
-use cloudfog_sim::telemetry::TraceRecord;
 use cloudfog_sim::time::{SimDuration, SimTime};
 use cloudfog_workload::player::PlayerId;
 
@@ -53,21 +53,6 @@ pub struct DropReport {
     pub packets_dropped: u32,
     /// Segments that lost at least one packet.
     pub segments_affected: u32,
-}
-
-impl DropReport {
-    /// Trace-record name for deadline-buffer packet sheds.
-    pub const TRACE_KIND: &'static str = "sched.drop";
-
-    /// A telemetry record for this rebalance — `Some` only when the
-    /// enqueue actually shed packets, so quiet enqueues cost nothing.
-    /// `key` is the enqueued segment's player, `value` the packets
-    /// dropped across the buffer.
-    pub fn trace(&self, at: SimTime, player: PlayerId) -> Option<TraceRecord> {
-        (self.packets_dropped > 0).then(|| {
-            TraceRecord::new(at, Self::TRACE_KIND, player.0 as u64, self.packets_dropped as f64)
-        })
-    }
 }
 
 /// A sender's outgoing segment buffer.
@@ -139,10 +124,26 @@ impl SenderBuffer {
     /// Enqueue a segment at `now`; under the deadline policy this may
     /// drop packets (Eq. 14) and returns what happened.
     pub fn enqueue(&mut self, segment: Segment, now: SimTime, params: &SystemParams) -> DropReport {
+        self.enqueue_traced(segment, now, params, false).0
+    }
+
+    /// [`Self::enqueue`], optionally capturing full Eq. 14 decision
+    /// provenance (deadline slack, drop demand `D_i`, per-victim
+    /// spread weights and `φ` decay values). Provenance is `Some` only
+    /// when `provenance` is requested *and* the rebalance actually
+    /// dropped packets; the drop decision itself is identical either
+    /// way.
+    pub fn enqueue_traced(
+        &mut self,
+        segment: Segment,
+        now: SimTime,
+        params: &SystemParams,
+        provenance: bool,
+    ) -> (DropReport, Option<DropProvenance>) {
         match self.policy {
             SchedulingPolicy::Fifo => {
                 self.queue.push(segment);
-                DropReport::default()
+                (DropReport::default(), None)
             }
             SchedulingPolicy::DeadlineDriven => {
                 // Insert in ascending expected-arrival order; FIFO among
@@ -150,7 +151,7 @@ impl SenderBuffer {
                 let t_a = segment.expected_arrival();
                 let pos = self.queue.partition_point(|s| s.expected_arrival() <= t_a);
                 self.queue.insert(pos, segment);
-                self.rebalance(pos, now, params)
+                self.rebalance(pos, now, params, provenance)
             }
         }
     }
@@ -173,29 +174,40 @@ impl SenderBuffer {
     /// Check the segment at `idx` (and, transitively, anything its
     /// drops might rescue) and apply Eq. 14 drops if it is predicted
     /// late.
-    fn rebalance(&mut self, idx: usize, now: SimTime, params: &SystemParams) -> DropReport {
+    fn rebalance(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        params: &SystemParams,
+        provenance: bool,
+    ) -> (DropReport, Option<DropProvenance>) {
         let mut report = DropReport::default();
         let predicted = self.estimated_response_ms(idx, now, params);
         let required = self.queue[idx].latency_requirement.as_millis_f64();
         if predicted <= required {
-            return report;
+            return (report, None);
         }
         // D_i = (L_r − L̃_r)/σ packets must go.
         let sigma_ms = params.sigma_per_packet.as_millis_f64();
-        let mut to_drop = (((predicted - required) / sigma_ms).ceil() as u32).max(1);
+        let demanded = (((predicted - required) / sigma_ms).ceil() as u32).max(1);
+        let mut to_drop = demanded;
 
         // Eq. 14 weights over segments 0..=idx: tolerance × age decay.
+        let mut phis = provenance.then(|| Vec::with_capacity(idx + 1));
         let weights: Vec<f64> = self.queue[..=idx]
             .iter()
             .map(|s| {
                 let wait_s = now.saturating_since(s.enqueued_at).as_secs_f64();
                 let phi = (-params.decay_lambda * wait_s).exp();
+                if let Some(phis) = phis.as_mut() {
+                    phis.push(phi);
+                }
                 s.loss_tolerance * phi
             })
             .collect();
         let total_weight: f64 = weights.iter().sum();
         if total_weight <= 0.0 {
-            return report;
+            return (report, None);
         }
 
         // First pass: proportional allocation, clamped per segment by
@@ -225,7 +237,37 @@ impl SenderBuffer {
         }
         report.packets_dropped = total_dropped;
         report.segments_affected = dropped_here.iter().filter(|&&d| d > 0).count() as u32;
-        report
+        let detail = match phis {
+            Some(phis) if report.packets_dropped > 0 => {
+                let trigger = &self.queue[idx];
+                let shares = self.queue[..=idx]
+                    .iter()
+                    .zip(&weights)
+                    .zip(&phis)
+                    .zip(&dropped_here)
+                    .map(|(((s, &weight), &phi), &dropped)| DropShare {
+                        trace: s.id.0,
+                        tolerance: s.loss_tolerance,
+                        phi,
+                        weight,
+                        dropped,
+                    })
+                    .collect();
+                Some(DropProvenance {
+                    at: now,
+                    trigger: trigger.id.0,
+                    player: u64::from(trigger.player.0),
+                    predicted_ms: predicted,
+                    required_ms: required,
+                    sigma_ms,
+                    demanded,
+                    dropped: report.packets_dropped,
+                    shares,
+                })
+            }
+            _ => None,
+        };
+        (report, detail)
     }
 
     /// Pop the next segment to transmit (the head of the queue).

@@ -14,9 +14,41 @@ use cloudfog_workload::player::PlayerId;
 
 use crate::config::SystemParams;
 
-/// Identifier of a segment (unique per simulation run).
+/// Identifier of a segment, **globally unique per run**: every
+/// simulation draws ids from one [`SegmentIdAlloc`], never from
+/// per-player counters, so a segment id is a stable join key across
+/// JSONL exports (causal traces, drop provenance, telemetry records).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SegmentId(pub u64);
+
+/// The run-global segment-id allocator.
+///
+/// One instance per simulation; ids increase in allocation order
+/// starting at 0, so they also encode generation order and are
+/// deterministic for a given seed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegmentIdAlloc {
+    next: u64,
+}
+
+impl SegmentIdAlloc {
+    /// A fresh allocator starting at id 0.
+    pub fn new() -> Self {
+        SegmentIdAlloc::default()
+    }
+
+    /// The next globally unique id.
+    pub fn next_id(&mut self) -> SegmentId {
+        let id = SegmentId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// How many ids have been issued.
+    pub fn issued(&self) -> u64 {
+        self.next
+    }
+}
 
 /// One encoded video segment in flight.
 #[derive(Clone, Debug)]
@@ -128,6 +160,11 @@ pub struct PlayerStreamStats {
     pub latency_sum_ms: f64,
     /// Worst segment response latency seen, ms.
     pub latency_max_ms: f64,
+    /// Sum of segment transmission spans (last-packet arrival minus
+    /// first-packet arrival), ms. Kept separate from the latency sum
+    /// so `l_t` is attributable on its own rather than folded into
+    /// propagation.
+    pub transmission_sum_ms: f64,
     /// Packet-loss tolerance of the player's game (recorded from the
     /// arriving segments; used by the satisfaction grade).
     pub loss_tolerance: f64,
@@ -155,6 +192,7 @@ impl PlayerStreamStats {
         let latency_ms = arrival.saturating_since(segment.action_time).as_millis_f64();
         self.latency_sum_ms += latency_ms;
         self.latency_max_ms = self.latency_max_ms.max(latency_ms);
+        self.transmission_sum_ms += arrival.saturating_since(first_packet).as_millis_f64();
 
         if surviving == 0 {
             return;
@@ -211,6 +249,16 @@ impl PlayerStreamStats {
             0.0
         } else {
             self.latency_sum_ms / self.segments as f64
+        }
+    }
+
+    /// Mean segment transmission span (first packet → last packet,
+    /// ms); 0 with no segments.
+    pub fn mean_transmission_ms(&self) -> f64 {
+        if self.segments == 0 {
+            0.0
+        } else {
+            self.transmission_sum_ms / self.segments as f64
         }
     }
 }
@@ -335,5 +383,31 @@ mod tests {
         assert_eq!(stats.continuity(), 1.0);
         assert!(!stats.satisfied(0.95));
         assert_eq!(stats.mean_latency_ms(), 0.0);
+        assert_eq!(stats.mean_transmission_ms(), 0.0);
+    }
+
+    #[test]
+    fn transmission_span_is_tracked_separately_from_latency() {
+        let mut stats = PlayerStreamStats::default();
+        let s1 = seg(0, 5, SimTime::ZERO);
+        // 20 ms between first and last packet, 60 ms total latency.
+        stats.record_arrival(&s1, SimTime::from_millis(40), SimTime::from_millis(60));
+        let s2 = seg(0, 5, SimTime::from_millis(1_000));
+        // 40 ms between first and last packet.
+        stats.record_arrival(&s2, SimTime::from_millis(1_060), SimTime::from_millis(1_100));
+        assert!((stats.mean_transmission_ms() - 30.0).abs() < 1e-9);
+        assert!((stats.mean_latency_ms() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_id_alloc_issues_globally_unique_ids() {
+        let mut alloc = SegmentIdAlloc::new();
+        let a = alloc.next_id();
+        let b = alloc.next_id();
+        let c = alloc.next_id();
+        assert_eq!(a, SegmentId(0));
+        assert_eq!(b, SegmentId(1));
+        assert_eq!(c, SegmentId(2));
+        assert_eq!(alloc.issued(), 3);
     }
 }

@@ -31,6 +31,9 @@ use cloudfog_net::bandwidth::Mbps;
 use cloudfog_net::geo::Region;
 use cloudfog_net::gilbert::GilbertElliott;
 use cloudfog_net::topology::{DelaySource, HostId, Topology};
+use cloudfog_sim::causal::{
+    AdaptProvenance, CausalLog, CausalReport, Outcome as SegmentOutcome, Stage,
+};
 use cloudfog_sim::engine::{Model, Scheduler, Simulation};
 use cloudfog_sim::event::EventQueue;
 use cloudfog_sim::rng::Rng;
@@ -58,12 +61,13 @@ pub struct GameQoe {
 }
 use cloudfog_workload::player::PlayerId;
 
-use crate::adapt::{RateController, RateDecision};
+use crate::adapt::{AdaptExplain, RateController, RateDecision};
 use crate::config::{ExperimentProfile, SystemParams};
 use crate::fault::{DetectorParams, FaultKind, FaultScript, WatchdogParams};
 use crate::metrics::{MetricsCollector, TrafficSource};
+use crate::obs;
 use crate::schedule::{SchedulingPolicy, SenderBuffer};
-use crate::streaming::{Segment, SegmentId};
+use crate::streaming::{Segment, SegmentIdAlloc};
 use crate::systems::deployment::{Deployment, StreamSource, SystemKind};
 
 /// How players enter the system.
@@ -465,6 +469,10 @@ pub struct RunOutput {
     /// Telemetry artifact (when [`StreamingSimConfig::telemetry`] is
     /// set): quantiles, CDFs, trace counts, wall-clock phases.
     pub telemetry: Option<TelemetryReport>,
+    /// Causal tracing artifact (when telemetry is set): per-segment
+    /// lifecycle spans, decision provenance, Eq. 12 latency
+    /// attribution and the tail-attribution table.
+    pub causal: Option<CausalReport>,
 }
 
 /// Time-bucketed QoE curves of a run (enabled via
@@ -564,6 +572,10 @@ struct SuspectState {
 struct TelemetryState {
     cfg: TelemetryConfig,
     trace: TraceRing,
+    /// Causal lifecycle spans + decision provenance (see
+    /// [`cloudfog_sim::causal`]). Rides on the same zero-cost-off
+    /// pattern: no telemetry, no log, no per-segment work.
+    causal: CausalLog,
 }
 
 /// Per-sender state: one uplink port with one queue.
@@ -648,7 +660,8 @@ pub struct StreamingSim {
     faults_activated: u64,
     /// Telemetry recording state (`None` = off, zero cost).
     telemetry: Option<Box<TelemetryState>>,
-    next_segment: u64,
+    /// Run-global segment ids: stable causal-trace join keys.
+    segment_ids: SegmentIdAlloc,
     rng_assign: Rng,
     rng_game: Rng,
     rng_net: Rng,
@@ -683,7 +696,8 @@ impl StreamingSim {
         let series = cfg.series_bucket.map(QoeSeries::new);
         let telemetry = cfg.telemetry.clone().map(|tcfg| {
             let trace = TraceRing::new(tcfg.trace_capacity);
-            Box::new(TelemetryState { cfg: tcfg, trace })
+            let causal = CausalLog::new(&tcfg);
+            Box::new(TelemetryState { cfg: tcfg, trace, causal })
         });
         let mut metrics = MetricsCollector::new();
         if let Some(t) = &telemetry {
@@ -712,7 +726,7 @@ impl StreamingSim {
             gray_victims: HashMap::new(),
             faults_activated: 0,
             telemetry,
-            next_segment: 0,
+            segment_ids: SegmentIdAlloc::new(),
             rng_assign,
             rng_game,
             rng_net,
@@ -732,7 +746,11 @@ impl StreamingSim {
         let horizon = cfg.horizon;
         let ramp = cfg.ramp;
         let mut model = StreamingSim::new(cfg);
-        model.metrics.set_measure_from(SimTime::ZERO + ramp + ramp / 2);
+        let measure_from = SimTime::ZERO + ramp + ramp / 2;
+        model.metrics.set_measure_from(measure_from);
+        if let Some(t) = model.telemetry.as_mut() {
+            t.causal.set_measure_from(measure_from);
+        }
         let n = model.deployment.population.len();
         let mut sim = Simulation::new(model).with_horizon(SimTime::ZERO + horizon);
         match sim.model.cfg.join_pattern {
@@ -792,7 +810,8 @@ impl StreamingSim {
             t.set_phases(&mut prof);
             t
         });
-        RunOutput { summary, series: model.series, telemetry }
+        let causal = model.telemetry.as_ref().map(|t| t.causal.report(model.cfg.kind.label()));
+        RunOutput { summary, series: model.series, telemetry, causal }
     }
 
     /// Run to the horizon and summarize, also returning the QoE
@@ -924,6 +943,14 @@ impl StreamingSim {
         }
     }
 
+    /// The causal log, when telemetry is on. Same zero-cost-off
+    /// contract as [`Self::trace`]: callers check before doing any
+    /// per-segment work.
+    #[inline]
+    fn causal(&mut self) -> Option<&mut CausalLog> {
+        self.telemetry.as_mut().map(|t| &mut t.causal)
+    }
+
     /// Build the telemetry artifact for a finished run. Must only be
     /// called when telemetry was enabled.
     fn telemetry_report(&self, summary: &RunSummary) -> TelemetryReport {
@@ -947,6 +974,15 @@ impl StreamingSim {
                 "latency_ms.segment",
                 hist,
                 self.metrics.segment_latency_mean_ms(),
+                tcfg,
+                true,
+            );
+        }
+        if let Some(hist) = self.metrics.transmission_histogram() {
+            report.distribution(
+                "latency_ms.transmission",
+                hist,
+                self.metrics.mean_transmission_ms(),
                 tcfg,
                 true,
             );
@@ -1044,7 +1080,7 @@ impl StreamingSim {
                 TrafficSource::EdgeServer => 1.0,
                 TrafficSource::Supernode => 2.0,
             };
-            self.trace(TraceRecord::new(now, "deploy.assign", u64::from(p.0), class));
+            self.trace(TraceRecord::new(now, obs::kind::DEPLOY_ASSIGN, u64::from(p.0), class));
         }
 
         // First action lands somewhere inside one action period to
@@ -1062,8 +1098,7 @@ impl StreamingSim {
         let game = self.game_of(active.game);
         let quality = active.controller.as_ref().map(|c| c.quality()).unwrap_or(active.quality);
 
-        let id = SegmentId(self.next_segment);
-        self.next_segment += 1;
+        let id = self.segment_ids.next_id();
 
         // Path to the sender: player → nearest DC (action uplink),
         // compute; fog adds DC → supernode update + render.
@@ -1095,12 +1130,36 @@ impl StreamingSim {
         let mut segment =
             Segment::new(id, p, &game, quality, network_t0, enqueue_at, &self.cfg.params);
         segment.enqueued_at = enqueue_at;
+        if let Some(causal) = self.causal() {
+            // Lifecycle span opens: the action happened at `now`, the
+            // encoded response enters the network at `network_t0` (the
+            // instant reported latency is measured from).
+            causal.begin(
+                id.0,
+                u64::from(p.0),
+                game.id.index() as u16,
+                quality.level,
+                now,
+                network_t0,
+                segment.expected_arrival(),
+                segment.packets,
+            );
+        }
         sched.schedule_at(enqueue_at, Ev::Enqueue(Box::new(segment)));
         sched.schedule_in(self.action_period(), Ev::Action(p));
     }
 
     fn handle_enqueue(&mut self, segment: Segment, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
-        let Some(active) = self.active.get(&segment.player) else { return };
+        let now = sched.now();
+        let sid = segment.id.0;
+        let Some(active) = self.active.get(&segment.player) else {
+            // Player left while the update was in flight: the segment
+            // evaporates before reaching any queue.
+            if let Some(causal) = self.causal() {
+                causal.finish(sid, SegmentOutcome::Evaporated, now);
+            }
+            return;
+        };
         let host = active.source.host;
         if self.dead_hosts.contains(&host) {
             // The sender is dead but unconfirmed: the stream stalls
@@ -1109,16 +1168,31 @@ impl StreamingSim {
             return;
         }
         let player = segment.player;
+        let tracing = self.tracing();
         let Some(sender) = self.senders.get_mut(&host) else { return };
-        let report = sender.buffer.enqueue(segment, sched.now(), &self.cfg.params);
+        let (report, provenance) =
+            sender.buffer.enqueue_traced(segment, now, &self.cfg.params, tracing);
         self.scheduler_drops += report.packets_dropped as u64;
         if !sender.busy {
             sender.busy = true;
             sched.schedule_in(SimDuration::ZERO, Ev::StartTx(host));
         }
-        if self.tracing() {
-            if let Some(r) = report.trace(sched.now(), player) {
+        if tracing {
+            if let Some(r) = obs::drop_trace(&report, now, player) {
                 self.trace(r);
+            }
+            if let Some(causal) = self.causal() {
+                causal.stamp(sid, Stage::Enqueued, now);
+                if let Some(prov) = provenance {
+                    // Credit each victim's spread share (including the
+                    // trigger itself) so traces show their Eq. 14 cost.
+                    for share in &prov.shares {
+                        if share.dropped > 0 {
+                            causal.add_sched_drop(share.trace, share.dropped);
+                        }
+                    }
+                    causal.record_drop(prov);
+                }
             }
         }
     }
@@ -1158,6 +1232,9 @@ impl StreamingSim {
                     // Player left: segment evaporates (its packets are
                     // not charged to anyone, matching the paper's
                     // per-player accounting).
+                    if let Some(causal) = self.causal() {
+                        causal.finish(seg.id.0, SegmentOutcome::Evaporated, now);
+                    }
                 }
             }
         };
@@ -1174,6 +1251,9 @@ impl StreamingSim {
             self.metrics.record_arrival(&segment, now, now);
             if let Some(a) = self.active.get_mut(&segment.player) {
                 a.window_packets += u64::from(segment.packets);
+            }
+            if let Some(causal) = self.causal() {
+                causal.finish(segment.id.0, SegmentOutcome::Skipped, now);
             }
             sched.schedule_in(SimDuration::ZERO, Ev::StartTx(host));
             return;
@@ -1223,15 +1303,27 @@ impl StreamingSim {
         // Chaos: bursty access loss at the player's region eats packets
         // on the wire, past the scheduler's polite loss budget.
         let region = self.deployment.topology().host(player_host).region.index();
+        let mut wire_lost = 0;
         if let Some(chain) = self.chaos.loss[region].as_mut() {
             let surviving = segment.surviving_packets();
             if surviving > 0 {
-                segment.lose_packets(chain.lose_of(surviving, &mut self.rng_chaos));
+                wire_lost = segment.lose_packets(chain.lose_of(surviving, &mut self.rng_chaos));
             }
         }
 
         let first_packet = flow_start + propagation;
         let arrival = flow_end.max(now + port_time) + propagation;
+        if self.tracing() {
+            let sid = segment.id.0;
+            if let Some(causal) = self.causal() {
+                causal.stamp(sid, Stage::TxStart, now);
+                causal.stamp(sid, Stage::FirstPacket, first_packet);
+                causal.set_propagation(sid, propagation);
+                if wire_lost > 0 {
+                    causal.add_wire_loss(sid, wire_lost);
+                }
+            }
+        }
         sched.schedule_at(
             arrival,
             Ev::Deliver { segment: Box::new(segment), sender: host, first_packet, propagation },
@@ -1264,6 +1356,7 @@ impl StreamingSim {
         // estimation interval, playback rate b_p = 1 (real time).
         let params = self.cfg.params;
         let mut decision = RateDecision::Hold;
+        let mut explain: Option<AdaptExplain> = None;
         if let Some(active) = self.active.get_mut(&segment.player) {
             // QoE-watchdog window: packets owed vs packets on time.
             active.window_packets += u64::from(segment.packets);
@@ -1277,12 +1370,48 @@ impl StreamingSim {
                 active.last_buffer_event = now;
                 // Quality changes take effect on the next Action; the
                 // controller tracks its own level.
-                decision = controller.observe(now, d, 1.0, params.segment_duration);
+                let (dec, ex) = controller.observe_explained(now, d, 1.0, params.segment_duration);
+                decision = dec;
+                explain = Some(ex);
             }
         }
         if self.tracing() {
-            if let Some(r) = decision.trace(now, u64::from(segment.player.0)) {
+            if let Some(r) = obs::adapt_trace(decision, now, u64::from(segment.player.0)) {
                 self.trace(r);
+            }
+        }
+        let sid = segment.id.0;
+        let player = u64::from(segment.player.0);
+        let outcome = if now <= segment.expected_arrival() {
+            SegmentOutcome::OnTime
+        } else {
+            SegmentOutcome::Late
+        };
+        if let Some(causal) = self.causal() {
+            causal.stamp(sid, Stage::Delivered, now);
+            causal.finish(sid, outcome, now);
+            let to_level = match decision {
+                RateDecision::Hold => None,
+                RateDecision::Up(l) | RateDecision::Down(l) => Some(l),
+            };
+            if let (Some(to_level), Some(ex)) = (to_level, explain) {
+                let run = match decision {
+                    RateDecision::Up(_) if ex.probe => ex.stable_run,
+                    RateDecision::Up(_) => ex.up_run,
+                    RateDecision::Down(_) => ex.down_run,
+                    RateDecision::Hold => 0,
+                };
+                causal.record_adapt(AdaptProvenance {
+                    at: now,
+                    player,
+                    from_level: ex.from_level,
+                    to_level,
+                    r: ex.r,
+                    up_threshold: ex.up_threshold,
+                    down_threshold: ex.down_threshold,
+                    run,
+                    probe: ex.probe,
+                });
             }
         }
     }
@@ -1329,6 +1458,10 @@ impl StreamingSim {
         self.metrics.record_arrival(segment, late, late);
         if let Some(a) = self.active.get_mut(&segment.player) {
             a.window_packets += u64::from(segment.packets);
+        }
+        let sid = segment.id.0;
+        if let Some(causal) = self.causal() {
+            causal.finish(sid, SegmentOutcome::Lost, late);
         }
     }
 
@@ -1450,7 +1583,7 @@ impl StreamingSim {
         self.metrics.record_confirmed_failure(detection_ms, orphan_secs);
         if self.tracing() {
             let host = self.deployment.supernodes.get(sn).host;
-            self.trace(crate::fault::detection_trace(now, u64::from(host.0), detection_ms));
+            self.trace(obs::detection_trace(now, u64::from(host.0), detection_ms));
         }
         for p in orphans {
             if self.rehome_player(p, now) {
@@ -1515,7 +1648,7 @@ impl StreamingSim {
         }
         if self.tracing() {
             let value = if rescued { 1.0 } else { 0.0 };
-            self.trace(TraceRecord::new(now, "deploy.rehome", u64::from(p.0), value));
+            self.trace(TraceRecord::new(now, obs::kind::DEPLOY_REHOME, u64::from(p.0), value));
         }
         rescued
     }
@@ -1568,7 +1701,7 @@ impl StreamingSim {
         self.rehome_player(p, now);
         self.metrics.record_watchdog_reassignment();
         if self.tracing() {
-            self.trace(TraceRecord::new(now, "watchdog.reassign", u64::from(p.0), 1.0));
+            self.trace(TraceRecord::new(now, obs::kind::WATCHDOG_REASSIGN, u64::from(p.0), 1.0));
         }
         if let Some(series) = self.series.as_mut() {
             series.reassignments.bump(now);

@@ -29,7 +29,7 @@ use crate::adapt::RateController;
 use crate::config::SystemParams;
 use crate::metrics::{MetricsCollector, TrafficSource};
 use crate::schedule::{SchedulingPolicy, SenderBuffer};
-use crate::streaming::{Segment, SegmentId};
+use crate::streaming::{Segment, SegmentIdAlloc};
 use crate::systems::deployment::SystemKind;
 
 /// Configuration of the load experiment.
@@ -112,7 +112,7 @@ struct LoadSim {
     metrics: MetricsCollector,
     scheduler_drops: u64,
     quality_switches: u64,
-    next_segment: u64,
+    segment_ids: SegmentIdAlloc,
     rng_net: Rng,
 }
 
@@ -174,7 +174,7 @@ impl LoadSim {
             metrics: MetricsCollector::new(),
             scheduler_drops: 0,
             quality_switches: 0,
-            next_segment: 0,
+            segment_ids: SegmentIdAlloc::new(),
             rng_net,
         }
     }
@@ -211,8 +211,7 @@ impl Model for LoadSim {
                 let idx = p.index();
                 let game = &GAMES[self.players[idx].game];
                 let quality = self.quality_of(idx);
-                let id = SegmentId(self.next_segment);
-                self.next_segment += 1;
+                let id = self.segment_ids.next_id();
                 // Pinned scenario: action uplink + compute + update +
                 // render are a constant small preamble (same metro);
                 // model them with the configured compute/render times

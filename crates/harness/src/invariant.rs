@@ -62,14 +62,18 @@ impl InvariantRegistry {
     }
 
     /// The stock suite: QoE bounds, traffic-source conservation,
-    /// quantile monotonicity, fault-recovery bounds, and the
-    /// fog-dominates-cloud latency claim.
+    /// quantile monotonicity, fault-recovery bounds, causal-trace
+    /// consistency (span ordering, Eq. 12 span sums, drop
+    /// provenance), and the fog-dominates-cloud latency claim.
     pub fn stock() -> Self {
         let mut r = Self::empty();
         r.register(QoeBounds);
         r.register(SourceConservation);
         r.register(QuantileMonotone);
         r.register(FaultRecoveryBounded);
+        r.register(CausalSpanOrder);
+        r.register(CausalSpanSum);
+        r.register(CausalDropProvenance);
         r.register(FogDominatesCloud::default());
         r
     }
@@ -278,6 +282,118 @@ impl Invariant for FaultRecoveryBounded {
                 s.players,
                 window.as_secs_f64()
             ));
+        }
+        Ok(())
+    }
+}
+
+/// Causal lifecycle stages happen in order: within every retained
+/// trace, each stamped stage is at or after every earlier stamped
+/// stage, and a delivered segment carries all six stamps. Cells
+/// without telemetry (no causal log) skip.
+pub struct CausalSpanOrder;
+
+impl Invariant for CausalSpanOrder {
+    fn name(&self) -> &'static str {
+        "causal.span_order"
+    }
+
+    fn check_run(&self, _scenario: &Scenario, output: &RunOutput) -> Result<(), String> {
+        use cloudfog_sim::causal::{Outcome, Stage};
+        let Some(causal) = &output.causal else { return Ok(()) };
+        for t in &causal.traces {
+            let mut last: Option<(Stage, cloudfog_sim::time::SimTime)> = None;
+            for stage in Stage::ALL {
+                let Some(at) = t.stages[stage as usize] else { continue };
+                if let Some((prev_stage, prev_at)) = last {
+                    if at < prev_at {
+                        return Err(format!(
+                            "trace {}: {} at {} µs precedes {} at {} µs",
+                            t.trace,
+                            stage.label(),
+                            at.as_micros(),
+                            prev_stage.label(),
+                            prev_at.as_micros()
+                        ));
+                    }
+                }
+                last = Some((stage, at));
+            }
+            let delivered = matches!(t.outcome, Some(Outcome::OnTime | Outcome::Late));
+            if delivered {
+                if let Some(missing) = Stage::ALL.iter().find(|s| t.stages[**s as usize].is_none())
+                {
+                    return Err(format!(
+                        "trace {}: delivered without a {} stamp",
+                        t.trace,
+                        missing.label()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Eq. 12 closes per trace: for every delivered segment the component
+/// spans `l_r + l_q + l_t + l_p` sum to the reported response latency
+/// (`l_s` is charged to the playout budget upstream of the reported
+/// clock, so it is excluded — see the causal module docs).
+pub struct CausalSpanSum;
+
+impl Invariant for CausalSpanSum {
+    fn name(&self) -> &'static str {
+        "causal.span_sum"
+    }
+
+    fn check_run(&self, _scenario: &Scenario, output: &RunOutput) -> Result<(), String> {
+        let Some(causal) = &output.causal else { return Ok(()) };
+        for t in &causal.traces {
+            let (Some(c), Some(net)) = (t.components_ms(), t.latency_ms()) else { continue };
+            let sum = c[0] + c[2] + c[3] + c[4]; // l_r + l_q + l_t + l_p
+            if (sum - net).abs() > 1e-6 {
+                return Err(format!(
+                    "trace {}: spans sum to {sum:.9} ms but latency is {net:.9} ms",
+                    t.trace
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Every scheduler drop has provenance: the causal log's exact packet
+/// counter matches the run's `scheduler_drops`, and every retained
+/// Eq. 14 rebalance record actually dropped what its per-segment
+/// shares add up to.
+pub struct CausalDropProvenance;
+
+impl Invariant for CausalDropProvenance {
+    fn name(&self) -> &'static str {
+        "causal.drop_provenance"
+    }
+
+    fn check_run(&self, _scenario: &Scenario, output: &RunOutput) -> Result<(), String> {
+        let Some(causal) = &output.causal else { return Ok(()) };
+        if causal.drop_packets != output.summary.scheduler_drops {
+            return Err(format!(
+                "provenance saw {} dropped packets but the run reported {}",
+                causal.drop_packets, output.summary.scheduler_drops
+            ));
+        }
+        for d in &causal.drops {
+            if d.dropped == 0 {
+                return Err(format!("rebalance at {} µs recorded zero drops", d.at.as_micros()));
+            }
+            let share_sum: u32 = d.shares.iter().map(|s| s.dropped).sum();
+            if share_sum != d.dropped {
+                return Err(format!(
+                    "rebalance at {} µs dropped {} packets but shares sum to {}",
+                    d.at.as_micros(),
+                    d.dropped,
+                    share_sum
+                ));
+            }
         }
         Ok(())
     }

@@ -19,6 +19,8 @@
 //! * [`series`] — time-bucketed metric series (QoE-over-time plots).
 //! * [`telemetry`] — ring-buffered event tracing, quantile/CDF
 //!   summaries, wall-clock phase profiling and JSONL/CSV run reports.
+//! * [`causal`] — per-segment lifecycle spans, decision provenance and
+//!   Eq. 12 latency attribution with Chrome-trace export.
 //!
 //! ## Quick example
 //!
@@ -49,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 pub mod calendar;
+pub mod causal;
 pub mod engine;
 pub mod event;
 pub mod rng;
@@ -60,6 +63,10 @@ pub mod time;
 /// Convenience re-exports of the types almost every consumer needs.
 pub mod prelude {
     pub use crate::calendar::{CalendarQueue, PendingSet};
+    pub use crate::causal::{
+        AdaptProvenance, CausalLog, CausalReport, DropProvenance, DropShare, Outcome, SegmentTrace,
+        Stage,
+    };
     pub use crate::engine::{Model, RunReport, Scheduler, Simulation, StopReason};
     pub use crate::event::EventQueue;
     pub use crate::rng::Rng;

@@ -251,6 +251,13 @@ pub struct TelemetryConfig {
     /// Trace records included verbatim in the JSONL report (the tail
     /// of the ring; 0 exports counts only).
     pub trace_export: usize,
+    /// Finished causal segment traces retained for export (ring tail;
+    /// outcome counters stay exact past eviction). See
+    /// [`crate::causal`].
+    pub causal_tail: usize,
+    /// Decision-provenance records retained per kind (adaptation and
+    /// scheduler-drop rings). See [`crate::causal`].
+    pub provenance_tail: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -263,6 +270,8 @@ impl Default for TelemetryConfig {
             ratio_bins: 100,
             cdf_points: 50,
             trace_export: 0,
+            causal_tail: 512,
+            provenance_tail: 512,
         }
     }
 }

@@ -131,6 +131,9 @@ fn stock_registry_names_are_stable() {
         "traffic.source_conservation",
         "telemetry.quantile_monotone",
         "fault.recovery_bounded",
+        "causal.span_order",
+        "causal.span_sum",
+        "causal.drop_provenance",
         "latency.fog_dominates_cloud",
     ] {
         assert!(names.contains(&expected), "stock suite lost {expected}: {names:?}");

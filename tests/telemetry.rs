@@ -82,10 +82,14 @@ fn instrumented_runs_populate_the_report() {
     let (_, out) = run_pair(SystemKind::CloudFogA, 7);
     let report = out.telemetry.expect("telemetry requested, report must exist");
     assert_eq!(report.run, "CloudFog/A");
-    for name in ["latency_ms.segment", "latency_ms.player", "continuity.player"] {
+    for name in
+        ["latency_ms.segment", "latency_ms.transmission", "latency_ms.player", "continuity.player"]
+    {
         let row = report.get_quantiles(name).unwrap_or_else(|| panic!("missing {name}"));
         assert!(row.quantiles.count > 0, "{name} must have observations");
     }
+    let causal = out.causal.as_ref().expect("telemetry requested, causal log must exist");
+    assert!(causal.finished > 0 && causal.folded > 0, "causal log must fold deliveries");
     assert!(report.trace_recorded > 0, "an instrumented fog run must emit trace records");
     assert!(!report.phases.is_empty(), "phase profile must be captured");
     let phase_names: Vec<&str> = report.phases.iter().map(|p| p.0.as_str()).collect();
