@@ -10,7 +10,8 @@ use cloudfog_bench::{figures, pct, RunScale, Table};
 fn main() {
     let scale = RunScale::from_env();
     let dcs = [5usize, 10, 15, 20, 25];
-    let series = figures::coverage_vs_datacenters(&scale.peersim(), &dcs, scale.seed);
+    let series =
+        figures::coverage_vs_datacenters(&scale.peersim(), &dcs, scale.seed, scale.workers);
 
     let mut t = Table::new(format!(
         "Figure 5(a) — coverage vs #datacenters (PeerSim, {} players)",

@@ -12,7 +12,8 @@ fn main() {
         .iter()
         .map(|&m| scale.scaled(m.max(1)) * usize::from(m > 0))
         .collect();
-    let series = figures::coverage_vs_supernodes(&scale.peersim(), &sweep, scale.seed);
+    let series =
+        figures::coverage_vs_supernodes(&scale.peersim(), &sweep, scale.seed, scale.workers);
 
     let mut t = Table::new(format!(
         "Figure 5(b) — coverage vs #supernodes (PeerSim, {} players, 5 DCs)",

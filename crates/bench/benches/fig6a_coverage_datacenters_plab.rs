@@ -8,7 +8,8 @@ use cloudfog_bench::{figures, pct, RunScale, Table};
 fn main() {
     let scale = RunScale::from_env();
     let dcs = [2usize, 5, 10, 15, 20];
-    let series = figures::coverage_vs_datacenters(&scale.planetlab(), &dcs, scale.seed);
+    let series =
+        figures::coverage_vs_datacenters(&scale.planetlab(), &dcs, scale.seed, scale.workers);
 
     let mut t = Table::new("Figure 6(a) — coverage vs #datacenters (PlanetLab, 750 hosts)")
         .headers(

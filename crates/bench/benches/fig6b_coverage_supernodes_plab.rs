@@ -7,7 +7,8 @@ use cloudfog_bench::{figures, pct, RunScale, Table};
 fn main() {
     let scale = RunScale::from_env();
     let sweep = [0usize, 50, 100, 200, 300];
-    let series = figures::coverage_vs_supernodes(&scale.planetlab(), &sweep, scale.seed);
+    let series =
+        figures::coverage_vs_supernodes(&scale.planetlab(), &sweep, scale.seed, scale.workers);
 
     let mut t = Table::new("Figure 6(b) — coverage vs #supernodes (PlanetLab, 750 hosts, 2 DCs)")
         .headers(

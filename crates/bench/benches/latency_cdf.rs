@@ -8,16 +8,14 @@ use cloudfog_bench::{ms, RunScale, Table};
 use cloudfog_core::systems::{RunOutput, StreamingSim, StreamingSimConfig, SystemKind};
 use cloudfog_sim::telemetry::TelemetryConfig;
 use cloudfog_sim::time::SimDuration;
-use rayon::prelude::*;
 
 fn main() {
     let scale = RunScale::from_env();
     let players = scale.peersim().population.players;
     let systems =
         [SystemKind::Cloud, SystemKind::EdgeCloud, SystemKind::CloudFogB, SystemKind::CloudFogA];
-    let rows: Vec<(SystemKind, RunOutput)> = systems
-        .par_iter()
-        .map(|&kind| {
+    let rows: Vec<(SystemKind, RunOutput)> =
+        cloudfog_pool::map_indexed(scale.workers, &systems, |_, &kind| {
             let cfg = StreamingSimConfig::builder(kind)
                 .players(players)
                 .seed(scale.seed)
@@ -26,8 +24,7 @@ fn main() {
                 .telemetry(TelemetryConfig::default())
                 .build();
             (kind, StreamingSim::run_instrumented(cfg))
-        })
-        .collect();
+        });
 
     let mut t = Table::new(format!("response-latency distribution ({players} players)"))
         .headers(["system", "P50", "P95", "P99", "max", "mean"])

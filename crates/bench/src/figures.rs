@@ -2,9 +2,11 @@
 //!
 //! Each function regenerates one figure's series using the same
 //! modules the library exposes; the `harness = false` bench targets
-//! print these through [`crate::report::Table`]. All sweeps run the
-//! independent (system × parameter) cells in parallel with rayon —
-//! each cell is a self-contained deterministic simulation.
+//! print these through [`crate::report::Table`]. All sweeps fan the
+//! independent (system × parameter) cells out across
+//! `cloudfog-pool` worker threads — each cell is a self-contained
+//! deterministic simulation, and results are placed back in cell
+//! order, so the series are bit-identical for any worker count.
 //!
 //! Scale: by default runs use a reduced universe (set by
 //! [`RunScale::from_env`]) so `cargo bench` finishes in minutes;
@@ -16,8 +18,8 @@ use cloudfog_core::systems::{
     coverage_curve, supernode_load_experiment, CoveragePoint, LoadExperimentConfig, LoadPoint,
     RunSummary, StreamingSim, StreamingSimConfig, SystemKind,
 };
+use cloudfog_pool::map_indexed;
 use cloudfog_sim::time::SimDuration;
-use rayon::prelude::*;
 
 /// Scale knobs for a reproduction run.
 #[derive(Clone, Copy, Debug)]
@@ -28,12 +30,28 @@ pub struct RunScale {
     pub secs: u64,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for sweep fan-out (`CLOUDFOG_WORKERS` override;
+    /// cell results are bit-identical for any value).
+    pub workers: usize,
 }
 
 impl RunScale {
-    /// Default: 6 % universe (600 players), 40 simulated seconds.
+    /// Default: 6 % universe (600 players), 40 simulated seconds, one
+    /// sweep worker per available core.
     pub fn default_small() -> Self {
-        RunScale { scale: 0.06, secs: 40, seed: 20150701 }
+        RunScale {
+            scale: 0.06,
+            secs: 40,
+            seed: 20150701,
+            workers: cloudfog_pool::default_workers(),
+        }
+    }
+
+    /// A copy with an explicit sweep worker count (used by the 1-vs-N
+    /// bit-identity tests and the throughput bench).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Read `CLOUDFOG_SCALE`, `CLOUDFOG_SECS`, `CLOUDFOG_SEED` from the
@@ -88,23 +106,21 @@ pub fn coverage_vs_datacenters(
     profile: &ExperimentProfile,
     datacenters: &[usize],
     seed: u64,
+    workers: usize,
 ) -> Vec<CoverageSeries> {
     let params = SystemParams::default();
-    datacenters
-        .par_iter()
-        .map(|&k| CoverageSeries {
-            label: format!("{k} datacenters"),
-            points: coverage_curve(
-                SystemKind::Cloud,
-                profile,
-                &REQUIREMENTS_MS,
-                seed,
-                Some(k),
-                None,
-                &params,
-            ),
-        })
-        .collect()
+    map_indexed(workers, datacenters, |_, &k| CoverageSeries {
+        label: format!("{k} datacenters"),
+        points: coverage_curve(
+            SystemKind::Cloud,
+            profile,
+            &REQUIREMENTS_MS,
+            seed,
+            Some(k),
+            None,
+            &params,
+        ),
+    })
 }
 
 /// Figures 5(b)/6(b): coverage vs number of supernodes (default
@@ -113,30 +129,29 @@ pub fn coverage_vs_supernodes(
     profile: &ExperimentProfile,
     supernodes: &[usize],
     seed: u64,
+    workers: usize,
 ) -> Vec<CoverageSeries> {
     let params = SystemParams::default();
-    supernodes
-        .par_iter()
-        .map(|&m| {
-            let (kind, over) =
-                if m == 0 { (SystemKind::Cloud, None) } else { (SystemKind::CloudFogB, Some(m)) };
-            CoverageSeries {
-                label: format!("{m} supernodes"),
-                points: coverage_curve(kind, profile, &REQUIREMENTS_MS, seed, None, over, &params),
-            }
-        })
-        .collect()
+    map_indexed(workers, supernodes, |_, &m| {
+        let (kind, over) =
+            if m == 0 { (SystemKind::Cloud, None) } else { (SystemKind::CloudFogB, Some(m)) };
+        CoverageSeries {
+            label: format!("{m} supernodes"),
+            points: coverage_curve(kind, profile, &REQUIREMENTS_MS, seed, None, over, &params),
+        }
+    })
 }
 
 /// Run the streaming simulation for one (system, player-count) cell,
 /// averaged over `CLOUDFOG_REPS` seeds (default 3) — the §IV
 /// friend-majority game choice cascades populations toward one game,
-/// so single-seed cells are noisy.
+/// so single-seed cells are noisy. Reps run sequentially: the sweep
+/// above this call is what fans out, and nesting pools would
+/// oversubscribe the machine.
 pub fn streaming_cell(kind: SystemKind, players: usize, scale: &RunScale) -> RunSummary {
     let reps: u64 =
         std::env::var("CLOUDFOG_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3).max(1);
     let runs: Vec<RunSummary> = (0..reps)
-        .into_par_iter()
         .map(|r| {
             let cfg = StreamingSimConfig::builder(kind)
                 .players(players)
@@ -190,14 +205,14 @@ pub fn bandwidth_vs_players(player_counts: &[usize], scale: &RunScale) -> Vec<Ru
     let systems = [SystemKind::Cloud, SystemKind::EdgeCloud, SystemKind::CloudFogB];
     let cells: Vec<(SystemKind, usize)> =
         systems.iter().flat_map(|&s| player_counts.iter().map(move |&n| (s, n))).collect();
-    cells.par_iter().map(|&(kind, n)| streaming_cell(kind, n, scale)).collect()
+    map_indexed(scale.workers, &cells, |_, &(kind, n)| streaming_cell(kind, n, scale))
 }
 
 /// Figure 8: average response latency per system at the default scale.
 pub fn latency_by_system(players: usize, scale: &RunScale) -> Vec<RunSummary> {
     let systems =
         [SystemKind::Cloud, SystemKind::EdgeCloud, SystemKind::CloudFogB, SystemKind::CloudFogA];
-    systems.par_iter().map(|&kind| streaming_cell(kind, players, scale)).collect()
+    map_indexed(scale.workers, &systems, |_, &kind| streaming_cell(kind, players, scale))
 }
 
 /// Figure 9: playback continuity vs number of players, per system.
@@ -206,7 +221,7 @@ pub fn continuity_vs_players(player_counts: &[usize], scale: &RunScale) -> Vec<R
         [SystemKind::Cloud, SystemKind::EdgeCloud, SystemKind::CloudFogB, SystemKind::CloudFogA];
     let cells: Vec<(SystemKind, usize)> =
         systems.iter().flat_map(|&s| player_counts.iter().map(move |&n| (s, n))).collect();
-    cells.par_iter().map(|&(kind, n)| streaming_cell(kind, n, scale)).collect()
+    map_indexed(scale.workers, &cells, |_, &(kind, n)| streaming_cell(kind, n, scale))
 }
 
 /// The per-supernode loads the paper sweeps in Figures 10 and 11.
@@ -215,24 +230,24 @@ pub const LOADS: [usize; 6] = [5, 10, 15, 20, 25, 30];
 /// Figures 10/11: satisfied players vs per-supernode load for a pair
 /// of system variants (B vs adapt, or B vs schedule).
 pub fn load_sweep(kinds: &[SystemKind], scale: &RunScale) -> Vec<(SystemKind, Vec<LoadPoint>)> {
-    kinds
-        .par_iter()
-        .map(|&kind| {
-            let points: Vec<LoadPoint> = LOADS
-                .par_iter()
-                .map(|&k| {
-                    supernode_load_experiment(LoadExperimentConfig {
-                        kind,
-                        groups: 8,
-                        players_per_sn: k,
-                        horizon: SimDuration::from_secs(scale.secs.min(30)),
-                        seed: scale.seed,
-                        ..Default::default()
-                    })
-                })
-                .collect();
-            (kind, points)
+    // Flatten (kind × load) into one cell list so the pool sees every
+    // independent run at once, then regroup per kind.
+    let cells: Vec<(SystemKind, usize)> =
+        kinds.iter().flat_map(|&kind| LOADS.iter().map(move |&k| (kind, k))).collect();
+    let points = map_indexed(scale.workers, &cells, |_, &(kind, k)| {
+        supernode_load_experiment(LoadExperimentConfig {
+            kind,
+            groups: 8,
+            players_per_sn: k,
+            horizon: SimDuration::from_secs(scale.secs.min(30)),
+            seed: scale.seed,
+            ..Default::default()
         })
+    });
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| (kind, points[i * LOADS.len()..(i + 1) * LOADS.len()].to_vec()))
         .collect()
 }
 
@@ -242,7 +257,7 @@ mod tests {
 
     #[test]
     fn average_runs_is_fieldwise_mean() {
-        let scale = RunScale { scale: 0.02, secs: 8, seed: 3 };
+        let scale = RunScale { scale: 0.02, secs: 8, seed: 3, workers: 1 };
         let run = |seed: u64| {
             let cfg = StreamingSimConfig::builder(SystemKind::Cloud)
                 .players(100)
@@ -270,8 +285,8 @@ mod tests {
 
     #[test]
     fn coverage_sweep_smoke() {
-        let scale = RunScale { scale: 0.02, secs: 10, seed: 1 };
-        let series = coverage_vs_datacenters(&scale.peersim(), &[2, 10], 1);
+        let scale = RunScale { scale: 0.02, secs: 10, seed: 1, workers: 2 };
+        let series = coverage_vs_datacenters(&scale.peersim(), &[2, 10], 1, scale.workers);
         assert_eq!(series.len(), 2);
         for s in &series {
             assert_eq!(s.points.len(), REQUIREMENTS_MS.len());
@@ -284,7 +299,7 @@ mod tests {
 
     #[test]
     fn load_sweep_smoke() {
-        let scale = RunScale { scale: 0.02, secs: 8, seed: 2 };
+        let scale = RunScale { scale: 0.02, secs: 8, seed: 2, workers: 2 };
         let out = load_sweep(&[SystemKind::CloudFogB], &scale);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].1.len(), LOADS.len());

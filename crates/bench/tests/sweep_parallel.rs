@@ -1,0 +1,40 @@
+//! 1-vs-N-worker bit-identity for the figure sweeps.
+//!
+//! Every sweep in `figures` fans its (system × parameter) cells out
+//! through `cloudfog-pool` with index-keyed result placement, so the
+//! series must be byte-identical for any worker count. Worker counts
+//! are explicit (`RunScale::with_workers`) — no environment mutation.
+
+use cloudfog_bench::figures::{self, RunScale};
+use cloudfog_core::systems::SystemKind;
+
+fn scale(workers: usize) -> RunScale {
+    RunScale { scale: 0.02, secs: 10, seed: 42, workers }
+}
+
+#[test]
+fn latency_sweep_is_bit_identical_across_worker_counts() {
+    let one = figures::latency_by_system(120, &scale(1));
+    for workers in [2, 4] {
+        let many = figures::latency_by_system(120, &scale(workers));
+        assert_eq!(
+            format!("{one:?}"),
+            format!("{many:?}"),
+            "latency_by_system diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn load_sweep_is_bit_identical_across_worker_counts() {
+    let kinds = [SystemKind::CloudFogB, SystemKind::CloudFogSchedule];
+    let one = figures::load_sweep(&kinds, &scale(1));
+    for workers in [3, 5] {
+        let many = figures::load_sweep(&kinds, &scale(workers));
+        assert_eq!(
+            format!("{one:?}"),
+            format!("{many:?}"),
+            "load_sweep diverged at {workers} workers"
+        );
+    }
+}

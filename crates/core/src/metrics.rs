@@ -36,10 +36,16 @@ pub enum TrafficSource {
 /// Running aggregation of one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsCollector {
-    /// Per-player packet/latency bookkeeping.
-    players: BTreeMap<PlayerId, PlayerStreamStats>,
-    /// Bytes sent per source class.
-    bytes_by_source: BTreeMap<TrafficSource, u64>,
+    /// Per-player packet/latency bookkeeping, a slab indexed by
+    /// [`PlayerId::index`]. A player counts as *seen* iff
+    /// `segments > 0` (every recorded arrival bumps `segments`, so
+    /// this matches the old map's "has an entry" predicate exactly).
+    players: Vec<PlayerStreamStats>,
+    /// Players with ≥1 measured arrival (the old map's `len()`).
+    seen: usize,
+    /// Bytes sent per source class, indexed by `TrafficSource as
+    /// usize` (Cloud, EdgeServer, Supernode).
+    bytes_by_source: [u64; 3],
     /// Update-message bytes the cloud sent to supernodes.
     update_bytes: u64,
     /// Horizon the run covered (set at finish).
@@ -74,6 +80,19 @@ impl MetricsCollector {
         self.measure_from = from;
     }
 
+    /// Pre-size the per-player slab so the steady-state hot path
+    /// never grows it (the zero-allocation invariant).
+    pub fn reserve_players(&mut self, n: usize) {
+        if n > self.players.len() {
+            self.players.resize_with(n, Default::default);
+        }
+    }
+
+    /// Players with ≥1 measured arrival, in ascending id order.
+    fn seen_players(&self) -> impl Iterator<Item = &PlayerStreamStats> {
+        self.players.iter().filter(|s| s.segments > 0)
+    }
+
     /// Turn on distribution recording: every measured arrival also
     /// lands in a segment-latency histogram with `cfg`'s geometry.
     /// Observation-only — enabling this changes no reported mean.
@@ -98,10 +117,8 @@ impl MetricsCollector {
     /// hot-path cost: built from bookkeeping that exists anyway.
     pub fn player_latency_histogram(&self, cfg: &TelemetryConfig) -> Histogram {
         let mut h = cfg.latency_histogram();
-        for s in self.players.values() {
-            if s.segments > 0 {
-                h.record(s.mean_latency_ms());
-            }
+        for s in self.seen_players() {
+            h.record(s.mean_latency_ms());
         }
         h
     }
@@ -109,7 +126,7 @@ impl MetricsCollector {
     /// Collect-time distribution of per-player playback continuity.
     pub fn continuity_histogram(&self, cfg: &TelemetryConfig) -> Histogram {
         let mut h = cfg.ratio_histogram();
-        for s in self.players.values() {
+        for s in self.seen_players() {
             h.record(s.continuity());
         }
         h
@@ -126,16 +143,22 @@ impl MetricsCollector {
         if let Some(hist) = &mut self.transmission_hist {
             hist.record(arrival.saturating_since(first_packet).as_millis_f64());
         }
-        self.players.entry(segment.player).or_default().record_arrival(
-            segment,
-            first_packet,
-            arrival,
-        );
+        let idx = segment.player.index();
+        if idx >= self.players.len() {
+            // Only reachable when the caller skipped `reserve_players`
+            // (unit tests); the simulation pre-sizes the slab.
+            self.players.resize_with(idx + 1, Default::default);
+        }
+        let stats = &mut self.players[idx];
+        if stats.segments == 0 {
+            self.seen += 1;
+        }
+        stats.record_arrival(segment, first_packet, arrival);
     }
 
     /// Record `bytes` of video leaving a source.
     pub fn record_video_bytes(&mut self, source: TrafficSource, bytes: u64) {
-        *self.bytes_by_source.entry(source).or_insert(0) += bytes;
+        self.bytes_by_source[source as usize] += bytes;
     }
 
     /// Record cloud→supernode update traffic.
@@ -181,39 +204,37 @@ impl MetricsCollector {
 
     /// Number of players with any traffic.
     pub fn players_seen(&self) -> usize {
-        self.players.len()
+        self.seen
     }
 
     /// Per-player stats (for drill-down).
     pub fn player_stats(&self, id: PlayerId) -> Option<&PlayerStreamStats> {
-        self.players.get(&id)
+        self.players.get(id.index()).filter(|s| s.segments > 0)
     }
 
     /// §IV satisfied-player ratio over players with traffic.
     pub fn satisfied_ratio(&self, bar: f64) -> f64 {
-        if self.players.is_empty() {
+        if self.seen == 0 {
             return 0.0;
         }
-        let satisfied = self.players.values().filter(|s| s.satisfied(bar)).count();
-        satisfied as f64 / self.players.len() as f64
+        let satisfied = self.seen_players().filter(|s| s.satisfied(bar)).count();
+        satisfied as f64 / self.seen as f64
     }
 
     /// Mean playback continuity over players (macro average, so a
     /// starved player is not hidden by heavy traffic elsewhere).
     pub fn mean_continuity(&self) -> f64 {
-        if self.players.is_empty() {
+        if self.seen == 0 {
             return 0.0;
         }
-        self.players.values().map(PlayerStreamStats::continuity).sum::<f64>()
-            / self.players.len() as f64
+        self.seen_players().map(PlayerStreamStats::continuity).sum::<f64>() / self.seen as f64
     }
 
     /// Exact mean segment response latency (ms) over every measured
     /// segment — the mean the segment-level histogram approximates.
     pub fn segment_latency_mean_ms(&self) -> f64 {
         let (sum, n) = self
-            .players
-            .values()
+            .seen_players()
             .fold((0.0, 0u64), |(s, n), p| (s + p.latency_sum_ms, n + p.segments));
         if n == 0 {
             0.0
@@ -226,8 +247,7 @@ impl MetricsCollector {
     /// packet, averaged over every measured segment.
     pub fn mean_transmission_ms(&self) -> f64 {
         let (sum, n) = self
-            .players
-            .values()
+            .seen_players()
             .fold((0.0, 0u64), |(s, n), p| (s + p.transmission_sum_ms, n + p.segments));
         if n == 0 {
             0.0
@@ -239,10 +259,8 @@ impl MetricsCollector {
     /// Distribution of per-player mean response latencies (ms).
     pub fn latency_distribution(&self) -> Welford {
         let mut w = Welford::new();
-        for s in self.players.values() {
-            if s.segments > 0 {
-                w.push(s.mean_latency_ms());
-            }
+        for s in self.seen_players() {
+            w.push(s.mean_latency_ms());
         }
         w
     }
@@ -251,25 +269,28 @@ impl MetricsCollector {
     /// meets their game's requirement. The per-player requirement is
     /// supplied by the caller (it knows each player's game).
     pub fn coverage(&self, requirement_ms: impl Fn(PlayerId) -> f64) -> f64 {
-        if self.players.is_empty() {
+        if self.seen == 0 {
             return 0.0;
         }
         let covered = self
             .players
             .iter()
-            .filter(|(id, s)| s.segments > 0 && s.mean_latency_ms() <= requirement_ms(**id))
+            .enumerate()
+            .filter(|(id, s)| {
+                s.segments > 0 && s.mean_latency_ms() <= requirement_ms(PlayerId(*id as u32))
+            })
             .count();
-        covered as f64 / self.players.len() as f64
+        covered as f64 / self.seen as f64
     }
 
     /// Total cloud egress (video from datacenters + updates), bytes.
     pub fn cloud_bytes(&self) -> u64 {
-        self.bytes_by_source.get(&TrafficSource::Cloud).copied().unwrap_or(0) + self.update_bytes
+        self.bytes_by_source[TrafficSource::Cloud as usize] + self.update_bytes
     }
 
     /// Video bytes sent by a source class.
     pub fn video_bytes(&self, source: TrafficSource) -> u64 {
-        self.bytes_by_source.get(&source).copied().unwrap_or(0)
+        self.bytes_by_source[source as usize]
     }
 
     /// Cloud egress rate in Mbps over the run horizon.
@@ -292,7 +313,7 @@ impl MetricsCollector {
     /// and response delay" made measurable.
     pub fn by_game(&self, bar: f64) -> Vec<(GameId, usize, f64, f64, f64)> {
         let mut per: BTreeMap<GameId, (usize, f64, usize, Welford)> = BTreeMap::new();
-        for stats in self.players.values() {
+        for stats in self.seen_players() {
             let Some(game) = stats.game else { continue };
             let entry = per.entry(game).or_insert((0, 0.0, 0, Welford::new()));
             entry.0 += 1;

@@ -70,6 +70,18 @@ pub struct SenderBuffer {
     window: usize,
     /// Default propagation guess before any measurement (ms).
     default_propagation_ms: f64,
+    /// Reusable Eq. 14 working storage (weights / per-segment drops /
+    /// spill order) so steady-state rebalances never touch the heap.
+    scratch: RebalanceScratch,
+}
+
+/// Scratch buffers reused across [`SenderBuffer::rebalance`] calls.
+/// Capacities grow to the deepest rebalance seen and stay there.
+#[derive(Clone, Debug, Default)]
+struct RebalanceScratch {
+    weights: Vec<f64>,
+    drops: Vec<u32>,
+    order: Vec<usize>,
 }
 
 impl SenderBuffer {
@@ -82,6 +94,7 @@ impl SenderBuffer {
             propagation: HashMap::new(),
             window: params.propagation_window,
             default_propagation_ms: 10.0,
+            scratch: RebalanceScratch::default(),
         }
     }
 
@@ -193,26 +206,32 @@ impl SenderBuffer {
         let mut to_drop = demanded;
 
         // Eq. 14 weights over segments 0..=idx: tolerance × age decay.
+        // Working storage comes from the reusable scratch buffers —
+        // the hot path must not allocate in steady state. (The `phis`
+        // provenance buffer is the exception: it only exists when
+        // tracing is on, which allocates by design.)
         let mut phis = provenance.then(|| Vec::with_capacity(idx + 1));
-        let weights: Vec<f64> = self.queue[..=idx]
-            .iter()
-            .map(|s| {
-                let wait_s = now.saturating_since(s.enqueued_at).as_secs_f64();
-                let phi = (-params.decay_lambda * wait_s).exp();
-                if let Some(phis) = phis.as_mut() {
-                    phis.push(phi);
-                }
-                s.loss_tolerance * phi
-            })
-            .collect();
+        let mut weights = std::mem::take(&mut self.scratch.weights);
+        weights.clear();
+        weights.extend(self.queue[..=idx].iter().map(|s| {
+            let wait_s = now.saturating_since(s.enqueued_at).as_secs_f64();
+            let phi = (-params.decay_lambda * wait_s).exp();
+            if let Some(phis) = phis.as_mut() {
+                phis.push(phi);
+            }
+            s.loss_tolerance * phi
+        }));
         let total_weight: f64 = weights.iter().sum();
         if total_weight <= 0.0 {
+            self.scratch.weights = weights;
             return (report, None);
         }
 
         // First pass: proportional allocation, clamped per segment by
         // its loss-tolerance budget.
-        let mut dropped_here = vec![0u32; idx + 1];
+        let mut dropped_here = std::mem::take(&mut self.scratch.drops);
+        dropped_here.clear();
+        dropped_here.resize(idx + 1, 0u32);
         for (k, w) in weights.iter().enumerate() {
             let share = ((w / total_weight) * to_drop as f64).round() as u32;
             let actual = self.queue[k].drop_packets(share);
@@ -223,9 +242,11 @@ impl SenderBuffer {
         // the remainder greedily onto the most tolerant segments.
         if total_dropped < to_drop {
             to_drop -= total_dropped;
-            let mut order: Vec<usize> = (0..=idx).collect();
+            let mut order = std::mem::take(&mut self.scratch.order);
+            order.clear();
+            order.extend(0..=idx);
             order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).expect("finite weights"));
-            for k in order {
+            for &k in &order {
                 if to_drop == 0 {
                     break;
                 }
@@ -234,6 +255,7 @@ impl SenderBuffer {
                 total_dropped += extra;
                 to_drop -= extra;
             }
+            self.scratch.order = order;
         }
         report.packets_dropped = total_dropped;
         report.segments_affected = dropped_here.iter().filter(|&&d| d > 0).count() as u32;
@@ -267,6 +289,8 @@ impl SenderBuffer {
             }
             _ => None,
         };
+        self.scratch.weights = weights;
+        self.scratch.drops = dropped_here;
         (report, detail)
     }
 

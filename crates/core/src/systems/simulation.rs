@@ -25,12 +25,13 @@
 //! * the cloud streams an update feed at Λ Mbps to every supernode
 //!   with at least one active player (bandwidth accounting of Eq. 2).
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 
 use cloudfog_net::bandwidth::Mbps;
 use cloudfog_net::geo::Region;
 use cloudfog_net::gilbert::GilbertElliott;
-use cloudfog_net::topology::{DelaySource, HostId, Topology};
+use cloudfog_net::latency::LatencyModel;
+use cloudfog_net::topology::{DelaySource, HostId};
 use cloudfog_sim::causal::{
     AdaptProvenance, CausalLog, CausalReport, Outcome as SegmentOutcome, Stage,
 };
@@ -507,10 +508,40 @@ impl QoeSeries {
     }
 }
 
+/// One static network hop, precomputed so the per-segment path only
+/// draws jitter. `ms` is exactly `Topology::one_way_ms(a, b)` for the
+/// hop's endpoints — a pure function of the frozen topology — and
+/// `ra`/`rb` are the endpoint region indices for the chaos multiplier.
+/// `same` preserves the `a == b` early-out of
+/// `Topology::sample_one_way`, which returns zero *without* consuming
+/// an RNG draw.
+#[derive(Clone, Copy)]
+struct PathHop {
+    ms: f64,
+    ra: u16,
+    rb: u16,
+    same: bool,
+}
+
+/// The three static hops a player's segments traverse. Recomputed on
+/// join and rehome (rare); read every action/transmission (hot).
+#[derive(Clone, Copy)]
+struct PathCache {
+    /// Player → nearest datacenter (the action uplink).
+    action: PathHop,
+    /// Datacenter → supernode update hop (fog sources only; unused —
+    /// and zeroed — for cloud/edge sources).
+    update: PathHop,
+    /// Source → player (video propagation).
+    prop: PathHop,
+}
+
 /// Per-active-player state.
 struct ActivePlayer {
     game: GameId,
     source: StreamSource,
+    /// Precomputed static delays of this player's current paths.
+    paths: PathCache,
     /// §III-A.3 backup supernodes for failover.
     backups: Vec<crate::infra::SupernodeId>,
     controller: Option<RateController>,
@@ -532,7 +563,8 @@ struct ActivePlayer {
 
 const NUM_REGIONS: usize = Region::ALL.len();
 
-/// Live chaos effects, indexed by region.
+/// Live chaos effects, indexed by region (and, for gray failures, by
+/// host — a dense slab so the per-segment lookup is one array load).
 struct ChaosState {
     /// One-way-delay multiplier per region (1.0 = nominal).
     /// Overlapping storms compose multiplicatively.
@@ -541,17 +573,23 @@ struct ChaosState {
     bandwidth_mult: [f64; NUM_REGIONS],
     /// Burst-loss chain per region (`None` = clean channel).
     loss: [Option<GilbertElliott>; NUM_REGIONS],
-    /// Gray-failed supernode hosts → remaining send-rate fraction.
-    gray: HashMap<HostId, f64>,
+    /// Remaining send-rate fraction per host (1.0 = healthy), indexed
+    /// by [`HostId::index`].
+    gray_mult: Vec<f64>,
+    /// Hosts currently gray-failed (kept separate from `gray_mult` so
+    /// a degradation of exactly 1.0 still marks the host as a victim,
+    /// matching the old map semantics).
+    gray_active: Vec<bool>,
 }
 
 impl ChaosState {
-    fn new() -> Self {
+    fn new(hosts: usize) -> Self {
         ChaosState {
             latency_mult: [1.0; NUM_REGIONS],
             bandwidth_mult: [1.0; NUM_REGIONS],
             loss: std::array::from_fn(|_| None),
-            gray: HashMap::new(),
+            gray_mult: vec![1.0; hosts],
+            gray_active: vec![false; hosts],
         }
     }
 }
@@ -593,10 +631,10 @@ struct Sender {
 pub enum Ev {
     Join(PlayerId),
     Action(PlayerId),
-    Enqueue(Box<Segment>),
+    Enqueue(Segment),
     StartTx(HostId),
     Deliver {
-        segment: Box<Segment>,
+        segment: Segment,
         sender: HostId,
         first_packet: SimTime,
         propagation: SimDuration,
@@ -622,18 +660,23 @@ pub enum Ev {
 pub struct StreamingSim {
     cfg: StreamingSimConfig,
     deployment: Deployment,
-    active: HashMap<PlayerId, ActivePlayer>,
-    senders: HashMap<HostId, Sender>,
+    /// Per-player state slab, indexed by [`PlayerId::index`]
+    /// (`None` = not currently in a session).
+    active: Vec<Option<ActivePlayer>>,
+    /// Per-host sender slab, indexed by [`HostId::index`]
+    /// (`None` = host has never sourced a stream).
+    senders: Vec<Option<Sender>>,
     /// Game each player most recently played (survives leave, for
     /// coverage grading).
     last_game: Vec<Option<GameId>>,
     /// Session cycles per player.
     cycles: Vec<SessionCycle>,
     metrics: MetricsCollector,
-    /// Per-player flow availability: a player's segments serialize
-    /// over their last-mile flow (TCP cannot deliver above the path
-    /// rate, so back-to-back segments queue behind each other).
-    flow_free_at: HashMap<PlayerId, SimTime>,
+    /// Per-player flow availability, indexed by [`PlayerId::index`]:
+    /// a player's segments serialize over their last-mile flow (TCP
+    /// cannot deliver above the path rate, so back-to-back segments
+    /// queue behind each other). `SimTime::ZERO` = flow idle.
+    flow_free_at: Vec<SimTime>,
     /// Supernode hosts with ≥1 active player: host → (count, since).
     update_feeds: BTreeMap<HostId, (u32, SimTime)>,
     /// Accumulated update-feed seconds.
@@ -649,14 +692,17 @@ pub struct StreamingSim {
     /// Ground truth: dead supernodes → when they died. The control
     /// plane does not see this map; it only sees missed heartbeats.
     dead_since: BTreeMap<crate::infra::SupernodeId, SimTime>,
-    /// Hosts of dead supernodes (data-plane stall check).
-    dead_hosts: HashSet<HostId>,
+    /// Hosts of dead supernodes (data-plane stall check), a bitset
+    /// indexed by [`HostId::index`].
+    dead_hosts: Vec<bool>,
     /// Failure-detector state per suspected supernode.
     suspects: BTreeMap<crate::infra::SupernodeId, SuspectState>,
-    /// Regional-outage fault index → supernodes it killed.
-    outage_victims: HashMap<usize, Vec<crate::infra::SupernodeId>>,
-    /// Gray-failure fault index → degraded host.
-    gray_victims: HashMap<usize, HostId>,
+    /// Supernodes killed by each scripted regional outage, indexed by
+    /// fault-script position (empty = fault inactive or not an outage).
+    outage_victims: Vec<Vec<crate::infra::SupernodeId>>,
+    /// Host degraded by each scripted gray failure, indexed by
+    /// fault-script position.
+    gray_victims: Vec<Option<HostId>>,
     faults_activated: u64,
     /// Telemetry recording state (`None` = off, zero cost).
     telemetry: Option<Box<TelemetryState>>,
@@ -700,30 +746,36 @@ impl StreamingSim {
             Box::new(TelemetryState { cfg: tcfg, trace, causal })
         });
         let mut metrics = MetricsCollector::new();
+        metrics.reserve_players(n);
         if let Some(t) = &telemetry {
             metrics.enable_histograms(&t.cfg);
         }
+        // Host ids are dense and the topology is frozen after
+        // `Deployment::build`, so every per-host structure can be a
+        // slab sized once here.
+        let hosts = deployment.topology().len();
+        let faults = cfg.fault_script.as_ref().map_or(0, |s| s.len());
         StreamingSim {
             cfg,
             deployment,
-            active: HashMap::new(),
-            senders: HashMap::new(),
+            active: (0..n).map(|_| None).collect(),
+            senders: (0..hosts).map(|_| None).collect(),
             last_game: vec![None; n],
             cycles,
             metrics,
-            flow_free_at: HashMap::new(),
+            flow_free_at: vec![SimTime::ZERO; n],
             update_feeds: BTreeMap::new(),
             update_feed_secs: 0.0,
             scheduler_drops: 0,
             series,
             failures_injected: 0,
             failovers_rescued: 0,
-            chaos: ChaosState::new(),
+            chaos: ChaosState::new(hosts),
             dead_since: BTreeMap::new(),
-            dead_hosts: HashSet::new(),
+            dead_hosts: vec![false; hosts],
             suspects: BTreeMap::new(),
-            outage_victims: HashMap::new(),
-            gray_victims: HashMap::new(),
+            outage_victims: vec![Vec::new(); faults],
+            gray_victims: vec![None; faults],
             faults_activated: 0,
             telemetry,
             segment_ids: SegmentIdAlloc::new(),
@@ -743,6 +795,30 @@ impl StreamingSim {
         if let Some(p) = profiler.as_mut() {
             p.enter("setup");
         }
+        let mut sim = Self::prepared(cfg);
+        if let Some(p) = profiler.as_mut() {
+            p.enter("event_loop");
+        }
+        let report = sim.run();
+        let mut model = sim.model;
+        if let Some(p) = profiler.as_mut() {
+            p.enter("collect");
+        }
+        model.finish(report.end_time);
+        let summary = model.summarize(report.events_executed, report.end_time);
+        let telemetry = profiler.map(|mut prof| {
+            let mut t = model.telemetry_report(&summary);
+            t.set_phases(&mut prof);
+            t
+        });
+        let causal = model.telemetry.as_ref().map(|t| t.causal.report(model.cfg.kind.label()));
+        RunOutput { summary, series: model.series, telemetry, causal }
+    }
+
+    /// Build the fully-seeded simulation for `cfg`: model constructed,
+    /// measurement window set, joins / chaos / watchdog / fault events
+    /// all enqueued, horizon armed. Shared by every run entry point.
+    fn prepared(cfg: StreamingSimConfig) -> Simulation<StreamingSim> {
         let horizon = cfg.horizon;
         let ramp = cfg.ramp;
         let mut model = StreamingSim::new(cfg);
@@ -795,23 +871,34 @@ impl StreamingSim {
         for (i, at) in fault_starts.into_iter().enumerate() {
             sim.seed_at(at, Ev::FaultStart(i));
         }
-        if let Some(p) = profiler.as_mut() {
-            p.enter("event_loop");
-        }
+        sim
+    }
+
+    /// Like [`StreamingSim::run`], but executed in two phases split at
+    /// `split`: run to `split`, call `probe`, continue to the
+    /// configured horizon, call `probe` again, then collect. The event
+    /// stream is identical to a single-phase run — the split only
+    /// pauses the driver loop — so the summary is bit-identical to
+    /// [`StreamingSim::run`] on the same config.
+    ///
+    /// Exists for the steady-state allocation-regression test, which
+    /// snapshots the global allocator between the two probe calls.
+    pub fn run_split(
+        cfg: StreamingSimConfig,
+        split: SimTime,
+        probe: &mut dyn FnMut(),
+    ) -> RunSummary {
+        let horizon = cfg.horizon;
+        let mut sim = Self::prepared(cfg);
+        sim.set_horizon(split);
+        sim.run();
+        probe();
+        sim.set_horizon(SimTime::ZERO + horizon);
         let report = sim.run();
+        probe();
         let mut model = sim.model;
-        if let Some(p) = profiler.as_mut() {
-            p.enter("collect");
-        }
         model.finish(report.end_time);
-        let summary = model.summarize(report.events_executed, report.end_time);
-        let telemetry = profiler.map(|mut prof| {
-            let mut t = model.telemetry_report(&summary);
-            t.set_phases(&mut prof);
-            t
-        });
-        let causal = model.telemetry.as_ref().map(|t| t.causal.report(model.cfg.kind.label()));
-        RunOutput { summary, series: model.series, telemetry, causal }
+        model.summarize(report.events_executed, report.end_time)
     }
 
     /// Run to the horizon and summarize, also returning the QoE
@@ -885,9 +972,8 @@ impl StreamingSim {
             .enumerate()
             .filter(|(p, g)| {
                 g.is_some()
-                    && self
-                        .active
-                        .get(&PlayerId(*p as u32))
+                    && self.active[*p]
+                        .as_ref()
                         .map(|a| a.source.supernode.is_some())
                         .unwrap_or(false)
             })
@@ -1006,7 +1092,7 @@ impl StreamingSim {
     }
 
     fn handle_join(&mut self, p: PlayerId, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
-        if self.active.contains_key(&p) {
+        if self.active[p.index()].is_some() {
             return;
         }
         let now = sched.now();
@@ -1016,7 +1102,7 @@ impl StreamingSim {
             let active = &self.active;
             self.deployment.population.friends.choose_game(
                 p,
-                |f| active.get(&f).and(last_game[f.index()]),
+                |f| active[f.index()].as_ref().and(last_game[f.index()]),
                 &mut self.rng_game,
             )
         };
@@ -1033,11 +1119,14 @@ impl StreamingSim {
         let params = &self.cfg.params;
         let policy = self.policy_for(source.class);
         let uplink = self.deployment.topology().host(source.host).upload;
-        self.senders.entry(source.host).or_insert_with(|| Sender {
-            buffer: SenderBuffer::new(policy, uplink, params),
-            class: source.class,
-            busy: false,
-        });
+        let slot = &mut self.senders[source.host.index()];
+        if slot.is_none() {
+            *slot = Some(Sender {
+                buffer: SenderBuffer::new(policy, uplink, params),
+                class: source.class,
+                busy: false,
+            });
+        }
 
         if source.class == TrafficSource::Supernode {
             self.update_feed_delta(source.host, now, 1);
@@ -1057,25 +1146,24 @@ impl StreamingSim {
             c
         });
         let quality = game.max_quality();
-        self.active.insert(
-            p,
-            ActivePlayer {
-                game: game_id,
-                source,
-                backups,
-                controller,
-                quality,
-                last_buffer_event: now,
-                joined_at: now,
-                window_on_time: 0,
-                window_packets: 0,
-                low_checks: 0,
-                last_reassign: now,
-            },
-        );
+        let paths = self.path_cache(p, &source);
+        self.active[p.index()] = Some(ActivePlayer {
+            game: game_id,
+            source,
+            paths,
+            backups,
+            controller,
+            quality,
+            last_buffer_event: now,
+            joined_at: now,
+            window_on_time: 0,
+            window_packets: 0,
+            low_checks: 0,
+            last_reassign: now,
+        });
 
         if self.tracing() {
-            let class = match self.active[&p].source.class {
+            let class = match source.class {
                 TrafficSource::Cloud => 0.0,
                 TrafficSource::EdgeServer => 1.0,
                 TrafficSource::Supernode => 2.0,
@@ -1093,7 +1181,7 @@ impl StreamingSim {
     }
 
     fn handle_action(&mut self, p: PlayerId, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
-        let Some(active) = self.active.get(&p) else { return };
+        let Some(active) = self.active[p.index()].as_ref() else { return };
         let now = sched.now();
         let game = self.game_of(active.game);
         let quality = active.controller.as_ref().map(|c| c.quality()).unwrap_or(active.quality);
@@ -1101,28 +1189,22 @@ impl StreamingSim {
         let id = self.segment_ids.next_id();
 
         // Path to the sender: player → nearest DC (action uplink),
-        // compute; fog adds DC → supernode update + render.
-        let host = self.deployment.population.host_of(p);
-        let dc = self.deployment.nearest_datacenter(host);
-        let topo = self.deployment.topology();
+        // compute; fog adds DC → supernode update + render. The static
+        // hop delays were precomputed at join/rehome; only the jitter
+        // draw and the chaos multiplier happen per segment.
+        let paths = active.paths;
+        let is_fog = active.source.supernode.is_some();
+        let model = self.deployment.topology().model();
         // Processing (state compute + rendering) happens in every
         // system — in the cloud, on an edge server, or on a supernode.
         // It is charged to the §I 20 ms playout/processing budget, so
         // the segment's *network* clock starts after it.
         let processing = self.cfg.params.cloud_compute + self.cfg.params.render_time;
-        let mut delay =
-            Self::sample_one_way_chaos(topo, &self.chaos, host, dc.host, &mut self.rng_net)
-                + processing;
-        if active.source.supernode.is_some() {
+        let mut delay = Self::sample_hop_chaos(model, &self.chaos, paths.action, &mut self.rng_net)
+            + processing;
+        if is_fog {
             // Fog adds the cloud → supernode update hop (network).
-            let sn_dc = self.deployment.nearest_datacenter(active.source.host);
-            delay += Self::sample_one_way_chaos(
-                self.deployment.topology(),
-                &self.chaos,
-                sn_dc.host,
-                active.source.host,
-                &mut self.rng_net,
-            );
+            delay += Self::sample_hop_chaos(model, &self.chaos, paths.update, &mut self.rng_net);
         }
 
         let enqueue_at = now + delay;
@@ -1145,14 +1227,14 @@ impl StreamingSim {
                 segment.packets,
             );
         }
-        sched.schedule_at(enqueue_at, Ev::Enqueue(Box::new(segment)));
+        sched.schedule_at(enqueue_at, Ev::Enqueue(segment));
         sched.schedule_in(self.action_period(), Ev::Action(p));
     }
 
     fn handle_enqueue(&mut self, segment: Segment, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
         let now = sched.now();
         let sid = segment.id.0;
-        let Some(active) = self.active.get(&segment.player) else {
+        let Some(active) = self.active[segment.player.index()].as_ref() else {
             // Player left while the update was in flight: the segment
             // evaporates before reaching any queue.
             if let Some(causal) = self.causal() {
@@ -1161,7 +1243,7 @@ impl StreamingSim {
             return;
         };
         let host = active.source.host;
-        if self.dead_hosts.contains(&host) {
+        if self.dead_hosts[host.index()] {
             // The sender is dead but unconfirmed: the stream stalls
             // until the detector confirms and the player fails over.
             self.charge_lost_segment(&segment);
@@ -1169,7 +1251,7 @@ impl StreamingSim {
         }
         let player = segment.player;
         let tracing = self.tracing();
-        let Some(sender) = self.senders.get_mut(&host) else { return };
+        let Some(sender) = self.senders[host.index()].as_mut() else { return };
         let (report, provenance) =
             sender.buffer.enqueue_traced(segment, now, &self.cfg.params, tracing);
         self.scheduler_drops += report.packets_dropped as u64;
@@ -1199,19 +1281,19 @@ impl StreamingSim {
 
     fn handle_start_tx(&mut self, host: HostId, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
         let now = sched.now();
-        if self.dead_hosts.contains(&host) {
+        if self.dead_hosts[host.index()] {
             // Dead sender (failure not yet confirmed): nothing leaves
             // the machine. Everything queued is charged as fully late,
             // so the detection window shows up in continuity.
             let mut drained = Vec::new();
-            if let Some(sender) = self.senders.get_mut(&host) {
+            if let Some(sender) = self.senders[host.index()].as_mut() {
                 while let Some(seg) = sender.buffer.pop_next() {
                     drained.push(seg);
                 }
                 sender.busy = false;
             }
             for seg in &drained {
-                if self.active.contains_key(&seg.player) {
+                if self.active[seg.player.index()].is_some() {
                     self.charge_lost_segment(seg);
                 }
             }
@@ -1219,14 +1301,14 @@ impl StreamingSim {
         }
         // Pop until we find a segment whose player is still active.
         let mut segment = loop {
-            let Some(sender) = self.senders.get_mut(&host) else { return };
+            let Some(sender) = self.senders[host.index()].as_mut() else { return };
             match sender.buffer.pop_next() {
                 None => {
                     sender.busy = false;
                     return;
                 }
                 Some(seg) => {
-                    if self.active.contains_key(&seg.player) {
+                    if self.active[seg.player.index()].is_some() {
                         break seg;
                     }
                     // Player left: segment evaporates (its packets are
@@ -1239,9 +1321,11 @@ impl StreamingSim {
             }
         };
 
-        let active = &self.active[&segment.player];
-        let source = active.source;
-        let player_host = self.deployment.population.host_of(segment.player);
+        let (source, paths) = {
+            let a =
+                self.active[segment.player.index()].as_ref().expect("player checked active above");
+            (a.source, a.paths)
+        };
 
         // Staleness skip: a segment already hopeless (deadline missed
         // by several segment durations) is not worth transmitting —
@@ -1249,7 +1333,7 @@ impl StreamingSim {
         let hopeless = segment.expected_arrival() + self.cfg.params.segment_duration * 5;
         if now > hopeless {
             self.metrics.record_arrival(&segment, now, now);
-            if let Some(a) = self.active.get_mut(&segment.player) {
+            if let Some(a) = self.active[segment.player.index()].as_mut() {
                 a.window_packets += u64::from(segment.packets);
             }
             if let Some(causal) = self.causal() {
@@ -1277,24 +1361,22 @@ impl StreamingSim {
         // sender, stretches transmission — and via the port occupancy
         // slows the whole sender down.
         let stretch = {
-            let topo = self.deployment.topology();
-            let collapse = self.chaos.bandwidth_mult[topo.host(host).region.index()]
-                .min(self.chaos.bandwidth_mult[topo.host(player_host).region.index()]);
-            let gray = self.chaos.gray.get(&host).copied().unwrap_or(1.0);
+            let collapse = self.chaos.bandwidth_mult[paths.prop.ra as usize]
+                .min(self.chaos.bandwidth_mult[paths.prop.rb as usize]);
+            let gray = self.chaos.gray_mult[host.index()];
             1.0 / (collapse * gray).clamp(1e-3, 1.0)
         };
         if stretch != 1.0 {
             port_time = port_time.mul_f64(stretch);
             flow_time = flow_time.mul_f64(stretch);
         }
-        let flow_start = (*self.flow_free_at.entry(segment.player).or_insert(now)).max(now);
+        let flow_start = self.flow_free_at[segment.player.index()].max(now);
         let flow_end = flow_start + flow_time;
-        self.flow_free_at.insert(segment.player, flow_end);
-        let propagation = Self::sample_one_way_chaos(
-            self.deployment.topology(),
+        self.flow_free_at[segment.player.index()] = flow_end;
+        let propagation = Self::sample_hop_chaos(
+            self.deployment.topology().model(),
             &self.chaos,
-            host,
-            player_host,
+            paths.prop,
             &mut self.rng_net,
         );
 
@@ -1302,7 +1384,7 @@ impl StreamingSim {
 
         // Chaos: bursty access loss at the player's region eats packets
         // on the wire, past the scheduler's polite loss budget.
-        let region = self.deployment.topology().host(player_host).region.index();
+        let region = paths.prop.rb as usize;
         let mut wire_lost = 0;
         if let Some(chain) = self.chaos.loss[region].as_mut() {
             let surviving = segment.surviving_packets();
@@ -1324,16 +1406,14 @@ impl StreamingSim {
                 }
             }
         }
-        sched.schedule_at(
-            arrival,
-            Ev::Deliver { segment: Box::new(segment), sender: host, first_packet, propagation },
-        );
+        sched
+            .schedule_at(arrival, Ev::Deliver { segment, sender: host, first_packet, propagation });
         sched.schedule_in(port_time, Ev::StartTx(host));
     }
 
     fn handle_deliver(
         &mut self,
-        segment: Box<Segment>,
+        segment: Segment,
         sender: HostId,
         first_packet: SimTime,
         propagation: SimDuration,
@@ -1348,7 +1428,7 @@ impl StreamingSim {
             series.deliveries.bump(now);
         }
         // Feed the Eq. 13 propagation estimator of the sender.
-        if let Some(s) = self.senders.get_mut(&sender) {
+        if let Some(s) = self.senders[sender.index()].as_mut() {
             s.buffer.record_propagation(segment.player, propagation);
         }
         // Receiver-driven adaptation: Eq. 7 with the measured
@@ -1357,7 +1437,7 @@ impl StreamingSim {
         let params = self.cfg.params;
         let mut decision = RateDecision::Hold;
         let mut explain: Option<AdaptExplain> = None;
-        if let Some(active) = self.active.get_mut(&segment.player) {
+        if let Some(active) = self.active[segment.player.index()].as_mut() {
             // QoE-watchdog window: packets owed vs packets on time.
             active.window_packets += u64::from(segment.packets);
             if now <= segment.expected_arrival() {
@@ -1417,7 +1497,7 @@ impl StreamingSim {
     }
 
     fn handle_leave(&mut self, p: PlayerId, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
-        let Some(active) = self.active.remove(&p) else { return };
+        let Some(active) = self.active[p.index()].take() else { return };
         let now = sched.now();
         if active.source.class == TrafficSource::Supernode {
             self.update_feed_delta(active.source.host, now, -1);
@@ -1431,18 +1511,53 @@ impl StreamingSim {
 }
 
 impl StreamingSim {
-    /// One-way delay with any active latency-storm multiplier applied
-    /// (the worse of the two endpoint regions wins).
-    fn sample_one_way_chaos(
-        topo: &Topology,
+    /// Precompute the static (jitter-free) delay of one hop.
+    fn path_hop(&self, a: HostId, b: HostId) -> PathHop {
+        let topo = self.deployment.topology();
+        PathHop {
+            ms: topo.one_way_ms(a, b),
+            ra: topo.host(a).region.index() as u16,
+            rb: topo.host(b).region.index() as u16,
+            same: a == b,
+        }
+    }
+
+    /// Precompute every static hop for player `p` streaming from
+    /// `source`. Called on join and rehome only; the per-segment path
+    /// reads the cache instead of re-deriving access/detour gaussians.
+    fn path_cache(&self, p: PlayerId, source: &StreamSource) -> PathCache {
+        let host = self.deployment.population.host_of(p);
+        let dc = self.deployment.nearest_datacenter(host);
+        let update = if source.supernode.is_some() {
+            let sn_dc = self.deployment.nearest_datacenter(source.host);
+            self.path_hop(sn_dc.host, source.host)
+        } else {
+            PathHop { ms: 0.0, ra: 0, rb: 0, same: true }
+        };
+        PathCache {
+            action: self.path_hop(host, dc.host),
+            update,
+            prop: self.path_hop(source.host, host),
+        }
+    }
+
+    /// Jittered, chaos-multiplied delay of a precomputed hop —
+    /// bit-identical to `Topology::sample_one_way` on the same
+    /// endpoints followed by the latency-storm multiplier (worse of
+    /// the two endpoint regions): same jitter draw, same rounding,
+    /// same multiplier short-circuit, and no draw at all when the
+    /// endpoints coincide.
+    fn sample_hop_chaos(
+        model: &LatencyModel,
         chaos: &ChaosState,
-        a: HostId,
-        b: HostId,
+        hop: PathHop,
         rng: &mut Rng,
     ) -> SimDuration {
-        let base = topo.sample_one_way(a, b, rng);
-        let mult = chaos.latency_mult[topo.host(a).region.index()]
-            .max(chaos.latency_mult[topo.host(b).region.index()]);
+        if hop.same {
+            return SimDuration::ZERO;
+        }
+        let base = SimDuration::from_millis_f64(hop.ms * model.sample_jitter(rng));
+        let mult = chaos.latency_mult[hop.ra as usize].max(chaos.latency_mult[hop.rb as usize]);
         if mult != 1.0 {
             base.mul_f64(mult)
         } else {
@@ -1456,7 +1571,7 @@ impl StreamingSim {
     fn charge_lost_segment(&mut self, segment: &Segment) {
         let late = segment.expected_arrival() + SimDuration::from_millis(1);
         self.metrics.record_arrival(segment, late, late);
-        if let Some(a) = self.active.get_mut(&segment.player) {
+        if let Some(a) = self.active[segment.player.index()].as_mut() {
             a.window_packets += u64::from(segment.packets);
         }
         let sid = segment.id.0;
@@ -1500,7 +1615,7 @@ impl StreamingSim {
     fn kill_supernode(&mut self, sn: crate::infra::SupernodeId, now: SimTime) {
         let host = self.deployment.supernodes.get(sn).host;
         self.dead_since.entry(sn).or_insert(now);
-        self.dead_hosts.insert(host);
+        self.dead_hosts[host.index()] = true;
         self.failures_injected += 1;
     }
 
@@ -1512,7 +1627,7 @@ impl StreamingSim {
             return;
         }
         let host = self.deployment.supernodes.get(sn).host;
-        self.dead_hosts.remove(&host);
+        self.dead_hosts[host.index()] = false;
         self.suspects.remove(&sn);
         if self.deployment.supernodes.is_retired(sn) {
             self.deployment.supernodes.revive(sn);
@@ -1575,7 +1690,7 @@ impl StreamingSim {
         let orphans = self.deployment.supernodes.retire(sn);
         let mut orphan_secs = 0.0;
         for p in &orphans {
-            if let Some(a) = self.active.get(p) {
+            if let Some(a) = self.active[p.index()].as_ref() {
                 let attached_from = died_at.max(a.joined_at);
                 orphan_secs += now.saturating_since(attached_from).as_secs_f64();
             }
@@ -1596,7 +1711,7 @@ impl StreamingSim {
     /// §III-A.3 backup (excluding the one being abandoned), else
     /// direct to cloud. Returns true when a backup took over.
     fn rehome_player(&mut self, p: PlayerId, now: SimTime) -> bool {
-        let Some(active) = self.active.get(&p) else { return false };
+        let Some(active) = self.active[p.index()].as_ref() else { return false };
         let (old_source, game_id, backups) = (active.source, active.game, active.backups.clone());
         if old_source.class == TrafficSource::Supernode {
             self.update_feed_delta(old_source.host, now, -1);
@@ -1635,16 +1750,21 @@ impl StreamingSim {
         let policy = self.policy_for(new_source.class);
         let uplink = self.deployment.topology().host(new_source.host).upload;
         let params = &self.cfg.params;
-        self.senders.entry(new_source.host).or_insert_with(|| Sender {
-            buffer: SenderBuffer::new(policy, uplink, params),
-            class: new_source.class,
-            busy: false,
-        });
+        let slot = &mut self.senders[new_source.host.index()];
+        if slot.is_none() {
+            *slot = Some(Sender {
+                buffer: SenderBuffer::new(policy, uplink, params),
+                class: new_source.class,
+                busy: false,
+            });
+        }
         if new_source.class == TrafficSource::Supernode {
             self.update_feed_delta(new_source.host, now, 1);
         }
-        if let Some(active) = self.active.get_mut(&p) {
+        let paths = self.path_cache(p, &new_source);
+        if let Some(active) = self.active[p.index()].as_mut() {
             active.source = new_source;
+            active.paths = paths;
         }
         if self.tracing() {
             let value = if rescued { 1.0 } else { 0.0 };
@@ -1659,11 +1779,12 @@ impl StreamingSim {
         let Some(wd) = self.cfg.watchdog else { return };
         let now = sched.now();
         sched.schedule_in(wd.check_interval, Ev::WatchdogSweep);
-        let mut pids: Vec<PlayerId> = self.active.keys().copied().collect();
-        pids.sort_unstable_by_key(|p| p.0);
         let mut moves = Vec::new();
-        for p in pids {
-            let Some(a) = self.active.get_mut(&p) else { continue };
+        // Slab order is ascending PlayerId — the same order the old
+        // sorted key collection produced.
+        for idx in 0..self.active.len() {
+            let p = PlayerId(idx as u32);
+            let Some(a) = self.active[idx].as_mut() else { continue };
             let (on_time, total) = (a.window_on_time, a.window_packets);
             a.window_on_time = 0;
             a.window_packets = 0;
@@ -1695,7 +1816,7 @@ impl StreamingSim {
 
     /// Watchdog verdict: abandon the current supernode.
     fn watchdog_reassign(&mut self, p: PlayerId, now: SimTime) {
-        let Some(active) = self.active.get(&p) else { return };
+        let Some(active) = self.active[p.index()].as_ref() else { return };
         let Some(sn) = active.source.supernode else { return };
         self.deployment.supernodes.release(sn, p);
         self.rehome_player(p, now);
@@ -1743,7 +1864,7 @@ impl StreamingSim {
                         series.failures.bump(now);
                     }
                 }
-                self.outage_victims.insert(idx, victims);
+                self.outage_victims[idx] = victims;
             }
             FaultKind::LatencyStorm { region, multiplier } => {
                 self.chaos.latency_mult[region.index()] *= multiplier.max(1e-3);
@@ -1763,12 +1884,13 @@ impl StreamingSim {
                     .supernodes
                     .iter()
                     .filter(|sn| sn.is_live() && !self.dead_since.contains_key(&sn.id))
-                    .filter(|sn| !self.chaos.gray.contains_key(&sn.host))
+                    .filter(|sn| !self.chaos.gray_active[sn.host.index()])
                     .max_by_key(|sn| (sn.assigned.len(), std::cmp::Reverse(sn.id)))
                     .map(|sn| sn.host);
                 if let Some(host) = victim_host {
-                    self.chaos.gray.insert(host, degradation.clamp(0.05, 1.0));
-                    self.gray_victims.insert(idx, host);
+                    self.chaos.gray_mult[host.index()] = degradation.clamp(0.05, 1.0);
+                    self.chaos.gray_active[host.index()] = true;
+                    self.gray_victims[idx] = Some(host);
                 }
             }
         }
@@ -1785,7 +1907,7 @@ impl StreamingSim {
         }
         match ev.kind {
             FaultKind::RegionalOutage { .. } => {
-                for sn in self.outage_victims.remove(&idx).unwrap_or_default() {
+                for sn in std::mem::take(&mut self.outage_victims[idx]) {
                     self.recover_supernode(sn);
                 }
             }
@@ -1799,8 +1921,9 @@ impl StreamingSim {
                 self.chaos.bandwidth_mult[region.index()] /= factor.clamp(1e-3, 1.0);
             }
             FaultKind::GrayFailure { .. } => {
-                if let Some(host) = self.gray_victims.remove(&idx) {
-                    self.chaos.gray.remove(&host);
+                if let Some(host) = self.gray_victims[idx].take() {
+                    self.chaos.gray_mult[host.index()] = 1.0;
+                    self.chaos.gray_active[host.index()] = false;
                 }
             }
         }
@@ -1814,7 +1937,7 @@ impl Model for StreamingSim {
         match event {
             Ev::Join(p) => self.handle_join(p, sched),
             Ev::Action(p) => self.handle_action(p, sched),
-            Ev::Enqueue(segment) => self.handle_enqueue(*segment, sched),
+            Ev::Enqueue(segment) => self.handle_enqueue(segment, sched),
             Ev::StartTx(host) => self.handle_start_tx(host, sched),
             Ev::Deliver { segment, sender, first_packet, propagation } => {
                 self.handle_deliver(segment, sender, first_packet, propagation, sched)

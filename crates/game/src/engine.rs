@@ -8,8 +8,8 @@
 //! would run, sized so experiments can measure realistic update-feed
 //! bandwidths (Λ).
 
+use cloudfog_pool::{default_workers, for_each_chunk_mut, map_indexed};
 use cloudfog_sim::rng::Rng;
-use rayon::prelude::*;
 
 use crate::avatar::{Action, Avatar, AvatarId, WorldPos};
 use crate::interest::{union_of_interest, InterestGrid};
@@ -153,20 +153,32 @@ impl World {
 
     /// Advance one tick and produce update messages for `subscribers`.
     pub fn step(&mut self, subscribers: &[Subscriber]) -> Vec<TickOutput> {
-        self.step_inner(subscribers, false)
+        self.step_inner(subscribers, 1)
     }
 
-    /// Like [`World::step`] but parallelized with rayon: movement and
-    /// respawn ticks run as a parallel iterator over avatars, and the
-    /// per-subscriber AoI/diff work fans out across subscribers — the
-    /// point of the kd-tree/AoI decomposition. Produces *identical*
-    /// results to the sequential step (asserted by tests): the
-    /// parallel phases are data-parallel over disjoint state.
+    /// Like [`World::step`] but fanned out over `cloudfog-pool` worker
+    /// threads: movement and respawn ticks run over disjoint avatar
+    /// chunks, and the per-subscriber AoI work fans out across
+    /// subscribers — the point of the kd-tree/AoI decomposition.
+    /// Produces *identical* results to the sequential step (asserted
+    /// by tests): the parallel phases are data-parallel over disjoint
+    /// state, and AoI results are placed back in subscriber order.
     pub fn step_parallel(&mut self, subscribers: &[Subscriber]) -> Vec<TickOutput> {
-        self.step_inner(subscribers, true)
+        self.step_inner(subscribers, default_workers())
     }
 
-    fn step_inner(&mut self, subscribers: &[Subscriber], parallel: bool) -> Vec<TickOutput> {
+    /// [`World::step_parallel`] with an explicit worker count — used
+    /// by the 1-vs-N bit-identity tests so they don't depend on the
+    /// machine or on `CLOUDFOG_WORKERS`.
+    pub fn step_parallel_with(
+        &mut self,
+        subscribers: &[Subscriber],
+        workers: usize,
+    ) -> Vec<TickOutput> {
+        self.step_inner(subscribers, workers)
+    }
+
+    fn step_inner(&mut self, subscribers: &[Subscriber], workers: usize) -> Vec<TickOutput> {
         self.tick += 1;
 
         // 1. Apply actions (serial: attacks write across avatars).
@@ -177,15 +189,9 @@ impl World {
 
         // 2. Advance movement and respawns — embarrassingly parallel:
         // each avatar only touches itself.
-        if parallel {
-            self.avatars.par_iter_mut().for_each(|a| {
-                a.tick();
-            });
-        } else {
-            for a in &mut self.avatars {
-                a.tick();
-            }
-        }
+        for_each_chunk_mut(workers, &mut self.avatars, |a| {
+            a.tick();
+        });
 
         // 3. Rebalance regions when needed (kd-tree rebuild).
         if self.partition.imbalance() > self.config.rebalance_threshold {
@@ -206,25 +212,13 @@ impl World {
         // part) in parallel, then diff serially in subscriber order.
         let positions: Vec<WorldPos> = self.avatars.iter().map(|a| a.pos).collect();
         let pos_of = |id: AvatarId| positions[id.index()];
-        let visible_sets: Vec<Vec<AvatarId>> = if parallel {
-            subscribers
-                .par_iter()
-                .map(|sub| {
-                    let centres: Vec<WorldPos> =
-                        sub.players.iter().map(|&p| positions[p.index()]).collect();
-                    union_of_interest(&self.grid, &centres, self.config.aoi_radius, pos_of)
-                })
-                .collect()
-        } else {
-            subscribers
-                .iter()
-                .map(|sub| {
-                    let centres: Vec<WorldPos> =
-                        sub.players.iter().map(|&p| positions[p.index()]).collect();
-                    union_of_interest(&self.grid, &centres, self.config.aoi_radius, pos_of)
-                })
-                .collect()
-        };
+        let grid = &self.grid;
+        let aoi_radius = self.config.aoi_radius;
+        let visible_sets: Vec<Vec<AvatarId>> = map_indexed(workers, subscribers, |_, sub| {
+            let centres: Vec<WorldPos> =
+                sub.players.iter().map(|&p| positions[p.index()]).collect();
+            union_of_interest(grid, &centres, aoi_radius, pos_of)
+        });
         subscribers
             .iter()
             .zip(visible_sets)

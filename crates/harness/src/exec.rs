@@ -1,19 +1,18 @@
 //! Thread-parallel matrix execution with an order-independent merge.
 //!
-//! Workers pull scenario indices from a shared atomic counter and run
-//! them on `std::thread::scope` threads — real OS parallelism (the
-//! vendored rayon shim is sequential). Each finished run becomes a
-//! [`CellResult`] keyed by its scenario id; merging is a keyed map
-//! union, so *which worker ran which cell, and in what order results
-//! arrived, provably cannot change the merged report*: the map is the
-//! same set of `(id, result)` pairs either way, and every derived
-//! aggregate is folded over the map in ascending-id order. That keyed
+//! Cells fan out through [`cloudfog_pool::map_indexed`] — real OS
+//! parallelism on `std::thread::scope` threads (the vendored rayon
+//! shim is sequential). Each finished run becomes a [`CellResult`]
+//! keyed by its scenario id; merging is a keyed map union, so *which
+//! worker ran which cell, and in what order results arrived, provably
+//! cannot change the merged report*: the map is the same set of
+//! `(id, result)` pairs either way, and every derived aggregate is
+//! folded over the map in ascending-id order. That keyed
 //! canonicalization — not floating-point associativity — is what makes
 //! the 1-worker vs N-worker differential test bit-exact.
 
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cloudfog_core::systems::{RunOutput, RunSummary, StreamingSim, SystemKind};
 use cloudfog_sim::telemetry::TelemetryReport;
@@ -259,30 +258,15 @@ pub fn run_matrix(
     registry: &InvariantRegistry,
     workers: usize,
 ) -> (MatrixReport, Vec<Violation>) {
-    let workers = workers.max(1).min(scenarios.len().max(1));
-    let next = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(CellResult, Vec<Violation>)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(scenario) = scenarios.get(i) else { break };
-                        let output = StreamingSim::run_instrumented(scenario.config());
-                        let violations = registry.check_run(scenario, &output);
-                        out.push((cell_from_output(scenario, &output), violations));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("harness worker panicked")).collect()
+    let results = cloudfog_pool::map_indexed(workers, scenarios, |_, scenario| {
+        let output = StreamingSim::run_instrumented(scenario.config());
+        let violations = registry.check_run(scenario, &output);
+        (cell_from_output(scenario, &output), violations)
     });
 
     let mut report = MatrixReport::new();
     let mut violations = Vec::new();
-    for (cell, mut v) in per_worker.into_iter().flatten() {
+    for (cell, mut v) in results {
         report.insert(cell);
         violations.append(&mut v);
     }

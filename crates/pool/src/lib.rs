@@ -1,0 +1,177 @@
+//! Deterministic work-stealing execution on scoped threads.
+//!
+//! The vendored rayon shim is sequential (the build environment is
+//! offline), so every `par_iter` call site in the workspace silently
+//! ran on one core. This crate is the real thing: workers pull item
+//! indices from a shared atomic counter and run on
+//! [`std::thread::scope`] threads — genuine OS parallelism with no
+//! allocation-per-task machinery.
+//!
+//! Determinism is structural, not scheduled: results are placed back
+//! by item index ([`map_indexed`]) or written through disjoint chunks
+//! ([`for_each_chunk_mut`]), so *which worker ran which item, and in
+//! what order items finished, provably cannot change the output*. The
+//! 1-worker vs N-worker differential tests in `crates/game` and the
+//! harness pin exactly that property.
+//!
+//! `#![forbid(unsafe_code)]`: scoped threads give the borrow checker
+//! everything it needs; no `Send`/`Sync` assertions are hand-rolled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count for parallel fan-out: the `CLOUDFOG_WORKERS`
+/// environment variable when set (clamped to ≥1), otherwise the
+/// machine's available parallelism.
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("CLOUDFOG_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to `workers` scoped threads, returning
+/// results in item order.
+///
+/// Workers steal indices from a shared counter (no static chunking, so
+/// one slow item cannot strand a whole stripe) and each result is
+/// placed into its item's slot — the output is byte-identical for any
+/// worker count, including 1 (which short-circuits to a plain
+/// sequential loop with no thread spawn).
+///
+/// Panics in `f` propagate to the caller.
+pub fn map_indexed<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+    });
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, r) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|s| s.expect("every index runs exactly once")).collect()
+}
+
+/// Run `f` on every element of `items`, fanning contiguous chunks out
+/// across up to `workers` scoped threads.
+///
+/// Each element is visited exactly once and only through its own `&mut`
+/// (chunks are disjoint), so the result is identical for any worker
+/// count — the data-parallel "each item only touches itself" shape.
+/// `workers <= 1` short-circuits to a sequential loop.
+pub fn for_each_chunk_mut<T, F>(workers: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 {
+        for t in items.iter_mut() {
+            f(t);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for part in items.chunks_mut(chunk) {
+            scope.spawn(|| {
+                for t in part {
+                    f(t);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_indexed_preserves_item_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = map_indexed(8, &items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * x
+        });
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn map_indexed_is_worker_count_invariant() {
+        let items: Vec<u64> = (0..257).collect();
+        let one = map_indexed(1, &items, |i, &x| (i, x.wrapping_mul(0x9E37_79B9)));
+        for workers in [2, 3, 4, 7, 16] {
+            let many = map_indexed(workers, &items, |i, &x| (i, x.wrapping_mul(0x9E37_79B9)));
+            assert_eq!(one, many, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_empty_and_singleton() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map_indexed(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(map_indexed(4, &[9u8], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn map_indexed_actually_runs_every_item_once() {
+        let calls = AtomicU64::new(0);
+        let items: Vec<u32> = (0..100).collect();
+        let _ = map_indexed(5, &items, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_is_worker_count_invariant() {
+        let mut one: Vec<u64> = (0..513).collect();
+        for_each_chunk_mut(1, &mut one, |x| *x = x.wrapping_mul(31).wrapping_add(7));
+        for workers in [2, 4, 9] {
+            let mut many: Vec<u64> = (0..513).collect();
+            for_each_chunk_mut(workers, &mut many, |x| *x = x.wrapping_mul(31).wrapping_add(7));
+            assert_eq!(one, many, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn default_workers_is_at_least_one() {
+        assert!(default_workers() >= 1);
+    }
+}

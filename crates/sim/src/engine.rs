@@ -124,6 +124,15 @@ impl<M: Model> Simulation<M> {
         self
     }
 
+    /// Move the horizon of a simulation that may already have run.
+    /// Calling [`Simulation::run`] again after a `HorizonReached` stop
+    /// resumes from the pending queue, so a run can be driven in
+    /// phases (run → inspect → extend → run) with an event stream
+    /// identical to a single uninterrupted run.
+    pub fn set_horizon(&mut self, horizon: SimTime) {
+        self.horizon = Some(horizon);
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -232,6 +241,34 @@ mod tests {
                 SimTime::from_millis(30)
             ]
         );
+    }
+
+    #[test]
+    fn phased_run_matches_single_run() {
+        let make = || {
+            let mut sim = Simulation::new(Countdown {
+                remaining: 9,
+                step: SimDuration::from_millis(10),
+                fired_at: vec![],
+            })
+            .with_horizon(SimTime::from_millis(90));
+            sim.seed(Tick::Tick);
+            sim
+        };
+        let mut whole = make();
+        let single = whole.run();
+
+        let mut phased = make();
+        phased.set_horizon(SimTime::from_millis(35));
+        let first = phased.run();
+        assert_eq!(first.stop, StopReason::HorizonReached);
+        phased.set_horizon(SimTime::from_millis(90));
+        let second = phased.run();
+
+        assert_eq!(second.stop, single.stop);
+        assert_eq!(second.events_executed, single.events_executed);
+        assert_eq!(second.end_time, single.end_time);
+        assert_eq!(phased.model.fired_at, whole.model.fired_at);
     }
 
     #[test]

@@ -374,6 +374,26 @@ impl TelemetryReport {
         self.quantiles.iter().find(|r| r.name == name)
     }
 
+    /// Engine throughput: events executed per wall-clock second of the
+    /// event loop, derived from the `events` scalar and the
+    /// `event_loop` phase row. `None` when either is missing or the
+    /// phase took no measurable time.
+    ///
+    /// Deliberately a derived quantity, not a serialized scalar:
+    /// phases are the one non-deterministic part of a report, and the
+    /// determinism harness strips them before fingerprinting — a
+    /// wall-clock scalar would poison every fingerprint.
+    pub fn events_per_sec(&self) -> Option<f64> {
+        let events = self.get_scalar("events")?;
+        let ms = self
+            .phases
+            .iter()
+            .find(|(name, _)| name == "event_loop")
+            .map(|(_, ms)| *ms)
+            .filter(|ms| *ms > 0.0)?;
+        Some(events / (ms / 1000.0))
+    }
+
     /// Absorb phase rows from a profiler (closes the open phase).
     pub fn set_phases(&mut self, profiler: &mut PhaseProfiler) {
         profiler.close();

@@ -16,7 +16,6 @@ use std::path::Path;
 
 use cloudfog::core::config::scale_from_env;
 use cloudfog::prelude::*;
-use rayon::prelude::*;
 
 fn main() {
     let scale = scale_from_env(0.06);
@@ -26,9 +25,9 @@ fn main() {
     println!("CloudFog campaign — {players} players (scale {scale}), seed {seed}");
     println!("systems: {}\n", SystemKind::ALL.map(|k| k.label()).join(", "));
 
-    let outputs: Vec<RunOutput> = SystemKind::ALL
-        .par_iter()
-        .map(|&kind| {
+    let workers = cloudfog_pool::default_workers();
+    let outputs: Vec<RunOutput> =
+        cloudfog_pool::map_indexed(workers, &SystemKind::ALL, |_, &kind| {
             let cfg = StreamingSimConfig::builder(kind)
                 .players(players)
                 .seed(seed)
@@ -37,8 +36,7 @@ fn main() {
                 .telemetry(TelemetryConfig::default())
                 .build();
             StreamingSim::run_instrumented(cfg)
-        })
-        .collect();
+        });
 
     println!(
         "{:<18} {:>9} {:>9} {:>10} {:>10} {:>10} {:>11}",

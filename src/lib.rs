@@ -21,6 +21,7 @@
 //! | [`core`] | the CloudFog system, baselines, metrics, experiments |
 //! | [`game`] | MMOG virtual world: avatars, regions, AoI, update feeds |
 //! | [`harness`] | DST harness: scenario matrix, invariants, shrinking |
+//! | [`pool`] | deterministic work-stealing scoped-thread executor |
 //!
 //! ## Quick start
 //!
@@ -54,6 +55,7 @@ pub use cloudfog_core as core;
 pub use cloudfog_game as game;
 pub use cloudfog_harness as harness;
 pub use cloudfog_net as net;
+pub use cloudfog_pool as pool;
 pub use cloudfog_sim as sim;
 pub use cloudfog_workload as workload;
 

@@ -1,0 +1,92 @@
+//! 1-vs-N-worker bit-identity for the game-world tick loop routed
+//! through `cloudfog-pool`.
+//!
+//! The pool's contract is that worker count is invisible in the
+//! output: results are placed back by item index and mutation happens
+//! only through disjoint chunks. This test pins that contract on
+//! [`World::step_parallel_with`] — the avatar-tick chunking AND the
+//! per-subscriber AoI fan-out. (The harness matrix is pinned in
+//! `tests/harness_matrix.rs`, the figure sweeps in
+//! `crates/bench/tests/sweep_parallel.rs`.)
+//!
+//! Worker counts are passed explicitly — never via `CLOUDFOG_WORKERS`
+//! — so the test is immune to the environment and to test ordering.
+
+use cloudfog::game::avatar::{Action, AvatarId, WorldPos};
+use cloudfog::game::engine::{Subscriber, World, WorldConfig};
+use cloudfog::sim::rng::Rng;
+
+/// Drive `ticks` of a busy world at the given worker count and return
+/// the full observable transcript: every update message plus final
+/// avatar state.
+fn world_transcript(workers: usize, ticks: u32) -> String {
+    let mut rng = Rng::new(77);
+    let mut world = World::new(WorldConfig::default(), 300, &mut rng);
+    let subs: Vec<Subscriber> = (0..6)
+        .map(|s| Subscriber { id: s, players: (0..50).map(|k| AvatarId(s * 50 + k)).collect() })
+        .collect();
+    let mut action_rng = Rng::new(13);
+    let mut log = String::new();
+    for _ in 0..ticks {
+        for i in 0..300u32 {
+            if action_rng.chance(0.4) {
+                let dest = WorldPos {
+                    x: action_rng.range_f64(0.0, 4_000.0),
+                    y: action_rng.range_f64(0.0, 4_000.0),
+                };
+                world.submit(AvatarId(i), Action::MoveTo(dest));
+            } else if action_rng.chance(0.2) {
+                world.submit(AvatarId(i), Action::Strike(AvatarId(action_rng.below(300) as u32)));
+            }
+        }
+        let out = world.step_parallel_with(&subs, workers);
+        for o in &out {
+            log.push_str(&format!("{}:{}:{:?};", o.subscriber, o.message.bytes, o.message.deltas));
+        }
+    }
+    for i in 0..300 {
+        let a = world.avatar(AvatarId(i));
+        log.push_str(&format!("{:?}|{}|{};", a.pos, a.hp, a.version));
+    }
+    log
+}
+
+#[test]
+fn world_step_is_bit_identical_across_worker_counts() {
+    let one = world_transcript(1, 12);
+    for workers in [2, 4, 7] {
+        assert_eq!(
+            one,
+            world_transcript(workers, 12),
+            "World::step_parallel_with({workers}) diverged from the 1-worker transcript"
+        );
+    }
+}
+
+#[test]
+fn step_and_step_parallel_agree() {
+    // `step` is the workers=1 short-circuit; `step_parallel` resolves
+    // the machine's worker count. Whatever it resolves to, the
+    // outputs must match tick for tick.
+    let mut rng_a = Rng::new(5);
+    let mut rng_b = Rng::new(5);
+    let mut seq = World::new(WorldConfig::default(), 120, &mut rng_a);
+    let mut par = World::new(WorldConfig::default(), 120, &mut rng_b);
+    let subs: Vec<Subscriber> = (0..4)
+        .map(|s| Subscriber { id: s, players: (0..30).map(|k| AvatarId(s * 30 + k)).collect() })
+        .collect();
+    for tick in 0..8 {
+        for i in 0..120u32 {
+            let dest = WorldPos { x: (i * 31 + tick) as f64 % 4_000.0, y: (i * 17) as f64 };
+            seq.submit(AvatarId(i), Action::MoveTo(dest));
+            par.submit(AvatarId(i), Action::MoveTo(dest));
+        }
+        let a = seq.step(&subs);
+        let b = par.step_parallel(&subs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.subscriber, y.subscriber);
+            assert_eq!(x.message.deltas, y.message.deltas);
+            assert_eq!(x.message.bytes, y.message.bytes);
+        }
+    }
+}
