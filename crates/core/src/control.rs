@@ -1,0 +1,357 @@
+//! The fallible control plane: deadlines, retries, and admission.
+//!
+//! PR 1's chaos layer made the *data* plane fallible; the control
+//! plane (assignment, migration, supernode deployment) stayed a set of
+//! infallible, instantaneous function calls. This module supplies the
+//! vocabulary that makes those calls first-class failure domains:
+//!
+//! * [`ControlOpKind`] / [`ControlOp`] — one logical control-plane
+//!   operation with an issue time, a hard deadline, and an attempt
+//!   counter. An op that cannot reach its target (the target's region
+//!   is under a [`crate::fault::FaultKind::RegionalOutage`], or the
+//!   target host is dead) *times out* and is retried; an op past its
+//!   deadline *expires* and falls back (assignment falls back to the
+//!   cloud, migrations and deployments are abandoned).
+//! * [`BackoffPolicy`] — bounded jittered exponential backoff between
+//!   attempts. Jitter is drawn from a dedicated simulation RNG stream,
+//!   so retry schedules are deterministic per seed and decorrelated
+//!   across ops — no synchronized retry storms, and bit-identical
+//!   replays.
+//! * [`AdmissionParams`] / [`AdmissionDecision`] — brownout-style
+//!   admission control: when a region's fog saturates, new sessions
+//!   are admitted at degraded quality or shed straight to the cloud
+//!   instead of being rejected outright (the Stimpack observation:
+//!   graceful degradation beats hard rejection).
+//!
+//! Idempotency rules live with the appliers: a retried assignment
+//! re-resolves from current state, and a migration whose player is no
+//! longer on the planned source is *skipped as stale*
+//! ([`crate::coop::apply_migrations_checked`]) — so a regional outage
+//! mid-migration can never orphan or double-assign a player.
+
+use cloudfog_sim::rng::Rng;
+use cloudfog_sim::time::{SimDuration, SimTime};
+use cloudfog_workload::player::PlayerId;
+
+use crate::infra::SupernodeId;
+
+/// What a control-plane operation is trying to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlOpKind {
+    /// Place a joining player on a streaming source.
+    Assign {
+        /// The joining player.
+        player: PlayerId,
+        /// True when admission granted only degraded quality.
+        degraded: bool,
+    },
+    /// Move a player between supernodes (a planned migration).
+    Migrate {
+        /// The player to move.
+        player: PlayerId,
+        /// Planned source supernode.
+        from: SupernodeId,
+        /// Planned destination supernode.
+        to: SupernodeId,
+    },
+    /// Promote a capable host to a new supernode.
+    Deploy {
+        /// The candidate player whose host is promoted.
+        candidate: PlayerId,
+    },
+    /// Gracefully retire a supernode (re-home its players first).
+    Retire {
+        /// The supernode being drained out of the fleet.
+        supernode: SupernodeId,
+    },
+}
+
+impl ControlOpKind {
+    /// Stable label for telemetry keys and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ControlOpKind::Assign { .. } => "assign",
+            ControlOpKind::Migrate { .. } => "migrate",
+            ControlOpKind::Deploy { .. } => "deploy",
+            ControlOpKind::Retire { .. } => "retire",
+        }
+    }
+}
+
+/// One in-flight control-plane operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ControlOp {
+    /// What the op does.
+    pub kind: ControlOpKind,
+    /// When the op was issued (attempt 1 happens here).
+    pub issued_at: SimTime,
+    /// Hard deadline: an attempt at or after this instant expires the
+    /// op instead of retrying.
+    pub deadline: SimTime,
+    /// Attempts made so far (≥ 1 once issued).
+    pub attempts: u32,
+    /// Set when the op reached a terminal outcome (applied, expired,
+    /// or abandoned); terminal ops ignore further retry events.
+    pub done: bool,
+}
+
+/// Why a control-plane attempt failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlFailure {
+    /// The attempt could not reach its target in time (regional
+    /// outage or dead host); the op may retry.
+    Timeout,
+    /// The op ran past its deadline; it must fall back, not retry.
+    DeadlineExpired,
+}
+
+/// Bounded jittered exponential backoff between control-plane
+/// attempts.
+///
+/// Attempt `n` (1-based) that fails schedules attempt `n + 1` after
+/// `min(base · 2^(n-1), max_delay) · U` where `U` is uniform in
+/// `[1 − jitter, 1 + jitter]`, until `max_attempts` is reached.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay after the first failed attempt.
+    pub base: SimDuration,
+    /// Cap on the un-jittered delay.
+    pub max_delay: SimDuration,
+    /// Total attempts allowed (first try included).
+    pub max_attempts: u32,
+    /// Jitter half-width as a fraction of the delay, in [0, 1).
+    pub jitter: f64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: SimDuration::from_millis(200),
+            max_delay: SimDuration::from_secs(4),
+            max_attempts: 6,
+            jitter: 0.25,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Delay before the *next* attempt, given that attempt
+    /// `attempts_made` (1-based) just failed. `None` once the attempt
+    /// budget is spent — the caller must fall back, not retry.
+    ///
+    /// Deterministic: the jitter comes from `rng`, which the
+    /// simulation forks per run, so the same seed always yields the
+    /// same retry schedule.
+    pub fn delay_after(&self, attempts_made: u32, rng: &mut Rng) -> Option<SimDuration> {
+        if attempts_made >= self.max_attempts {
+            return None;
+        }
+        // Cap the shift so pathological max_attempts cannot overflow.
+        let exp = attempts_made.saturating_sub(1).min(20);
+        let raw = self.base * (1u64 << exp);
+        let capped = raw.min(self.max_delay);
+        let jitter = self.jitter.clamp(0.0, 0.999);
+        // U in [1 - jitter, 1 + jitter]; drawn even when jitter is 0
+        // so toggling jitter does not shift the RNG stream.
+        let u = 1.0 + jitter * (rng.f64() * 2.0 - 1.0);
+        Some(SimDuration::from_secs_f64(capped.as_secs_f64() * u))
+    }
+
+    /// Worst-case total backoff across every allowed retry (no
+    /// jitter above `1 + jitter` can exceed this bound).
+    pub fn worst_case_total(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for n in 1..self.max_attempts {
+            let exp = (n - 1).min(20);
+            let raw = self.base * (1u64 << exp);
+            let capped = raw.min(self.max_delay);
+            total += SimDuration::from_secs_f64(capped.as_secs_f64() * (1.0 + self.jitter));
+        }
+        total
+    }
+}
+
+/// Control-plane failure-model knobs: one deadline for every op plus
+/// the retry backoff policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ControlPlaneParams {
+    /// Per-op deadline, measured from issue time.
+    pub op_deadline: SimDuration,
+    /// Backoff between failed attempts.
+    pub backoff: BackoffPolicy,
+}
+
+impl Default for ControlPlaneParams {
+    fn default() -> Self {
+        ControlPlaneParams {
+            op_deadline: SimDuration::from_secs(10),
+            backoff: BackoffPolicy::default(),
+        }
+    }
+}
+
+impl ControlPlaneParams {
+    /// Deadline for an op issued `now`.
+    pub fn deadline_from(&self, now: SimTime) -> SimTime {
+        now + self.op_deadline
+    }
+}
+
+/// Brownout admission thresholds over regional fog utilization
+/// (assigned players / total capacity across the region's live
+/// supernodes).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionParams {
+    /// At or above this utilization, new sessions start at capped
+    /// quality.
+    pub degrade_utilization: f64,
+    /// At or above this utilization, new sessions are shed straight to
+    /// the cloud (never rejected).
+    pub shed_utilization: f64,
+    /// Highest quality level index a degraded session may start at.
+    pub degraded_quality_cap: usize,
+}
+
+impl Default for AdmissionParams {
+    fn default() -> Self {
+        AdmissionParams {
+            degrade_utilization: 0.75,
+            shed_utilization: 0.92,
+            degraded_quality_cap: 2,
+        }
+    }
+}
+
+/// Outcome of admission control for one joining session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Region has headroom: full quality, normal placement.
+    Normal,
+    /// Region is saturating: admitted, but starting quality is capped.
+    Degraded,
+    /// Region is saturated: admitted on the cloud path only.
+    Shed,
+}
+
+impl AdmissionDecision {
+    /// Brownout level as a small integer (0 normal, 1 degraded,
+    /// 2 shed) for telemetry values.
+    pub fn level(self) -> u8 {
+        match self {
+            AdmissionDecision::Normal => 0,
+            AdmissionDecision::Degraded => 1,
+            AdmissionDecision::Shed => 2,
+        }
+    }
+
+    /// Stable label for telemetry keys and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionDecision::Normal => "normal",
+            AdmissionDecision::Degraded => "degraded",
+            AdmissionDecision::Shed => "shed",
+        }
+    }
+}
+
+impl AdmissionParams {
+    /// Decide the brownout level for a join given the player's
+    /// regional fog utilization. Pure and RNG-free: the same
+    /// utilization always yields the same decision.
+    pub fn decide(&self, utilization: f64) -> AdmissionDecision {
+        if utilization >= self.shed_utilization {
+            AdmissionDecision::Shed
+        } else if utilization >= self.degrade_utilization {
+            AdmissionDecision::Degraded
+        } else {
+            AdmissionDecision::Normal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let policy = BackoffPolicy::default();
+        let schedule = |seed: u64| {
+            let mut rng = Rng::new(seed);
+            (1..policy.max_attempts)
+                .map(|n| policy.delay_after(n, &mut rng).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(schedule(7), schedule(7), "same seed, same schedule");
+        assert_ne!(schedule(7), schedule(8), "different seeds decorrelate");
+    }
+
+    #[test]
+    fn backoff_grows_is_capped_and_bounded() {
+        let policy = BackoffPolicy {
+            base: SimDuration::from_millis(100),
+            max_delay: SimDuration::from_secs(1),
+            max_attempts: 8,
+            jitter: 0.0,
+        };
+        let mut rng = Rng::new(1);
+        let delays: Vec<SimDuration> =
+            (1..policy.max_attempts).map(|n| policy.delay_after(n, &mut rng).unwrap()).collect();
+        // 100 ms, 200 ms, 400 ms, 800 ms, then capped at 1 s.
+        assert_eq!(delays[0], SimDuration::from_millis(100));
+        assert_eq!(delays[1], SimDuration::from_millis(200));
+        assert_eq!(delays[2], SimDuration::from_millis(400));
+        assert_eq!(delays[3], SimDuration::from_millis(800));
+        assert_eq!(delays[4], SimDuration::from_secs(1));
+        assert_eq!(delays[6], SimDuration::from_secs(1));
+        // Budget spent: no more retries.
+        assert_eq!(policy.delay_after(policy.max_attempts, &mut rng), None);
+        assert_eq!(policy.delay_after(policy.max_attempts + 5, &mut rng), None);
+    }
+
+    #[test]
+    fn jitter_stays_within_the_half_width() {
+        let policy = BackoffPolicy {
+            base: SimDuration::from_millis(400),
+            max_delay: SimDuration::from_secs(10),
+            max_attempts: 2,
+            jitter: 0.25,
+        };
+        let mut rng = Rng::new(99);
+        for _ in 0..200 {
+            let d = policy.delay_after(1, &mut rng).unwrap().as_secs_f64();
+            assert!((0.3..=0.5).contains(&d), "jittered delay {d} outside [0.3, 0.5]");
+        }
+        let bound = policy.worst_case_total();
+        assert_eq!(bound, SimDuration::from_secs_f64(0.4 * 1.25));
+    }
+
+    #[test]
+    fn admission_thresholds_partition_utilization() {
+        let p = AdmissionParams::default();
+        assert_eq!(p.decide(0.0), AdmissionDecision::Normal);
+        assert_eq!(p.decide(p.degrade_utilization - 1e-9), AdmissionDecision::Normal);
+        assert_eq!(p.decide(p.degrade_utilization), AdmissionDecision::Degraded);
+        assert_eq!(p.decide(p.shed_utilization), AdmissionDecision::Shed);
+        assert_eq!(p.decide(1.5), AdmissionDecision::Shed);
+        assert_eq!(AdmissionDecision::Normal.level(), 0);
+        assert_eq!(AdmissionDecision::Degraded.level(), 1);
+        assert_eq!(AdmissionDecision::Shed.level(), 2);
+    }
+
+    #[test]
+    fn deadlines_measure_from_issue_time() {
+        let params = ControlPlaneParams::default();
+        let now = SimTime::from_secs(5);
+        assert_eq!(params.deadline_from(now), now + params.op_deadline);
+        let op = ControlOp {
+            kind: ControlOpKind::Assign { player: PlayerId(3), degraded: false },
+            issued_at: now,
+            deadline: params.deadline_from(now),
+            attempts: 1,
+            done: false,
+        };
+        assert_eq!(op.kind.label(), "assign");
+        assert!(op.deadline > op.issued_at);
+    }
+}

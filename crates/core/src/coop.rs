@@ -155,20 +155,61 @@ pub fn plan_rebalance(
     migrations
 }
 
+/// Per-plan accounting from [`apply_migrations_checked`]: every
+/// planned migration lands in exactly one bucket.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrationOutcome {
+    /// Migrations applied (player moved `from → to`).
+    pub applied: usize,
+    /// Skipped: the destination filled up since planning.
+    pub skipped_full: usize,
+    /// Skipped: the player is no longer assigned to the planned
+    /// source (it left, failed over, or an earlier retry already
+    /// moved it), so applying would double-assign or orphan it.
+    pub skipped_stale: usize,
+}
+
+impl MigrationOutcome {
+    /// Total migrations examined.
+    pub fn total(&self) -> usize {
+        self.applied + self.skipped_full + self.skipped_stale
+    }
+}
+
+/// Apply a migration plan idempotently: each step is applied only if
+/// the player is *still* assigned to the planned source and the
+/// destination *still* has capacity, so re-applying a partially
+/// applied plan (the control-plane retry path) can never double-assign
+/// a player or strand one off the table. Returns the per-bucket
+/// accounting.
+pub fn apply_migrations_checked(
+    table: &mut SupernodeTable,
+    plan: &[Migration],
+) -> MigrationOutcome {
+    let mut out = MigrationOutcome::default();
+    for m in plan {
+        if !table.get(m.from).assigned.contains(&m.player) {
+            out.skipped_stale += 1;
+            continue;
+        }
+        if !table.get(m.to).has_capacity() {
+            out.skipped_full += 1;
+            continue;
+        }
+        table.release(m.from, m.player);
+        let ok = table.assign(m.to, m.player);
+        debug_assert!(ok);
+        out.applied += 1;
+    }
+    out
+}
+
 /// Apply a migration plan to the table (release + assign).
 /// Returns how many migrations were actually applied (a destination
-/// may have filled up since planning).
+/// may have filled up since planning, or a step may have gone stale —
+/// see [`apply_migrations_checked`] for the per-bucket split).
 pub fn apply_migrations(table: &mut SupernodeTable, plan: &[Migration]) -> usize {
-    let mut applied = 0;
-    for m in plan {
-        if table.get(m.to).has_capacity() {
-            table.release(m.from, m.player);
-            let ok = table.assign(m.to, m.player);
-            debug_assert!(ok);
-            applied += 1;
-        }
-    }
-    applied
+    apply_migrations_checked(table, plan).applied
 }
 
 #[cfg(test)]
@@ -284,5 +325,34 @@ mod tests {
         let plan = plan_rebalance(&table, &topo, &player_host, &demand, &CoopPolicy::default());
         assert!(!plan.is_empty());
         assert_eq!(plan[0].player, PlayerId(0), "heaviest stream moves first");
+    }
+
+    #[test]
+    fn stale_and_full_steps_are_skipped_not_applied() {
+        let (mut table, _topo, _hosts) = scenario();
+        // Player 3 failed over between planning and apply: stale.
+        table.release(SupernodeId(0), PlayerId(3));
+        let plan = vec![
+            Migration { player: PlayerId(3), from: SupernodeId(0), to: SupernodeId(1) },
+            Migration { player: PlayerId(4), from: SupernodeId(0), to: SupernodeId(1) },
+        ];
+        let out = apply_migrations_checked(&mut table, &plan);
+        assert_eq!(
+            out,
+            MigrationOutcome { applied: 1, skipped_full: 0, skipped_stale: 1 },
+            "stale step skipped, live step applied"
+        );
+        assert_eq!(out.total(), plan.len());
+        assert!(!table.get(SupernodeId(1)).assigned.contains(&PlayerId(3)));
+        assert!(table.get(SupernodeId(1)).assigned.contains(&PlayerId(4)));
+        // Re-applying the same plan is idempotent: both steps are now
+        // stale (3 was never on SN0, 4 already moved).
+        let again = apply_migrations_checked(&mut table, &plan);
+        assert_eq!(again, MigrationOutcome { applied: 0, skipped_full: 0, skipped_stale: 2 });
+        assert_eq!(
+            table.get(SupernodeId(1)).assigned.iter().filter(|p| **p == PlayerId(4)).count(),
+            1,
+            "idempotent re-apply never double-assigns"
+        );
     }
 }

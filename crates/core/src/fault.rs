@@ -184,6 +184,27 @@ impl FaultScript {
         }
         script
     }
+
+    /// Generate `count` *regional outages only* — the churn template's
+    /// chaos mix. Same placement envelope and determinism contract as
+    /// [`FaultScript::generate`], but every event is a
+    /// [`FaultKind::RegionalOutage`], so a flash-crowd scenario can be
+    /// paired with the control-plane failure it is meant to stress
+    /// (assignment and migration ops into the dark region time out and
+    /// retry).
+    pub fn generate_outages(seed: u64, horizon: SimDuration, count: usize) -> Self {
+        let mut rng = Rng::new(seed ^ 0x07A6_E001_3D05_EED1);
+        let mut script = FaultScript::new();
+        let horizon_s = horizon.as_secs_f64();
+        for _ in 0..count {
+            let at =
+                SimTime::ZERO + SimDuration::from_secs_f64(horizon_s * rng.range_f64(0.10, 0.80));
+            let duration = SimDuration::from_secs_f64(horizon_s * rng.range_f64(0.05, 0.15));
+            let region = Region::ALL[rng.index(Region::ALL.len())];
+            script.push(FaultEvent { at, duration, kind: FaultKind::RegionalOutage { region } });
+        }
+        script
+    }
 }
 
 /// Heartbeat failure-detector policy (suspect → probe with backoff →
@@ -296,6 +317,18 @@ mod tests {
             assert!(e.at <= SimTime::ZERO + SimDuration::from_secs(96));
             assert!(e.duration >= SimDuration::from_secs(6));
             assert!(e.duration <= SimDuration::from_secs(18));
+        }
+    }
+
+    #[test]
+    fn generate_outages_is_deterministic_and_outage_only() {
+        let horizon = SimDuration::from_secs(60);
+        let a = FaultScript::generate_outages(7, horizon, 4);
+        assert_eq!(a, FaultScript::generate_outages(7, horizon, 4));
+        assert_ne!(a, FaultScript::generate_outages(8, horizon, 4));
+        assert_eq!(a.len(), 4);
+        for e in a.events() {
+            assert!(matches!(e.kind, FaultKind::RegionalOutage { .. }), "{:?}", e.kind);
         }
     }
 

@@ -19,6 +19,8 @@
 //! * [`fault`] — the chaos layer: scripted fault injection (regional
 //!   outages, latency storms, burst loss, gray failures), the
 //!   heartbeat failure detector, and the QoE watchdog policies.
+//! * [`control`] — the fallible control plane: per-op deadlines,
+//!   bounded jittered retry backoff, and brownout admission control.
 //! * [`obs`] — the canonical trace-record vocabulary shared by every
 //!   subsystem (one record type, one constant per kind).
 //! * [`systems`] — the six systems under test (Cloud, EdgeCloud, the
@@ -44,6 +46,7 @@
 
 pub mod adapt;
 pub mod config;
+pub mod control;
 pub mod coop;
 pub mod economics;
 pub mod fault;
@@ -60,7 +63,14 @@ pub mod prelude {
     pub use crate::adapt::AdaptExplain;
     pub use crate::adapt::{RateController, RateDecision};
     pub use crate::config::{scale_from_env, ExperimentProfile, SystemParams, Testbed};
-    pub use crate::coop::{apply_migrations, plan_rebalance, CoopPolicy, Migration};
+    pub use crate::control::{
+        AdmissionDecision, AdmissionParams, BackoffPolicy, ControlFailure, ControlOp,
+        ControlOpKind, ControlPlaneParams,
+    };
+    pub use crate::coop::{
+        apply_migrations, apply_migrations_checked, plan_rebalance, CoopPolicy, Migration,
+        MigrationOutcome,
+    };
     pub use crate::economics::{
         bandwidth_reduction, clear_market, deployment_gain, optimal_reward, provider_savings,
         supernode_profit, MarketOutcome, MarketParams, SupernodeOffer,
@@ -74,14 +84,14 @@ pub mod prelude {
     pub use crate::security::{Reputation, TrustEvent, TrustManager};
     pub use crate::streaming::{PlayerStreamStats, Segment, SegmentId, SegmentIdAlloc};
     pub use crate::systems::{
-        coverage_curve, supernode_load_experiment, CoveragePoint, Deployment, FogStats, GameQoe,
-        JoinPattern, LatencyStats, LoadExperimentConfig, LoadPoint, QoeSeries, QoeStats, RunOutput,
-        RunSummary, StreamSource, StreamingSim, StreamingSimConfig, StreamingSimConfigBuilder,
-        SystemKind, TrafficStats,
+        coverage_curve, supernode_load_experiment, ChurnConfig, ChurnStats, CoveragePoint,
+        Deployment, FogStats, GameQoe, JoinPattern, LatencyStats, LoadExperimentConfig, LoadPoint,
+        QoeSeries, QoeStats, RunOutput, RunSummary, StreamSource, StreamingSim, StreamingSimConfig,
+        StreamingSimConfigBuilder, SystemKind, TrafficStats,
     };
     pub use cloudfog_sim::causal::{
-        AdaptProvenance, CausalLog, CausalReport, DropProvenance, DropShare, Outcome, SegmentTrace,
-        Stage,
+        AdaptProvenance, AdmissionProvenance, CausalLog, CausalReport, DropProvenance, DropShare,
+        Outcome, SegmentTrace, Stage,
     };
     pub use cloudfog_sim::telemetry::{Quantiles, TelemetryConfig, TelemetryReport};
 }

@@ -53,9 +53,27 @@ pub mod kind {
     pub const FAULT_BW_COLLAPSE: &str = "fault.bw_collapse";
     /// Gray-failure active window.
     pub const FAULT_GRAY: &str = "fault.gray";
+    /// Brownout admission decision at join. `key` = player, `value` =
+    /// brownout level (0 normal, 1 degraded, 2 shed).
+    pub const ADMIT_DECIDE: &str = "admit.decide";
+    /// Control-plane op attempt timed out and was rescheduled. `key` =
+    /// op index, `value` = attempts made so far.
+    pub const CONTROL_RETRY: &str = "control.retry";
+    /// Control-plane op expired (deadline or attempt budget) and fell
+    /// back. `key` = op index, `value` = attempts made.
+    pub const CONTROL_EXPIRE: &str = "control.expire";
+    /// Cooperative migration applied. `key` = player, `value` =
+    /// destination supernode.
+    pub const COOP_MIGRATE: &str = "coop.migrate";
+    /// Supernode joined the fleet mid-run. `key` = supernode id,
+    /// `value` = capacity.
+    pub const DEPLOY_ARRIVAL: &str = "deploy.arrival";
+    /// Supernode gracefully retired mid-run. `key` = supernode id,
+    /// `value` = players re-homed.
+    pub const DEPLOY_RETIRE: &str = "deploy.retire";
 
     /// All kinds, for exhaustive matching in tooling.
-    pub const ALL: [&str; 12] = [
+    pub const ALL: [&str; 18] = [
         SCHED_DROP,
         ADAPT_UP,
         ADAPT_DOWN,
@@ -68,6 +86,12 @@ pub mod kind {
         FAULT_LOSS_BURST,
         FAULT_BW_COLLAPSE,
         FAULT_GRAY,
+        ADMIT_DECIDE,
+        CONTROL_RETRY,
+        CONTROL_EXPIRE,
+        COOP_MIGRATE,
+        DEPLOY_ARRIVAL,
+        DEPLOY_RETIRE,
     ];
 }
 

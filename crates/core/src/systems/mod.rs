@@ -28,8 +28,9 @@ pub mod supernode_load;
 pub use coverage::{coverage_curve, CoveragePoint};
 pub use deployment::{Deployment, StreamSource, SystemKind};
 pub use simulation::{
-    FogStats, GameQoe, JoinPattern, LatencyStats, QoeSeries, QoeStats, RunOutput, RunSummary,
-    StreamingSim, StreamingSimConfig, StreamingSimConfigBuilder, TrafficStats,
+    ChurnConfig, ChurnStats, FogStats, GameQoe, JoinPattern, LatencyStats, QoeSeries, QoeStats,
+    RunOutput, RunSummary, StreamingSim, StreamingSimConfig, StreamingSimConfigBuilder,
+    TrafficStats,
 };
 pub use supernode_load::{supernode_load_experiment, LoadExperimentConfig, LoadPoint};
 

@@ -33,7 +33,7 @@ use cloudfog_net::gilbert::GilbertElliott;
 use cloudfog_net::latency::LatencyModel;
 use cloudfog_net::topology::{DelaySource, HostId};
 use cloudfog_sim::causal::{
-    AdaptProvenance, CausalLog, CausalReport, Outcome as SegmentOutcome, Stage,
+    AdaptProvenance, AdmissionProvenance, CausalLog, CausalReport, Outcome as SegmentOutcome, Stage,
 };
 use cloudfog_sim::engine::{Model, Scheduler, Simulation};
 use cloudfog_sim::event::EventQueue;
@@ -43,8 +43,9 @@ use cloudfog_sim::telemetry::{
     PhaseProfiler, TelemetryConfig, TelemetryReport, TraceRecord, TraceRing,
 };
 use cloudfog_sim::time::{SimDuration, SimTime};
-use cloudfog_workload::arrival::{DiurnalArrivals, SessionCycle};
-use cloudfog_workload::games::{Game, GameId, QualityLevel, GAMES};
+use cloudfog_workload::arrival::{DiurnalArrivals, PoissonArrivals, SessionCycle};
+use cloudfog_workload::games::{Game, GameId, QualityLevel, GAMES, QUALITY_LEVELS};
+use cloudfog_workload::session::SessionState;
 
 /// Per-game QoE row of a run (see [`RunSummary::game_breakdown`]).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -64,6 +65,10 @@ use cloudfog_workload::player::PlayerId;
 
 use crate::adapt::{AdaptExplain, RateController, RateDecision};
 use crate::config::{ExperimentProfile, SystemParams};
+use crate::control::{
+    AdmissionDecision, AdmissionParams, ControlOp, ControlOpKind, ControlPlaneParams,
+};
+use crate::coop::{self, CoopPolicy, Migration};
 use crate::fault::{DetectorParams, FaultKind, FaultScript, WatchdogParams};
 use crate::metrics::{MetricsCollector, TrafficSource};
 use crate::obs;
@@ -88,6 +93,122 @@ pub enum JoinPattern {
         /// Peak hour of day (0–24).
         peak_hour: f64,
     },
+    /// A steady Poisson trickle with a scripted flash crowd on top:
+    /// background joins at `base_rate`, plus a second burst process at
+    /// `spike_rate` over the spike window. Player ids cycle through
+    /// the population (a join for an in-session player is a no-op), so
+    /// the spike stresses admission and the control plane, not the
+    /// universe size.
+    FlashCrowd {
+        /// Background join rate (players per second).
+        base_rate: f64,
+        /// When the crowd hits, measured from t = 0.
+        spike_at: SimDuration,
+        /// Burst join rate during the spike (players per second).
+        spike_rate: f64,
+        /// How long the crowd keeps arriving.
+        spike_duration: SimDuration,
+    },
+}
+
+/// Live-service churn knobs: the session lifecycle state machine, the
+/// fallible control plane, and brownout admission control. `None` on
+/// [`StreamingSimConfig::churn`] keeps the fixed-cohort model —
+/// bit-for-bit identical event streams and summaries.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    /// Brownout admission thresholds over regional fog utilization.
+    pub admission: AdmissionParams,
+    /// Control-plane failure model: per-op deadline + retry backoff.
+    pub control: ControlPlaneParams,
+    /// Connection handshake time (Connecting → Connected), applied
+    /// after the assign op succeeds or falls back.
+    pub connect_delay: SimDuration,
+    /// Drain window: a leaving player stops acting immediately but
+    /// keeps receiving in-flight segments this long before teardown
+    /// (Draining → Gone).
+    pub drain_window: SimDuration,
+    /// Mean supernode arrivals per second (0 = no mid-run arrivals).
+    /// Each arrival promotes a random capable, still-unregistered
+    /// player via a fallible Deploy op.
+    pub supernode_arrival_rate: f64,
+    /// Mean graceful supernode retirements per second (0 = none).
+    /// Retirement re-homes every assigned player *before* the
+    /// supernode leaves — nobody is orphaned.
+    pub supernode_retire_rate: f64,
+    /// Cooperative rebalance sweep period (`None` = no sweeps). Each
+    /// planned migration is issued as its own fallible Migrate op.
+    pub rebalance_interval: Option<SimDuration>,
+    /// Policy for the rebalance planner.
+    pub coop: CoopPolicy,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            admission: AdmissionParams::default(),
+            control: ControlPlaneParams::default(),
+            connect_delay: SimDuration::from_millis(400),
+            drain_window: SimDuration::from_secs(2),
+            supernode_arrival_rate: 0.0,
+            supernode_retire_rate: 0.0,
+            rebalance_interval: None,
+            coop: CoopPolicy::default(),
+        }
+    }
+}
+
+/// Lifecycle and control-plane accounting of a churn-enabled run (see
+/// [`RunOutput::churn`]; `None` when churn is off). The conservation
+/// identities the harness invariants check live here:
+///
+/// * `sessions_started == sessions_connected + connecting_at_end`
+/// * `sessions_connected == sessions_completed + ingame_at_end +
+///   draining_at_end`
+/// * `admitted_normal + admitted_degraded + admitted_shed ==
+///   sessions_started`
+/// * `control_retries <= control_ops × (max_attempts − 1)`
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// Sessions that entered `Connecting` (admission processed).
+    pub sessions_started: u64,
+    /// Sessions that reached `InGame`.
+    pub sessions_connected: u64,
+    /// Sessions fully torn down (`Draining → Gone`).
+    pub sessions_completed: u64,
+    /// Admissions at full quality (brownout level 0).
+    pub admitted_normal: u64,
+    /// Admissions at capped quality (brownout level 1).
+    pub admitted_degraded: u64,
+    /// Admissions shed straight to the cloud path (brownout level 2).
+    pub admitted_shed: u64,
+    /// Control-plane ops issued (assign / migrate / deploy / retire).
+    pub control_ops: u64,
+    /// Attempts that timed out and were rescheduled with backoff.
+    pub control_retries: u64,
+    /// Ops that exhausted their deadline or attempt budget and fell
+    /// back (assign → cloud; migrate / deploy / retire → abandoned).
+    pub control_expired: u64,
+    /// Migrations applied by rebalance sweeps.
+    pub migrations_applied: u64,
+    /// Planned migrations skipped as stale or full at apply time.
+    pub migrations_skipped: u64,
+    /// Supernodes that volunteered mid-run.
+    pub supernode_arrivals: u64,
+    /// Supernodes gracefully retired mid-run.
+    pub supernode_retirements: u64,
+    /// Players re-homed by graceful retirements (never orphans).
+    pub retirement_rehomed: u64,
+    /// Players still `Connecting` when the horizon hit.
+    pub connecting_at_end: u64,
+    /// Players still `Connected`/`InGame` when the horizon hit.
+    pub ingame_at_end: u64,
+    /// Players still `Draining` when the horizon hit.
+    pub draining_at_end: u64,
+    /// Lifecycle transitions the state machine rejected (always 0; a
+    /// nonzero count is a bug the `session.no_orphans` harness
+    /// invariant flags).
+    pub illegal_transitions: u64,
 }
 
 /// Configuration of one streaming run.
@@ -138,6 +259,10 @@ pub struct StreamingSimConfig {
     /// (`None` = fully disabled — the hot path pays nothing, and the
     /// [`RunSummary`] is bit-identical either way).
     pub telemetry: Option<TelemetryConfig>,
+    /// Live-service churn: the session lifecycle state machine, the
+    /// fallible control plane and brownout admission (`None` = the
+    /// fixed-cohort model, unchanged bit for bit).
+    pub churn: Option<ChurnConfig>,
 }
 
 impl StreamingSimConfig {
@@ -173,6 +298,7 @@ impl StreamingSimConfig {
                 detector: DetectorParams::default(),
                 watchdog: None,
                 telemetry: None,
+                churn: None,
             },
             players: 1_000,
             custom_profile: false,
@@ -298,6 +424,13 @@ impl StreamingSimConfigBuilder {
         self
     }
 
+    /// Enable live-service churn: the session lifecycle state machine,
+    /// the fallible control plane and brownout admission.
+    pub fn churn(mut self, churn: ChurnConfig) -> Self {
+        self.cfg.churn = Some(churn);
+        self
+    }
+
     /// Finalize the config.
     pub fn build(mut self) -> StreamingSimConfig {
         if !self.custom_profile {
@@ -352,7 +485,10 @@ pub struct RunSummary {
     /// failures; 0 when nothing was confirmed.
     pub mean_detection_ms: f64,
     /// Player-seconds spent attached to a dead supernode between its
-    /// failure and the detector's confirmation.
+    /// failure and the detector's confirmation. Only undetected
+    /// *failures* orphan players: a voluntary leave (the player walks
+    /// away from a healthy source) and a graceful retirement (players
+    /// are re-homed before the supernode departs) contribute nothing.
     pub orphaned_player_secs: f64,
     /// Players the QoE watchdog moved away from a degraded supernode.
     pub watchdog_reassignments: u64,
@@ -474,6 +610,9 @@ pub struct RunOutput {
     /// lifecycle spans, decision provenance, Eq. 12 latency
     /// attribution and the tail-attribution table.
     pub causal: Option<CausalReport>,
+    /// Lifecycle / control-plane accounting (when
+    /// [`StreamingSimConfig::churn`] is set).
+    pub churn: Option<ChurnStats>,
 }
 
 /// Time-bucketed QoE curves of a run (enabled via
@@ -559,6 +698,21 @@ struct ActivePlayer {
     low_checks: u32,
     /// Last watchdog re-assignment (or join), for the cooldown.
     last_reassign: SimTime,
+    /// Churn lifecycle: true once the session is draining — no new
+    /// actions, in-flight deliveries continue until `SessionGone`.
+    /// Always false when churn is off.
+    draining: bool,
+}
+
+/// What admission decided for one join, carried from the admission
+/// decision to the connection completing (churn lifecycle only).
+#[derive(Clone, Copy)]
+struct JoinPlan {
+    /// Brownout level granted at admission.
+    decision: AdmissionDecision,
+    /// Resolve on the cloud path: set at admission for shed sessions,
+    /// or later when the assign op expires.
+    forced_cloud: bool,
 }
 
 const NUM_REGIONS: usize = Region::ALL.len();
@@ -654,6 +808,19 @@ pub enum Ev {
     FaultStart(usize),
     /// The scripted fault at this index ends.
     FaultEnd(usize),
+    /// Churn lifecycle: a joining player's connection completes.
+    SessionConnected(PlayerId),
+    /// Churn lifecycle: a draining player's teardown completes.
+    SessionGone(PlayerId),
+    /// Churn control plane: retry timer for the pending op at this
+    /// slab index.
+    ControlRetry(u32),
+    /// Churn: periodic cooperative rebalance sweep.
+    RebalanceSweep,
+    /// Churn: a capable player volunteers as a new supernode.
+    SupernodeArrival,
+    /// Churn: a random live supernode retires gracefully.
+    SupernodeRetirement,
 }
 
 /// The streaming simulation model.
@@ -712,6 +879,28 @@ pub struct StreamingSim {
     rng_game: Rng,
     rng_net: Rng,
     rng_chaos: Rng,
+    /// Churn control-plane RNG: backoff jitter, arrival/retirement
+    /// draws. Forked after `rng_chaos` so churn-off seeds replay the
+    /// exact event sequence they produced before churn existed.
+    rng_control: Rng,
+    /// Session lifecycle per player (empty when churn is off).
+    session_states: Vec<SessionState>,
+    /// Per-player join plan between admission and connection, indexed
+    /// by [`PlayerId::index`] (empty when churn is off).
+    join_plans: Vec<Option<JoinPlan>>,
+    /// Control-plane op slab; [`Ev::ControlRetry`] carries an index.
+    /// Terminal ops keep their slot (the slab doubles as an audit
+    /// log) and ignore late retry events.
+    pending_ops: Vec<ControlOp>,
+    /// Active regional-outage count per region: the control plane for
+    /// a region is unreachable while any scripted outage covers it.
+    outage_level: [u32; NUM_REGIONS],
+    /// Supernode-capable players not yet registered — the mid-run
+    /// arrival candidates (empty when churn arrivals are off).
+    arrival_pool: Vec<PlayerId>,
+    /// Lifecycle / control-plane accounting (all zeros when churn is
+    /// off).
+    churn_stats: ChurnStats,
 }
 
 impl StreamingSim {
@@ -732,6 +921,9 @@ impl StreamingSim {
         // Forked last so pre-chaos seeds replay the exact event
         // sequence they produced before the chaos layer existed.
         let rng_chaos = root.fork();
+        // Same discipline, one layer later: forked after `rng_chaos`
+        // so churn-off seeds replay unchanged.
+        let rng_control = root.fork();
         let n = deployment.population.len();
         let cycles = (0..n)
             .map(|p| {
@@ -755,6 +947,19 @@ impl StreamingSim {
         // slab sized once here.
         let hosts = deployment.topology().len();
         let faults = cfg.fault_script.as_ref().map_or(0, |s| s.len());
+        let churn_on = cfg.churn.is_some();
+        let arrival_pool: Vec<PlayerId> = match cfg.churn {
+            Some(c) if c.supernode_arrival_rate > 0.0 && cfg.kind.uses_fog() => {
+                let registered: std::collections::BTreeSet<HostId> =
+                    deployment.supernodes.iter().map(|sn| sn.host).collect();
+                deployment
+                    .population
+                    .supernode_capable()
+                    .filter(|p| !registered.contains(&deployment.population.host_of(*p)))
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
         StreamingSim {
             cfg,
             deployment,
@@ -783,6 +988,13 @@ impl StreamingSim {
             rng_game,
             rng_net,
             rng_chaos,
+            rng_control,
+            session_states: if churn_on { vec![SessionState::NotConnected; n] } else { Vec::new() },
+            join_plans: if churn_on { (0..n).map(|_| None).collect() } else { Vec::new() },
+            pending_ops: Vec::new(),
+            outage_level: [0; NUM_REGIONS],
+            arrival_pool,
+            churn_stats: ChurnStats::default(),
         }
     }
 
@@ -812,7 +1024,8 @@ impl StreamingSim {
             t
         });
         let causal = model.telemetry.as_ref().map(|t| t.causal.report(model.cfg.kind.label()));
-        RunOutput { summary, series: model.series, telemetry, causal }
+        let churn = model.cfg.churn.is_some().then_some(model.churn_stats);
+        RunOutput { summary, series: model.series, telemetry, causal, churn }
     }
 
     /// Build the fully-seeded simulation for `cfg`: model constructed,
@@ -846,6 +1059,43 @@ impl StreamingSim {
                     // player is a no-op, so this models re-engagement.
                     sim.seed_at(at, Ev::Join(PlayerId((i % n.max(1)) as u32)));
                 }
+            }
+            JoinPattern::FlashCrowd { base_rate, spike_at, spike_rate, spike_duration } => {
+                let end = SimTime::ZERO + horizon;
+                let base_rng = sim.model.rng_assign.fork();
+                let spike_rng = sim.model.rng_assign.fork();
+                let mut i = 0usize;
+                let base = PoissonArrivals::new(base_rate, SimTime::ZERO, base_rng);
+                for at in base.take_while(|t| *t < end) {
+                    sim.seed_at(at, Ev::Join(PlayerId((i % n.max(1)) as u32)));
+                    i += 1;
+                }
+                let spike_start = SimTime::ZERO + spike_at;
+                let mut spike_end = spike_start + spike_duration;
+                if end < spike_end {
+                    spike_end = end;
+                }
+                let spike = PoissonArrivals::new(spike_rate, spike_start, spike_rng);
+                for at in spike.take_while(|t| *t < spike_end) {
+                    sim.seed_at(at, Ev::Join(PlayerId((i % n.max(1)) as u32)));
+                    i += 1;
+                }
+            }
+        }
+        if let Some(churn) = sim.model.cfg.churn {
+            if churn.supernode_arrival_rate > 0.0 && !sim.model.arrival_pool.is_empty() {
+                let gap = sim.model.rng_control.exponential(churn.supernode_arrival_rate);
+                sim.seed_at(SimTime::ZERO + SimDuration::from_secs_f64(gap), Ev::SupernodeArrival);
+            }
+            if churn.supernode_retire_rate > 0.0 && sim.model.cfg.kind.uses_fog() {
+                let gap = sim.model.rng_control.exponential(churn.supernode_retire_rate);
+                sim.seed_at(
+                    SimTime::ZERO + SimDuration::from_secs_f64(gap),
+                    Ev::SupernodeRetirement,
+                );
+            }
+            if let Some(interval) = churn.rebalance_interval {
+                sim.seed_at(SimTime::ZERO + interval, Ev::RebalanceSweep);
             }
         }
         if sim.model.cfg.supernode_mtbf.is_some() {
@@ -956,6 +1206,20 @@ impl StreamingSim {
             (self.cfg.params.update_rate_mbps * self.update_feed_secs * 1_000_000.0 / 8.0) as u64;
         self.metrics.record_update_bytes(update_bytes);
         self.metrics.finish(end);
+        if self.cfg.churn.is_some() {
+            // End-of-run occupancy closes the conservation identities
+            // on [`ChurnStats`].
+            for state in &self.session_states {
+                match state {
+                    SessionState::Connecting => self.churn_stats.connecting_at_end += 1,
+                    SessionState::Connected | SessionState::InGame => {
+                        self.churn_stats.ingame_at_end += 1
+                    }
+                    SessionState::Draining => self.churn_stats.draining_at_end += 1,
+                    SessionState::NotConnected | SessionState::Gone => {}
+                }
+            }
+        }
     }
 
     fn summarize(&self, events: u64, _end: SimTime) -> RunSummary {
@@ -1055,6 +1319,18 @@ impl StreamingSim {
         report.scalar("failures_injected", summary.failures_injected as f64);
         report.scalar("faults_activated", summary.faults_activated as f64);
         report.scalar("mean_detection_ms", summary.mean_detection_ms);
+        if self.cfg.churn.is_some() {
+            let c = &self.churn_stats;
+            report.scalar("churn.sessions_started", c.sessions_started as f64);
+            report.scalar("churn.sessions_completed", c.sessions_completed as f64);
+            report.scalar("churn.admitted_degraded", c.admitted_degraded as f64);
+            report.scalar("churn.admitted_shed", c.admitted_shed as f64);
+            report.scalar("churn.control_retries", c.control_retries as f64);
+            report.scalar("churn.control_expired", c.control_expired as f64);
+            report.scalar("churn.migrations_applied", c.migrations_applied as f64);
+            report.scalar("churn.supernode_arrivals", c.supernode_arrivals as f64);
+            report.scalar("churn.supernode_retirements", c.supernode_retirements as f64);
+        }
         if let Some(hist) = self.metrics.segment_latency_histogram() {
             report.distribution(
                 "latency_ms.segment",
@@ -1092,9 +1368,30 @@ impl StreamingSim {
     }
 
     fn handle_join(&mut self, p: PlayerId, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        if self.cfg.churn.is_some() {
+            self.handle_join_churn(p, sched);
+            return;
+        }
         if self.active[p.index()].is_some() {
             return;
         }
+        self.begin_streaming(p, false, None, sched);
+    }
+
+    /// Shared join tail: game choice, source resolution, sender and
+    /// player-state setup, first action + leave scheduling. The
+    /// fixed-cohort path calls it with `(false, None)` — bit-identical
+    /// to the pre-churn join. `forced_cloud` pins the source to the
+    /// nearest datacenter (brownout shed / expired assign op);
+    /// `quality_cap` pins a degraded session to a fixed capped quality
+    /// (no rate controller — brownout admissions don't adapt back up).
+    fn begin_streaming(
+        &mut self,
+        p: PlayerId,
+        forced_cloud: bool,
+        quality_cap: Option<usize>,
+        sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>,
+    ) {
         let now = sched.now();
         // Friend-majority game choice (§IV).
         let game_id = {
@@ -1107,12 +1404,21 @@ impl StreamingSim {
             )
         };
         let game = self.game_of(game_id);
-        let (source, backups) = self.deployment.resolve_source_with_backups(
-            p,
-            &game,
-            &self.cfg.params,
-            &mut self.rng_assign,
-        );
+        let (source, backups) = if forced_cloud {
+            let host = self.deployment.population.host_of(p);
+            let dc = self.deployment.nearest_datacenter(host);
+            (
+                StreamSource { host: dc.host, class: TrafficSource::Cloud, supernode: None },
+                Vec::new(),
+            )
+        } else {
+            self.deployment.resolve_source_with_backups(
+                p,
+                &game,
+                &self.cfg.params,
+                &mut self.rng_assign,
+            )
+        };
         self.last_game[p.index()] = Some(game_id);
 
         // Ensure sender state exists.
@@ -1132,7 +1438,7 @@ impl StreamingSim {
             self.update_feed_delta(source.host, now, 1);
         }
 
-        let controller = self.cfg.kind.uses_adaptation().then(|| {
+        let controller = (self.cfg.kind.uses_adaptation() && quality_cap.is_none()).then(|| {
             let mut c = RateController::new(
                 &game,
                 self.cfg.params.theta,
@@ -1145,7 +1451,14 @@ impl StreamingSim {
             c.prime(1.0, self.cfg.params.segment_duration);
             c
         });
-        let quality = game.max_quality();
+        let quality = match quality_cap {
+            Some(cap) => {
+                let level =
+                    cap.clamp(1, QUALITY_LEVELS.len()).min(game.max_quality().level as usize);
+                QUALITY_LEVELS[level - 1]
+            }
+            None => game.max_quality(),
+        };
         let paths = self.path_cache(p, &source);
         self.active[p.index()] = Some(ActivePlayer {
             game: game_id,
@@ -1160,6 +1473,7 @@ impl StreamingSim {
             window_packets: 0,
             low_checks: 0,
             last_reassign: now,
+            draining: false,
         });
 
         if self.tracing() {
@@ -1182,6 +1496,9 @@ impl StreamingSim {
 
     fn handle_action(&mut self, p: PlayerId, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
         let Some(active) = self.active[p.index()].as_ref() else { return };
+        if active.draining {
+            return; // draining sessions issue no new actions
+        }
         let now = sched.now();
         let game = self.game_of(active.game);
         let quality = active.controller.as_ref().map(|c| c.quality()).unwrap_or(active.quality);
@@ -1497,6 +1814,21 @@ impl StreamingSim {
     }
 
     fn handle_leave(&mut self, p: PlayerId, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        if let Some(churn) = self.cfg.churn {
+            // Lifecycle: a leave starts a drain — the player stops
+            // acting, in-flight segments still deliver, and teardown
+            // happens at `SessionGone`.
+            let Some(a) = self.active[p.index()].as_mut() else { return };
+            if a.draining {
+                return;
+            }
+            a.draining = true;
+            if self.session_states[p.index()].advance(SessionState::Draining).is_err() {
+                self.churn_stats.illegal_transitions += 1;
+            }
+            sched.schedule_in(churn.drain_window, Ev::SessionGone(p));
+            return;
+        }
         let Some(active) = self.active[p.index()].take() else { return };
         let now = sched.now();
         if active.source.class == TrafficSource::Supernode {
@@ -1846,6 +2178,10 @@ impl StreamingSim {
         sched.schedule_in(ev.duration, Ev::FaultEnd(idx));
         match ev.kind {
             FaultKind::RegionalOutage { region } => {
+                // Counted unconditionally (inert when churn is off):
+                // the control plane treats the region as unreachable
+                // while any outage overlaps it.
+                self.outage_level[region.index()] += 1;
                 let victims: Vec<crate::infra::SupernodeId> = {
                     let topo = self.deployment.topology();
                     self.deployment
@@ -1906,7 +2242,9 @@ impl StreamingSim {
             self.trace(ev.trace_end(idx));
         }
         match ev.kind {
-            FaultKind::RegionalOutage { .. } => {
+            FaultKind::RegionalOutage { region } => {
+                self.outage_level[region.index()] =
+                    self.outage_level[region.index()].saturating_sub(1);
                 for sn in std::mem::take(&mut self.outage_victims[idx]) {
                     self.recover_supernode(sn);
                 }
@@ -1926,6 +2264,423 @@ impl StreamingSim {
                     self.chaos.gray_active[host.index()] = false;
                 }
             }
+        }
+    }
+
+    // ─────────────────── churn lifecycle + control plane ───────────────────
+    //
+    // Every method below is only reachable when `cfg.churn` is set;
+    // churn-off runs never execute any of this code, never touch
+    // `rng_control`, and stay bit-identical to the pre-churn schedule.
+
+    /// Join under churn: lifecycle transition, brownout admission
+    /// decision, then either a direct (cloud) connect or a fallible
+    /// `Assign` op through the control plane.
+    fn handle_join_churn(&mut self, p: PlayerId, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let churn = self.cfg.churn.expect("churn enabled");
+        if !self.session_states[p.index()].may_join() {
+            return;
+        }
+        if self.session_states[p.index()].advance(SessionState::Connecting).is_err() {
+            self.churn_stats.illegal_transitions += 1;
+            return;
+        }
+        self.churn_stats.sessions_started += 1;
+        let now = sched.now();
+        let host = self.deployment.population.host_of(p);
+        let region = self.deployment.topology().host(host).region;
+        let utilization = self.regional_fog_utilization(region);
+        // Fogless systems have no fog to saturate: always Normal.
+        let decision = if self.cfg.kind.uses_fog() {
+            churn.admission.decide(utilization)
+        } else {
+            AdmissionDecision::Normal
+        };
+        match decision {
+            AdmissionDecision::Normal => self.churn_stats.admitted_normal += 1,
+            AdmissionDecision::Degraded => self.churn_stats.admitted_degraded += 1,
+            AdmissionDecision::Shed => self.churn_stats.admitted_shed += 1,
+        }
+        if self.tracing() {
+            self.trace(TraceRecord::new(
+                now,
+                obs::kind::ADMIT_DECIDE,
+                u64::from(p.0),
+                f64::from(decision.level()),
+            ));
+            if let Some(causal) = self.causal() {
+                causal.record_admission(AdmissionProvenance {
+                    at: now,
+                    player: u64::from(p.0),
+                    region: region.index() as u8,
+                    level: decision.level(),
+                    utilization,
+                });
+            }
+        }
+        let forced_cloud = decision == AdmissionDecision::Shed;
+        self.join_plans[p.index()] = Some(JoinPlan { decision, forced_cloud });
+        if forced_cloud || !self.cfg.kind.uses_fog() {
+            // Cloud path: the fog control plane is not involved.
+            sched.schedule_in(churn.connect_delay, Ev::SessionConnected(p));
+        } else {
+            let degraded = decision == AdmissionDecision::Degraded;
+            self.issue_op(ControlOpKind::Assign { player: p, degraded }, sched);
+        }
+    }
+
+    /// Placement landed: `Connecting → Connected → InGame`, then start
+    /// streaming under the admission plan's constraints.
+    fn handle_session_connected(
+        &mut self,
+        p: PlayerId,
+        sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>,
+    ) {
+        let churn = self.cfg.churn.expect("churn enabled");
+        let plan = self.join_plans[p.index()]
+            .take()
+            .unwrap_or(JoinPlan { decision: AdmissionDecision::Normal, forced_cloud: false });
+        let state = &mut self.session_states[p.index()];
+        if state.advance(SessionState::Connected).is_err()
+            || state.advance(SessionState::InGame).is_err()
+        {
+            self.churn_stats.illegal_transitions += 1;
+            return;
+        }
+        self.churn_stats.sessions_connected += 1;
+        let quality_cap = (plan.decision == AdmissionDecision::Degraded)
+            .then_some(churn.admission.degraded_quality_cap);
+        self.begin_streaming(p, plan.forced_cloud, quality_cap, sched);
+    }
+
+    /// Drain window elapsed: tear the session down and schedule the
+    /// player's rejoin after resting. A completed leave is *not* an
+    /// orphaning — nothing here touches the orphan clock.
+    fn handle_session_gone(&mut self, p: PlayerId, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let Some(active) = self.active[p.index()].take() else { return };
+        let now = sched.now();
+        if active.source.class == TrafficSource::Supernode {
+            self.update_feed_delta(active.source.host, now, -1);
+        }
+        self.deployment.release(p, &active.source);
+        if self.session_states[p.index()].advance(SessionState::Gone).is_err() {
+            self.churn_stats.illegal_transitions += 1;
+        }
+        self.churn_stats.sessions_completed += 1;
+        // Rejoin after resting (ignored if past the horizon).
+        let session_just_played = self.cycles[p.index()].next_session();
+        let rest = self.cycles[p.index()].next_rest(session_just_played);
+        sched.schedule_in(rest, Ev::Join(p));
+    }
+
+    /// Assigned players / total capacity across a region's live
+    /// supernodes. 0.0 when the region has no live fog capacity, so
+    /// empty regions (and fogless systems) admit normally.
+    fn regional_fog_utilization(&self, region: Region) -> f64 {
+        let topo = self.deployment.topology();
+        let (mut assigned, mut capacity) = (0u64, 0u64);
+        for sn in self.deployment.supernodes.iter() {
+            if sn.is_live() && topo.host(sn.host).region == region {
+                assigned += sn.assigned.len() as u64;
+                capacity += u64::from(sn.capacity);
+            }
+        }
+        if capacity == 0 {
+            0.0
+        } else {
+            assigned as f64 / capacity as f64
+        }
+    }
+
+    /// Issue a control-plane op: record it and make the first attempt
+    /// immediately.
+    fn issue_op(&mut self, kind: ControlOpKind, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let churn = self.cfg.churn.expect("churn enabled");
+        let now = sched.now();
+        self.pending_ops.push(ControlOp {
+            kind,
+            issued_at: now,
+            deadline: churn.control.deadline_from(now),
+            attempts: 0,
+            done: false,
+        });
+        self.churn_stats.control_ops += 1;
+        self.attempt_op(self.pending_ops.len() - 1, sched);
+    }
+
+    /// One attempt at a control-plane op: apply if the target is
+    /// reachable, otherwise back off and retry until the deadline.
+    /// Terminal ops ignore stray retry events, so a duplicate
+    /// `ControlRetry` can never double-apply.
+    fn attempt_op(&mut self, idx: usize, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let churn = self.cfg.churn.expect("churn enabled");
+        match self.pending_ops.get(idx) {
+            Some(op) if !op.done => {}
+            _ => return,
+        }
+        self.pending_ops[idx].attempts += 1;
+        let op = self.pending_ops[idx];
+        let now = sched.now();
+        if self.op_reachable(&op.kind) {
+            self.pending_ops[idx].done = true;
+            self.apply_op(op.kind, sched);
+            return;
+        }
+        match churn.control.backoff.delay_after(op.attempts, &mut self.rng_control) {
+            Some(delay) if now + delay < op.deadline => {
+                self.churn_stats.control_retries += 1;
+                if self.tracing() {
+                    self.trace(TraceRecord::new(
+                        now,
+                        obs::kind::CONTROL_RETRY,
+                        idx as u64,
+                        f64::from(op.attempts),
+                    ));
+                }
+                sched.schedule_in(delay, Ev::ControlRetry(idx as u32));
+            }
+            _ => {
+                self.pending_ops[idx].done = true;
+                self.churn_stats.control_expired += 1;
+                if self.tracing() {
+                    self.trace(TraceRecord::new(
+                        now,
+                        obs::kind::CONTROL_EXPIRE,
+                        idx as u64,
+                        f64::from(op.attempts),
+                    ));
+                }
+                self.expire_op(op.kind, sched);
+            }
+        }
+    }
+
+    /// Can this op's target be reached right now? Regional outages and
+    /// dead hosts make the control plane time out.
+    fn op_reachable(&self, kind: &ControlOpKind) -> bool {
+        let topo = self.deployment.topology();
+        let clear = |r: Region| self.outage_level[r.index()] == 0;
+        match *kind {
+            ControlOpKind::Assign { player, .. } => {
+                clear(topo.host(self.deployment.population.host_of(player)).region)
+            }
+            ControlOpKind::Migrate { from, to, .. } => {
+                let from_host = self.deployment.supernodes.get(from).host;
+                let to_host = self.deployment.supernodes.get(to).host;
+                clear(topo.host(from_host).region)
+                    && clear(topo.host(to_host).region)
+                    && !self.dead_hosts[to_host.index()]
+            }
+            ControlOpKind::Deploy { candidate } => {
+                let host = self.deployment.population.host_of(candidate);
+                clear(topo.host(host).region) && !self.dead_hosts[host.index()]
+            }
+            ControlOpKind::Retire { supernode } => {
+                clear(topo.host(self.deployment.supernodes.get(supernode).host).region)
+            }
+        }
+    }
+
+    /// Apply a reachable control-plane op. Appliers re-validate from
+    /// current state, so a retried op that raced a failover is a
+    /// counted no-op — never a double-assignment, never an orphan.
+    fn apply_op(&mut self, kind: ControlOpKind, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let churn = self.cfg.churn.expect("churn enabled");
+        let now = sched.now();
+        match kind {
+            ControlOpKind::Assign { player, .. } => {
+                sched.schedule_in(churn.connect_delay, Ev::SessionConnected(player));
+            }
+            ControlOpKind::Migrate { player, from, to } => {
+                // Sim-layer staleness guard mirrors the table-layer one:
+                // the player must still stream from the planned source.
+                let on_planned_source = self.active[player.index()]
+                    .as_ref()
+                    .is_some_and(|a| a.source.supernode == Some(from));
+                if !on_planned_source {
+                    self.churn_stats.migrations_skipped += 1;
+                    return;
+                }
+                let plan = [Migration { player, from, to }];
+                let outcome =
+                    coop::apply_migrations_checked(&mut self.deployment.supernodes, &plan);
+                if outcome.applied == 1 {
+                    self.relocate_player(player, to, now);
+                    self.churn_stats.migrations_applied += 1;
+                    if self.tracing() {
+                        self.trace(TraceRecord::new(
+                            now,
+                            obs::kind::COOP_MIGRATE,
+                            u64::from(player.0),
+                            f64::from(to.0),
+                        ));
+                    }
+                } else {
+                    self.churn_stats.migrations_skipped += 1;
+                }
+            }
+            ControlOpKind::Deploy { candidate } => self.deploy_supernode(candidate, now),
+            ControlOpKind::Retire { supernode } => self.retire_supernode(supernode, now),
+        }
+    }
+
+    /// Deadline fallback. Assignment falls back to the cloud — a
+    /// joining player is never stranded; fleet-shaping ops (migrate,
+    /// deploy, retire) are simply abandoned.
+    fn expire_op(&mut self, kind: ControlOpKind, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let churn = self.cfg.churn.expect("churn enabled");
+        if let ControlOpKind::Assign { player, .. } = kind {
+            if let Some(plan) = self.join_plans[player.index()].as_mut() {
+                plan.forced_cloud = true;
+            }
+            sched.schedule_in(churn.connect_delay, Ev::SessionConnected(player));
+        }
+    }
+
+    /// Move an active player's stream to `to` after a migration the
+    /// checked applier already committed in the supernode table.
+    fn relocate_player(&mut self, p: PlayerId, to: crate::infra::SupernodeId, now: SimTime) {
+        let Some(old_source) = self.active[p.index()].as_ref().map(|a| a.source) else { return };
+        if old_source.class == TrafficSource::Supernode {
+            self.update_feed_delta(old_source.host, now, -1);
+        }
+        let new_host = self.deployment.supernodes.get(to).host;
+        let new_source =
+            StreamSource { host: new_host, class: TrafficSource::Supernode, supernode: Some(to) };
+        let policy = self.policy_for(TrafficSource::Supernode);
+        let uplink = self.deployment.topology().host(new_host).upload;
+        let params = &self.cfg.params;
+        let slot = &mut self.senders[new_host.index()];
+        if slot.is_none() {
+            *slot = Some(Sender {
+                buffer: SenderBuffer::new(policy, uplink, params),
+                class: TrafficSource::Supernode,
+                busy: false,
+            });
+        }
+        self.update_feed_delta(new_host, now, 1);
+        let paths = self.path_cache(p, &new_source);
+        if let Some(active) = self.active[p.index()].as_mut() {
+            active.source = new_source;
+            active.paths = paths;
+        }
+    }
+
+    /// Promote a capable, unregistered host to a live supernode
+    /// (mid-run arrival). Capacity follows the build-time formula, so
+    /// an arriving node is indistinguishable from a day-one one.
+    fn deploy_supernode(&mut self, candidate: PlayerId, now: SimTime) {
+        let host = self.deployment.population.host_of(candidate);
+        if self.deployment.supernodes.iter().any(|sn| sn.host == host) {
+            return; // idempotent: a retried deploy can't double-register
+        }
+        let player_capacity = self.deployment.population.player(candidate).capacity;
+        let uplink = self.deployment.topology().host(host).upload.0;
+        let sustainable = ((uplink * 0.6 / 1.8).floor() as u32).max(1);
+        let capacity = player_capacity.min(sustainable);
+        let sn = self.deployment.supernodes.register(host, capacity);
+        self.churn_stats.supernode_arrivals += 1;
+        if self.tracing() {
+            self.trace(TraceRecord::new(
+                now,
+                obs::kind::DEPLOY_ARRIVAL,
+                u64::from(sn.0),
+                f64::from(capacity),
+            ));
+        }
+    }
+
+    /// Gracefully retire a live supernode: re-home its players
+    /// *before* it leaves the fleet. Nobody is orphaned — a graceful
+    /// departure never enters the failure detector's books, which is
+    /// exactly the leave ≠ orphan distinction on
+    /// [`RunSummary::orphaned_player_secs`].
+    fn retire_supernode(&mut self, sn: crate::infra::SupernodeId, now: SimTime) {
+        if !self.deployment.supernodes.get(sn).is_live() || self.dead_since.contains_key(&sn) {
+            return; // dead or already retired: nothing to drain
+        }
+        let moved = self.deployment.supernodes.retire(sn);
+        for &p in &moved {
+            self.rehome_player(p, now);
+        }
+        self.churn_stats.supernode_retirements += 1;
+        self.churn_stats.retirement_rehomed += moved.len() as u64;
+        if self.tracing() {
+            self.trace(TraceRecord::new(
+                now,
+                obs::kind::DEPLOY_RETIRE,
+                u64::from(sn.0),
+                moved.len() as f64,
+            ));
+        }
+    }
+
+    /// Poisson supernode arrivals: pick an unregistered capable host
+    /// and issue a fallible `Deploy` op for it.
+    fn handle_supernode_arrival(&mut self, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let churn = self.cfg.churn.expect("churn enabled");
+        if self.arrival_pool.is_empty() {
+            return; // everyone capable is already in the fleet
+        }
+        let gap = self.rng_control.exponential(churn.supernode_arrival_rate);
+        sched.schedule_in(SimDuration::from_secs_f64(gap), Ev::SupernodeArrival);
+        let pick = self.rng_control.index(self.arrival_pool.len());
+        let candidate = self.arrival_pool.swap_remove(pick);
+        self.issue_op(ControlOpKind::Deploy { candidate }, sched);
+    }
+
+    /// Poisson graceful retirements: pick a live, healthy supernode
+    /// and issue a fallible `Retire` op for it.
+    fn handle_supernode_retirement(&mut self, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let churn = self.cfg.churn.expect("churn enabled");
+        let gap = self.rng_control.exponential(churn.supernode_retire_rate);
+        sched.schedule_in(SimDuration::from_secs_f64(gap), Ev::SupernodeRetirement);
+        let candidates: Vec<crate::infra::SupernodeId> = self
+            .deployment
+            .supernodes
+            .live_ids()
+            .filter(|sn| !self.dead_since.contains_key(sn))
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let pick = self.rng_control.index(candidates.len());
+        self.issue_op(ControlOpKind::Retire { supernode: candidates[pick] }, sched);
+    }
+
+    /// Periodic cooperative rebalance: plan migrations off overloaded
+    /// supernodes and issue each as a fallible `Migrate` op.
+    fn handle_rebalance_sweep(&mut self, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let churn = self.cfg.churn.expect("churn enabled");
+        let Some(interval) = churn.rebalance_interval else { return };
+        sched.schedule_in(interval, Ev::RebalanceSweep);
+        if !self.cfg.kind.uses_fog() {
+            return;
+        }
+        let plan = {
+            let active = &self.active;
+            let demand = |p: PlayerId| -> f64 {
+                active[p.index()]
+                    .as_ref()
+                    .map(|a| {
+                        let q = a.controller.as_ref().map(|c| c.quality()).unwrap_or(a.quality);
+                        f64::from(q.bitrate_kbps) / 1000.0
+                    })
+                    .unwrap_or(0.0)
+            };
+            let population = &self.deployment.population;
+            let player_host = |p: PlayerId| population.host_of(p);
+            coop::plan_rebalance(
+                &self.deployment.supernodes,
+                self.deployment.topology(),
+                &player_host,
+                &demand,
+                &churn.coop,
+            )
+        };
+        for m in plan {
+            let kind = ControlOpKind::Migrate { player: m.player, from: m.from, to: m.to };
+            self.issue_op(kind, sched);
         }
     }
 }
@@ -1950,6 +2705,12 @@ impl Model for StreamingSim {
             Ev::WatchdogSweep => self.handle_watchdog_sweep(sched),
             Ev::FaultStart(i) => self.handle_fault_start(i, sched),
             Ev::FaultEnd(i) => self.handle_fault_end(i),
+            Ev::SessionConnected(p) => self.handle_session_connected(p, sched),
+            Ev::SessionGone(p) => self.handle_session_gone(p, sched),
+            Ev::ControlRetry(idx) => self.attempt_op(idx as usize, sched),
+            Ev::RebalanceSweep => self.handle_rebalance_sweep(sched),
+            Ev::SupernodeArrival => self.handle_supernode_arrival(sched),
+            Ev::SupernodeRetirement => self.handle_supernode_retirement(sched),
         }
     }
 }
@@ -2272,6 +3033,264 @@ mod tests {
         assert_eq!(a.watchdog_reassignments, b.watchdog_reassignments);
         assert_eq!(a.mean_detection_ms, b.mean_detection_ms);
         assert_eq!(a.orphaned_player_secs, b.orphaned_player_secs);
+    }
+
+    /// Churn conservation identities (see [`ChurnStats`]). Factored
+    /// out so every churn test closes the same books.
+    fn assert_conserved(c: &ChurnStats) {
+        assert_eq!(c.illegal_transitions, 0, "no illegal lifecycle moves");
+        assert_eq!(
+            c.sessions_started,
+            c.sessions_connected + c.connecting_at_end,
+            "every started session connected or is still connecting"
+        );
+        assert_eq!(
+            c.sessions_connected,
+            c.sessions_completed + c.ingame_at_end + c.draining_at_end,
+            "every connected session completed or is still in flight"
+        );
+        assert_eq!(
+            c.admitted_normal + c.admitted_degraded + c.admitted_shed,
+            c.sessions_started,
+            "every started session got exactly one admission decision"
+        );
+    }
+
+    #[test]
+    fn churn_off_runs_report_no_churn_stats() {
+        let cfg = StreamingSimConfig::builder(SystemKind::CloudFogB)
+            .players(100)
+            .seed(31)
+            .ramp(SimDuration::from_secs(5))
+            .horizon(SimDuration::from_secs(20))
+            .build();
+        let out = StreamingSim::run_instrumented(cfg);
+        assert!(out.churn.is_none(), "churn stats only exist when churn is enabled");
+    }
+
+    #[test]
+    fn flash_crowd_lifecycle_conserves_sessions() {
+        let cfg = StreamingSimConfig::builder(SystemKind::CloudFogA)
+            .players(200)
+            .seed(32)
+            .ramp(SimDuration::from_secs(5))
+            .horizon(SimDuration::from_secs(40))
+            .join_pattern(JoinPattern::FlashCrowd {
+                base_rate: 2.0,
+                spike_at: SimDuration::from_secs(10),
+                spike_rate: 30.0,
+                spike_duration: SimDuration::from_secs(5),
+            })
+            .churn(ChurnConfig::default())
+            .build();
+        let out = StreamingSim::run_instrumented(cfg);
+        let c = out.churn.expect("churn enabled");
+        assert!(c.sessions_started > 50, "the crowd showed up: {}", c.sessions_started);
+        assert!(c.sessions_connected > 0);
+        assert_conserved(&c);
+        assert!(out.summary.cloud_bytes + out.summary.supernode_bytes > 0);
+    }
+
+    #[test]
+    fn churn_runs_are_deterministic_per_seed() {
+        let run = || {
+            let horizon = SimDuration::from_secs(30);
+            let churn = ChurnConfig {
+                supernode_arrival_rate: 0.3,
+                supernode_retire_rate: 0.2,
+                rebalance_interval: Some(SimDuration::from_secs(5)),
+                ..ChurnConfig::default()
+            };
+            let cfg = StreamingSimConfig::builder(SystemKind::CloudFogA)
+                .players(200)
+                .seed(33)
+                .ramp(SimDuration::from_secs(5))
+                .horizon(horizon)
+                .join_pattern(JoinPattern::FlashCrowd {
+                    base_rate: 2.0,
+                    spike_at: SimDuration::from_secs(8),
+                    spike_rate: 20.0,
+                    spike_duration: SimDuration::from_secs(4),
+                })
+                .fault_script(FaultScript::generate_outages(41, horizon, 2))
+                .churn(churn)
+                .build();
+            StreamingSim::run_instrumented(cfg)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.churn, b.churn, "same seed, same churn books");
+        assert_eq!(a.summary.events, b.summary.events);
+        assert_eq!(a.summary.cloud_bytes, b.summary.cloud_bytes);
+        assert_eq!(a.summary.orphaned_player_secs, b.summary.orphaned_player_secs);
+    }
+
+    #[test]
+    fn regional_outage_retries_then_falls_back_without_stranding() {
+        // Every region dark from t=6s for 22 s: fog assignment ops
+        // issued in that window must retry and, past the 10 s default
+        // deadline, expire to the cloud — never strand a player.
+        let mut script = FaultScript::new();
+        for region in cloudfog_net::geo::Region::ALL {
+            script.push(crate::fault::FaultEvent {
+                at: SimTime::from_secs(6),
+                duration: SimDuration::from_secs(22),
+                kind: FaultKind::RegionalOutage { region },
+            });
+        }
+        let cfg = StreamingSimConfig::builder(SystemKind::CloudFogB)
+            .players(200)
+            .seed(34)
+            .ramp(SimDuration::from_secs(4))
+            .horizon(SimDuration::from_secs(45))
+            .join_pattern(JoinPattern::FlashCrowd {
+                base_rate: 2.0,
+                spike_at: SimDuration::from_secs(8),
+                spike_rate: 25.0,
+                spike_duration: SimDuration::from_secs(6),
+            })
+            .fault_script(script)
+            .churn(ChurnConfig::default())
+            .build();
+        let out = StreamingSim::run_instrumented(cfg);
+        let c = out.churn.expect("churn enabled");
+        assert!(c.control_retries > 0, "ops inside the outage must retry");
+        assert!(c.control_expired > 0, "ops outliving the deadline must expire");
+        assert!(c.sessions_connected > 0, "expired assigns still connect via the cloud");
+        assert_conserved(&c);
+        let max_retries =
+            c.control_ops * u64::from(ControlPlaneParams::default().backoff.max_attempts - 1);
+        assert!(c.control_retries <= max_retries, "{} > {max_retries}", c.control_retries);
+    }
+
+    #[test]
+    fn graceful_retirement_rehomes_without_orphaning() {
+        let churn = ChurnConfig { supernode_retire_rate: 0.4, ..ChurnConfig::default() };
+        let cfg = StreamingSimConfig::builder(SystemKind::CloudFogB)
+            .players(300)
+            .seed(35)
+            .ramp(SimDuration::from_secs(5))
+            .horizon(SimDuration::from_secs(40))
+            .churn(churn)
+            .build();
+        let out = StreamingSim::run_instrumented(cfg);
+        let c = out.churn.expect("churn enabled");
+        assert!(c.supernode_retirements > 0, "retirements must fire");
+        assert!(c.retirement_rehomed > 0, "retired supernodes had players to move");
+        // The leave ≠ orphan distinction: graceful departures re-home
+        // players *before* leaving, so the orphan clock never starts.
+        assert_eq!(out.summary.orphaned_player_secs, 0.0);
+        assert_eq!(out.summary.failures_injected, 0);
+        assert_conserved(&c);
+    }
+
+    #[test]
+    fn supernode_arrivals_grow_the_fleet() {
+        let churn = ChurnConfig { supernode_arrival_rate: 0.5, ..ChurnConfig::default() };
+        let cfg = StreamingSimConfig::builder(SystemKind::CloudFogB)
+            .players(300)
+            .seed(36)
+            .ramp(SimDuration::from_secs(5))
+            .horizon(SimDuration::from_secs(40))
+            .churn(churn)
+            .build();
+        let baseline = Deployment::build(SystemKind::CloudFogB, &cfg.profile, cfg.seed, None, None)
+            .supernodes
+            .len();
+        let out = StreamingSim::run_instrumented(cfg);
+        let c = out.churn.expect("churn enabled");
+        assert!(c.supernode_arrivals > 0, "capable hosts must join the fleet");
+        assert!(c.supernode_arrivals <= 30, "pool is bounded by capable hosts");
+        let _ = baseline; // fleet growth is visible through the arrival count
+        assert_conserved(&c);
+    }
+
+    #[test]
+    fn saturated_fog_sheds_to_cloud_instead_of_rejecting() {
+        // shed at utilization 0: every join goes straight to the
+        // cloud, so the fog carries no video at all — brownout level 2
+        // is a full cloud bypass, not a rejection.
+        let churn = ChurnConfig {
+            admission: AdmissionParams {
+                degrade_utilization: 0.0,
+                shed_utilization: 0.0,
+                degraded_quality_cap: 2,
+            },
+            ..ChurnConfig::default()
+        };
+        let cfg = StreamingSimConfig::builder(SystemKind::CloudFogB)
+            .players(150)
+            .seed(37)
+            .ramp(SimDuration::from_secs(5))
+            .horizon(SimDuration::from_secs(25))
+            .churn(churn)
+            .build();
+        let out = StreamingSim::run_instrumented(cfg);
+        let c = out.churn.expect("churn enabled");
+        assert_eq!(c.admitted_shed, c.sessions_started, "everyone shed");
+        assert_eq!(c.admitted_normal + c.admitted_degraded, 0);
+        assert_eq!(out.summary.supernode_bytes, 0, "shed sessions never touch the fog");
+        assert!(out.summary.cloud_bytes > 0, "the cloud carries the shed load");
+        assert_conserved(&c);
+    }
+
+    #[test]
+    fn degraded_admission_caps_quality() {
+        // degrade at utilization 0 (but never shed): every fog join is
+        // admitted at the capped quality with no rate controller.
+        let churn = ChurnConfig {
+            admission: AdmissionParams {
+                degrade_utilization: 0.0,
+                shed_utilization: 2.0,
+                degraded_quality_cap: 1,
+            },
+            ..ChurnConfig::default()
+        };
+        let run = |churn: Option<ChurnConfig>| {
+            let mut b = StreamingSimConfig::builder(SystemKind::CloudFogA)
+                .players(150)
+                .seed(38)
+                .ramp(SimDuration::from_secs(5))
+                .horizon(SimDuration::from_secs(25));
+            if let Some(c) = churn {
+                b = b.churn(c);
+            }
+            StreamingSim::run_instrumented(b.build())
+        };
+        let degraded = run(Some(churn));
+        let c = degraded.churn.expect("churn enabled");
+        assert_eq!(c.admitted_degraded, c.sessions_started, "everyone degraded");
+        assert_eq!(c.admitted_shed, 0);
+        let normal = run(None);
+        // Level-1 starts everywhere must move strictly less video than
+        // full-quality adaptive streaming.
+        let degraded_bytes = degraded.summary.cloud_bytes + degraded.summary.supernode_bytes;
+        let normal_bytes = normal.summary.cloud_bytes + normal.summary.supernode_bytes;
+        assert!(
+            degraded_bytes < normal_bytes,
+            "capped quality must shrink traffic: {degraded_bytes} vs {normal_bytes}"
+        );
+        assert_conserved(&c);
+    }
+
+    #[test]
+    fn rebalance_sweeps_issue_idempotent_migrations() {
+        let churn = ChurnConfig {
+            rebalance_interval: Some(SimDuration::from_secs(3)),
+            ..ChurnConfig::default()
+        };
+        let cfg = StreamingSimConfig::builder(SystemKind::CloudFogA)
+            .players(300)
+            .seed(39)
+            .ramp(SimDuration::from_secs(5))
+            .horizon(SimDuration::from_secs(40))
+            .churn(churn)
+            .build();
+        let out = StreamingSim::run_instrumented(cfg);
+        let c = out.churn.expect("churn enabled");
+        // Migrations may or may not be planned (load dependent), but
+        // the books must balance and nothing may orphan.
+        assert_eq!(out.summary.orphaned_player_secs, 0.0);
+        assert_conserved(&c);
     }
 
     #[test]

@@ -64,7 +64,9 @@ impl InvariantRegistry {
     /// The stock suite: QoE bounds, traffic-source conservation,
     /// quantile monotonicity, fault-recovery bounds, causal-trace
     /// consistency (span ordering, Eq. 12 span sums, drop
-    /// provenance), and the fog-dominates-cloud latency claim.
+    /// provenance), churn lifecycle soundness (no orphans, join/leave
+    /// conservation, bounded retries), and the fog-dominates-cloud
+    /// latency claim.
     pub fn stock() -> Self {
         let mut r = Self::empty();
         r.register(QoeBounds);
@@ -74,6 +76,9 @@ impl InvariantRegistry {
         r.register(CausalSpanOrder);
         r.register(CausalSpanSum);
         r.register(CausalDropProvenance);
+        r.register(SessionNoOrphans);
+        r.register(JoinLeaveConservation);
+        r.register(RetryBounded);
         r.register(FogDominatesCloud::default());
         r
     }
@@ -394,6 +399,118 @@ impl Invariant for CausalDropProvenance {
                     share_sum
                 ));
             }
+        }
+        Ok(())
+    }
+}
+
+/// Churn lifecycle soundness: no illegal state-machine transition ever
+/// fires, and a run without undetected supernode *failures* accrues
+/// zero orphaned player-seconds — voluntary leaves and graceful
+/// retirements (players re-homed before departure) are not orphanings.
+/// Cells without churn skip.
+pub struct SessionNoOrphans;
+
+impl Invariant for SessionNoOrphans {
+    fn name(&self) -> &'static str {
+        "session.no_orphans"
+    }
+
+    fn check_run(&self, _scenario: &Scenario, output: &RunOutput) -> Result<(), String> {
+        let Some(c) = &output.churn else { return Ok(()) };
+        if c.illegal_transitions != 0 {
+            return Err(format!(
+                "{} illegal session lifecycle transitions (the state machine must never be forced)",
+                c.illegal_transitions
+            ));
+        }
+        let s = &output.summary;
+        if s.failures_injected == 0 && s.orphaned_player_secs != 0.0 {
+            return Err(format!(
+                "orphaned_player_secs = {} with zero failures injected — a leave or a graceful \
+                 retirement ({} retirements, {} players re-homed) was mis-booked as an orphaning",
+                s.orphaned_player_secs, c.supernode_retirements, c.retirement_rehomed
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Join/leave conservation: every started session either connected or
+/// was still connecting at the horizon; every connected session either
+/// completed or was still in flight; every start got exactly one
+/// admission decision. Cells without churn skip.
+pub struct JoinLeaveConservation;
+
+impl Invariant for JoinLeaveConservation {
+    fn name(&self) -> &'static str {
+        "conservation.join_leave"
+    }
+
+    fn check_run(&self, _scenario: &Scenario, output: &RunOutput) -> Result<(), String> {
+        let Some(c) = &output.churn else { return Ok(()) };
+        if c.sessions_started != c.sessions_connected + c.connecting_at_end {
+            return Err(format!(
+                "started {} ≠ connected {} + connecting_at_end {}",
+                c.sessions_started, c.sessions_connected, c.connecting_at_end
+            ));
+        }
+        if c.sessions_connected != c.sessions_completed + c.ingame_at_end + c.draining_at_end {
+            return Err(format!(
+                "connected {} ≠ completed {} + ingame_at_end {} + draining_at_end {}",
+                c.sessions_connected, c.sessions_completed, c.ingame_at_end, c.draining_at_end
+            ));
+        }
+        let admitted = c.admitted_normal + c.admitted_degraded + c.admitted_shed;
+        if admitted != c.sessions_started {
+            return Err(format!(
+                "admission decisions {} ≠ sessions started {} \
+                 (normal {} + degraded {} + shed {})",
+                admitted,
+                c.sessions_started,
+                c.admitted_normal,
+                c.admitted_degraded,
+                c.admitted_shed
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Control-plane retries are bounded by the backoff policy: at most
+/// `max_attempts − 1` retries per issued op, and no op both expires
+/// and retries past its budget. Cells without churn skip.
+pub struct RetryBounded;
+
+impl Invariant for RetryBounded {
+    fn name(&self) -> &'static str {
+        "retry.bounded"
+    }
+
+    fn check_run(&self, scenario: &Scenario, output: &RunOutput) -> Result<(), String> {
+        let Some(c) = &output.churn else { return Ok(()) };
+        let max_attempts = scenario
+            .churn
+            .as_ref()
+            .map(|p| p.churn_config().control.backoff.max_attempts)
+            .unwrap_or_else(|| {
+                cloudfog_core::control::ControlPlaneParams::default().backoff.max_attempts
+            });
+        let bound = c.control_ops * u64::from(max_attempts.saturating_sub(1));
+        if c.control_retries > bound {
+            return Err(format!(
+                "{} control retries exceed {} ops × {} allowed retries each = {}",
+                c.control_retries,
+                c.control_ops,
+                max_attempts.saturating_sub(1),
+                bound
+            ));
+        }
+        if c.control_expired > c.control_ops {
+            return Err(format!(
+                "{} expirations but only {} ops issued — an op expired twice",
+                c.control_expired, c.control_ops
+            ));
         }
         Ok(())
     }

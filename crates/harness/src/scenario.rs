@@ -8,9 +8,78 @@
 //! under every worker schedule.
 
 use cloudfog_core::fault::{FaultScript, WatchdogParams};
-use cloudfog_core::systems::{StreamingSimConfig, SystemKind};
+use cloudfog_core::systems::{ChurnConfig, JoinPattern, StreamingSimConfig, SystemKind};
 use cloudfog_sim::telemetry::TelemetryConfig;
 use cloudfog_sim::time::SimDuration;
+
+/// Live-service churn recipe: a flash-crowd join pattern plus
+/// supernode fleet dynamics, expanded per cell into a
+/// [`JoinPattern::FlashCrowd`] and a [`ChurnConfig`].
+///
+/// Like [`FaultTemplate`], this is a *recipe*: pure data, `PartialEq`,
+/// cheap to clone — so churn can be a matrix axis and shrink
+/// candidates can drop it wholesale.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnProfile {
+    /// Steady-state Poisson join rate (sessions/sec).
+    pub base_rate: f64,
+    /// When the flash crowd hits.
+    pub spike_at: SimDuration,
+    /// Join rate during the spike (sessions/sec).
+    pub spike_rate: f64,
+    /// How long the spike lasts.
+    pub spike_duration: SimDuration,
+    /// Poisson rate of mid-run supernode arrivals (events/sec, 0 off).
+    pub supernode_arrival_rate: f64,
+    /// Poisson rate of graceful supernode retirements (events/sec,
+    /// 0 off).
+    pub supernode_retire_rate: f64,
+    /// Cooperative rebalance sweep period (`None` = no sweeps).
+    pub rebalance_interval: Option<SimDuration>,
+}
+
+impl ChurnProfile {
+    /// The default churn axis: a 10× flash crowd a third of the way
+    /// into the run, with mild fleet churn and periodic rebalancing.
+    pub fn flash_crowd(horizon: SimDuration) -> Self {
+        let third = SimDuration::from_micros(horizon.as_micros() / 3);
+        ChurnProfile {
+            base_rate: 2.0,
+            spike_at: third,
+            spike_rate: 20.0,
+            spike_duration: SimDuration::from_micros(horizon.as_micros() / 6),
+            supernode_arrival_rate: 0.1,
+            supernode_retire_rate: 0.05,
+            rebalance_interval: Some(SimDuration::from_secs(5)),
+        }
+    }
+
+    /// Short label for scenario names and report keys.
+    pub fn label(&self) -> String {
+        format!("churn{}x", self.spike_rate.round() as u64)
+    }
+
+    /// The join pattern this profile drives.
+    pub fn join_pattern(&self) -> JoinPattern {
+        JoinPattern::FlashCrowd {
+            base_rate: self.base_rate,
+            spike_at: self.spike_at,
+            spike_rate: self.spike_rate,
+            spike_duration: self.spike_duration,
+        }
+    }
+
+    /// The lifecycle/control-plane configuration this profile enables
+    /// (admission, deadlines and backoff stay at their defaults).
+    pub fn churn_config(&self) -> ChurnConfig {
+        ChurnConfig {
+            supernode_arrival_rate: self.supernode_arrival_rate,
+            supernode_retire_rate: self.supernode_retire_rate,
+            rebalance_interval: self.rebalance_interval,
+            ..ChurnConfig::default()
+        }
+    }
+}
 
 /// How a scenario derives its chaos script.
 ///
@@ -31,6 +100,15 @@ pub enum FaultTemplate {
         /// Faults per script.
         count: usize,
     },
+    /// `FaultScript::generate_outages(seed ^ salt, horizon, count)` —
+    /// regional outages only, the churn axis's chaos mix: outages are
+    /// what make the control plane retry and expire.
+    GeneratedOutages {
+        /// XORed into the scenario seed, as for `Generated`.
+        salt: u64,
+        /// Outages per script.
+        count: usize,
+    },
     /// The same hand-written script replayed in every cell.
     Fixed(FaultScript),
 }
@@ -44,6 +122,9 @@ impl FaultTemplate {
             FaultTemplate::Generated { salt, count } => {
                 Some(FaultScript::generate(seed ^ salt, horizon, *count))
             }
+            FaultTemplate::GeneratedOutages { salt, count } => {
+                Some(FaultScript::generate_outages(seed ^ salt, horizon, *count))
+            }
             FaultTemplate::Fixed(script) => Some(script.clone()),
         }
     }
@@ -53,6 +134,7 @@ impl FaultTemplate {
         match self {
             FaultTemplate::None => "clean".to_string(),
             FaultTemplate::Generated { count, .. } => format!("chaos{count}"),
+            FaultTemplate::GeneratedOutages { count, .. } => format!("outages{count}"),
             FaultTemplate::Fixed(script) => format!("fixed{}", script.len()),
         }
     }
@@ -77,6 +159,9 @@ pub struct Scenario {
     pub horizon: SimDuration,
     /// Chaos recipe.
     pub template: FaultTemplate,
+    /// Live-service churn recipe (`None` = fixed cohort, churn off —
+    /// bit-identical to the pre-churn harness).
+    pub churn: Option<ChurnProfile>,
     /// Telemetry recording (histograms + quantiles) for this cell.
     pub telemetry: Option<TelemetryConfig>,
 }
@@ -92,6 +177,9 @@ impl Scenario {
             .horizon(self.horizon);
         if let Some(script) = self.template.script(self.seed, self.horizon) {
             b = b.fault_script(script).watchdog(WatchdogParams::default());
+        }
+        if let Some(churn) = &self.churn {
+            b = b.join_pattern(churn.join_pattern()).churn(churn.churn_config());
         }
         if let Some(t) = &self.telemetry {
             b = b.telemetry(t.clone());
@@ -128,6 +216,7 @@ pub struct ScenarioMatrix {
     ramp: SimDuration,
     horizon: SimDuration,
     templates: Vec<FaultTemplate>,
+    churns: Vec<Option<ChurnProfile>>,
     telemetry: Option<TelemetryConfig>,
 }
 
@@ -147,6 +236,7 @@ impl ScenarioMatrix {
             ramp: SimDuration::from_secs(5),
             horizon: SimDuration::from_secs(25),
             templates: Vec::new(),
+            churns: Vec::new(),
             telemetry: None,
         }
     }
@@ -187,6 +277,15 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Append a churn axis (no churn call ⇒ one fixed-cohort axis, so
+    /// existing matrices keep their cell ids and names). Pass `None`
+    /// explicitly to compare fixed-cohort and churn cells side by
+    /// side in one matrix.
+    pub fn churn(mut self, churn: Option<ChurnProfile>) -> Self {
+        self.churns.push(churn);
+        self
+    }
+
     /// Record per-cell telemetry (histograms, quantiles, CDFs) so the
     /// quantile invariants have something to check.
     pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
@@ -195,34 +294,49 @@ impl ScenarioMatrix {
     }
 
     /// Expand the cross product into numbered scenarios. Expansion
-    /// order is `template × players × seed × system` (system varies
-    /// fastest, matching the paper's side-by-side comparisons).
+    /// order is `churn × template × players × seed × system` (system
+    /// varies fastest, matching the paper's side-by-side comparisons;
+    /// churn is outermost so churn-free matrices keep their historic
+    /// cell ids).
     pub fn build(&self) -> Vec<Scenario> {
         let templates: &[FaultTemplate] =
             if self.templates.is_empty() { &[FaultTemplate::None] } else { &self.templates };
+        let churns: &[Option<ChurnProfile>] =
+            if self.churns.is_empty() { &[None] } else { &self.churns };
         let mut out = Vec::with_capacity(
-            templates.len() * self.players.len() * self.seeds.len() * self.systems.len(),
+            churns.len()
+                * templates.len()
+                * self.players.len()
+                * self.seeds.len()
+                * self.systems.len(),
         );
-        for template in templates {
-            for &players in &self.players {
-                for &seed in &self.seeds {
-                    for &kind in &self.systems {
-                        let id = out.len();
-                        out.push(Scenario {
-                            id,
-                            name: format!(
-                                "{}/p{players}/s{seed}/{}",
-                                kind.label(),
-                                template.label()
-                            ),
-                            kind,
-                            players,
-                            seed,
-                            ramp: self.ramp,
-                            horizon: self.horizon,
-                            template: template.clone(),
-                            telemetry: self.telemetry.clone(),
-                        });
+        for churn in churns {
+            for template in templates {
+                for &players in &self.players {
+                    for &seed in &self.seeds {
+                        for &kind in &self.systems {
+                            let id = out.len();
+                            let churn_suffix = match churn {
+                                Some(c) => format!("/{}", c.label()),
+                                None => String::new(),
+                            };
+                            out.push(Scenario {
+                                id,
+                                name: format!(
+                                    "{}/p{players}/s{seed}/{}{churn_suffix}",
+                                    kind.label(),
+                                    template.label()
+                                ),
+                                kind,
+                                players,
+                                seed,
+                                ramp: self.ramp,
+                                horizon: self.horizon,
+                                template: template.clone(),
+                                churn: churn.clone(),
+                                telemetry: self.telemetry.clone(),
+                            });
+                        }
                     }
                 }
             }
@@ -280,5 +394,67 @@ mod tests {
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.fault_script.as_ref().map(|f| f.len()), Some(2));
         assert!(cfg.watchdog.is_some(), "chaos cells get the QoE watchdog");
+    }
+
+    #[test]
+    fn churn_axis_defaults_to_fixed_cohort_with_historic_names() {
+        let cells = ScenarioMatrix::new()
+            .systems(&[SystemKind::CloudFogA])
+            .seeds([7])
+            .players(&[100])
+            .template(FaultTemplate::None)
+            .build();
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].churn.is_none());
+        assert_eq!(cells[0].name, "CloudFog/A/p100/s7/clean");
+        let cfg = cells[0].config();
+        assert!(cfg.churn.is_none(), "no churn axis ⇒ churn-off config");
+    }
+
+    #[test]
+    fn churn_axis_is_outermost_and_labels_cells() {
+        let horizon = SimDuration::from_secs(30);
+        let profile = ChurnProfile::flash_crowd(horizon);
+        let cells = ScenarioMatrix::new()
+            .systems(&[SystemKind::Cloud, SystemKind::CloudFogA])
+            .seeds([1])
+            .players(&[100])
+            .horizon(horizon)
+            .template(FaultTemplate::None)
+            .churn(None)
+            .churn(Some(profile.clone()))
+            .build();
+        assert_eq!(cells.len(), 4);
+        // Outermost axis: the first block is churn-off, the second on.
+        assert!(cells[0].churn.is_none() && cells[1].churn.is_none());
+        assert_eq!(cells[2].churn.as_ref(), Some(&profile));
+        assert_eq!(cells[3].churn.as_ref(), Some(&profile));
+        assert_eq!(cells[0].name, "Cloud/p100/s1/clean");
+        assert_eq!(cells[2].name, format!("Cloud/p100/s1/clean/{}", profile.label()));
+        // The churn cell's config carries the flash-crowd arrivals and
+        // the churn block; the fixed cell's does not.
+        let on = cells[3].config();
+        assert!(on.churn.is_some());
+        assert!(matches!(on.join_pattern, JoinPattern::FlashCrowd { .. }));
+        let off = cells[1].config();
+        assert!(off.churn.is_none());
+        assert!(matches!(off.join_pattern, JoinPattern::Ramp));
+    }
+
+    #[test]
+    fn generated_outages_template_is_regional_and_deterministic() {
+        let t = FaultTemplate::GeneratedOutages { salt: 3, count: 2 };
+        let h = SimDuration::from_secs(60);
+        let s = t.script(5, h).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(t.script(5, h), t.script(5, h));
+        assert_ne!(t.script(5, h), t.script(6, h));
+        for e in s.events() {
+            assert!(
+                matches!(e.kind, cloudfog_core::fault::FaultKind::RegionalOutage { .. }),
+                "outage template must only emit regional outages: {e:?}"
+            );
+        }
+        assert_eq!(t.label(), "outages2");
     }
 }

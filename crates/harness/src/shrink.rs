@@ -17,7 +17,7 @@ use cloudfog_core::systems::{StreamingSim, SystemKind};
 use cloudfog_sim::time::SimDuration;
 
 use crate::invariant::Invariant;
-use crate::scenario::{FaultTemplate, Scenario};
+use crate::scenario::{ChurnProfile, FaultTemplate, Scenario};
 
 /// How much work the shrinker may spend per violation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -57,6 +57,9 @@ pub struct Reproducer {
     /// Truncated chaos script (`None` when chaos was shrunk away or
     /// never present).
     pub script: Option<FaultScript>,
+    /// Churn profile (`None` when churn was shrunk away or the
+    /// original scenario ran a fixed cohort).
+    pub churn: Option<ChurnProfile>,
     /// Simulation re-runs the shrinker spent.
     pub runs_used: usize,
 }
@@ -79,9 +82,28 @@ impl Reproducer {
             }
             out.push_str(").watchdog(WatchdogParams::default())");
         }
+        if let Some(churn) = &self.churn {
+            out.push_str(&render_churn(churn));
+        }
         out.push_str(".build()");
         out
     }
+}
+
+fn render_churn(c: &ChurnProfile) -> String {
+    let rebalance = match c.rebalance_interval {
+        Some(d) => format!("Some(SimDuration::from_micros({}))", d.as_micros()),
+        None => "None".to_string(),
+    };
+    format!(
+        ".join_pattern(JoinPattern::FlashCrowd {{ base_rate: {:?}, spike_at: SimDuration::from_micros({}), spike_rate: {:?}, spike_duration: SimDuration::from_micros({}) }}).churn(ChurnConfig {{ supernode_arrival_rate: {:?}, supernode_retire_rate: {:?}, rebalance_interval: {rebalance}, ..ChurnConfig::default() }})",
+        c.base_rate,
+        c.spike_at.as_micros(),
+        c.spike_rate,
+        c.spike_duration.as_micros(),
+        c.supernode_arrival_rate,
+        c.supernode_retire_rate,
+    )
 }
 
 fn render_event(e: &FaultEvent) -> String {
@@ -125,6 +147,20 @@ fn violates(scenario: &Scenario, invariant: &dyn Invariant) -> Option<String> {
 /// so truncation survives re-expansion).
 fn candidates(current: &Scenario, budget: &ShrinkBudget) -> Vec<Scenario> {
     let mut out = Vec::new();
+    // Drop churn entirely first: a violation that survives on a fixed
+    // cohort is the simplest possible reproducer.
+    if current.churn.is_some() {
+        let mut next = current.clone();
+        next.churn = None;
+        next.name = format!(
+            "{}/p{}/s{}/{} (shrunk)",
+            next.kind.label(),
+            next.players,
+            next.seed,
+            next.template.label()
+        );
+        out.push(next);
+    }
     let mut push = |players: usize, horizon: SimDuration, script: Option<FaultScript>| {
         let mut next = current.clone();
         next.players = players;
@@ -137,8 +173,12 @@ fn candidates(current: &Scenario, budget: &ShrinkBudget) -> Vec<Scenario> {
             Some(s) if !s.is_empty() => FaultTemplate::Fixed(s),
             _ => FaultTemplate::None,
         };
+        let churn_suffix = match &next.churn {
+            Some(c) => format!("/{}", c.label()),
+            None => String::new(),
+        };
         next.name = format!(
-            "{}/p{}/s{}/{} (shrunk)",
+            "{}/p{}/s{}/{}{churn_suffix} (shrunk)",
             next.kind.label(),
             next.players,
             next.seed,
@@ -226,6 +266,7 @@ pub fn shrink(scenario: &Scenario, invariant: &dyn Invariant, budget: ShrinkBudg
         ramp: current.ramp,
         horizon: current.horizon,
         script: current.script().filter(|s| !s.is_empty()),
+        churn: current.churn.clone(),
         runs_used: runs,
     }
 }
@@ -253,6 +294,7 @@ mod tests {
             ramp: SimDuration::from_secs(3),
             horizon: SimDuration::from_secs(12),
             script: Some(script),
+            churn: None,
             runs_used: 9,
         };
         let line = r.replay();

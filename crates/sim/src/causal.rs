@@ -310,6 +310,35 @@ impl AdaptProvenance {
     }
 }
 
+/// Why one join was admitted at its brownout level.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionProvenance {
+    /// When the join was admitted.
+    pub at: SimTime,
+    /// The joining player.
+    pub player: u64,
+    /// The player's region index.
+    pub region: u8,
+    /// Brownout level granted (0 normal, 1 degraded, 2 shed).
+    pub level: u8,
+    /// Regional fog utilization that drove the decision.
+    pub utilization: f64,
+}
+
+impl AdmissionProvenance {
+    /// Deterministic single-line JSON record.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"at_us\":{},\"player\":{},\"region\":{},\"level\":{},\"utilization\":{}}}",
+            self.at.as_micros(),
+            self.player,
+            self.region,
+            self.level,
+            json_f64(self.utilization)
+        )
+    }
+}
+
 /// One victim's share of a scheduler rebalance (Eq. 14).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DropShare {
@@ -439,6 +468,8 @@ pub struct CausalLog {
     adapt_next: usize,
     drops: Vec<DropProvenance>,
     drops_next: usize,
+    admission: Vec<AdmissionProvenance>,
+    admission_next: usize,
     prov_cap: usize,
     measure_from: SimTime,
     attr: Attribution,
@@ -452,6 +483,7 @@ pub struct CausalLog {
     adapt_events: u64,
     drop_events: u64,
     drop_packets: u64,
+    admission_events: u64,
 }
 
 impl CausalLog {
@@ -467,6 +499,8 @@ impl CausalLog {
             adapt_next: 0,
             drops: Vec::new(),
             drops_next: 0,
+            admission: Vec::new(),
+            admission_next: 0,
             prov_cap: cfg.provenance_tail,
             measure_from: SimTime::ZERO,
             attr: Attribution::new(cfg),
@@ -480,6 +514,7 @@ impl CausalLog {
             adapt_events: 0,
             drop_events: 0,
             drop_packets: 0,
+            admission_events: 0,
         }
     }
 
@@ -575,6 +610,12 @@ impl CausalLog {
         push_ring(&mut self.drops, &mut self.drops_next, self.prov_cap, rec);
     }
 
+    /// Record why a join landed at its brownout admission level.
+    pub fn record_admission(&mut self, rec: AdmissionProvenance) {
+        self.admission_events += 1;
+        push_ring(&mut self.admission, &mut self.admission_next, self.prov_cap, rec);
+    }
+
     /// Traces still open (in flight at the horizon).
     pub fn in_flight(&self) -> usize {
         self.open.len()
@@ -637,6 +678,8 @@ impl CausalLog {
             traces: ring_chronological(&self.tail, self.tail_next),
             adapt: ring_chronological(&self.adapt, self.adapt_next),
             drops: ring_chronological(&self.drops, self.drops_next),
+            admission_events: self.admission_events,
+            admission: ring_chronological(&self.admission, self.admission_next),
         }
     }
 }
@@ -728,6 +771,11 @@ pub struct CausalReport {
     pub adapt: Vec<AdaptProvenance>,
     /// Most recent drop provenance records.
     pub drops: Vec<DropProvenance>,
+    /// Brownout admission decisions recorded (exact, unaffected by
+    /// ring eviction). Zero on fixed-cohort runs without churn.
+    pub admission_events: u64,
+    /// Most recent admission provenance records.
+    pub admission: Vec<AdmissionProvenance>,
 }
 
 impl CausalReport {
@@ -804,6 +852,23 @@ impl CausalReport {
                 "{{\"causal\":\"drop\",\"run\":\"{}\",\"record\":{}}}\n",
                 json_escape(&self.run),
                 d.to_json()
+            ));
+        }
+        // Admission lines exist only when brownout admission ran, so
+        // churn-off exports stay byte-identical to the pre-churn
+        // format.
+        if self.admission_events > 0 {
+            out.push_str(&format!(
+                "{{\"causal\":\"admission_summary\",\"run\":\"{}\",\"admission_events\":{}}}\n",
+                json_escape(&self.run),
+                self.admission_events
+            ));
+        }
+        for a in &self.admission {
+            out.push_str(&format!(
+                "{{\"causal\":\"admission\",\"run\":\"{}\",\"record\":{}}}\n",
+                json_escape(&self.run),
+                a.to_json()
             ));
         }
         out

@@ -254,6 +254,50 @@ mod tests {
     }
 
     #[test]
+    fn poisson_same_seed_is_bit_identical() {
+        let a: Vec<SimTime> =
+            PoissonArrivals::new(5.0, SimTime::ZERO, Rng::new(42)).take(5_000).collect();
+        let b: Vec<SimTime> =
+            PoissonArrivals::new(5.0, SimTime::ZERO, Rng::new(42)).take(5_000).collect();
+        assert_eq!(a, b, "same seed must replay the exact join schedule");
+        let c: Vec<SimTime> =
+            PoissonArrivals::new(5.0, SimTime::ZERO, Rng::new(43)).take(5_000).collect();
+        assert_ne!(a, c, "different seeds must decorrelate");
+    }
+
+    #[test]
+    fn diurnal_rate_at_peak_trough_and_shape() {
+        let arrivals = DiurnalArrivals::new(4.0, 0.5, 20.0, SimTime::ZERO, Rng::new(12));
+        let at = |h: f64| arrivals.rate_at(SimTime::from_secs((h * 3600.0) as u64));
+        // Exact extremes: base×(1±amplitude).
+        assert!((at(20.0) - 6.0).abs() < 1e-9, "peak at peak_hour");
+        assert!((at(8.0) - 2.0).abs() < 1e-9, "trough twelve hours away");
+        // Crossings a quarter-day from the peak sit at the base rate.
+        assert!((at(14.0) - 4.0).abs() < 1e-9, "quarter-phase crossing");
+        assert!((at(2.0) - 4.0).abs() < 1e-9, "quarter-phase crossing");
+        // Positivity across the whole clock for amplitude < 1.
+        for h in 0..24 {
+            assert!(at(h as f64) > 0.0);
+        }
+    }
+
+    #[test]
+    fn diurnal_rate_at_wraps_around_midnight_and_days() {
+        // Peak at 23:00: the curve must wrap smoothly through 00:00.
+        let arrivals = DiurnalArrivals::new(3.0, 0.6, 23.0, SimTime::ZERO, Rng::new(13));
+        let at = |h: f64| arrivals.rate_at(SimTime::from_micros((h * 3_600e6) as u64));
+        assert!((at(23.0) - 4.8).abs() < 1e-9, "peak just before midnight");
+        assert!((at(11.0) - 1.2).abs() < 1e-9, "trough just before noon");
+        // One hour either side of the peak is symmetric across the
+        // midnight wrap.
+        assert!((at(22.0) - at(24.0)).abs() < 1e-9, "22:00 mirrors 00:00 around a 23:00 peak");
+        // And the clock is 24 h-periodic: day 3 looks like day 0.
+        for h in [0.0, 5.5, 11.0, 17.25, 23.0] {
+            assert!((at(h) - at(h + 72.0)).abs() < 1e-9, "hour {h} repeats three days later");
+        }
+    }
+
+    #[test]
     fn rest_has_a_floor() {
         let mut cycle = SessionCycle::new(PlayClass::Heavy, Rng::new(7));
         for _ in 0..200 {

@@ -9,6 +9,9 @@
 //! * [`social`] — power-law friend graph and friend-majority game
 //!   choice.
 //! * [`arrival`] — Poisson joins (5 players/s) and play/rest cycles.
+//! * [`session`] — the session lifecycle state machine
+//!   (`NotConnected → Connecting → Connected → InGame → Draining →
+//!   Gone`) that live-churn runs drive.
 //! * [`population`] — one-shot §IV universe assembly from a seed.
 
 #![warn(missing_docs)]
@@ -18,6 +21,7 @@ pub mod arrival;
 pub mod games;
 pub mod player;
 pub mod population;
+pub mod session;
 pub mod social;
 
 /// Convenience re-exports.
@@ -26,5 +30,6 @@ pub mod prelude {
     pub use crate::games::{adjust_up_factor, Game, GameId, QualityLevel, GAMES, QUALITY_LEVELS};
     pub use crate::player::{CapacityDistribution, PlayClass, Player, PlayerId};
     pub use crate::population::{Population, PopulationConfig};
+    pub use crate::session::{IllegalTransition, SessionState};
     pub use crate::social::FriendGraph;
 }

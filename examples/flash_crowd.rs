@@ -1,32 +1,53 @@
-//! QoE over time under churn: a flash crowd joins while supernodes
-//! keep failing, and the fog absorbs both.
+//! QoE over time under live-service churn: a flash crowd joins through
+//! the full session lifecycle (`Connecting → InGame → Draining →
+//! Gone`), supernodes volunteer and retire mid-run, and a regional
+//! outage knocks out the control plane mid-crowd.
 //!
 //! ```text
 //! cargo run --release --example flash_crowd
 //! ```
 //!
-//! Runs CloudFog/A with aggressive supernode churn (one failure every
-//! ~4 s) and prints per-5-second windows of mean response latency,
-//! on-time segment fraction, delivery volume and failures — the kind
-//! of timeline a production dashboard would show. The §III-A.3 backup
-//! lists and cloud fallback turn failures into graceful degradation.
+//! Runs CloudFog/A with a 10× join spike a third of the way in, brownout
+//! admission control, fallible control ops (deadlines + jittered
+//! backoff), and prints per-5-second QoE windows followed by the
+//! lifecycle / control-plane counters: how many sessions were admitted
+//! at full quality, degraded, or shed to the cloud, and how often the
+//! control plane had to retry or give up.
 
 use cloudfog::core::systems::simulation::QoeSeries;
 use cloudfog::prelude::*;
 
 fn main() {
+    let horizon = SimDuration::from_secs(90);
+    let outages = FaultScript::generate_outages(77, horizon, 2);
     let cfg = StreamingSimConfig::builder(SystemKind::CloudFogA)
-        .players(500)
+        .players(400)
         .seed(77)
         .ramp(SimDuration::from_secs(10))
-        .horizon(SimDuration::from_secs(90))
-        .supernode_mtbf(SimDuration::from_secs(4))
+        .horizon(horizon)
+        .join_pattern(JoinPattern::FlashCrowd {
+            base_rate: 3.0,
+            spike_at: SimDuration::from_secs(30),
+            spike_rate: 30.0,
+            spike_duration: SimDuration::from_secs(15),
+        })
+        .churn(ChurnConfig {
+            supernode_arrival_rate: 0.1,
+            supernode_retire_rate: 0.05,
+            rebalance_interval: Some(SimDuration::from_secs(5)),
+            ..ChurnConfig::default()
+        })
+        .fault_script(outages)
+        .watchdog(WatchdogParams::default())
         .series_bucket(SimDuration::from_secs(5))
         .build();
 
-    println!("flash crowd: 500 players join over 10 s; supernode MTBF 4 s; CloudFog/A\n");
-    let (summary, series) = StreamingSim::run_detailed(cfg);
-    let series: QoeSeries = series.expect("series recording enabled");
+    println!("flash crowd: 3/s background joins, 30/s spike at t=30s for 15s;");
+    println!("supernodes volunteer (0.1/s) and retire (0.05/s); 2 regional outages\n");
+    let out = StreamingSim::run_instrumented(cfg);
+    let summary = &out.summary;
+    let series: QoeSeries = out.series.expect("series recording enabled");
+    let churn = out.churn.expect("churn lifecycle enabled");
 
     println!(
         "{:>8} {:>12} {:>10} {:>11} {:>9}",
@@ -51,16 +72,45 @@ fn main() {
         );
     }
 
+    println!("\nsession lifecycle:");
+    println!("  sessions started            : {}", churn.sessions_started);
+    println!("  reached InGame              : {}", churn.sessions_connected);
+    println!("  completed (drained → gone)  : {}", churn.sessions_completed);
+    println!(
+        "  in flight at horizon        : {} connecting, {} in-game, {} draining",
+        churn.connecting_at_end, churn.ingame_at_end, churn.draining_at_end
+    );
+    println!("  illegal transitions         : {}", churn.illegal_transitions);
+
+    println!("\nbrownout admission:");
+    println!("  full quality                : {}", churn.admitted_normal);
+    println!("  degraded (quality capped)   : {}", churn.admitted_degraded);
+    println!("  shed to cloud               : {}", churn.admitted_shed);
+
+    println!("\ncontrol plane (deadlines + jittered backoff):");
+    println!("  ops issued                  : {}", churn.control_ops);
+    println!("  retries                     : {}", churn.control_retries);
+    println!("  expired (fell back)         : {}", churn.control_expired);
+
+    println!("\nfleet churn:");
+    println!("  supernodes volunteered      : {}", churn.supernode_arrivals);
+    println!(
+        "  supernodes retired          : {} ({} players re-homed, zero orphans)",
+        churn.supernode_retirements, churn.retirement_rehomed
+    );
+    println!(
+        "  rebalance migrations        : {} applied, {} skipped stale/full",
+        churn.migrations_applied, churn.migrations_skipped
+    );
+
     println!("\nrun summary:");
     println!("  supernode failures injected : {}", summary.failures_injected);
-    println!(
-        "  displaced players rescued   : {} (via h2 backups; rest fell back to the cloud)",
-        summary.failovers_rescued
-    );
+    println!("  displaced players rescued   : {}", summary.failovers_rescued);
+    println!("  orphaned player-seconds     : {:.1}", summary.orphaned_player_secs);
     println!("  mean continuity             : {:.1}%", summary.mean_continuity * 100.0);
     println!("  satisfied players           : {:.1}%", summary.satisfied_ratio * 100.0);
     println!("  final fog share             : {:.1}%", summary.fog_share * 100.0);
-    println!("\nThe timeline degrades gracefully — latency creeps up as the fog");
-    println!("erodes, never cliffs: each failure becomes a local failover or a");
-    println!("clean cloud fallback, not an outage.");
+    println!("\nThe crowd degrades the fog gracefully — saturated regions admit at");
+    println!("capped quality or shed to the cloud instead of rejecting, and the");
+    println!("outage turns into retries and cloud fallbacks, never stranded players.");
 }

@@ -9,8 +9,14 @@
 //!
 //! ```text
 //! cargo run --release --example matrix -- \
-//!     [--workers N] [--seeds N] [--players A,B,..] [--out PATH]
+//!     [--workers N] [--seeds N] [--players A,B,..] [--churn] [--out PATH]
 //! ```
+//!
+//! `--churn` adds the live-service churn axis: every cell also runs
+//! with a flash-crowd join spike, the full session lifecycle, fleet
+//! churn and the fallible control plane, under a regional-outage
+//! chaos template — checked by the churn invariants
+//! (`session.no_orphans`, `conservation.join_leave`, `retry.bounded`).
 
 use std::path::PathBuf;
 
@@ -20,6 +26,7 @@ struct Args {
     workers: usize,
     seeds: u64,
     players: Vec<usize>,
+    churn: bool,
     out: PathBuf,
 }
 
@@ -28,6 +35,7 @@ fn parse_args() -> Args {
         workers: available_workers(),
         seeds: 4,
         players: vec![150, 400],
+        churn: false,
         out: PathBuf::from("target/harness/matrix_report.jsonl"),
     };
     let mut it = std::env::args().skip(1);
@@ -42,6 +50,7 @@ fn parse_args() -> Args {
                     .map(|p| p.trim().parse().expect("--players A,B,.."))
                     .collect();
             }
+            "--churn" => args.churn = true,
             "--out" => args.out = PathBuf::from(value()),
             other => panic!("unknown flag {other}; see the example header for usage"),
         }
@@ -51,21 +60,32 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let matrix = ScenarioMatrix::new()
+    let horizon = SimDuration::from_secs(30);
+    let mut matrix = ScenarioMatrix::new()
         .systems(&SystemKind::ALL)
         .seeds(0..args.seeds)
         .players(&args.players)
         .ramp(SimDuration::from_secs(6))
-        .horizon(SimDuration::from_secs(30))
+        .horizon(horizon)
         .template(FaultTemplate::None)
         .template(FaultTemplate::Generated { salt: 0x00D5_EED5, count: 3 })
         .telemetry(TelemetryConfig { trace_capacity: 4096, ..Default::default() });
+    let mut templates = 2;
+    if args.churn {
+        matrix = matrix
+            .template(FaultTemplate::GeneratedOutages { salt: 0x00D5_EED5, count: 2 })
+            .churn(None)
+            .churn(Some(ChurnProfile::flash_crowd(horizon)));
+        templates = 3;
+    }
     let cells = matrix.build().len();
     println!(
-        "matrix: {} systems × {} seeds × {:?} players × 2 templates = {} scenarios, {} workers",
+        "matrix: {} systems × {} seeds × {:?} players × {} templates{} = {} scenarios, {} workers",
         SystemKind::ALL.len(),
         args.seeds,
         args.players,
+        templates,
+        if args.churn { " × 2 churn columns" } else { "" },
         cells,
         args.workers
     );

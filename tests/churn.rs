@@ -1,0 +1,142 @@
+//! Tier-1 churn matrix: live-service churn (flash-crowd joins, session
+//! lifecycle, fallible control plane, supernode fleet dynamics) under
+//! regional outages runs green through the stock invariant registry —
+//! including the churn invariants `session.no_orphans`,
+//! `conservation.join_leave` and `retry.bounded` — stays deterministic
+//! across worker counts, and a violated churn invariant shrinks to a
+//! one-line reproducer that keeps the churn profile.
+
+use cloudfog::prelude::*;
+
+/// Flash crowd × regional outages, with the churn-off column kept in
+/// the same matrix so fixed-cohort cells run side by side.
+fn churn_matrix() -> ScenarioMatrix {
+    let horizon = SimDuration::from_secs(25);
+    ScenarioMatrix::new()
+        .systems(&[SystemKind::Cloud, SystemKind::CloudFogA])
+        .seeds([1, 2, 7])
+        .players(&[100])
+        .ramp(SimDuration::from_secs(5))
+        .horizon(horizon)
+        .template(FaultTemplate::GeneratedOutages { salt: 0xC4A0_5C12, count: 2 })
+        .churn(None)
+        .churn(Some(ChurnProfile::flash_crowd(horizon)))
+}
+
+#[test]
+fn churn_matrix_runs_green_and_worker_count_is_invisible() {
+    let single = Harness::new(churn_matrix()).workers(1).run();
+    let pooled = Harness::new(churn_matrix()).workers(4).run();
+
+    assert_eq!(single.matrix.len(), 12, "2 systems × 3 seeds × 2 churn columns");
+    assert!(single.passed(), "stock invariants violated under churn:\n{}", single.render());
+
+    // Same seed ⇒ bit-identical results, churn on or off, regardless
+    // of how the worker pool schedules the cells.
+    assert_eq!(single.matrix, pooled.matrix, "worker count changed the merged matrix");
+    assert_eq!(single.matrix.fingerprint(), pooled.matrix.fingerprint());
+    assert_eq!(single.violations, pooled.violations);
+
+    // Churn cells are labeled and actually ran a live universe.
+    let churn_cells: Vec<_> =
+        single.matrix.cells().filter(|c| c.scenario.churn.is_some()).collect();
+    assert_eq!(churn_cells.len(), 6);
+    for cell in churn_cells {
+        assert!(
+            cell.scenario.name.contains("churn"),
+            "unlabeled churn cell: {}",
+            cell.scenario.name
+        );
+        assert!(cell.summary.events > 0, "{} ran no events", cell.scenario.name);
+    }
+}
+
+/// Impossible under churn: demands that no session ever starts. Skips
+/// churn-off cells, so the shrinker cannot drop the churn profile —
+/// the minimal reproducer must keep it.
+struct NoSessionsEver;
+
+impl Invariant for NoSessionsEver {
+    fn name(&self) -> &'static str {
+        "test.no_sessions_ever"
+    }
+
+    fn check_run(&self, _scenario: &Scenario, output: &RunOutput) -> Result<(), String> {
+        let Some(c) = &output.churn else { return Ok(()) };
+        if c.sessions_started == 0 {
+            Ok(())
+        } else {
+            Err(format!("{} sessions started, expected none", c.sessions_started))
+        }
+    }
+}
+
+#[test]
+fn violated_churn_invariant_shrinks_to_one_line_reproducer() {
+    let mut registry = InvariantRegistry::empty();
+    registry.register(NoSessionsEver);
+    let horizon = SimDuration::from_secs(30);
+    let matrix = ScenarioMatrix::new()
+        .systems(&[SystemKind::CloudFogA])
+        .seeds([9])
+        .players(&[200])
+        .ramp(SimDuration::from_secs(5))
+        .horizon(horizon)
+        .template(FaultTemplate::GeneratedOutages { salt: 3, count: 2 })
+        .churn(Some(ChurnProfile::flash_crowd(horizon)));
+    let report = Harness::new(matrix)
+        .registry(registry)
+        .workers(2)
+        .budget(ShrinkBudget { max_runs: 32, min_players: 8 })
+        .run();
+
+    assert!(!report.passed());
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].invariant, "test.no_sessions_ever");
+
+    let repro = report.reproducers.first().expect("violation must yield a reproducer");
+    assert_eq!(repro.seed, 9, "the seed is never shrunk");
+    assert!(repro.players < 200, "shrinker failed to reduce the population: {repro:?}");
+    assert!(
+        repro.churn.is_some(),
+        "the churn profile is what makes this invariant fire; it must survive shrinking"
+    );
+    assert!(
+        repro.script.is_none(),
+        "the outage script is irrelevant to this invariant and should shrink away"
+    );
+
+    // The replay line is one line of compilable builder code carrying
+    // the full churn recipe.
+    let line = repro.replay();
+    assert!(!line.contains('\n'), "replay must be a one-line reproducer: {line}");
+    for needle in [
+        "SystemKind::CloudFogA",
+        ".seed(9)",
+        "JoinPattern::FlashCrowd",
+        ".churn(ChurnConfig",
+        "..ChurnConfig::default()",
+        ".build()",
+    ] {
+        assert!(line.contains(needle), "missing {needle} in {line}");
+    }
+
+    // And the shrunk scenario still violates: rebuild and re-check.
+    let shrunk = Scenario {
+        id: 0,
+        name: "replay".into(),
+        kind: repro.kind,
+        players: repro.players,
+        seed: repro.seed,
+        ramp: repro.ramp,
+        horizon: repro.horizon,
+        template: repro.script.clone().map(FaultTemplate::Fixed).unwrap_or(FaultTemplate::None),
+        telemetry: None,
+        churn: repro.churn.clone(),
+    };
+    let output = StreamingSim::run_instrumented(shrunk.config());
+    assert!(
+        NoSessionsEver.check_run(&shrunk, &output).is_err(),
+        "the shrunk reproducer no longer violates the invariant"
+    );
+}

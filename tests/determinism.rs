@@ -117,6 +117,51 @@ fn chaos_fault_scripts_replay_bit_for_bit() {
     assert!((a.mean_continuity - b.mean_continuity).abs() < f64::EPSILON, "continuity");
 }
 
+/// Churn enabled — flash-crowd arrivals, session lifecycle, fallible
+/// control plane, fleet churn, rebalance sweeps, plus a regional
+/// outage — is still a pure function of the seed: two runs agree on
+/// every `RunSummary` field *and* every `ChurnStats` counter.
+#[test]
+fn churn_runs_replay_bit_for_bit() {
+    let run = || {
+        let horizon = SimDuration::from_secs(40);
+        let cfg = StreamingSimConfig::builder(SystemKind::CloudFogA)
+            .players(150)
+            .seed(4242)
+            .ramp(SimDuration::from_secs(5))
+            .horizon(horizon)
+            .join_pattern(JoinPattern::FlashCrowd {
+                base_rate: 2.0,
+                spike_at: SimDuration::from_secs(12),
+                spike_rate: 15.0,
+                spike_duration: SimDuration::from_secs(8),
+            })
+            .churn(ChurnConfig {
+                supernode_arrival_rate: 0.1,
+                supernode_retire_rate: 0.05,
+                rebalance_interval: Some(SimDuration::from_secs(5)),
+                ..ChurnConfig::default()
+            })
+            .fault_script(FaultScript::generate_outages(9, horizon, 2))
+            .watchdog(WatchdogParams::default())
+            .build();
+        StreamingSim::run_instrumented(cfg)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.summary.events, b.summary.events, "event count");
+    assert_eq!(a.summary.cloud_bytes, b.summary.cloud_bytes, "cloud bytes");
+    assert_eq!(a.summary.supernode_bytes, b.summary.supernode_bytes, "supernode bytes");
+    assert!(
+        (a.summary.orphaned_player_secs - b.summary.orphaned_player_secs).abs() < f64::EPSILON,
+        "orphan-seconds"
+    );
+    let (ca, cb) = (a.churn.expect("churn stats"), b.churn.expect("churn stats"));
+    assert_eq!(ca, cb, "every lifecycle / control-plane counter must replay exactly");
+    assert!(ca.sessions_started > 0, "arrivals must actually fire");
+    assert!(ca.control_ops > 0, "fog admissions must go through control ops");
+}
+
 #[test]
 fn population_generation_is_seed_stable_across_calls() {
     let config = PopulationConfig { players: 300, ..Default::default() };

@@ -109,6 +109,7 @@ fn violated_invariant_shrinks_to_replayable_reproducer() {
         horizon: repro.horizon,
         template: repro.script.clone().map(FaultTemplate::Fixed).unwrap_or(FaultTemplate::None),
         telemetry: None,
+        churn: repro.churn.clone(),
     };
     let output = StreamingSim::run_instrumented(shrunk.config());
     assert!(
@@ -134,6 +135,9 @@ fn stock_registry_names_are_stable() {
         "causal.span_order",
         "causal.span_sum",
         "causal.drop_provenance",
+        "session.no_orphans",
+        "conservation.join_leave",
+        "retry.bounded",
         "latency.fog_dominates_cloud",
     ] {
         assert!(names.contains(&expected), "stock suite lost {expected}: {names:?}");

@@ -115,4 +115,45 @@ proptest! {
         prop_assert!(s.orphaned_player_secs >= 0.0);
         prop_assert_eq!(s.faults_activated as usize, faults);
     }
+
+    /// The leave ≠ orphan distinction on
+    /// `RunSummary::orphaned_player_secs`: only undetected supernode
+    /// *failures* orphan players. With the full churn lifecycle on —
+    /// flash-crowd joins, voluntary leaves, graceful retirements — but
+    /// zero failures injected, any amount of session turnover accrues
+    /// exactly zero orphaned player-seconds.
+    #[test]
+    fn leaves_and_retirements_never_orphan(
+        seed in 0u64..200,
+        retire_tenths in 0u32..3,
+    ) {
+        let cfg = StreamingSimConfig::builder(SystemKind::CloudFogA)
+            .players(60)
+            .seed(seed)
+            .ramp(SimDuration::from_secs(3))
+            .horizon(SimDuration::from_secs(12))
+            .join_pattern(JoinPattern::FlashCrowd {
+                base_rate: 4.0,
+                spike_at: SimDuration::from_secs(4),
+                spike_rate: 12.0,
+                spike_duration: SimDuration::from_secs(4),
+            })
+            .churn(ChurnConfig {
+                supernode_retire_rate: f64::from(retire_tenths) / 10.0,
+                ..ChurnConfig::default()
+            })
+            .build();
+        let out = StreamingSim::run_instrumented(cfg);
+        let c = out.churn.expect("churn stats");
+        prop_assert_eq!(out.summary.failures_injected, 0, "no chaos configured");
+        prop_assert!(
+            out.summary.orphaned_player_secs == 0.0,
+            "leave ≠ orphan: {} orphan-secs despite zero failures ({} sessions completed, {} supernodes retired, {} players re-homed)",
+            out.summary.orphaned_player_secs,
+            c.sessions_completed,
+            c.supernode_retirements,
+            c.retirement_rehomed,
+        );
+        prop_assert_eq!(c.illegal_transitions, 0);
+    }
 }

@@ -49,6 +49,7 @@ fn cell(id: usize, seed: u64) -> CellResult {
             horizon: SimDuration::from_secs(25),
             template: FaultTemplate::None,
             telemetry: None,
+            churn: None,
         },
         summary: summary(id, seed),
         telemetry: None,

@@ -225,4 +225,71 @@ proptest! {
         let c = stats.continuity();
         prop_assert!((0.0..=1.0).contains(&c));
     }
+
+    /// A migration plan applied against a table whose destinations may
+    /// fill mid-plan: every planned step lands in exactly one outcome
+    /// bucket, the assigned-player multiset is conserved (nobody is
+    /// dropped or double-assigned), capacities are respected, and
+    /// re-applying the same plan — the control-plane retry path — is
+    /// harmless.
+    #[test]
+    fn apply_migrations_never_double_assigns_when_destinations_fill(
+        capacities in prop::collection::vec(1u32..4, 2..6),
+        picks in prop::collection::vec(any::<u16>(), 1..40),
+    ) {
+        use cloudfog::net::topology::HostId;
+
+        let mut table = SupernodeTable::new();
+        let sns: Vec<SupernodeId> = capacities
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| table.register(HostId(i as u32), c))
+            .collect();
+        // Fill odd supernodes to the brim and leave one free slot on
+        // even ones, so plans routinely target destinations that are
+        // (or become) full.
+        let mut next_player = 0u32;
+        let mut homes: Vec<(PlayerId, SupernodeId)> = Vec::new();
+        for (&sn, &cap) in sns.iter().zip(&capacities) {
+            let fill = if sn.0 % 2 == 0 { cap.saturating_sub(1) } else { cap };
+            for _ in 0..fill {
+                let p = PlayerId(next_player);
+                next_player += 1;
+                prop_assert!(table.assign(sn, p));
+                homes.push((p, sn));
+            }
+        }
+        // ≥2 supernodes and odd ones filled to ≥1 ⇒ never empty.
+        prop_assert!(!homes.is_empty());
+        // Each pick proposes (player, destination); `from` is the
+        // player's home at *plan* time, so steps go stale whenever an
+        // earlier step already moved the same player.
+        let plan: Vec<Migration> = picks
+            .iter()
+            .map(|&s| {
+                let (player, from) = homes[s as usize % homes.len()];
+                Migration { player, from, to: sns[(s / 7) as usize % sns.len()] }
+            })
+            .collect();
+        let occupancy = |t: &SupernodeTable| -> Vec<PlayerId> {
+            let mut all: Vec<PlayerId> =
+                t.iter().flat_map(|n| n.assigned.iter().copied()).collect();
+            all.sort_by_key(|p| p.0);
+            all
+        };
+
+        let before = occupancy(&table);
+        let out = apply_migrations_checked(&mut table, &plan);
+        prop_assert_eq!(out.total(), plan.len(), "every step lands in exactly one bucket");
+        let after = occupancy(&table);
+        prop_assert_eq!(&before, &after, "assigned players conserved (no drop, no duplicate)");
+        for &sn in &sns {
+            let n = table.get(sn);
+            prop_assert!(n.assigned.len() <= n.capacity as usize, "capacity overrun on {sn:?}");
+        }
+
+        let out2 = apply_migrations_checked(&mut table, &plan);
+        prop_assert_eq!(out2.total(), plan.len());
+        prop_assert_eq!(&before, &occupancy(&table), "retrying the plan never double-assigns");
+    }
 }
