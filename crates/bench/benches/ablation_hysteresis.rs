@@ -19,7 +19,7 @@ fn switches(window: u32, seed: u64) -> u32 {
         // Noisy download rate around parity: no real trend.
         let d = 1.0 + rng.normal(0.0, 0.8);
         let t = SimTime::from_millis(200 * k as u64);
-        match c.observe(t, d.max(0.0), 1.0, tau) {
+        match c.observe_explained(t, d.max(0.0), 1.0, tau).0 {
             RateDecision::Hold => {}
             _ => n += 1,
         }

@@ -76,12 +76,16 @@ fn bench_adaptation(c: &mut Criterion) {
         let mut k = 0u64;
         b.iter(|| {
             k += 1;
-            black_box(controller.observe(
-                SimTime::from_millis(k * 200),
-                if k.is_multiple_of(7) { 0.3 } else { 1.4 },
-                1.0,
-                tau,
-            ))
+            black_box(
+                controller
+                    .observe_explained(
+                        SimTime::from_millis(k * 200),
+                        if k.is_multiple_of(7) { 0.3 } else { 1.4 },
+                        1.0,
+                        tau,
+                    )
+                    .0,
+            )
         });
     });
 }

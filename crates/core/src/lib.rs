@@ -61,6 +61,10 @@ pub mod systems;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::adapt::AdaptExplain;
+    pub use crate::adapt::{
+        AdaptPolicy, AdaptPolicyKind, BandwidthAwarePolicy, BufferOccupancyPolicy, FoveatedPolicy,
+        PolicyInputs, ServerAwarePolicy, SwitchDriver,
+    };
     pub use crate::adapt::{RateController, RateDecision};
     pub use crate::config::{scale_from_env, ExperimentProfile, SystemParams, Testbed};
     pub use crate::control::{

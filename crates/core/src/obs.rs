@@ -26,9 +26,11 @@ pub mod kind {
     /// Deadline-buffer packet shed (Eq. 14 rebalance). `key` = player,
     /// `value` = packets dropped.
     pub const SCHED_DROP: &str = "sched.drop";
-    /// Rate-adaptation up-switch. `key` = player, `value` = new level.
+    /// Rate-adaptation up-switch (whichever `AdaptPolicy` the run
+    /// selected). `key` = player, `value` = new level.
     pub const ADAPT_UP: &str = "adapt.up";
-    /// Rate-adaptation down-switch. `key` = player, `value` = new level.
+    /// Rate-adaptation down-switch (whichever `AdaptPolicy` the run
+    /// selected). `key` = player, `value` = new level.
     pub const ADAPT_DOWN: &str = "adapt.down";
     /// Heartbeat detector confirmed a supernode failure. `key` = host,
     /// `value` = detection latency (ms).

@@ -45,6 +45,7 @@ use cloudfog_sim::telemetry::{
 use cloudfog_sim::time::{SimDuration, SimTime};
 use cloudfog_workload::arrival::{DiurnalArrivals, PoissonArrivals, SessionCycle};
 use cloudfog_workload::games::{Game, GameId, QualityLevel, GAMES, QUALITY_LEVELS};
+use cloudfog_workload::gaze::GazeModel;
 use cloudfog_workload::session::SessionState;
 
 /// Per-game QoE row of a run (see [`RunSummary::game_breakdown`]).
@@ -63,7 +64,7 @@ pub struct GameQoe {
 }
 use cloudfog_workload::player::PlayerId;
 
-use crate::adapt::{AdaptExplain, RateController, RateDecision};
+use crate::adapt::{AdaptPolicy, AdaptPolicyKind, PolicyInputs, RateDecision, SwitchDriver};
 use crate::config::{ExperimentProfile, SystemParams};
 use crate::control::{
     AdmissionDecision, AdmissionParams, ControlOp, ControlOpKind, ControlPlaneParams,
@@ -263,6 +264,10 @@ pub struct StreamingSimConfig {
     /// fallible control plane and brownout admission (`None` = the
     /// fixed-cohort model, unchanged bit for bit).
     pub churn: Option<ChurnConfig>,
+    /// Which adaptation policy streams run
+    /// (default [`AdaptPolicyKind::BufferOccupancy`] — the paper's
+    /// controller, bit-identical to the pre-arena behaviour).
+    pub policy: AdaptPolicyKind,
 }
 
 impl StreamingSimConfig {
@@ -299,6 +304,7 @@ impl StreamingSimConfig {
                 watchdog: None,
                 telemetry: None,
                 churn: None,
+                policy: AdaptPolicyKind::BufferOccupancy,
             },
             players: 1_000,
             custom_profile: false,
@@ -428,6 +434,13 @@ impl StreamingSimConfigBuilder {
     /// the fallible control plane and brownout admission.
     pub fn churn(mut self, churn: ChurnConfig) -> Self {
         self.cfg.churn = Some(churn);
+        self
+    }
+
+    /// Select the adaptation policy (default: the paper's
+    /// buffer-occupancy controller).
+    pub fn policy(mut self, policy: AdaptPolicyKind) -> Self {
+        self.cfg.policy = policy;
         self
     }
 
@@ -683,7 +696,10 @@ struct ActivePlayer {
     paths: PathCache,
     /// §III-A.3 backup supernodes for failover.
     backups: Vec<crate::infra::SupernodeId>,
-    controller: Option<RateController>,
+    /// The stream's adaptation policy ([`StreamingSimConfig::policy`]),
+    /// present when the system adapts and no quality cap pins the
+    /// stream.
+    controller: Option<Box<dyn AdaptPolicy>>,
     /// Fixed quality when no controller runs.
     quality: QualityLevel,
     /// Last instant the controller's buffer estimate was advanced.
@@ -883,6 +899,14 @@ pub struct StreamingSim {
     /// draws. Forked after `rng_chaos` so churn-off seeds replay the
     /// exact event sequence they produced before churn existed.
     rng_control: Rng,
+    /// Adaptation-policy RNG (probe jitter etc.). Forked after
+    /// `rng_control` so default-policy seeds replay the pre-arena event
+    /// sequence unchanged; the paper controller never draws from it.
+    rng_policy: Rng,
+    /// Deterministic gaze signal for the foveated policy — stateless,
+    /// so it costs nothing unless [`StreamingSimConfig::policy`]
+    /// consumes gaze weights.
+    gaze: GazeModel,
     /// Session lifecycle per player (empty when churn is off).
     session_states: Vec<SessionState>,
     /// Per-player join plan between admission and connection, indexed
@@ -924,6 +948,9 @@ impl StreamingSim {
         // Same discipline, one layer later: forked after `rng_chaos`
         // so churn-off seeds replay unchanged.
         let rng_control = root.fork();
+        // And one layer later again: forked after `rng_control` so
+        // default-policy seeds replay unchanged.
+        let rng_policy = root.fork();
         let n = deployment.population.len();
         let cycles = (0..n)
             .map(|p| {
@@ -960,6 +987,7 @@ impl StreamingSim {
             }
             _ => Vec::new(),
         };
+        let gaze = GazeModel::new(cfg.seed ^ 0x6A2E);
         StreamingSim {
             cfg,
             deployment,
@@ -989,6 +1017,8 @@ impl StreamingSim {
             rng_net,
             rng_chaos,
             rng_control,
+            rng_policy,
+            gaze,
             session_states: if churn_on { vec![SessionState::NotConnected; n] } else { Vec::new() },
             join_plans: if churn_on { (0..n).map(|_| None).collect() } else { Vec::new() },
             pending_ops: Vec::new(),
@@ -1438,19 +1468,10 @@ impl StreamingSim {
             self.update_feed_delta(source.host, now, 1);
         }
 
-        let controller = (self.cfg.kind.uses_adaptation() && quality_cap.is_none()).then(|| {
-            let mut c = RateController::new(
-                &game,
-                self.cfg.params.theta,
-                self.cfg.params.hysteresis_window,
-            );
-            if let Some(n) = self.cfg.params.up_probe_after {
-                c = c.with_up_probe(n);
-            }
-            // Startup prebuffer: clients buffer one segment ahead.
-            c.prime(1.0, self.cfg.params.segment_duration);
-            c
-        });
+        // `build` applies the startup prebuffer (clients buffer one
+        // segment ahead) for every policy.
+        let controller = (self.cfg.kind.uses_adaptation() && quality_cap.is_none())
+            .then(|| self.cfg.policy.build(&game, &self.cfg.params));
         let quality = match quality_cap {
             Some(cap) => {
                 let level =
@@ -1748,12 +1769,12 @@ impl StreamingSim {
         if let Some(s) = self.senders[sender.index()].as_mut() {
             s.buffer.record_propagation(segment.player, propagation);
         }
-        // Receiver-driven adaptation: Eq. 7 with the measured
-        // download rate d(t) = τ / inter-arrival over the last
-        // estimation interval, playback rate b_p = 1 (real time).
+        // Receiver-driven adaptation: one estimation step for the
+        // configured policy, with the measured download rate
+        // d(t) = τ / inter-arrival over the last estimation interval.
         let params = self.cfg.params;
         let mut decision = RateDecision::Hold;
-        let mut explain: Option<AdaptExplain> = None;
+        let mut explain = None;
         if let Some(active) = self.active[segment.player.index()].as_mut() {
             // QoE-watchdog window: packets owed vs packets on time.
             active.window_packets += u64::from(segment.packets);
@@ -1765,9 +1786,27 @@ impl StreamingSim {
                 let tau = params.segment_duration.as_secs_f64();
                 let d = if inter > 0.0 { (tau / inter).min(2.0) } else { 2.0 };
                 active.last_buffer_event = now;
+                // Playback rate b_p: 1 while playing, 0 once the
+                // session drains (video keeps arriving but nothing is
+                // consumed — the buffer only fills).
+                let playback = if active.draining { 0.0 } else { 1.0 };
+                let mut inputs = PolicyInputs::rate_only(now, d, playback, params.segment_duration);
+                // Optional signals are only computed when the selected
+                // policy consumes them — the default path pays nothing.
+                if self.cfg.policy.needs_gaze() {
+                    inputs = inputs
+                        .with_region_weight(self.gaze.weight(u64::from(segment.player.0), now));
+                }
+                if self.cfg.policy.needs_load() {
+                    let load = active
+                        .source
+                        .supernode
+                        .map_or(0.0, |sn| self.deployment.supernodes.get(sn).load());
+                    inputs = inputs.with_host_load(load);
+                }
                 // Quality changes take effect on the next Action; the
-                // controller tracks its own level.
-                let (dec, ex) = controller.observe_explained(now, d, 1.0, params.segment_duration);
+                // policy tracks its own level.
+                let (dec, ex) = controller.observe_explained(&inputs, &mut self.rng_policy);
                 decision = dec;
                 explain = Some(ex);
             }
@@ -1808,6 +1847,7 @@ impl StreamingSim {
                     down_threshold: ex.down_threshold,
                     run,
                     probe: ex.probe,
+                    driver: ex.driver.map(SwitchDriver::label),
                 });
             }
         }

@@ -280,7 +280,7 @@ impl Model for LoadSim {
                     let d = if inter > 0.0 { (tau / inter).min(2.0) } else { 2.0 };
                     player.last_buffer_event = now;
                     if !matches!(
-                        controller.observe(now, d, 1.0, params.segment_duration),
+                        controller.observe_explained(now, d, 1.0, params.segment_duration).0,
                         crate::adapt::RateDecision::Hold
                     ) {
                         self.quality_switches += 1;

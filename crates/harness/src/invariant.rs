@@ -64,9 +64,9 @@ impl InvariantRegistry {
     /// The stock suite: QoE bounds, traffic-source conservation,
     /// quantile monotonicity, fault-recovery bounds, causal-trace
     /// consistency (span ordering, Eq. 12 span sums, drop
-    /// provenance), churn lifecycle soundness (no orphans, join/leave
-    /// conservation, bounded retries), and the fog-dominates-cloud
-    /// latency claim.
+    /// provenance), adaptation ladder bounds, churn lifecycle
+    /// soundness (no orphans, join/leave conservation, bounded
+    /// retries), and the fog-dominates-cloud latency claim.
     pub fn stock() -> Self {
         let mut r = Self::empty();
         r.register(QoeBounds);
@@ -76,6 +76,7 @@ impl InvariantRegistry {
         r.register(CausalSpanOrder);
         r.register(CausalSpanSum);
         r.register(CausalDropProvenance);
+        r.register(AdaptLadderBounds);
         r.register(SessionNoOrphans);
         r.register(JoinLeaveConservation);
         r.register(RetryBounded);
@@ -397,6 +398,48 @@ impl Invariant for CausalDropProvenance {
                     d.at.as_micros(),
                     d.dropped,
                     share_sum
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Every adaptation switch any policy records stays on the quality
+/// ladder: `to` within `[1, 5]`, exactly one level away from `from`,
+/// and never a self-switch. Policy-agnostic — the arena's contract
+/// that no contestant can leave the ladder. Cells without causal
+/// telemetry skip.
+pub struct AdaptLadderBounds;
+
+impl Invariant for AdaptLadderBounds {
+    fn name(&self) -> &'static str {
+        "adapt.ladder_bounds"
+    }
+
+    fn check_run(&self, scenario: &Scenario, output: &RunOutput) -> Result<(), String> {
+        let Some(causal) = &output.causal else { return Ok(()) };
+        for a in &causal.adapt {
+            if a.to_level < 1 || a.to_level > 5 || a.from_level < 1 || a.from_level > 5 {
+                return Err(format!(
+                    "policy {} switched player {} off the ladder: {} → {} at {} µs",
+                    scenario.policy.label(),
+                    a.player,
+                    a.from_level,
+                    a.to_level,
+                    a.at.as_micros()
+                ));
+            }
+            if a.to_level.abs_diff(a.from_level) != 1 {
+                return Err(format!(
+                    "policy {} switched player {} by {} levels ({} → {}) at {} µs — \
+                     adaptation moves one rung at a time",
+                    scenario.policy.label(),
+                    a.player,
+                    a.to_level.abs_diff(a.from_level),
+                    a.from_level,
+                    a.to_level,
+                    a.at.as_micros()
                 ));
             }
         }

@@ -9,9 +9,9 @@
 //! The pieces, each its own module:
 //!
 //! * [`scenario`] — [`ScenarioMatrix`](scenario::ScenarioMatrix)
-//!   expands (system × seed × scale × chaos template) into numbered
-//!   [`Scenario`](scenario::Scenario) cells; each cell is a pure
-//!   function of its fields.
+//!   expands (adaptation policy × churn × chaos template × scale ×
+//!   seed × system) into numbered [`Scenario`](scenario::Scenario)
+//!   cells; each cell is a pure function of its fields.
 //! * [`exec`] — the `std::thread::scope` worker pool and the keyed,
 //!   order-independent merge: 1 worker and N workers produce
 //!   bit-identical [`MatrixReport`](exec::MatrixReport)s.

@@ -1,12 +1,14 @@
 //! Scenario vocabulary: what one cell of the test matrix runs.
 //!
 //! A [`Scenario`] is a fully concrete run description — system, seed,
-//! scale, horizon, chaos template — that deterministically expands to
-//! a [`StreamingSimConfig`]. The [`ScenarioMatrix`] builder takes the
-//! cross product (template × players × seed × system) and numbers the
-//! cells, so a scenario id means the same run on every machine and
+//! scale, horizon, chaos template, adaptation policy — that
+//! deterministically expands to a [`StreamingSimConfig`]. The
+//! [`ScenarioMatrix`] builder takes the cross product
+//! (policy × churn × template × players × seed × system) and numbers
+//! the cells, so a scenario id means the same run on every machine and
 //! under every worker schedule.
 
+use cloudfog_core::adapt::AdaptPolicyKind;
 use cloudfog_core::fault::{FaultScript, WatchdogParams};
 use cloudfog_core::systems::{ChurnConfig, JoinPattern, StreamingSimConfig, SystemKind};
 use cloudfog_sim::telemetry::TelemetryConfig;
@@ -162,6 +164,9 @@ pub struct Scenario {
     /// Live-service churn recipe (`None` = fixed cohort, churn off —
     /// bit-identical to the pre-churn harness).
     pub churn: Option<ChurnProfile>,
+    /// Adaptation policy this cell's streams run
+    /// (default [`AdaptPolicyKind::BufferOccupancy`]).
+    pub policy: AdaptPolicyKind,
     /// Telemetry recording (histograms + quantiles) for this cell.
     pub telemetry: Option<TelemetryConfig>,
 }
@@ -174,7 +179,8 @@ impl Scenario {
             .players(self.players)
             .seed(self.seed)
             .ramp(self.ramp)
-            .horizon(self.horizon);
+            .horizon(self.horizon)
+            .policy(self.policy);
         if let Some(script) = self.template.script(self.seed, self.horizon) {
             b = b.fault_script(script).watchdog(WatchdogParams::default());
         }
@@ -194,7 +200,7 @@ impl Scenario {
 }
 
 /// Builder for the scenario cross product
-/// (template × players × seed × system).
+/// (policy × churn × template × players × seed × system).
 ///
 /// ```
 /// use cloudfog_harness::prelude::*;
@@ -217,6 +223,7 @@ pub struct ScenarioMatrix {
     horizon: SimDuration,
     templates: Vec<FaultTemplate>,
     churns: Vec<Option<ChurnProfile>>,
+    policies: Vec<AdaptPolicyKind>,
     telemetry: Option<TelemetryConfig>,
 }
 
@@ -237,6 +244,7 @@ impl ScenarioMatrix {
             horizon: SimDuration::from_secs(25),
             templates: Vec::new(),
             churns: Vec::new(),
+            policies: Vec::new(),
             telemetry: None,
         }
     }
@@ -286,6 +294,15 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Append an adaptation-policy axis (no policy call ⇒ one
+    /// buffer-occupancy axis with no name suffix, so existing matrices
+    /// keep their historic cell ids and names). Once any policy is set
+    /// explicitly, every cell name carries its policy label.
+    pub fn policy(mut self, policy: AdaptPolicyKind) -> Self {
+        self.policies.push(policy);
+        self
+    }
+
     /// Record per-cell telemetry (histograms, quantiles, CDFs) so the
     /// quantile invariants have something to check.
     pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
@@ -294,48 +311,66 @@ impl ScenarioMatrix {
     }
 
     /// Expand the cross product into numbered scenarios. Expansion
-    /// order is `churn × template × players × seed × system` (system
-    /// varies fastest, matching the paper's side-by-side comparisons;
-    /// churn is outermost so churn-free matrices keep their historic
-    /// cell ids).
+    /// order is `policy × churn × template × players × seed × system`
+    /// (system varies fastest, matching the paper's side-by-side
+    /// comparisons; churn and policy are outermost so matrices that
+    /// never set them keep their historic cell ids).
     pub fn build(&self) -> Vec<Scenario> {
         let templates: &[FaultTemplate] =
             if self.templates.is_empty() { &[FaultTemplate::None] } else { &self.templates };
         let churns: &[Option<ChurnProfile>] =
             if self.churns.is_empty() { &[None] } else { &self.churns };
+        // The implicit default axis carries no name suffix; an
+        // explicit `.policy(..)` labels every cell so arena matrices
+        // stay self-describing.
+        let label_policies = !self.policies.is_empty();
+        let policies: &[AdaptPolicyKind] = if self.policies.is_empty() {
+            &[AdaptPolicyKind::BufferOccupancy]
+        } else {
+            &self.policies
+        };
         let mut out = Vec::with_capacity(
-            churns.len()
+            policies.len()
+                * churns.len()
                 * templates.len()
                 * self.players.len()
                 * self.seeds.len()
                 * self.systems.len(),
         );
-        for churn in churns {
-            for template in templates {
-                for &players in &self.players {
-                    for &seed in &self.seeds {
-                        for &kind in &self.systems {
-                            let id = out.len();
-                            let churn_suffix = match churn {
-                                Some(c) => format!("/{}", c.label()),
-                                None => String::new(),
-                            };
-                            out.push(Scenario {
-                                id,
-                                name: format!(
-                                    "{}/p{players}/s{seed}/{}{churn_suffix}",
-                                    kind.label(),
-                                    template.label()
-                                ),
-                                kind,
-                                players,
-                                seed,
-                                ramp: self.ramp,
-                                horizon: self.horizon,
-                                template: template.clone(),
-                                churn: churn.clone(),
-                                telemetry: self.telemetry.clone(),
-                            });
+        for &policy in policies {
+            for churn in churns {
+                for template in templates {
+                    for &players in &self.players {
+                        for &seed in &self.seeds {
+                            for &kind in &self.systems {
+                                let id = out.len();
+                                let churn_suffix = match churn {
+                                    Some(c) => format!("/{}", c.label()),
+                                    None => String::new(),
+                                };
+                                let policy_suffix = if label_policies {
+                                    format!("/{}", policy.label())
+                                } else {
+                                    String::new()
+                                };
+                                out.push(Scenario {
+                                    id,
+                                    name: format!(
+                                        "{}/p{players}/s{seed}/{}{churn_suffix}{policy_suffix}",
+                                        kind.label(),
+                                        template.label()
+                                    ),
+                                    kind,
+                                    players,
+                                    seed,
+                                    ramp: self.ramp,
+                                    horizon: self.horizon,
+                                    template: template.clone(),
+                                    churn: churn.clone(),
+                                    policy,
+                                    telemetry: self.telemetry.clone(),
+                                });
+                            }
                         }
                     }
                 }
@@ -439,6 +474,43 @@ mod tests {
         let off = cells[1].config();
         assert!(off.churn.is_none());
         assert!(matches!(off.join_pattern, JoinPattern::Ramp));
+    }
+
+    #[test]
+    fn policy_axis_defaults_to_buffer_with_historic_names() {
+        let cells = ScenarioMatrix::new()
+            .systems(&[SystemKind::CloudFogA])
+            .seeds([7])
+            .players(&[100])
+            .template(FaultTemplate::None)
+            .build();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].policy, AdaptPolicyKind::BufferOccupancy);
+        // Historic name: no policy suffix unless the axis is explicit.
+        assert_eq!(cells[0].name, "CloudFog/A/p100/s7/clean");
+        assert_eq!(cells[0].config().policy, AdaptPolicyKind::BufferOccupancy);
+    }
+
+    #[test]
+    fn policy_axis_is_outermost_and_labels_cells() {
+        let cells = ScenarioMatrix::new()
+            .systems(&[SystemKind::Cloud, SystemKind::CloudFogA])
+            .seeds([1])
+            .players(&[100])
+            .template(FaultTemplate::None)
+            .policy(AdaptPolicyKind::BufferOccupancy)
+            .policy(AdaptPolicyKind::Foveated)
+            .build();
+        assert_eq!(cells.len(), 4);
+        // Outermost axis: the first block is buffer, the second
+        // foveated; system still varies fastest within a block.
+        assert_eq!(cells[0].policy, AdaptPolicyKind::BufferOccupancy);
+        assert_eq!(cells[1].policy, AdaptPolicyKind::BufferOccupancy);
+        assert_eq!(cells[2].policy, AdaptPolicyKind::Foveated);
+        assert_eq!(cells[3].policy, AdaptPolicyKind::Foveated);
+        assert_eq!(cells[0].name, "Cloud/p100/s1/clean/buffer");
+        assert_eq!(cells[3].name, "CloudFog/A/p100/s1/clean/foveated");
+        assert_eq!(cells[2].config().policy, AdaptPolicyKind::Foveated);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! failure anywhere: its [`Reproducer::replay`] line is compilable
 //! builder code with the seed and the truncated script inline.
 
+use cloudfog_core::adapt::AdaptPolicyKind;
 use cloudfog_core::fault::{FaultEvent, FaultKind, FaultScript};
 use cloudfog_core::systems::{StreamingSim, SystemKind};
 use cloudfog_sim::time::SimDuration;
@@ -60,6 +61,9 @@ pub struct Reproducer {
     /// Churn profile (`None` when churn was shrunk away or the
     /// original scenario ran a fixed cohort).
     pub churn: Option<ChurnProfile>,
+    /// Adaptation policy (never shrunk — changing the policy would
+    /// change what failure is being reproduced).
+    pub policy: AdaptPolicyKind,
     /// Simulation re-runs the shrinker spent.
     pub runs_used: usize,
 }
@@ -84,6 +88,9 @@ impl Reproducer {
         }
         if let Some(churn) = &self.churn {
             out.push_str(&render_churn(churn));
+        }
+        if self.policy != AdaptPolicyKind::BufferOccupancy {
+            out.push_str(&format!(".policy(AdaptPolicyKind::{:?})", self.policy));
         }
         out.push_str(".build()");
         out
@@ -267,6 +274,7 @@ pub fn shrink(scenario: &Scenario, invariant: &dyn Invariant, budget: ShrinkBudg
         horizon: current.horizon,
         script: current.script().filter(|s| !s.is_empty()),
         churn: current.churn.clone(),
+        policy: current.policy,
         runs_used: runs,
     }
 }
@@ -295,10 +303,16 @@ mod tests {
             horizon: SimDuration::from_secs(12),
             script: Some(script),
             churn: None,
+            policy: AdaptPolicyKind::BufferOccupancy,
             runs_used: 9,
         };
         let line = r.replay();
         assert!(!line.contains('\n'));
+        // The default policy stays implicit in the replay line.
+        assert!(!line.contains(".policy("));
+        let mut arena = r.clone();
+        arena.policy = AdaptPolicyKind::ServerAware;
+        assert!(arena.replay().contains(".policy(AdaptPolicyKind::ServerAware)"));
         for needle in [
             "StreamingSimConfig::builder(SystemKind::CloudFogA)",
             ".players(75)",

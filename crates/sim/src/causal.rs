@@ -289,14 +289,27 @@ pub struct AdaptProvenance {
     /// Whether this was the stability up-probe rather than a
     /// threshold-run switch.
     pub probe: bool,
+    /// Which policy input drove the switch (arena policies name their
+    /// driver, e.g. `"throughput.ewma"`). `None` means the paper's
+    /// buffer controller — read it as `"buffer.r"`, or `"probe.stable"`
+    /// when `probe` is set. Omitted from the JSON record when `None` so
+    /// default-policy causal logs stay byte-identical across the arena
+    /// refactor.
+    pub driver: Option<&'static str>,
 }
 
 impl AdaptProvenance {
+    /// The driver label with the `None` convention resolved: what drove
+    /// this switch, never empty.
+    pub fn driver_label(&self) -> &'static str {
+        self.driver.unwrap_or(if self.probe { "probe.stable" } else { "buffer.r" })
+    }
+
     /// Deterministic single-line JSON record.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut s = format!(
             "{{\"at_us\":{},\"player\":{},\"from\":{},\"to\":{},\"r\":{},\
-             \"up_threshold\":{},\"down_threshold\":{},\"run\":{},\"probe\":{}}}",
+             \"up_threshold\":{},\"down_threshold\":{},\"run\":{},\"probe\":{}",
             self.at.as_micros(),
             self.player,
             self.from_level,
@@ -306,7 +319,12 @@ impl AdaptProvenance {
             json_f64(self.down_threshold),
             self.run,
             self.probe
-        )
+        );
+        if let Some(driver) = self.driver {
+            s.push_str(&format!(",\"driver\":\"{driver}\""));
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -874,6 +892,32 @@ impl CausalReport {
         out
     }
 
+    /// Which policy input drove the most quality switches, over the
+    /// retained [`CausalReport::adapt`] ring: `(driver label, count)`.
+    /// `None` when no switches were retained. Legacy records without an
+    /// explicit driver resolve through
+    /// [`AdaptProvenance::driver_label`], so paper-controller runs
+    /// report `"buffer.r"` / `"probe.stable"` here.
+    pub fn dominant_switch_driver(&self) -> Option<(&'static str, u64)> {
+        let mut counts: Vec<(&'static str, u64)> = Vec::new();
+        for a in &self.adapt {
+            let label = a.driver_label();
+            match counts.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((label, 1)),
+            }
+        }
+        // Ties break toward the first driver observed — deterministic
+        // because the ring is chronological.
+        let mut best: Option<(&'static str, u64)> = None;
+        for (label, n) in counts {
+            if best.is_none_or(|(_, m)| n > m) {
+                best = Some((label, n));
+            }
+        }
+        best
+    }
+
     /// Chrome `trace_event` JSON (the object form), loadable in
     /// Perfetto. Each retained trace renders its Eq. 12 components as
     /// complete (`"X"`) slices — `pid` is the player, `tid` the trace
@@ -1126,6 +1170,7 @@ mod tests {
                 down_threshold: 0.6,
                 run: 5,
                 probe: false,
+                driver: None,
             });
             log.record_drop(DropProvenance {
                 at: SimTime::from_secs(3),
@@ -1160,6 +1205,56 @@ mod tests {
         assert!(jsonl.lines().count() >= 10);
         assert!(jsonl.contains("\"causal\":\"summary\""));
         assert!(jsonl.contains("\"outcome\":\"on_time\""));
+    }
+
+    #[test]
+    fn adapt_driver_field_is_optional_in_json() {
+        let mut p = AdaptProvenance {
+            at: SimTime::from_secs(2),
+            player: 1,
+            from_level: 2,
+            to_level: 3,
+            r: 1.31,
+            up_threshold: 1.3,
+            down_threshold: 0.6,
+            run: 5,
+            probe: false,
+            driver: None,
+        };
+        // Legacy (paper controller) records keep the exact pre-arena
+        // byte format: no driver key at all.
+        assert!(!p.to_json().contains("driver"));
+        assert!(p.to_json().ends_with("\"probe\":false}"));
+        assert_eq!(p.driver_label(), "buffer.r");
+        p.probe = true;
+        assert_eq!(p.driver_label(), "probe.stable");
+        p.driver = Some("throughput.ewma");
+        assert!(p.to_json().ends_with("\"probe\":true,\"driver\":\"throughput.ewma\"}"));
+        assert_eq!(p.driver_label(), "throughput.ewma");
+    }
+
+    #[test]
+    fn dominant_switch_driver_counts_the_ring() {
+        let mut log = CausalLog::new(&cfg());
+        let adapt = |driver, probe| AdaptProvenance {
+            at: SimTime::from_secs(1),
+            player: 0,
+            from_level: 2,
+            to_level: 1,
+            r: 0.3,
+            up_threshold: 1.6,
+            down_threshold: 0.8,
+            run: 3,
+            probe,
+            driver,
+        };
+        assert_eq!(log.report("empty").dominant_switch_driver(), None);
+        log.record_adapt(adapt(Some("host.load"), false));
+        log.record_adapt(adapt(Some("host.load"), false));
+        log.record_adapt(adapt(None, false));
+        log.record_adapt(adapt(None, true));
+        let r = log.report("drivers");
+        assert_eq!(r.dominant_switch_driver(), Some(("host.load", 2)));
     }
 
     #[test]

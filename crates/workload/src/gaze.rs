@@ -1,0 +1,135 @@
+//! Deterministic gaze/attention signal for foveated streaming.
+//!
+//! Foveated cloud-gaming encoders (Illahi et al., "Foveated Video
+//! Streaming for Cloud Gaming") spend bits where the player is looking:
+//! the encoder keeps foveal regions at high quality and lets the
+//! periphery degrade. Reproducing that requires a gaze signal, and the
+//! simulation's determinism contract requires that the signal be a pure
+//! function of `(seed, player, time)` — never of event ordering or of
+//! how many other random draws happened first.
+//!
+//! [`GazeModel`] therefore has no mutable state at all. It hashes the
+//! player id and the index of the current *fixation interval* (eye
+//! movement is saccade-then-dwell; dwell times are a few hundred
+//! milliseconds) through SplitMix64 to get a per-fixation focus value,
+//! then interpolates linearly between consecutive fixations so the
+//! weight drifts smoothly instead of stepping. The result is a region
+//! weight in `[0, 1]`: 1 means the delivered segment's screen region is
+//! under the fovea, 0 means deep periphery.
+//!
+//! Because the model is stateless it is also *order-robust*: two runs
+//! that deliver the same segment at the same simulated time see the
+//! same weight, regardless of what else the scheduler interleaved.
+
+use cloudfog_sim::rng::splitmix64;
+use cloudfog_sim::time::{SimDuration, SimTime};
+
+/// Dwell time of one gaze fixation: a new focus value every 400 ms,
+/// with linear drift between them.
+pub const FIXATION_DWELL: SimDuration = SimDuration::from_millis(400);
+
+/// Stateless, deterministic per-player gaze signal.
+///
+/// ```
+/// use cloudfog_sim::time::SimTime;
+/// use cloudfog_workload::gaze::GazeModel;
+///
+/// let gaze = GazeModel::new(11);
+/// let w = gaze.weight(42, SimTime::from_millis(1_500));
+/// assert!((0.0..=1.0).contains(&w));
+/// // Pure function: same (seed, player, time) → same weight.
+/// assert_eq!(w, GazeModel::new(11).weight(42, SimTime::from_millis(1_500)));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct GazeModel {
+    seed: u64,
+}
+
+impl GazeModel {
+    /// A gaze model for one run, derived from the run seed.
+    pub fn new(seed: u64) -> Self {
+        GazeModel { seed }
+    }
+
+    /// Focus value of fixation interval `k` for `player`: a uniform
+    /// draw in `[0, 1]` hashed from `(seed, player, k)`.
+    fn fixation(&self, player: u64, k: u64) -> f64 {
+        let mut state = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(player.wrapping_mul(0xD134_2543_DE82_EF95))
+            .wrapping_add(k);
+        // Two mixer rounds: one round leaves visible correlation
+        // between adjacent (player, k) pairs.
+        splitmix64(&mut state);
+        let bits = splitmix64(&mut state);
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Gaze region weight for `player` at simulated time `at`, in
+    /// `[0, 1]` (1 = foveal focus, 0 = deep periphery).
+    pub fn weight(&self, player: u64, at: SimTime) -> f64 {
+        let dwell = FIXATION_DWELL.as_micros();
+        let us = at.as_micros();
+        let k = us / dwell;
+        let frac = (us % dwell) as f64 / dwell as f64;
+        let a = self.fixation(player, k);
+        let b = self.fixation(player, k + 1);
+        a + (b - a) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_is_deterministic_and_bounded() {
+        let g = GazeModel::new(11);
+        for player in 0..50u64 {
+            for ms in (0..5_000).step_by(37) {
+                let at = SimTime::from_millis(ms);
+                let w = g.weight(player, at);
+                assert!((0.0..=1.0).contains(&w), "w = {w}");
+                assert_eq!(w, GazeModel::new(11).weight(player, at));
+            }
+        }
+    }
+
+    #[test]
+    fn weight_drifts_continuously_within_a_fixation() {
+        let g = GazeModel::new(7);
+        // Consecutive millisecond samples may never jump more than the
+        // per-dwell span allows (|b − a| ≤ 1 over 400 ms ⇒ ≤ 0.0025/ms).
+        let mut prev = g.weight(3, SimTime::from_millis(0));
+        for ms in 1..2_000u64 {
+            let w = g.weight(3, SimTime::from_millis(ms));
+            assert!((w - prev).abs() <= 0.0026, "jump {prev} → {w} at {ms} ms");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn players_and_seeds_decorrelate() {
+        let g = GazeModel::new(11);
+        let at = SimTime::from_millis(1_234);
+        let a = g.weight(1, at);
+        let b = g.weight(2, at);
+        let c = GazeModel::new(12).weight(1, at);
+        assert_ne!(a, b, "players share a gaze track");
+        assert_ne!(a, c, "seeds share a gaze track");
+    }
+
+    #[test]
+    fn weights_cover_the_range() {
+        let g = GazeModel::new(3);
+        let mut lo: f64 = 1.0;
+        let mut hi: f64 = 0.0;
+        for player in 0..200u64 {
+            let w = g.weight(player, SimTime::from_millis(200));
+            lo = lo.min(w);
+            hi = hi.max(w);
+        }
+        assert!(lo < 0.2 && hi > 0.8, "range collapsed: [{lo}, {hi}]");
+    }
+}

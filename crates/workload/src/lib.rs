@@ -13,12 +13,15 @@
 //!   (`NotConnected → Connecting → Connected → InGame → Draining →
 //!   Gone`) that live-churn runs drive.
 //! * [`population`] — one-shot §IV universe assembly from a seed.
+//! * [`gaze`] — stateless deterministic gaze/attention signal for the
+//!   foveated adaptation policy.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod arrival;
 pub mod games;
+pub mod gaze;
 pub mod player;
 pub mod population;
 pub mod session;
@@ -28,6 +31,7 @@ pub mod social;
 pub mod prelude {
     pub use crate::arrival::{DiurnalArrivals, PoissonArrivals, SessionCycle};
     pub use crate::games::{adjust_up_factor, Game, GameId, QualityLevel, GAMES, QUALITY_LEVELS};
+    pub use crate::gaze::GazeModel;
     pub use crate::player::{CapacityDistribution, PlayClass, Player, PlayerId};
     pub use crate::population::{Population, PopulationConfig};
     pub use crate::session::{IllegalTransition, SessionState};

@@ -20,8 +20,11 @@ fn main() {
     let game = &GAMES[1]; // World of Wonder: 90 ms, ρ = 0.9
     let tau = params.segment_duration;
 
-    let mut controller = RateController::new(game, params.theta, params.hysteresis_window);
-    controller.prime(1.0, tau);
+    // `build` constructs *and* primes the policy in one step — no
+    // mutate-after-construct window where quality is observable but
+    // the startup buffer is not seeded.
+    let mut controller = AdaptPolicyKind::BufferOccupancy.build(game, &params);
+    let mut rng_policy = Rng::new(11 ^ 0x5712_EA11);
     let mut buffer = SenderBuffer::new(SchedulingPolicy::DeadlineDriven, Mbps(6.0), &params);
     buffer.record_propagation(PlayerId(0), SimDuration::from_millis(9));
 
@@ -69,7 +72,8 @@ fn main() {
             let d = if inter > 0.0 { (tau.as_secs_f64() / inter).min(2.0) } else { 2.0 };
             last_arrival = arrival;
             let latency = arrival.saturating_since(seg.action_time);
-            let decision = controller.observe(arrival, d, 1.0, tau);
+            let inputs = PolicyInputs::rate_only(arrival, d, 1.0, tau);
+            let (decision, explain) = controller.observe_explained(&inputs, &mut rng_policy);
 
             if step % 10 == 0 || decision != RateDecision::Hold {
                 println!(
@@ -77,7 +81,7 @@ fn main() {
                     t,
                     format!("{:.1}Mbps", available.0),
                     d,
-                    controller.r(tau),
+                    explain.r,
                     format!("L{}", controller.quality().level),
                     format!("{:.0}ms", latency.as_millis_f64()),
                     report.packets_dropped,

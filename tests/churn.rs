@@ -133,6 +133,7 @@ fn violated_churn_invariant_shrinks_to_one_line_reproducer() {
         template: repro.script.clone().map(FaultTemplate::Fixed).unwrap_or(FaultTemplate::None),
         telemetry: None,
         churn: repro.churn.clone(),
+        policy: repro.policy,
     };
     let output = StreamingSim::run_instrumented(shrunk.config());
     assert!(

@@ -110,6 +110,7 @@ fn violated_invariant_shrinks_to_replayable_reproducer() {
         template: repro.script.clone().map(FaultTemplate::Fixed).unwrap_or(FaultTemplate::None),
         telemetry: None,
         churn: repro.churn.clone(),
+        policy: repro.policy,
     };
     let output = StreamingSim::run_instrumented(shrunk.config());
     assert!(
@@ -135,6 +136,7 @@ fn stock_registry_names_are_stable() {
         "causal.span_order",
         "causal.span_sum",
         "causal.drop_provenance",
+        "adapt.ladder_bounds",
         "session.no_orphans",
         "conservation.join_leave",
         "retry.bounded",

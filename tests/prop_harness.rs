@@ -50,6 +50,7 @@ fn cell(id: usize, seed: u64) -> CellResult {
             template: FaultTemplate::None,
             telemetry: None,
             churn: None,
+            policy: AdaptPolicyKind::BufferOccupancy,
         },
         summary: summary(id, seed),
         telemetry: None,

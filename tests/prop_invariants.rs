@@ -140,7 +140,7 @@ proptest! {
         let mut c = RateController::new(game, 0.5, 3);
         let tau = SimDuration::from_millis(200);
         for (k, &d) in rates.iter().enumerate() {
-            c.observe(SimTime::from_millis(200 * (k as u64 + 1)), d, 1.0, tau);
+            c.observe_explained(SimTime::from_millis(200 * (k as u64 + 1)), d, 1.0, tau);
             let level = c.quality().level;
             prop_assert!(level >= 1);
             prop_assert!(level <= game.max_quality().level);
