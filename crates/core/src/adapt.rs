@@ -225,7 +225,10 @@ impl RateController {
         self.buffered = segments * segment_duration.as_secs_f64();
     }
 
-    /// Feed one estimation step (Eq. 7) and apply Eqs. 9–11.
+    /// Feed one estimation step (Eq. 7) and apply Eqs. 9–11,
+    /// returning the decision together with its provenance — the rate
+    /// estimate, thresholds and consecutive-estimation counters at
+    /// the moment the decision was made.
     ///
     /// * `now` — estimation instant t_k;
     /// * `download_rate` — d(t_k), in units of *video-seconds fetched
@@ -233,25 +236,6 @@ impl RateController {
     /// * `playback_rate` — b_p(t_k), video-seconds consumed per wall
     ///   second (1.0 while playing, 0.0 while stalled);
     /// * `segment_duration` — τ.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use AdaptPolicy::observe_explained (or RateController::observe_explained) — \
-                the thin wrapper hides the provenance the causal log needs"
-    )]
-    pub fn observe(
-        &mut self,
-        now: SimTime,
-        download_rate: f64,
-        playback_rate: f64,
-        segment_duration: SimDuration,
-    ) -> RateDecision {
-        self.observe_explained(now, download_rate, playback_rate, segment_duration).0
-    }
-
-    /// [`Self::observe`], additionally returning the decision's
-    /// provenance — the rate estimate, thresholds and
-    /// consecutive-estimation counters at the moment the decision was
-    /// made. The decision itself is identical to [`Self::observe`].
     pub fn observe_explained(
         &mut self,
         now: SimTime,
@@ -276,21 +260,11 @@ impl RateController {
     /// estimate without touching it — the entry point for event-driven
     /// simulations that maintain the buffer via
     /// [`RateController::on_segment_arrival`] /
-    /// [`RateController::on_playback`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use AdaptPolicy::evaluate_explained (or RateController::evaluate_explained) — \
-                the thin wrapper hides the provenance the causal log needs"
-    )]
-    pub fn evaluate(&mut self, segment_duration: SimDuration) -> RateDecision {
-        self.evaluate_explained(segment_duration).0
-    }
-
-    /// [`Self::evaluate`], additionally returning the decision's
-    /// provenance. The explain snapshot captures the rate estimate,
-    /// both thresholds and the consecutive-estimation counters *after*
-    /// this estimation was counted but *before* a firing run is reset
-    /// — so a switch shows the run length that actually triggered it.
+    /// [`RateController::on_playback`]. The explain snapshot captures
+    /// the rate estimate, both thresholds and the
+    /// consecutive-estimation counters *after* this estimation was
+    /// counted but *before* a firing run is reset — so a switch shows
+    /// the run length that actually triggered it.
     pub fn evaluate_explained(
         &mut self,
         segment_duration: SimDuration,

@@ -269,6 +269,105 @@ impl AdmissionParams {
     }
 }
 
+/// What one cross-shard control message asks the receiving sub-world
+/// to do. Exchanged *only* at a tick boundary — mid-epoch no shard can
+/// observe another, which is what makes lane-parallel execution
+/// bit-identical to sequential execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundaryOpKind {
+    /// Tear down `depart`'s session in the source shard; the avatar
+    /// re-enters play as `arrive` in the destination shard's resident
+    /// population (a cross-region hop or migration).
+    Hop {
+        /// Player leaving the source shard (local to the source).
+        depart: PlayerId,
+        /// Idle resident absorbing the session in the destination
+        /// shard (local to the destination).
+        arrive: PlayerId,
+    },
+    /// No destination shard had a free slot: the session falls back to
+    /// the source shard's cloud path (the player drops and re-enters
+    /// through the normal assignment pipeline, which sheds to the
+    /// nearest datacenter when the regional fog is saturated).
+    CloudFallback {
+        /// Player whose hop was refused (local to the source shard).
+        player: PlayerId,
+    },
+}
+
+/// One sequence-numbered cross-shard operation.
+///
+/// The sequence number is issued by the [`BoundaryLedger`] in planning
+/// order, so sorting ops by `(to_shard, seq)` is a total order that
+/// does not depend on which lane simulated which shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoundaryOp {
+    /// Ledger-issued sequence number (total order across the run).
+    pub seq: u64,
+    /// Shard the op originates from.
+    pub from_shard: u32,
+    /// Shard whose inbox receives the op.
+    pub to_shard: u32,
+    /// The boundary this op was planned at (and the simulated time the
+    /// receiving shard applies it).
+    pub at: SimTime,
+    /// What the receiving shard should do.
+    pub kind: BoundaryOpKind,
+}
+
+/// The single-writer ledger of cross-shard operations.
+///
+/// Only the (sequential) boundary-maintenance phase pushes ops, in
+/// canonical shard order, so sequence numbers — and therefore the
+/// routed delivery order — are identical for every lane count.
+#[derive(Clone, Debug, Default)]
+pub struct BoundaryLedger {
+    next_seq: u64,
+    ops: Vec<BoundaryOp>,
+    hops: u64,
+    fallbacks: u64,
+}
+
+impl BoundaryLedger {
+    /// An empty ledger starting at sequence 0.
+    pub fn new() -> Self {
+        BoundaryLedger::default()
+    }
+
+    /// Record one op, stamping the next sequence number.
+    pub fn push(&mut self, from_shard: u32, to_shard: u32, at: SimTime, kind: BoundaryOpKind) {
+        match kind {
+            BoundaryOpKind::Hop { .. } => self.hops += 1,
+            BoundaryOpKind::CloudFallback { .. } => self.fallbacks += 1,
+        }
+        self.ops.push(BoundaryOp { seq: self.next_seq, from_shard, to_shard, at, kind });
+        self.next_seq += 1;
+    }
+
+    /// Drain the pending ops sorted by `(to_shard, seq)` — the
+    /// deterministic routing order for inbox delivery.
+    pub fn drain_routed(&mut self) -> Vec<BoundaryOp> {
+        let mut ops = std::mem::take(&mut self.ops);
+        ops.sort_by_key(|op| (op.to_shard, op.seq));
+        ops
+    }
+
+    /// Total hops recorded over the ledger's lifetime.
+    pub fn hops(&self) -> u64 {
+        self.hops
+    }
+
+    /// Total cloud fallbacks recorded over the ledger's lifetime.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Total ops ever sequenced (including already-drained ones).
+    pub fn sequenced(&self) -> u64 {
+        self.next_seq
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +452,23 @@ mod tests {
         };
         assert_eq!(op.kind.label(), "assign");
         assert!(op.deadline > op.issued_at);
+    }
+
+    #[test]
+    fn boundary_ledger_routes_by_destination_then_sequence() {
+        let mut ledger = BoundaryLedger::new();
+        let at = SimTime::from_secs(3);
+        let hop = |d: u32, a: u32| BoundaryOpKind::Hop { depart: PlayerId(d), arrive: PlayerId(a) };
+        ledger.push(0, 2, at, hop(1, 9));
+        ledger.push(1, 0, at, hop(4, 2));
+        ledger.push(2, 0, at, BoundaryOpKind::CloudFallback { player: PlayerId(7) });
+        ledger.push(0, 1, at, hop(5, 5));
+        let routed = ledger.drain_routed();
+        let order: Vec<(u32, u64)> = routed.iter().map(|op| (op.to_shard, op.seq)).collect();
+        assert_eq!(order, vec![(0, 1), (0, 2), (1, 3), (2, 0)]);
+        assert_eq!(ledger.hops(), 3);
+        assert_eq!(ledger.fallbacks(), 1);
+        assert_eq!(ledger.sequenced(), 4);
+        assert!(ledger.drain_routed().is_empty());
     }
 }

@@ -212,6 +212,120 @@ pub fn apply_migrations(table: &mut SupernodeTable, plan: &[Migration]) -> usize
     apply_migrations_checked(table, plan).applied
 }
 
+/// Tick-boundary occupancy of one sub-world, as sampled by the
+/// sharded driver: live sessions, resident population, and queued
+/// sender backlog (packets).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPressure {
+    /// Players with a live, non-draining session.
+    pub active: usize,
+    /// Resident population (the shard's fixed capacity bound).
+    pub residents: usize,
+    /// Packets still queued across the shard's sender buffers.
+    pub backlog: u64,
+}
+
+impl ShardPressure {
+    /// Session occupancy in `[0, 1]`: live sessions over residents.
+    pub fn occupancy(&self) -> f64 {
+        if self.residents == 0 {
+            return 0.0;
+        }
+        self.active as f64 / self.residents as f64
+    }
+}
+
+/// How eagerly the sharded driver moves sessions between sub-worlds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardExchangePolicy {
+    /// Occupancy headroom over the mean before a shard donates
+    /// sessions (mirrors [`CoopPolicy::overload_factor`] one level up:
+    /// the same greedy most-loaded-first rule, applied to whole
+    /// shards instead of supernodes).
+    pub spread: f64,
+    /// Most sessions any one shard may hand off per boundary — bounds
+    /// both the exchange traffic and the planner's work per tick.
+    pub hop_quota: usize,
+}
+
+impl Default for ShardExchangePolicy {
+    fn default() -> Self {
+        ShardExchangePolicy { spread: 0.10, hop_quota: 8 }
+    }
+}
+
+/// One planned donation: `count` sessions hop `from → to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardHandoff {
+    /// Donating shard (index into the pressure slice).
+    pub from: usize,
+    /// Receiving shard.
+    pub to: usize,
+    /// Sessions to move.
+    pub count: usize,
+}
+
+/// Plan cross-shard session handoffs from boundary occupancy.
+///
+/// Pure and RNG-free, mirroring [`plan_rebalance`]'s greedy shape one
+/// level up: shards whose occupancy exceeds the population-weighted
+/// mean by more than `policy.spread` donate (most crowded first, ties
+/// to the lower index) to the least-crowded shard with free residents.
+/// The same pressures always produce the same plan, which is what
+/// keeps the boundary exchange identical across lane counts.
+pub fn plan_shard_handoffs(
+    pressures: &[ShardPressure],
+    policy: &ShardExchangePolicy,
+) -> Vec<ShardHandoff> {
+    if pressures.len() < 2 {
+        return Vec::new();
+    }
+    let total_active: usize = pressures.iter().map(|p| p.active).sum();
+    let total_residents: usize = pressures.iter().map(|p| p.residents).sum();
+    if total_residents == 0 {
+        return Vec::new();
+    }
+    let mean = total_active as f64 / total_residents as f64;
+    let threshold = mean + policy.spread;
+    // Working copies updated as we plan, so one boundary's plan is
+    // internally consistent even with several donors.
+    let mut active: Vec<usize> = pressures.iter().map(|p| p.active).collect();
+    let mut donors: Vec<usize> = (0..pressures.len())
+        .filter(|&i| pressures[i].residents > 0 && pressures[i].occupancy() > threshold)
+        .collect();
+    donors.sort_by(|&a, &b| {
+        pressures[b]
+            .occupancy()
+            .partial_cmp(&pressures[a].occupancy())
+            .expect("finite occupancy")
+            .then(a.cmp(&b))
+    });
+    let mut plan = Vec::new();
+    for src in donors {
+        // Sessions above the mean line, bounded by the quota.
+        let surplus =
+            active[src].saturating_sub((mean * pressures[src].residents as f64).ceil() as usize);
+        let mut remaining = surplus.min(policy.hop_quota);
+        while remaining > 0 {
+            let dest = (0..pressures.len())
+                .filter(|&d| d != src && pressures[d].residents > active[d])
+                .min_by(|&a, &b| {
+                    let oa = active[a] as f64 / pressures[a].residents as f64;
+                    let ob = active[b] as f64 / pressures[b].residents as f64;
+                    oa.partial_cmp(&ob).expect("finite occupancy").then(a.cmp(&b))
+                });
+            let Some(dest) = dest else { break };
+            let room = pressures[dest].residents - active[dest];
+            let count = remaining.min(room);
+            active[src] -= count;
+            active[dest] += count;
+            remaining -= count;
+            plan.push(ShardHandoff { from: src, to: dest, count });
+        }
+    }
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,5 +468,50 @@ mod tests {
             1,
             "idempotent re-apply never double-assigns"
         );
+    }
+
+    fn pressure(active: usize, residents: usize) -> ShardPressure {
+        ShardPressure { active, residents, backlog: 0 }
+    }
+
+    #[test]
+    fn shard_handoffs_move_from_crowded_to_empty() {
+        let policy = ShardExchangePolicy { spread: 0.10, hop_quota: 8 };
+        // Mean occupancy 0.5; shard 0 at 1.0 is over, shard 2 at 0.0
+        // has the most room.
+        let pressures = [pressure(100, 100), pressure(50, 100), pressure(0, 100)];
+        let plan = plan_shard_handoffs(&pressures, &policy);
+        assert_eq!(plan, vec![ShardHandoff { from: 0, to: 2, count: 8 }]);
+    }
+
+    #[test]
+    fn shard_handoffs_respect_quota_and_capacity() {
+        let policy = ShardExchangePolicy { spread: 0.0, hop_quota: 50 };
+        // Destination has only 3 free residents: the donation splits
+        // across destinations rather than overfilling one.
+        let pressures = [pressure(90, 100), pressure(97, 100), pressure(10, 100)];
+        let plan = plan_shard_handoffs(&pressures, &policy);
+        assert!(!plan.is_empty());
+        let mut active: Vec<i64> = pressures.iter().map(|p| p.active as i64).collect();
+        for h in &plan {
+            active[h.from] -= h.count as i64;
+            active[h.to] += h.count as i64;
+        }
+        for (i, a) in active.iter().enumerate() {
+            assert!(*a >= 0 && *a <= pressures[i].residents as i64, "shard {i} at {a}");
+        }
+        let donated: usize = plan.iter().filter(|h| h.from == 1).map(|h| h.count).sum();
+        assert!(donated <= policy.hop_quota);
+    }
+
+    #[test]
+    fn shard_handoffs_are_empty_when_balanced_or_degenerate() {
+        let policy = ShardExchangePolicy::default();
+        let balanced = [pressure(50, 100), pressure(50, 100)];
+        assert!(plan_shard_handoffs(&balanced, &policy).is_empty());
+        assert!(plan_shard_handoffs(&[pressure(10, 10)], &policy).is_empty());
+        assert!(plan_shard_handoffs(&[], &policy).is_empty());
+        let empty_worlds = [pressure(0, 0), pressure(0, 0)];
+        assert!(plan_shard_handoffs(&empty_worlds, &policy).is_empty());
     }
 }

@@ -88,9 +88,11 @@ pub mod prelude {
     pub use crate::security::{Reputation, TrustEvent, TrustManager};
     pub use crate::streaming::{PlayerStreamStats, Segment, SegmentId, SegmentIdAlloc};
     pub use crate::systems::{
-        coverage_curve, supernode_load_experiment, ChurnConfig, ChurnStats, CoveragePoint,
-        Deployment, FogStats, GameQoe, JoinPattern, LatencyStats, LoadExperimentConfig, LoadPoint,
-        QoeSeries, QoeStats, RunOutput, RunSummary, StreamSource, StreamingSim, StreamingSimConfig,
+        coverage_curve, partition, supernode_load_experiment, ChurnConfig, ChurnStats,
+        CoveragePoint, Deployment, ExchangeStats, FogStats, GameQoe, JoinPattern, LatencyStats,
+        LoadExperimentConfig, LoadPoint, QoeSeries, QoeStats, RunOutput, RunSummary, ShardCell,
+        ShardMerge, ShardSpec, ShardedRunOutput, ShardedSim, ShardedSimConfig,
+        ShardedSimConfigBuilder, StreamSource, StreamingSim, StreamingSimConfig,
         StreamingSimConfigBuilder, SystemKind, TrafficStats,
     };
     pub use cloudfog_sim::causal::{

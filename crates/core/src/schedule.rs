@@ -113,6 +113,15 @@ impl SenderBuffer {
         self.queue.iter().map(|s| s.surviving_bytes(params)).sum()
     }
 
+    /// Total packets still scheduled for transmission (post-drop).
+    ///
+    /// The backlog-pressure signal a sharded driver samples at a tick
+    /// boundary: unlike [`SenderBuffer::len`] it weighs each queued
+    /// segment by how many packets actually remain to send.
+    pub fn queued_packets(&self) -> u64 {
+        self.queue.iter().map(|s| s.surviving_packets() as u64).sum()
+    }
+
     /// The uplink capacity used for estimates.
     pub fn uplink(&self) -> Mbps {
         self.uplink

@@ -24,17 +24,29 @@ pub struct SegmentId(pub u64);
 /// The run-global segment-id allocator.
 ///
 /// One instance per simulation; ids increase in allocation order
-/// starting at 0, so they also encode generation order and are
-/// deterministic for a given seed.
+/// starting at `base` (0 for a monolithic run), so they also encode
+/// generation order and are deterministic for a given seed. A sharded
+/// run gives every sub-world a disjoint `base` so ids stay *run*-global
+/// join keys even when several worlds allocate concurrently.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SegmentIdAlloc {
     next: u64,
+    base: u64,
 }
 
 impl SegmentIdAlloc {
     /// A fresh allocator starting at id 0.
     pub fn new() -> Self {
         SegmentIdAlloc::default()
+    }
+
+    /// A fresh allocator whose first id is `base`.
+    ///
+    /// Sharded drivers hand shard `i` a base of `i << 40`: any two
+    /// shards draw from disjoint ranges, so merged causal traces and
+    /// telemetry JSONL keep unique segment keys without coordination.
+    pub fn with_base(base: u64) -> Self {
+        SegmentIdAlloc { next: base, base }
     }
 
     /// The next globally unique id.
@@ -44,9 +56,9 @@ impl SegmentIdAlloc {
         id
     }
 
-    /// How many ids have been issued.
+    /// How many ids have been issued (independent of the base).
     pub fn issued(&self) -> u64 {
-        self.next
+        self.next - self.base
     }
 }
 
@@ -409,5 +421,17 @@ mod tests {
         assert_eq!(b, SegmentId(1));
         assert_eq!(c, SegmentId(2));
         assert_eq!(alloc.issued(), 3);
+    }
+
+    #[test]
+    fn segment_id_alloc_with_base_keeps_shard_ranges_disjoint() {
+        let mut shard0 = SegmentIdAlloc::with_base(0);
+        let mut shard1 = SegmentIdAlloc::with_base(1 << 40);
+        assert_eq!(shard0.next_id(), SegmentId(0));
+        assert_eq!(shard1.next_id(), SegmentId(1 << 40));
+        assert_eq!(shard1.next_id(), SegmentId((1 << 40) + 1));
+        assert_eq!(shard0.issued(), 1);
+        assert_eq!(shard1.issued(), 2);
+        assert_eq!(SegmentIdAlloc::with_base(0), SegmentIdAlloc::new());
     }
 }

@@ -18,15 +18,21 @@
 //! [`coverage`] is the static analysis behind Figures 5 and 6;
 //! [`simulation`] is the event-driven streaming simulation behind
 //! Figures 7–11; [`supernode_load`] is the per-supernode load
-//! microbench behind Figures 10 and 11.
+//! microbench behind Figures 10 and 11; [`sharded`] shards one run
+//! into per-region sub-worlds exchanging events at tick boundaries.
 
 pub mod coverage;
 pub mod deployment;
+pub mod sharded;
 pub mod simulation;
 pub mod supernode_load;
 
 pub use coverage::{coverage_curve, CoveragePoint};
 pub use deployment::{Deployment, StreamSource, SystemKind};
+pub use sharded::{
+    partition, ExchangeStats, ShardCell, ShardMerge, ShardSpec, ShardedRunOutput, ShardedSim,
+    ShardedSimConfig, ShardedSimConfigBuilder,
+};
 pub use simulation::{
     ChurnConfig, ChurnStats, FogStats, GameQoe, JoinPattern, LatencyStats, QoeSeries, QoeStats,
     RunOutput, RunSummary, StreamingSim, StreamingSimConfig, StreamingSimConfigBuilder,

@@ -212,6 +212,33 @@ pub struct ChurnStats {
     pub illegal_transitions: u64,
 }
 
+impl ChurnStats {
+    /// Fold another run's counters into this one (every field sums;
+    /// the conservation identities above are closed under the sum, so
+    /// the merged stats satisfy them whenever each part does). Used by
+    /// the sharded driver to aggregate per-shard lifecycle accounting.
+    pub fn absorb(&mut self, other: &ChurnStats) {
+        self.sessions_started += other.sessions_started;
+        self.sessions_connected += other.sessions_connected;
+        self.sessions_completed += other.sessions_completed;
+        self.admitted_normal += other.admitted_normal;
+        self.admitted_degraded += other.admitted_degraded;
+        self.admitted_shed += other.admitted_shed;
+        self.control_ops += other.control_ops;
+        self.control_retries += other.control_retries;
+        self.control_expired += other.control_expired;
+        self.migrations_applied += other.migrations_applied;
+        self.migrations_skipped += other.migrations_skipped;
+        self.supernode_arrivals += other.supernode_arrivals;
+        self.supernode_retirements += other.supernode_retirements;
+        self.retirement_rehomed += other.retirement_rehomed;
+        self.connecting_at_end += other.connecting_at_end;
+        self.ingame_at_end += other.ingame_at_end;
+        self.draining_at_end += other.draining_at_end;
+        self.illegal_transitions += other.illegal_transitions;
+    }
+}
+
 /// Configuration of one streaming run.
 #[derive(Clone, Debug)]
 pub struct StreamingSimConfig {
@@ -268,6 +295,11 @@ pub struct StreamingSimConfig {
     /// (default [`AdaptPolicyKind::BufferOccupancy`] — the paper's
     /// controller, bit-identical to the pre-arena behaviour).
     pub policy: AdaptPolicyKind,
+    /// First segment id this run allocates (default 0 — unchanged
+    /// bit for bit). A sharded driver hands every sub-world a disjoint
+    /// base so segment ids stay run-global join keys across the merged
+    /// telemetry/causal exports.
+    pub segment_id_base: u64,
 }
 
 impl StreamingSimConfig {
@@ -305,6 +337,7 @@ impl StreamingSimConfig {
                 telemetry: None,
                 churn: None,
                 policy: AdaptPolicyKind::BufferOccupancy,
+                segment_id_base: 0,
             },
             players: 1_000,
             custom_profile: false,
@@ -441,6 +474,14 @@ impl StreamingSimConfigBuilder {
     /// buffer-occupancy controller).
     pub fn policy(mut self, policy: AdaptPolicyKind) -> Self {
         self.cfg.policy = policy;
+        self
+    }
+
+    /// First segment id this run allocates (sharded drivers give each
+    /// sub-world a disjoint range; 0 — the default — is bit-identical
+    /// to the pre-sharding allocator).
+    pub fn segment_id_base(mut self, base: u64) -> Self {
+        self.cfg.segment_id_base = base;
         self
     }
 
@@ -988,6 +1029,7 @@ impl StreamingSim {
             _ => Vec::new(),
         };
         let gaze = GazeModel::new(cfg.seed ^ 0x6A2E);
+        let cfg_segment_id_base = cfg.segment_id_base;
         StreamingSim {
             cfg,
             deployment,
@@ -1011,7 +1053,7 @@ impl StreamingSim {
             gray_victims: vec![None; faults],
             faults_activated: 0,
             telemetry,
-            segment_ids: SegmentIdAlloc::new(),
+            segment_ids: SegmentIdAlloc::with_base(cfg_segment_id_base),
             rng_assign,
             rng_game,
             rng_net,
@@ -1060,8 +1102,10 @@ impl StreamingSim {
 
     /// Build the fully-seeded simulation for `cfg`: model constructed,
     /// measurement window set, joins / chaos / watchdog / fault events
-    /// all enqueued, horizon armed. Shared by every run entry point.
-    fn prepared(cfg: StreamingSimConfig) -> Simulation<StreamingSim> {
+    /// all enqueued, horizon armed. Shared by every run entry point,
+    /// including the sharded driver (which steps the returned
+    /// simulation in tick-boundary phases via `set_horizon`).
+    pub(crate) fn prepared(cfg: StreamingSimConfig) -> Simulation<StreamingSim> {
         let horizon = cfg.horizon;
         let ramp = cfg.ramp;
         let mut model = StreamingSim::new(cfg);
@@ -1225,7 +1269,7 @@ impl StreamingSim {
         }
     }
 
-    fn finish(&mut self, end: SimTime) {
+    pub(crate) fn finish(&mut self, end: SimTime) {
         // Close any open update feeds and convert to bytes.
         for (_, (count, since)) in std::mem::take(&mut self.update_feeds) {
             if count > 0 {
@@ -1252,7 +1296,7 @@ impl StreamingSim {
         }
     }
 
-    fn summarize(&self, events: u64, _end: SimTime) -> RunSummary {
+    pub(crate) fn summarize(&self, events: u64, _end: SimTime) -> RunSummary {
         let params = &self.cfg.params;
         let last_game = &self.last_game;
         let coverage = self.metrics.coverage(|pid: PlayerId| {
@@ -1331,9 +1375,56 @@ impl StreamingSim {
         self.telemetry.as_mut().map(|t| &mut t.causal)
     }
 
+    /// Lifecycle counters accumulated so far (meaningful only when
+    /// churn is enabled; all-zero otherwise).
+    pub(crate) fn churn_stats(&self) -> &ChurnStats {
+        &self.churn_stats
+    }
+
+    /// The causal report for a finished run, when telemetry was on.
+    pub(crate) fn causal_report(&self, run: &str) -> Option<CausalReport> {
+        self.telemetry.as_ref().map(|t| t.causal.report(run))
+    }
+
+    /// Deterministic tick-boundary snapshot for the sharded driver:
+    /// live-session count, resident population and total sender
+    /// backlog. Read-only — sampling a world between epochs cannot
+    /// perturb its event stream.
+    pub(crate) fn boundary_pressure(&self) -> (usize, usize, u64) {
+        let active = self.active.iter().filter(|a| a.is_some()).count();
+        let backlog: u64 = self.senders.iter().flatten().map(|s| s.buffer.queued_packets()).sum();
+        (active, self.deployment.population.len(), backlog)
+    }
+
+    /// The first `n` players with a live, non-draining session, in
+    /// ascending id order — the deterministic pick of departure
+    /// candidates for a cross-shard hop.
+    pub(crate) fn departure_candidates(&self, n: usize) -> Vec<PlayerId> {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.as_ref().is_some_and(|a| !a.draining))
+            .map(|(i, _)| PlayerId(i as u32))
+            .take(n)
+            .collect()
+    }
+
+    /// The first `n` resident players with no live session, in
+    /// ascending id order — the deterministic pick of slots that can
+    /// absorb an avatar arriving from another shard.
+    pub(crate) fn arrival_candidates(&self, n: usize) -> Vec<PlayerId> {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_none())
+            .map(|(i, _)| PlayerId(i as u32))
+            .take(n)
+            .collect()
+    }
+
     /// Build the telemetry artifact for a finished run. Must only be
     /// called when telemetry was enabled.
-    fn telemetry_report(&self, summary: &RunSummary) -> TelemetryReport {
+    pub(crate) fn telemetry_report(&self, summary: &RunSummary) -> TelemetryReport {
         let state = self.telemetry.as_ref().expect("telemetry enabled");
         let tcfg = &state.cfg;
         let mut report = TelemetryReport::new(self.cfg.kind.label());

@@ -14,7 +14,9 @@
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
-use cloudfog_core::systems::{RunOutput, RunSummary, StreamingSim, SystemKind};
+use cloudfog_core::systems::{
+    RunOutput, RunSummary, ShardedRunOutput, ShardedSim, StreamingSim, SystemKind,
+};
 use cloudfog_sim::telemetry::TelemetryReport;
 
 use crate::invariant::{InvariantRegistry, Violation};
@@ -34,9 +36,13 @@ pub struct CellResult {
 }
 
 /// Run one scenario to completion and package the deterministic parts.
+/// Cells carrying a [`ShardProfile`](crate::scenario::ShardProfile)
+/// run region-sharded; everything else runs one monolithic world.
 pub fn run_scenario(scenario: &Scenario) -> CellResult {
-    let output = StreamingSim::run_instrumented(scenario.config());
-    cell_from_output(scenario, &output)
+    match scenario.sharded_config() {
+        Some(cfg) => cell_from_sharded(scenario, &ShardedSim::run(&cfg)),
+        None => cell_from_output(scenario, &StreamingSim::run_instrumented(scenario.config())),
+    }
 }
 
 /// Package an already-computed [`RunOutput`] as a cell.
@@ -46,6 +52,16 @@ pub fn cell_from_output(scenario: &Scenario, output: &RunOutput) -> CellResult {
         t
     });
     CellResult { scenario: scenario.clone(), summary: output.summary.clone(), telemetry }
+}
+
+/// Package a sharded run as a cell: the merged summary and telemetry
+/// stand in for the monolithic ones (the merge already strips phases).
+pub fn cell_from_sharded(scenario: &Scenario, output: &ShardedRunOutput) -> CellResult {
+    CellResult {
+        scenario: scenario.clone(),
+        summary: output.summary.clone(),
+        telemetry: output.telemetry.clone(),
+    }
 }
 
 /// The merged outcome of a matrix: cells keyed by scenario id.
@@ -259,9 +275,18 @@ pub fn run_matrix(
     workers: usize,
 ) -> (MatrixReport, Vec<Violation>) {
     let results = cloudfog_pool::map_indexed(workers, scenarios, |_, scenario| {
-        let output = StreamingSim::run_instrumented(scenario.config());
-        let violations = registry.check_run(scenario, &output);
-        (cell_from_output(scenario, &output), violations)
+        match scenario.sharded_config() {
+            // Sharded cells carry their own correctness harness (the
+            // 1-vs-N-lane identity gate); the run-level invariants are
+            // written against a monolithic RunOutput, so only
+            // matrix-level invariants see sharded cells.
+            Some(cfg) => (cell_from_sharded(scenario, &ShardedSim::run(&cfg)), Vec::new()),
+            None => {
+                let output = StreamingSim::run_instrumented(scenario.config());
+                let violations = registry.check_run(scenario, &output);
+                (cell_from_output(scenario, &output), violations)
+            }
+        }
     });
 
     let mut report = MatrixReport::new();

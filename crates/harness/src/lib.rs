@@ -145,7 +145,9 @@ pub mod prelude {
     pub use crate::exec::{CellResult, MatrixAggregate, MatrixReport, SystemAggregate};
     pub use crate::invariant::{Invariant, InvariantRegistry, Violation};
     pub use crate::report::HarnessReport;
-    pub use crate::scenario::{ChurnProfile, FaultTemplate, Scenario, ScenarioMatrix};
+    pub use crate::scenario::{
+        ChurnProfile, FaultTemplate, Scenario, ScenarioMatrix, ShardProfile,
+    };
     pub use crate::shrink::{Reproducer, ShrinkBudget};
     pub use crate::{available_workers, Harness};
 }

@@ -10,9 +10,51 @@
 
 use cloudfog_core::adapt::AdaptPolicyKind;
 use cloudfog_core::fault::{FaultScript, WatchdogParams};
-use cloudfog_core::systems::{ChurnConfig, JoinPattern, StreamingSimConfig, SystemKind};
+use cloudfog_core::systems::{
+    ChurnConfig, JoinPattern, ShardedSimConfig, StreamingSimConfig, SystemKind,
+};
 use cloudfog_sim::telemetry::TelemetryConfig;
 use cloudfog_sim::time::SimDuration;
+
+/// Region-sharded execution recipe: run the cell as
+/// `ceil(players / capacity)` sub-worlds exchanging events at tick
+/// boundaries instead of one monolithic world (see
+/// [`cloudfog_core::systems::sharded`]).
+///
+/// Like [`FaultTemplate`] and [`ChurnProfile`], a recipe: pure data,
+/// `PartialEq`, cheap to clone — so sharding can be a matrix axis and
+/// the shard-identity battery can sweep lane counts over otherwise
+/// identical cells.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardProfile {
+    /// Max residents per sub-world.
+    pub capacity: usize,
+    /// Tick-boundary exchange interval.
+    pub tick: SimDuration,
+    /// Execution lanes (bit-identical output for any value).
+    pub lanes: usize,
+}
+
+impl ShardProfile {
+    /// A profile with the given capacity, a 5 s boundary tick and one
+    /// lane.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ShardProfile { capacity, tick: SimDuration::from_secs(5), lanes: 1 }
+    }
+
+    /// Same profile on a different number of execution lanes.
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Short label for scenario names and report keys. Deliberately
+    /// lane-free: two cells differing only in lanes must produce the
+    /// same results, so they share a name.
+    pub fn label(&self) -> String {
+        format!("shard{}", self.capacity)
+    }
+}
 
 /// Live-service churn recipe: a flash-crowd join pattern plus
 /// supernode fleet dynamics, expanded per cell into a
@@ -169,6 +211,9 @@ pub struct Scenario {
     pub policy: AdaptPolicyKind,
     /// Telemetry recording (histograms + quantiles) for this cell.
     pub telemetry: Option<TelemetryConfig>,
+    /// Region-sharded execution recipe (`None` = one monolithic world,
+    /// bit-identical to the pre-shard harness).
+    pub shard: Option<ShardProfile>,
 }
 
 impl Scenario {
@@ -196,6 +241,32 @@ impl Scenario {
     /// The concrete chaos script this cell replays (if any).
     pub fn script(&self) -> Option<FaultScript> {
         self.template.script(self.seed, self.horizon)
+    }
+
+    /// Expand to the sharded run configuration, when this cell carries
+    /// a [`ShardProfile`]. The chaos and churn recipes map onto the
+    /// sharded driver's per-shard generated scripts and default churn:
+    /// sharded cells compare against each other, not bit-for-bit
+    /// against their monolithic siblings (a different partition is a
+    /// different world — the bit-identity contract is across *lane
+    /// counts*, which the profile's label deliberately omits).
+    pub fn sharded_config(&self) -> Option<ShardedSimConfig> {
+        let shard = self.shard.as_ref()?;
+        let mut b = ShardedSimConfig::builder(self.kind)
+            .total_players(self.players)
+            .seed(self.seed)
+            .ramp(self.ramp)
+            .horizon(self.horizon)
+            .policy(self.policy)
+            .shard_capacity(shard.capacity)
+            .tick(shard.tick)
+            .lanes(shard.lanes)
+            .chaos(!matches!(self.template, FaultTemplate::None))
+            .churn(self.churn.is_some());
+        if let Some(t) = &self.telemetry {
+            b = b.telemetry(t.clone());
+        }
+        Some(b.build())
     }
 }
 
@@ -225,6 +296,7 @@ pub struct ScenarioMatrix {
     churns: Vec<Option<ChurnProfile>>,
     policies: Vec<AdaptPolicyKind>,
     telemetry: Option<TelemetryConfig>,
+    shards: Vec<Option<ShardProfile>>,
 }
 
 impl Default for ScenarioMatrix {
@@ -246,6 +318,7 @@ impl ScenarioMatrix {
             churns: Vec::new(),
             policies: Vec::new(),
             telemetry: None,
+            shards: Vec::new(),
         }
     }
 
@@ -310,16 +383,27 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Append a sharding axis (no shard call ⇒ one monolithic axis, so
+    /// existing matrices keep their cell ids and names). Pass `None`
+    /// explicitly to compare monolithic and sharded cells side by side
+    /// in one matrix.
+    pub fn shard(mut self, shard: Option<ShardProfile>) -> Self {
+        self.shards.push(shard);
+        self
+    }
+
     /// Expand the cross product into numbered scenarios. Expansion
-    /// order is `policy × churn × template × players × seed × system`
-    /// (system varies fastest, matching the paper's side-by-side
-    /// comparisons; churn and policy are outermost so matrices that
-    /// never set them keep their historic cell ids).
+    /// order is `shard × policy × churn × template × players × seed ×
+    /// system` (system varies fastest, matching the paper's
+    /// side-by-side comparisons; churn, policy and shard are outermost
+    /// so matrices that never set them keep their historic cell ids).
     pub fn build(&self) -> Vec<Scenario> {
         let templates: &[FaultTemplate] =
             if self.templates.is_empty() { &[FaultTemplate::None] } else { &self.templates };
         let churns: &[Option<ChurnProfile>] =
             if self.churns.is_empty() { &[None] } else { &self.churns };
+        let shards: &[Option<ShardProfile>] =
+            if self.shards.is_empty() { &[None] } else { &self.shards };
         // The implicit default axis carries no name suffix; an
         // explicit `.policy(..)` labels every cell so arena matrices
         // stay self-describing.
@@ -330,46 +414,55 @@ impl ScenarioMatrix {
             &self.policies
         };
         let mut out = Vec::with_capacity(
-            policies.len()
+            shards.len()
+                * policies.len()
                 * churns.len()
                 * templates.len()
                 * self.players.len()
                 * self.seeds.len()
                 * self.systems.len(),
         );
-        for &policy in policies {
-            for churn in churns {
-                for template in templates {
-                    for &players in &self.players {
-                        for &seed in &self.seeds {
-                            for &kind in &self.systems {
-                                let id = out.len();
-                                let churn_suffix = match churn {
-                                    Some(c) => format!("/{}", c.label()),
-                                    None => String::new(),
-                                };
-                                let policy_suffix = if label_policies {
-                                    format!("/{}", policy.label())
-                                } else {
-                                    String::new()
-                                };
-                                out.push(Scenario {
-                                    id,
-                                    name: format!(
-                                        "{}/p{players}/s{seed}/{}{churn_suffix}{policy_suffix}",
-                                        kind.label(),
-                                        template.label()
-                                    ),
-                                    kind,
-                                    players,
-                                    seed,
-                                    ramp: self.ramp,
-                                    horizon: self.horizon,
-                                    template: template.clone(),
-                                    churn: churn.clone(),
-                                    policy,
-                                    telemetry: self.telemetry.clone(),
-                                });
+        for shard in shards {
+            for &policy in policies {
+                for churn in churns {
+                    for template in templates {
+                        for &players in &self.players {
+                            for &seed in &self.seeds {
+                                for &kind in &self.systems {
+                                    let id = out.len();
+                                    let churn_suffix = match churn {
+                                        Some(c) => format!("/{}", c.label()),
+                                        None => String::new(),
+                                    };
+                                    let policy_suffix = if label_policies {
+                                        format!("/{}", policy.label())
+                                    } else {
+                                        String::new()
+                                    };
+                                    let shard_suffix = match shard {
+                                        Some(s) => format!("/{}", s.label()),
+                                        None => String::new(),
+                                    };
+                                    out.push(Scenario {
+                                        id,
+                                        name: format!(
+                                            "{}/p{players}/s{seed}/{}{churn_suffix}\
+                                             {policy_suffix}{shard_suffix}",
+                                            kind.label(),
+                                            template.label()
+                                        ),
+                                        kind,
+                                        players,
+                                        seed,
+                                        ramp: self.ramp,
+                                        horizon: self.horizon,
+                                        template: template.clone(),
+                                        churn: churn.clone(),
+                                        policy,
+                                        telemetry: self.telemetry.clone(),
+                                        shard: shard.clone(),
+                                    });
+                                }
                             }
                         }
                     }
@@ -511,6 +604,48 @@ mod tests {
         assert_eq!(cells[0].name, "Cloud/p100/s1/clean/buffer");
         assert_eq!(cells[3].name, "CloudFog/A/p100/s1/clean/foveated");
         assert_eq!(cells[2].config().policy, AdaptPolicyKind::Foveated);
+    }
+
+    #[test]
+    fn shard_axis_defaults_to_monolithic_with_historic_names() {
+        let cells = ScenarioMatrix::new()
+            .systems(&[SystemKind::CloudFogA])
+            .seeds([7])
+            .players(&[100])
+            .template(FaultTemplate::None)
+            .build();
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].shard.is_none());
+        assert_eq!(cells[0].name, "CloudFog/A/p100/s7/clean");
+        assert!(cells[0].sharded_config().is_none(), "no shard axis ⇒ monolithic run");
+    }
+
+    #[test]
+    fn shard_axis_is_outermost_and_expands_to_sharded_config() {
+        let profile = ShardProfile::with_capacity(50).lanes(2);
+        let cells = ScenarioMatrix::new()
+            .systems(&[SystemKind::Cloud, SystemKind::CloudFogA])
+            .seeds([1])
+            .players(&[100])
+            .template(FaultTemplate::None)
+            .shard(None)
+            .shard(Some(profile.clone()))
+            .build();
+        assert_eq!(cells.len(), 4);
+        // Outermost axis: first block monolithic, second sharded.
+        assert!(cells[0].shard.is_none() && cells[1].shard.is_none());
+        assert_eq!(cells[2].shard.as_ref(), Some(&profile));
+        assert_eq!(cells[0].name, "Cloud/p100/s1/clean");
+        assert_eq!(cells[2].name, "Cloud/p100/s1/clean/shard50");
+        // The label omits lanes: lane count must not change results.
+        assert_eq!(ShardProfile::with_capacity(50).lanes(7).label(), profile.label());
+        let cfg = cells[3].sharded_config().expect("sharded cell expands");
+        assert_eq!(cfg.total_players, 100);
+        assert_eq!(cfg.shard_capacity, 50);
+        assert_eq!(cfg.lanes, 2);
+        assert_eq!(cfg.shard_count(), 2);
+        assert!(!cfg.chaos, "clean template ⇒ chaos off");
+        assert!(!cfg.churn, "no churn profile ⇒ churn off");
     }
 
     #[test]

@@ -115,6 +115,41 @@ where
     });
 }
 
+/// Like [`for_each_chunk_mut`], but hands `f` the item's index too.
+///
+/// Sharded drivers use this to step every sub-world toward a tick
+/// boundary in parallel: each world is visited exactly once through
+/// its own `&mut`, chunks are disjoint and contiguous, and the index
+/// identifies the shard without interior mutability. Identical output
+/// for any worker count; `workers <= 1` short-circuits to a
+/// sequential loop.
+pub fn for_each_indexed_mut<T, F>(workers: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 {
+        for (i, t) in items.iter_mut().enumerate() {
+            f(i, t);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (c, part) in items.chunks_mut(chunk).enumerate() {
+            let base = c * chunk;
+            scope.spawn(move || {
+                for (off, t) in part.iter_mut().enumerate() {
+                    f(base + off, t);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +203,21 @@ mod tests {
             for_each_chunk_mut(workers, &mut many, |x| *x = x.wrapping_mul(31).wrapping_add(7));
             assert_eq!(one, many, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn for_each_indexed_mut_sees_every_index_once() {
+        let mut one: Vec<u64> = vec![0; 257];
+        for_each_indexed_mut(1, &mut one, |i, x| *x = (i as u64).wrapping_mul(0x9E37_79B9));
+        for workers in [2, 3, 5, 8] {
+            let mut many: Vec<u64> = vec![0; 257];
+            for_each_indexed_mut(workers, &mut many, |i, x| {
+                *x = (i as u64).wrapping_mul(0x9E37_79B9)
+            });
+            assert_eq!(one, many, "workers={workers}");
+        }
+        let mut empty: Vec<u64> = Vec::new();
+        for_each_indexed_mut(4, &mut empty, |_, _| unreachable!());
     }
 
     #[test]

@@ -892,6 +892,103 @@ impl CausalReport {
         out
     }
 
+    /// Deterministic merge of per-shard causal reports into one
+    /// run-level report.
+    ///
+    /// `reports` must be in canonical shard order. Every counter sums
+    /// exactly (outcomes, adapt/drop/admission events, tail counts —
+    /// the tail's dominant component is re-derived from the summed
+    /// counts). Record rings (`traces`, `adapt`, `drops`, `admission`)
+    /// concatenate in shard order; because every shard allocates from
+    /// a disjoint [`SegmentIdAlloc`](SegmentTrace) base, segment ids
+    /// stay run-global join keys in the merged export. Distribution
+    /// summaries (`components`, `total`) are count-weighted
+    /// approximations: exact quantile merge needs the raw
+    /// observations, so p50/p95/p99 are count-weighted means of the
+    /// per-shard summaries while `min`/`max`/`count` merge exactly.
+    pub fn merge_shards(run: &str, reports: &[&CausalReport]) -> CausalReport {
+        let mut out = CausalReport {
+            run: run.to_string(),
+            started: 0,
+            finished: 0,
+            in_flight: 0,
+            folded: 0,
+            on_time: 0,
+            late: 0,
+            skipped: 0,
+            lost: 0,
+            evaporated: 0,
+            adapt_events: 0,
+            drop_events: 0,
+            drop_packets: 0,
+            components: COMPONENTS
+                .iter()
+                .map(|&name| ComponentBreakdown {
+                    name,
+                    mean_ms: 0.0,
+                    share: 0.0,
+                    quantiles: Quantiles::default(),
+                })
+                .collect(),
+            total: Quantiles::default(),
+            tail: TailAttribution {
+                threshold_ms: 0.0,
+                tail_count: 0,
+                counts: [0; 5],
+                dominant: COMPONENTS[0],
+            },
+            traces: Vec::new(),
+            adapt: Vec::new(),
+            drops: Vec::new(),
+            admission_events: 0,
+            admission: Vec::new(),
+        };
+        for r in reports {
+            out.started += r.started;
+            out.finished += r.finished;
+            out.in_flight += r.in_flight;
+            out.folded += r.folded;
+            out.on_time += r.on_time;
+            out.late += r.late;
+            out.skipped += r.skipped;
+            out.lost += r.lost;
+            out.evaporated += r.evaporated;
+            out.adapt_events += r.adapt_events;
+            out.drop_events += r.drop_events;
+            out.drop_packets += r.drop_packets;
+            out.admission_events += r.admission_events;
+            out.tail.tail_count += r.tail.tail_count;
+            for (sum, c) in out.tail.counts.iter_mut().zip(r.tail.counts) {
+                *sum += c;
+            }
+            out.tail.threshold_ms = out.tail.threshold_ms.max(r.tail.threshold_ms);
+            out.traces.extend(r.traces.iter().cloned());
+            out.adapt.extend(r.adapt.iter().cloned());
+            out.drops.extend(r.drops.iter().cloned());
+            out.admission.extend(r.admission.iter().cloned());
+        }
+        out.tail.dominant = COMPONENTS[out
+            .tail
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, c)| (*c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)];
+        for (i, slot) in out.components.iter_mut().enumerate() {
+            *slot =
+                merge_quantile_rows(slot.name, reports.iter().filter_map(|r| r.components.get(i)));
+        }
+        let mean_sum: f64 = out.components.iter().map(|c| c.mean_ms).sum();
+        if mean_sum > 0.0 {
+            for c in out.components.iter_mut() {
+                c.share = c.mean_ms / mean_sum;
+            }
+        }
+        out.total = merge_quantiles(reports.iter().map(|r| &r.total));
+        out
+    }
+
     /// Which policy input drove the most quality switches, over the
     /// retained [`CausalReport::adapt`] ring: `(driver label, count)`.
     /// `None` when no switches were retained. Legacy records without an
@@ -1046,6 +1143,54 @@ impl CausalReport {
         ));
         out
     }
+}
+
+/// Count-weighted merge of per-shard quantile summaries: `count` sums
+/// and `min`/`max` merge exactly; p50/p95/p99 are count-weighted means
+/// of the per-shard values (see [`CausalReport::merge_shards`]).
+fn merge_quantiles<'a>(parts: impl Iterator<Item = &'a Quantiles>) -> Quantiles {
+    let mut out = Quantiles::default();
+    let mut weighted = [0.0f64; 3];
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for q in parts {
+        if q.count == 0 {
+            continue;
+        }
+        let w = q.count as f64;
+        out.count += q.count;
+        weighted[0] += q.p50 * w;
+        weighted[1] += q.p95 * w;
+        weighted[2] += q.p99 * w;
+        min = min.min(q.min);
+        max = max.max(q.max);
+    }
+    if out.count > 0 {
+        let w = out.count as f64;
+        out.p50 = weighted[0] / w;
+        out.p95 = weighted[1] / w;
+        out.p99 = weighted[2] / w;
+        out.min = min;
+        out.max = max;
+    }
+    out
+}
+
+/// Merge one component's per-shard breakdown rows (share is filled in
+/// by the caller once every component's merged mean is known).
+fn merge_quantile_rows<'a>(
+    name: &'static str,
+    rows: impl Iterator<Item = &'a ComponentBreakdown>,
+) -> ComponentBreakdown {
+    let rows: Vec<&ComponentBreakdown> = rows.collect();
+    let quantiles = merge_quantiles(rows.iter().map(|r| &r.quantiles));
+    let total: u64 = rows.iter().map(|r| r.quantiles.count).sum();
+    let mean_ms = if total > 0 {
+        rows.iter().map(|r| r.mean_ms * r.quantiles.count as f64).sum::<f64>() / total as f64
+    } else {
+        0.0
+    };
+    ComponentBreakdown { name, mean_ms, share: 0.0, quantiles }
 }
 
 #[cfg(test)]
@@ -1255,6 +1400,67 @@ mod tests {
         log.record_adapt(adapt(None, true));
         let r = log.report("drivers");
         assert_eq!(r.dominant_switch_driver(), Some(("host.load", 2)));
+    }
+
+    #[test]
+    fn merge_shards_sums_counters_and_reweights_components() {
+        let mut a = CausalLog::new(&cfg());
+        for i in 0..4 {
+            deliver(&mut a, i, 1_000_000 + i * 50_000, 6_000);
+        }
+        let mut b = CausalLog::new(&cfg());
+        for i in 0..2 {
+            deliver(&mut b, 100 + i, 2_000_000 + i * 50_000, 6_000);
+        }
+        b.begin(
+            199,
+            2,
+            0,
+            1,
+            SimTime::from_micros(0),
+            SimTime::from_micros(1),
+            SimTime::from_micros(2),
+            10,
+        );
+        b.finish(199, Outcome::Lost, SimTime::from_micros(5));
+        let ra = a.report("shard0");
+        let rb = b.report("shard1");
+        let m = CausalReport::merge_shards("merged", &[&ra, &rb]);
+        assert_eq!(m.run, "merged");
+        assert_eq!(m.finished, ra.finished + rb.finished);
+        assert_eq!(m.on_time, 6);
+        assert_eq!(m.lost, 1);
+        assert_eq!(m.folded, 6);
+        assert_eq!(m.total.count, 6);
+        // Every delivered trace shares the same component profile, so
+        // the count-weighted merge reproduces it and shares stay
+        // normalized.
+        assert_eq!(m.components[0].name, "l_r");
+        assert!((m.components[0].mean_ms - 10.0).abs() < 0.5);
+        let share_sum: f64 = m.components.iter().map(|c| c.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "shares must renormalize: {share_sum}");
+        // Records concatenate in shard order.
+        assert_eq!(m.traces.len(), ra.traces.len() + rb.traces.len());
+        assert_eq!(m.tail.tail_count, ra.tail.tail_count + rb.tail.tail_count);
+        for k in 0..5 {
+            assert_eq!(m.tail.counts[k], ra.tail.counts[k] + rb.tail.counts[k]);
+        }
+    }
+
+    #[test]
+    fn merge_shards_of_one_report_is_lossless_on_counters() {
+        let mut log = CausalLog::new(&cfg());
+        for i in 0..5 {
+            deliver(&mut log, i, 1_000_000 + i * 40_000, 6_000);
+        }
+        let r = log.report("solo");
+        let m = CausalReport::merge_shards("solo", &[&r]);
+        assert_eq!(m.finished, r.finished);
+        assert_eq!(m.on_time, r.on_time);
+        assert_eq!(m.folded, r.folded);
+        assert_eq!(m.total.count, r.total.count);
+        assert_eq!(m.traces.len(), r.traces.len());
+        assert_eq!(m.tail.dominant, r.tail.dominant);
     }
 
     #[test]

@@ -330,6 +330,19 @@ pub struct TelemetryReport {
     pub trace_tail: Vec<TraceRecord>,
 }
 
+/// How one scalar combines across per-shard reports in
+/// [`TelemetryReport::merge_weighted`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScalarMerge {
+    /// Add the per-shard values (counters, byte totals, event counts).
+    Sum,
+    /// Weight each shard's value by its merge weight (rates, ratios,
+    /// means — weighted by player count they stay population-correct).
+    WeightedMean,
+    /// Take the largest per-shard value (peaks, high-water marks).
+    Max,
+}
+
 impl TelemetryReport {
     /// An empty report for `run`.
     pub fn new(run: impl Into<String>) -> Self {
@@ -392,6 +405,62 @@ impl TelemetryReport {
             .map(|(_, ms)| *ms)
             .filter(|ms| *ms > 0.0)?;
         Some(events / (ms / 1000.0))
+    }
+
+    /// Deterministic merge of per-shard reports into one run-level
+    /// report.
+    ///
+    /// `reports` must be in canonical shard order, each with a weight
+    /// (typically the shard's player count); `rule` decides how each
+    /// scalar combines. Trace counts sum. Distributions (quantiles,
+    /// CDFs), phase rows and trace tails stay per-shard — an exact
+    /// quantile merge needs the raw observations, so the merged report
+    /// deliberately carries none rather than fabricating them.
+    pub fn merge_weighted(
+        run: impl Into<String>,
+        reports: &[(f64, &TelemetryReport)],
+        rule: impl Fn(&str) -> ScalarMerge,
+    ) -> TelemetryReport {
+        let mut out = TelemetryReport::new(run);
+        let mut names: Vec<&str> = Vec::new();
+        for (_, r) in reports {
+            for (name, _) in &r.scalars {
+                if !names.contains(&name.as_str()) {
+                    names.push(name);
+                }
+            }
+            out.trace_recorded += r.trace_recorded;
+            out.trace_dropped += r.trace_dropped;
+        }
+        let merged: Vec<(String, f64)> = names
+            .into_iter()
+            .map(|name| {
+                let mut sum = 0.0;
+                let mut weighted = 0.0;
+                let mut weight_total = 0.0;
+                let mut max = f64::NEG_INFINITY;
+                let mut present = false;
+                for (w, r) in reports {
+                    if let Some(v) = r.get_scalar(name) {
+                        present = true;
+                        sum += v;
+                        weighted += v * w;
+                        weight_total += w;
+                        max = max.max(v);
+                    }
+                }
+                let value = match rule(name) {
+                    ScalarMerge::Sum => sum,
+                    ScalarMerge::WeightedMean if weight_total > 0.0 => weighted / weight_total,
+                    ScalarMerge::WeightedMean => 0.0,
+                    ScalarMerge::Max if present => max,
+                    ScalarMerge::Max => 0.0,
+                };
+                (name.to_string(), value)
+            })
+            .collect();
+        out.scalars = merged;
+        out
     }
 
     /// Absorb phase rows from a profiler (closes the open phase).
@@ -674,6 +743,52 @@ mod tests {
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(2.0), "2.0");
         assert_eq!(json_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn merge_weighted_combines_scalars_by_rule() {
+        let mut a = TelemetryReport::new("shard0");
+        a.scalar("events", 100.0);
+        a.scalar("mean_latency_ms", 50.0);
+        a.scalar("peak_backlog", 7.0);
+        a.trace_recorded = 10;
+        a.trace_dropped = 1;
+        let mut b = TelemetryReport::new("shard1");
+        b.scalar("events", 300.0);
+        b.scalar("mean_latency_ms", 90.0);
+        b.scalar("peak_backlog", 3.0);
+        b.scalar("only_in_b", 5.0);
+        b.trace_recorded = 20;
+        let rule = |name: &str| match name {
+            "mean_latency_ms" => ScalarMerge::WeightedMean,
+            "peak_backlog" => ScalarMerge::Max,
+            _ => ScalarMerge::Sum,
+        };
+        // Shard 0 weighs 1 player, shard 1 weighs 3.
+        let m = TelemetryReport::merge_weighted("merged", &[(1.0, &a), (3.0, &b)], rule);
+        assert_eq!(m.run, "merged");
+        assert_eq!(m.get_scalar("events"), Some(400.0));
+        // (50·1 + 90·3) / 4 = 80.
+        assert_eq!(m.get_scalar("mean_latency_ms"), Some(80.0));
+        assert_eq!(m.get_scalar("peak_backlog"), Some(7.0));
+        // A scalar missing from one shard still merges over the rest.
+        assert_eq!(m.get_scalar("only_in_b"), Some(5.0));
+        assert_eq!(m.trace_recorded, 30);
+        assert_eq!(m.trace_dropped, 1);
+        // No fabricated distributions or wall-clock rows.
+        assert!(m.quantiles.is_empty() && m.cdfs.is_empty() && m.phases.is_empty());
+        assert!(m.trace_tail.is_empty());
+    }
+
+    #[test]
+    fn merge_weighted_of_empty_and_identity_cases() {
+        let rule = |_: &str| ScalarMerge::Sum;
+        let empty = TelemetryReport::merge_weighted("none", &[], rule);
+        assert!(empty.scalars.is_empty());
+        let mut a = TelemetryReport::new("solo");
+        a.scalar("events", 42.0);
+        let one = TelemetryReport::merge_weighted("one", &[(5.0, &a)], rule);
+        assert_eq!(one.get_scalar("events"), Some(42.0));
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Million-player scale run over region-sharded sub-worlds.
+//!
+//! Shards one `StreamingSim` run into `ceil(players / capacity)`
+//! per-region sub-worlds exchanging session hops and cloud fallbacks
+//! only at tick boundaries, then folds every shard through the
+//! order-independent keyed merge. Per-shard memory stays bounded by
+//! the capacity — no O(total-players) table exists anywhere — so the
+//! only scale limits are wall clock and the sum of slab arenas.
+//!
+//! ```text
+//! cargo run --release --example scale -- \
+//!     [--players N] [--capacity N] [--lanes N] [--seed N] \
+//!     [--system NAME] [--horizon-secs N] [--tick-secs N] \
+//!     [--chaos] [--churn]
+//! ```
+//!
+//! Defaults run 100 000 players (100 shards of 1 000); pass
+//! `--players 1000000` for the full million-player target. The run
+//! prints the merged summary, the cross-shard exchange totals and the
+//! end-to-end event throughput, and exits non-zero if the merged
+//! population does not conserve the requested one.
+
+use cloudfog::core::adapt::AdaptPolicyKind;
+use cloudfog::core::systems::{ShardedSim, ShardedSimConfig, SystemKind};
+use cloudfog::sim::time::SimDuration;
+
+struct Args {
+    players: usize,
+    capacity: usize,
+    lanes: usize,
+    seed: u64,
+    system: SystemKind,
+    horizon: SimDuration,
+    tick: SimDuration,
+    chaos: bool,
+    churn: bool,
+}
+
+fn system_by_name(name: &str) -> SystemKind {
+    SystemKind::ALL.iter().copied().find(|k| k.label().eq_ignore_ascii_case(name)).unwrap_or_else(
+        || {
+            let known: Vec<&str> = SystemKind::ALL.iter().map(|k| k.label()).collect();
+            panic!("unknown system {name}; known: {known:?}")
+        },
+    )
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        players: 100_000,
+        capacity: 1_000,
+        lanes: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        seed: 1,
+        system: SystemKind::CloudFogA,
+        horizon: SimDuration::from_secs(30),
+        tick: SimDuration::from_secs(5),
+        chaos: false,
+        churn: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--players" => args.players = value().parse().expect("--players N"),
+            "--capacity" => args.capacity = value().parse().expect("--capacity N"),
+            "--lanes" => args.lanes = value().parse().expect("--lanes N"),
+            "--seed" => args.seed = value().parse().expect("--seed N"),
+            "--system" => args.system = system_by_name(&value()),
+            "--horizon-secs" => {
+                args.horizon = SimDuration::from_secs(value().parse().expect("--horizon-secs N"));
+            }
+            "--tick-secs" => {
+                args.tick = SimDuration::from_secs(value().parse().expect("--tick-secs N"));
+            }
+            "--chaos" => args.chaos = true,
+            "--churn" => args.churn = true,
+            other => panic!("unknown flag {other}; see the example header for usage"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = ShardedSimConfig::builder(args.system)
+        .total_players(args.players)
+        .shard_capacity(args.capacity)
+        .lanes(args.lanes)
+        .seed(args.seed)
+        .ramp(SimDuration::from_secs(10))
+        .horizon(args.horizon)
+        .tick(args.tick)
+        .chaos(args.chaos)
+        .churn(args.churn)
+        .policy(AdaptPolicyKind::BufferOccupancy)
+        .build();
+    println!(
+        "scale: {} × {} players = {} shards of ≤{} (lanes {}, tick {}s, chaos {}, churn {})",
+        args.system.label(),
+        args.players,
+        cfg.shard_count(),
+        args.capacity,
+        args.lanes,
+        args.tick.as_secs_f64(),
+        args.chaos,
+        args.churn,
+    );
+
+    let started = std::time::Instant::now();
+    let out = ShardedSim::run(&cfg);
+    let wall = started.elapsed().as_secs_f64();
+
+    let s = &out.summary;
+    println!(
+        "  merged: {} players, fog share {:.3}, satisfied {:.3}, continuity {:.3}, \
+         latency {:.1} ms, coverage {:.3}",
+        s.players, s.fog_share, s.satisfied_ratio, s.mean_continuity, s.mean_latency_ms, s.coverage
+    );
+    println!(
+        "  exchange: {} boundaries, {} hops, {} fallbacks, {} ops routed",
+        out.exchange.boundaries, out.exchange.hops, out.exchange.fallbacks, out.exchange.ops_routed
+    );
+    if let Some(churn) = &out.churn {
+        println!(
+            "  churn: {} started, {} connected, {} completed",
+            churn.sessions_started, churn.sessions_connected, churn.sessions_completed
+        );
+    }
+    println!(
+        "  events: {} total, {:.0} events/s wall ({wall:.1}s), fingerprint {:016x}",
+        s.events,
+        s.events as f64 / wall.max(1e-9),
+        out.fingerprint
+    );
+
+    if !args.churn && s.players != args.players {
+        eprintln!("population not conserved: merged {} != requested {}", s.players, args.players);
+        std::process::exit(1);
+    }
+}

@@ -18,7 +18,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use cloudfog::core::systems::{StreamingSim, StreamingSimConfig, SystemKind};
+use cloudfog::core::systems::{
+    ShardedSim, ShardedSimConfig, StreamingSim, StreamingSimConfig, SystemKind,
+};
 use cloudfog::sim::time::{SimDuration, SimTime};
 
 struct CountingAlloc;
@@ -87,5 +89,57 @@ fn steady_state_hot_path_does_not_allocate() {
         format!("{summary:?}"),
         format!("{single:?}"),
         "run_split drifted from run on the same config"
+    );
+}
+
+/// Run a sharded simulation and count allocations over the steady
+/// window between the 2nd and 4th tick boundaries (10 s → 20 s here:
+/// past every shard's 5 s ramp, before finalization).
+fn sharded_steady_allocs(total_players: usize) -> (u64, usize) {
+    let cfg = ShardedSimConfig::builder(SystemKind::CloudFogA)
+        .total_players(total_players)
+        .shard_capacity(100)
+        .seed(11)
+        .ramp(SimDuration::from_secs(5))
+        .horizon(SimDuration::from_secs(25))
+        .tick(SimDuration::from_secs(5))
+        .lanes(1)
+        .build();
+    let shards = cfg.shard_count();
+    let mut start = 0u64;
+    let mut end = 0u64;
+    ShardedSim::run_with_probe(&cfg, &mut |boundary| match boundary {
+        2 => start = ALLOCS.load(Ordering::Relaxed),
+        4 => end = ALLOCS.load(Ordering::Relaxed),
+        _ => {}
+    });
+    assert!(end >= start && start > 0, "probe missed a boundary");
+    (end - start, shards)
+}
+
+#[test]
+fn sharded_steady_state_memory_is_per_shard_bounded() {
+    // The per-shard memory contract: no sub-world holds state — or
+    // allocates — proportionally to the *total* population. Each
+    // world's hot path is the zero-alloc slab path pinned above, so
+    // steady-state allocations come only from the boundary driver
+    // (pressure snapshots, handoff plans, inboxes), all O(shards).
+    // Doubling the population with fixed capacity doubles the shard
+    // count; per-shard allocations must stay flat. A shard that
+    // scaled with the total population would double here and trip the
+    // gate.
+    let (small, small_shards) = sharded_steady_allocs(200);
+    let (large, large_shards) = sharded_steady_allocs(400);
+    assert_eq!(small_shards, 2);
+    assert_eq!(large_shards, 4);
+    let per_small = small as f64 / small_shards as f64;
+    let per_large = large as f64 / large_shards as f64;
+    // Generous constant slack for one-off Vec growth; the failure mode
+    // being gated (O(total) per shard) is a ~2× ratio, far past this.
+    assert!(
+        per_large <= per_small * 1.6 + 64.0,
+        "per-shard steady-state allocations grew with the total population: \
+         {per_small:.1}/shard at {small_shards} shards vs \
+         {per_large:.1}/shard at {large_shards} shards"
     );
 }

@@ -134,6 +134,7 @@ fn violated_churn_invariant_shrinks_to_one_line_reproducer() {
         telemetry: None,
         churn: repro.churn.clone(),
         policy: repro.policy,
+        shard: None,
     };
     let output = StreamingSim::run_instrumented(shrunk.config());
     assert!(

@@ -111,6 +111,7 @@ fn violated_invariant_shrinks_to_replayable_reproducer() {
         telemetry: None,
         churn: repro.churn.clone(),
         policy: repro.policy,
+        shard: None,
     };
     let output = StreamingSim::run_instrumented(shrunk.config());
     assert!(

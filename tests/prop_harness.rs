@@ -51,6 +51,7 @@ fn cell(id: usize, seed: u64) -> CellResult {
             telemetry: None,
             churn: None,
             policy: AdaptPolicyKind::BufferOccupancy,
+            shard: None,
         },
         summary: summary(id, seed),
         telemetry: None,

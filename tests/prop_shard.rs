@@ -1,0 +1,163 @@
+//! Property tests for the shard merge algebra: folding [`ShardCell`]s
+//! into a [`ShardMerge`] is commutative, associative, idempotent, and
+//! has the empty merge as identity — so neither the lane schedule nor
+//! the order shard results arrive in can change the merged summary or
+//! fingerprint. The partition rule itself is also pinned: any
+//! `(total, capacity)` split conserves players and bounds every shard
+//! by the capacity.
+
+use cloudfog::core::systems::{partition, GameQoe, RunSummary, ShardCell, ShardMerge, SystemKind};
+use cloudfog::net::geo::Region;
+use cloudfog::workload::games::GameId;
+use proptest::prelude::*;
+
+/// A synthetic per-shard summary whose every field is a deterministic
+/// function of `(shard, seed)` — awkward floats included, to make
+/// accidental reliance on float-addition order visible.
+fn summary(shard: usize, seed: u64) -> RunSummary {
+    let f = |k: u64| {
+        ((seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(k * shard as u64 + k)) % 10_007)
+            as f64
+            / 10_007.0
+    };
+    RunSummary {
+        kind: SystemKind::CloudFogA,
+        players: 50 + (seed as usize + shard) % 500,
+        fog_share: f(1),
+        satisfied_ratio: f(2),
+        mean_continuity: f(3),
+        mean_latency_ms: 40.0 + 300.0 * f(4),
+        coverage: f(5),
+        cloud_bytes: seed.wrapping_mul(7).wrapping_add(shard as u64) % 1_000_000,
+        cloud_mbps: 10.0 * f(6),
+        supernode_bytes: seed.wrapping_mul(11).wrapping_add(shard as u64) % 1_000_000,
+        edge_bytes: seed.wrapping_mul(13) % 1_000,
+        scheduler_drops: seed % 97,
+        failures_injected: seed % 5,
+        failovers_rescued: seed % 3,
+        faults_activated: seed % 7,
+        mean_detection_ms: 1000.0 * f(7),
+        orphaned_player_secs: 50.0 * f(8),
+        watchdog_reassignments: seed % 11,
+        events: 1 + seed % 100_000,
+        game_breakdown: vec![GameQoe {
+            game: GameId((shard % 4) as u8),
+            players: 10 + shard % 40,
+            continuity: f(9),
+            satisfied: f(10),
+            latency_ms: 30.0 + 200.0 * f(11),
+        }],
+    }
+}
+
+fn cell(shard: usize, seed: u64) -> ShardCell {
+    ShardCell {
+        shard,
+        region: Region::ALL[shard % Region::ALL.len()],
+        summary: summary(shard, seed ^ shard as u64),
+        churn: None,
+    }
+}
+
+/// Fisher–Yates driven by the sampled swap vector.
+fn permuted(n: usize, swaps: &[usize]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for (i, s) in swaps.iter().enumerate().take(n.saturating_sub(1)) {
+        let j = i + s % (n - i);
+        order.swap(i, j);
+    }
+    order
+}
+
+proptest! {
+    /// Folding singleton merges in any order yields the same merge,
+    /// the same run-level summary, and the same fingerprint — bit for
+    /// bit.
+    #[test]
+    fn shard_merge_is_commutative(
+        n in 2usize..12,
+        seed in 0u64..1_000_000,
+        swaps in prop::collection::vec(0usize..64, 16),
+    ) {
+        let cells: Vec<ShardCell> = (0..n).map(|i| cell(i, seed)).collect();
+        let forward = cells
+            .iter()
+            .fold(ShardMerge::new(), |acc, c| acc.merge(ShardMerge::singleton(c.clone())));
+        let order = permuted(n, &swaps);
+        let shuffled = order
+            .iter()
+            .fold(ShardMerge::new(), |acc, &i| acc.merge(ShardMerge::singleton(cells[i].clone())));
+        prop_assert_eq!(&forward, &shuffled);
+        prop_assert_eq!(forward.summary(), shuffled.summary());
+        prop_assert_eq!(forward.fingerprint(), shuffled.fingerprint());
+    }
+
+    /// `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)` for arbitrary three-way splits of
+    /// a shard set — the property that lets lanes pre-merge their own
+    /// shards before the global fold.
+    #[test]
+    fn shard_merge_is_associative(
+        n in 3usize..12,
+        seed in 0u64..1_000_000,
+        cut1 in 0usize..64,
+        cut2 in 0usize..64,
+    ) {
+        let cells: Vec<ShardCell> = (0..n).map(|i| cell(i, seed.rotate_left(i as u32))).collect();
+        let (c1, c2) = {
+            let a = 1 + cut1 % (n - 1);
+            let b = 1 + cut2 % (n - 1);
+            (a.min(b).min(n - 1).max(1), a.max(b).max(1))
+        };
+        let part = |range: std::ops::Range<usize>| {
+            cells[range]
+                .iter()
+                .fold(ShardMerge::new(), |acc, c| acc.merge(ShardMerge::singleton(c.clone())))
+        };
+        let (a, b, c) = (part(0..c1), part(c1..c2), part(c2..n));
+        let left = a.clone().merge(b.clone()).merge(c.clone());
+        let right = a.merge(b.merge(c));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.summary(), right.summary());
+        prop_assert_eq!(left.fingerprint(), right.fingerprint());
+    }
+
+    /// The empty merge is a two-sided identity, and re-merging a
+    /// merge with itself (every cell a duplicate) changes nothing.
+    #[test]
+    fn shard_merge_identity_and_idempotence(
+        n in 1usize..10,
+        seed in 0u64..1_000_000,
+    ) {
+        let cells: Vec<ShardCell> = (0..n).map(|i| cell(i, seed)).collect();
+        let m = cells
+            .iter()
+            .fold(ShardMerge::new(), |acc, c| acc.merge(ShardMerge::singleton(c.clone())));
+        prop_assert_eq!(&m.clone().merge(ShardMerge::new()), &m);
+        prop_assert_eq!(&ShardMerge::new().merge(m.clone()), &m);
+        prop_assert_eq!(&m.clone().merge(m.clone()), &m);
+        prop_assert_eq!(m.len(), n);
+    }
+
+    /// The partition rule conserves players, bounds every shard by the
+    /// capacity, keeps sizes within one of each other, and is a pure
+    /// function of `(total, capacity, seed)`.
+    #[test]
+    fn partition_conserves_players_and_bounds_shards(
+        total in 1usize..250_000,
+        capacity in 1usize..5_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let specs = partition(total, capacity, seed);
+        prop_assert_eq!(specs.len(), total.div_ceil(capacity));
+        prop_assert_eq!(specs.iter().map(|s| s.players).sum::<usize>(), total);
+        let max = specs.iter().map(|s| s.players).max().unwrap();
+        let min = specs.iter().map(|s| s.players).min().unwrap();
+        prop_assert!(max <= capacity, "shard over capacity: {} > {}", max, capacity);
+        prop_assert!(max - min <= 1, "uneven split: {}..{}", min, max);
+        for (i, s) in specs.iter().enumerate() {
+            prop_assert_eq!(s.shard, i);
+            prop_assert_eq!(s.segment_id_base, (i as u64) << 40);
+        }
+        prop_assert_eq!(specs, partition(total, capacity, seed));
+    }
+}
