@@ -207,6 +207,20 @@ impl MetricsCollector {
         self.seen
     }
 
+    /// `(on-time, late, sender-dropped)` packet totals over all seen
+    /// players — the live plane's cumulative delivery counters.
+    pub fn packet_totals(&self) -> (u64, u64, u64) {
+        let mut on_time = 0;
+        let mut late = 0;
+        let mut dropped = 0;
+        for p in self.seen_players() {
+            on_time += p.packets_on_time;
+            late += p.packets_late;
+            dropped += p.packets_dropped;
+        }
+        (on_time, late, dropped)
+    }
+
     /// Per-player stats (for drill-down).
     pub fn player_stats(&self, id: PlayerId) -> Option<&PlayerStreamStats> {
         self.players.get(id.index()).filter(|s| s.segments > 0)

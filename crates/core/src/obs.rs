@@ -20,6 +20,234 @@ use cloudfog_workload::player::PlayerId;
 
 pub use cloudfog_sim::telemetry::{TraceRecord, TraceRing};
 
+/// Static vocabulary of the tick-synchronous live metrics plane.
+///
+/// Every metric the live plane exposes is named by a constant here and
+/// registered by [`metric::install`], which returns the [`MetricIds`]
+/// handle struct the sampling path indexes by. Keeping the vocabulary
+/// static (and installation shared by every shard) is what lets
+/// per-shard registries fold deterministically: same names, same
+/// order, same histogram geometry everywhere.
+///
+/// [`MetricIds`]: metric::MetricIds
+pub mod metric {
+    use cloudfog_sim::live::{MetricId, MetricsRegistry, SloObjective, SloSpec};
+    use cloudfog_sim::telemetry::TelemetryConfig;
+
+    /// Mean playback continuity over measured players (gauge).
+    pub const QOE_CONTINUITY: &str = "qoe.continuity";
+    /// §IV satisfied-player ratio (gauge).
+    pub const QOE_SATISFIED: &str = "qoe.satisfied_ratio";
+    /// Mean per-player response latency, ms (gauge).
+    pub const LATENCY_MEAN: &str = "latency_ms.mean";
+    /// Live (non-draining counts included) streaming sessions (gauge).
+    pub const SESSIONS_ACTIVE: &str = "sessions.active";
+    /// Resident players in the (sub-)world (gauge).
+    pub const SESSIONS_RESIDENTS: &str = "sessions.residents";
+    /// Total packets queued across sender buffers (gauge).
+    pub const BUFFER_BACKLOG: &str = "buffer.backlog_packets";
+    /// Sessions on the most loaded supernode (gauge).
+    pub const LOAD_SUPERNODE_MAX: &str = "load.supernode_max_sessions";
+    /// Mean sessions per supernode with ≥1 session (gauge).
+    pub const LOAD_SUPERNODE_MEAN: &str = "load.supernode_mean_sessions";
+
+    /// Packets delivered within their deadline (counter).
+    pub const PACKETS_ON_TIME: &str = "delivery.packets_on_time";
+    /// All graded packets: on-time + late + sender-dropped (counter).
+    pub const PACKETS_TOTAL: &str = "delivery.packets_total";
+    /// Packets dropped at senders (counter).
+    pub const PACKETS_DROPPED: &str = "delivery.packets_dropped";
+    /// Eq. 14 deadline-scheduler drops (counter).
+    pub const SCHED_DROPS: &str = "sched.drop_packets";
+    /// Control-plane attempts retried after timeout (counter).
+    pub const CONTROL_RETRIES: &str = "control.retries";
+    /// Control-plane ops expired to fallback (counter).
+    pub const CONTROL_EXPIRED: &str = "control.expired";
+    /// Brownout admissions at full quality (counter).
+    pub const ADMIT_NORMAL: &str = "admit.normal";
+    /// Brownout admissions at capped quality (counter).
+    pub const ADMIT_DEGRADED: &str = "admit.degraded";
+    /// Brownout admissions shed to the cloud path (counter).
+    pub const ADMIT_SHED: &str = "admit.shed";
+    /// Sessions that entered `Connecting` (counter).
+    pub const CHURN_STARTED: &str = "churn.sessions_started";
+    /// Sessions fully torn down (counter).
+    pub const CHURN_COMPLETED: &str = "churn.sessions_completed";
+    /// Rebalance migrations applied (counter).
+    pub const CHURN_MIGRATIONS: &str = "churn.migrations_applied";
+    /// Supernodes that volunteered mid-run (counter).
+    pub const CHURN_SN_ARRIVALS: &str = "churn.supernode_arrivals";
+    /// Supernodes gracefully retired mid-run (counter).
+    pub const CHURN_SN_RETIREMENTS: &str = "churn.supernode_retirements";
+    /// Supernode failures injected (counter).
+    pub const FAILURES_INJECTED: &str = "faults.failures_injected";
+    /// Scripted fault activations (counter).
+    pub const FAULTS_ACTIVATED: &str = "faults.activated";
+
+    /// Segment response-latency distribution, ms (histogram; only
+    /// populated when telemetry is on — the cumulative collector
+    /// histogram it samples does not exist otherwise).
+    pub const LAT_SEGMENT: &str = "latency_ms.segment";
+    /// Transmission-span (`l_t`) distribution, ms (histogram, gated
+    /// like [`LAT_SEGMENT`]).
+    pub const LAT_TRANSMISSION: &str = "latency_ms.transmission";
+
+    /// Every live-plane metric name, for exhaustive tooling.
+    pub const ALL: [&str; 26] = [
+        QOE_CONTINUITY,
+        QOE_SATISFIED,
+        LATENCY_MEAN,
+        SESSIONS_ACTIVE,
+        SESSIONS_RESIDENTS,
+        BUFFER_BACKLOG,
+        LOAD_SUPERNODE_MAX,
+        LOAD_SUPERNODE_MEAN,
+        PACKETS_ON_TIME,
+        PACKETS_TOTAL,
+        PACKETS_DROPPED,
+        SCHED_DROPS,
+        CONTROL_RETRIES,
+        CONTROL_EXPIRED,
+        ADMIT_NORMAL,
+        ADMIT_DEGRADED,
+        ADMIT_SHED,
+        CHURN_STARTED,
+        CHURN_COMPLETED,
+        CHURN_MIGRATIONS,
+        CHURN_SN_ARRIVALS,
+        CHURN_SN_RETIREMENTS,
+        FAILURES_INJECTED,
+        FAULTS_ACTIVATED,
+        LAT_SEGMENT,
+        LAT_TRANSMISSION,
+    ];
+
+    /// O(1) handles into a registry built by [`install`] — the
+    /// sampling path never does name lookups.
+    #[derive(Clone, Copy, Debug)]
+    #[allow(missing_docs)] // fields mirror the documented name constants
+    pub struct MetricIds {
+        pub qoe_continuity: MetricId,
+        pub qoe_satisfied: MetricId,
+        pub latency_mean: MetricId,
+        pub sessions_active: MetricId,
+        pub sessions_residents: MetricId,
+        pub buffer_backlog: MetricId,
+        pub load_supernode_max: MetricId,
+        pub load_supernode_mean: MetricId,
+        pub packets_on_time: MetricId,
+        pub packets_total: MetricId,
+        pub packets_dropped: MetricId,
+        pub sched_drops: MetricId,
+        pub control_retries: MetricId,
+        pub control_expired: MetricId,
+        pub admit_normal: MetricId,
+        pub admit_degraded: MetricId,
+        pub admit_shed: MetricId,
+        pub churn_started: MetricId,
+        pub churn_completed: MetricId,
+        pub churn_migrations: MetricId,
+        pub churn_sn_arrivals: MetricId,
+        pub churn_sn_retirements: MetricId,
+        pub failures_injected: MetricId,
+        pub faults_activated: MetricId,
+        pub lat_segment: MetricId,
+        pub lat_transmission: MetricId,
+    }
+
+    /// Register the full vocabulary into `reg` (histogram geometry
+    /// from `telemetry`, so per-shard histograms merge). Every driver
+    /// — monolithic, sharded, any shard — installs identically, which
+    /// is what makes registries foldable.
+    pub fn install(reg: &mut MetricsRegistry, telemetry: &TelemetryConfig) -> MetricIds {
+        let (lo, hi, bins) =
+            (telemetry.latency_lo_ms, telemetry.latency_hi_ms, telemetry.latency_bins);
+        MetricIds {
+            qoe_continuity: reg.gauge(QOE_CONTINUITY, "mean playback continuity"),
+            qoe_satisfied: reg.gauge(QOE_SATISFIED, "satisfied-player ratio (section IV)"),
+            latency_mean: reg.gauge(LATENCY_MEAN, "mean response latency (ms)"),
+            sessions_active: reg.gauge(SESSIONS_ACTIVE, "live streaming sessions"),
+            sessions_residents: reg.gauge(SESSIONS_RESIDENTS, "resident players"),
+            buffer_backlog: reg.gauge(BUFFER_BACKLOG, "packets queued across sender buffers"),
+            load_supernode_max: reg.gauge(LOAD_SUPERNODE_MAX, "sessions on busiest supernode"),
+            load_supernode_mean: reg
+                .gauge(LOAD_SUPERNODE_MEAN, "mean sessions per active supernode"),
+            packets_on_time: reg.counter(PACKETS_ON_TIME, "packets delivered within deadline"),
+            packets_total: reg.counter(PACKETS_TOTAL, "graded packets (on-time+late+dropped)"),
+            packets_dropped: reg.counter(PACKETS_DROPPED, "packets dropped at senders"),
+            sched_drops: reg.counter(SCHED_DROPS, "Eq. 14 deadline-scheduler drops"),
+            control_retries: reg.counter(CONTROL_RETRIES, "control attempts retried"),
+            control_expired: reg.counter(CONTROL_EXPIRED, "control ops expired to fallback"),
+            admit_normal: reg.counter(ADMIT_NORMAL, "admissions at full quality"),
+            admit_degraded: reg.counter(ADMIT_DEGRADED, "admissions at capped quality"),
+            admit_shed: reg.counter(ADMIT_SHED, "admissions shed to cloud"),
+            churn_started: reg.counter(CHURN_STARTED, "sessions started"),
+            churn_completed: reg.counter(CHURN_COMPLETED, "sessions completed"),
+            churn_migrations: reg.counter(CHURN_MIGRATIONS, "rebalance migrations applied"),
+            churn_sn_arrivals: reg.counter(CHURN_SN_ARRIVALS, "supernode arrivals"),
+            churn_sn_retirements: reg.counter(CHURN_SN_RETIREMENTS, "supernode retirements"),
+            failures_injected: reg.counter(FAILURES_INJECTED, "supernode failures injected"),
+            faults_activated: reg.counter(FAULTS_ACTIVATED, "scripted fault activations"),
+            lat_segment: reg.histogram(LAT_SEGMENT, "segment response latency (ms)", lo, hi, bins),
+            lat_transmission: reg.histogram(
+                LAT_TRANSMISSION,
+                "transmission span l_t (ms)",
+                lo,
+                hi,
+                bins,
+            ),
+        }
+    }
+
+    /// The paper's own QoE objectives as stock SLOs:
+    ///
+    /// * continuity stays at or above the §IV satisfaction-grade bar
+    ///   (scaled slightly below the 95 % packet bar — continuity dips
+    ///   transiently even in healthy runs);
+    /// * p99 segment response latency stays within the interaction
+    ///   bound (150 ms — the strictest genre requirement family);
+    /// * the sender drop share stays within the Eq. 14 loss-tolerance
+    ///   budget scaled by a φ safety factor (tolerance 0.05 × φ 1.5).
+    ///
+    /// Windows are in sampled ticks: fast pages after a couple of bad
+    /// ticks, slow confirms the budget is really burning.
+    pub fn paper_slos() -> Vec<SloSpec> {
+        vec![
+            SloSpec {
+                name: "slo.continuity",
+                objective: SloObjective::GaugeAtLeast { metric: QOE_CONTINUITY, target: 0.90 },
+                budget: 0.05,
+                fast_window: 3,
+                slow_window: 12,
+                fast_burn: 10.0,
+                slow_burn: 2.5,
+            },
+            SloSpec {
+                name: "slo.interaction_p99",
+                objective: SloObjective::QuantileAtMost {
+                    metric: LAT_SEGMENT,
+                    q: 0.99,
+                    bound: 150.0,
+                },
+                budget: 0.05,
+                fast_window: 3,
+                slow_window: 12,
+                fast_burn: 10.0,
+                slow_burn: 2.5,
+            },
+            SloSpec {
+                name: "slo.drop_budget",
+                objective: SloObjective::RatioAtMost { bad: PACKETS_DROPPED, total: PACKETS_TOTAL },
+                budget: 0.075,
+                fast_window: 3,
+                slow_window: 12,
+                fast_burn: 2.0,
+                slow_burn: 1.0,
+            },
+        ]
+    }
+}
+
 /// Every trace-record kind the simulation emits, as `record.kind`
 /// string constants.
 pub mod kind {

@@ -19,16 +19,20 @@
 //! [`simulation`] is the event-driven streaming simulation behind
 //! Figures 7–11; [`supernode_load`] is the per-supernode load
 //! microbench behind Figures 10 and 11; [`sharded`] shards one run
-//! into per-region sub-worlds exchanging events at tick boundaries.
+//! into per-region sub-worlds exchanging events at tick boundaries;
+//! [`live`] configures the tick-synchronous live ops plane both run
+//! drivers can sample into.
 
 pub mod coverage;
 pub mod deployment;
+pub mod live;
 pub mod sharded;
 pub mod simulation;
 pub mod supernode_load;
 
 pub use coverage::{coverage_curve, CoveragePoint};
 pub use deployment::{Deployment, StreamSource, SystemKind};
+pub use live::{LiveConfig, LiveReport};
 pub use sharded::{
     partition, ExchangeStats, ShardCell, ShardMerge, ShardSpec, ShardedRunOutput, ShardedSim,
     ShardedSimConfig, ShardedSimConfigBuilder,

@@ -48,6 +48,7 @@ use std::collections::BTreeMap;
 use cloudfog_net::geo::Region;
 use cloudfog_sim::causal::CausalReport;
 use cloudfog_sim::engine::Simulation;
+use cloudfog_sim::live::{MetricsRegistry, MetricsSink, SloEngine};
 use cloudfog_sim::telemetry::{ScalarMerge, TelemetryConfig, TelemetryReport};
 use cloudfog_sim::time::{SimDuration, SimTime};
 
@@ -55,7 +56,9 @@ use crate::adapt::AdaptPolicyKind;
 use crate::control::{BoundaryLedger, BoundaryOp, BoundaryOpKind};
 use crate::coop::{plan_shard_handoffs, ShardExchangePolicy, ShardPressure};
 use crate::fault::{FaultScript, WatchdogParams};
+use crate::obs;
 use crate::systems::deployment::SystemKind;
+use crate::systems::live::{fold_dominant, LiveConfig, LiveReport};
 use crate::systems::simulation::{
     ChurnConfig, ChurnStats, Ev, GameQoe, RunSummary, StreamingSim, StreamingSimConfig,
 };
@@ -595,6 +598,33 @@ impl ShardedSim {
     /// therefore the output, are identical to [`ShardedSim::run`].
     /// Exists for the per-shard steady-state allocation gate.
     pub fn run_with_probe(cfg: &ShardedSimConfig, probe: &mut dyn FnMut(u64)) -> ShardedRunOutput {
+        Self::run_inner(cfg, probe, None).0
+    }
+
+    /// Run with the live ops plane on. Each sub-world is sampled in
+    /// canonical shard order at every epoch boundary (the sharded
+    /// driver's own tick — the only instant cross-shard state is
+    /// coherent), the per-shard registries are folded resident-count
+    /// weighted, and one [`SloEngine`](cloudfog_sim::live::SloEngine)
+    /// observes the fold. Sampling is read-only, so the
+    /// [`ShardedRunOutput`] — fingerprint included — is identical to
+    /// [`ShardedSim::run`] on the same config, and because the fold
+    /// runs sequentially in shard order the merged registry and alert
+    /// log are lane-invariant too.
+    pub fn run_live(
+        cfg: &ShardedSimConfig,
+        live: &LiveConfig,
+        sink: &mut dyn MetricsSink,
+    ) -> (ShardedRunOutput, LiveReport) {
+        let (out, report) = Self::run_inner(cfg, &mut |_| {}, Some((live, sink)));
+        (out, report.expect("live plane requested"))
+    }
+
+    fn run_inner(
+        cfg: &ShardedSimConfig,
+        probe: &mut dyn FnMut(u64),
+        live: Option<(&LiveConfig, &mut dyn MetricsSink)>,
+    ) -> (ShardedRunOutput, Option<LiveReport>) {
         let specs = partition(cfg.total_players, cfg.shard_capacity, cfg.seed);
         let configs: Vec<StreamingSimConfig> =
             specs.iter().map(|spec| world_config(cfg, spec)).collect();
@@ -608,6 +638,40 @@ impl ShardedSim {
         let mut worlds: Vec<ShardWorld> =
             specs.iter().zip(sims).map(|(spec, sim)| ShardWorld { spec: *spec, sim }).collect();
         let shards = worlds.len();
+        // Live ops plane (`None` = zero extra work): one registry per
+        // shard — every one installed from the same static vocabulary,
+        // which is what makes them foldable — plus one SLO engine
+        // observing their canonical-order fold.
+        struct Plane<'s> {
+            sink: &'s mut dyn MetricsSink,
+            regs: Vec<MetricsRegistry>,
+            ids: obs::metric::MetricIds,
+            engine: SloEngine,
+            warmup: SimTime,
+            folded: MetricsRegistry,
+            samples: u64,
+        }
+        let mut plane = live.map(|(lc, sink)| {
+            let tcfg = cfg.telemetry.clone().unwrap_or_default();
+            let mut proto = MetricsRegistry::new();
+            let ids = obs::metric::install(&mut proto, &tcfg);
+            let regs = (0..shards)
+                .map(|_| {
+                    let mut reg = MetricsRegistry::new();
+                    obs::metric::install(&mut reg, &tcfg);
+                    reg
+                })
+                .collect();
+            Plane {
+                sink,
+                regs,
+                ids,
+                engine: SloEngine::new(lc.slos.clone()),
+                warmup: SimTime::ZERO + lc.warmup_for(cfg.ramp),
+                folded: MetricsRegistry::new(),
+                samples: 0,
+            }
+        });
         let end = SimTime::ZERO + cfg.horizon;
         let mut ledger = BoundaryLedger::new();
         let mut inboxes: Vec<Vec<BoundaryOp>> = vec![Vec::new(); shards];
@@ -661,6 +725,34 @@ impl ShardedSim {
                     inboxes[op.to_shard as usize].push(op);
                     if op.from_shard != op.to_shard {
                         inboxes[op.from_shard as usize].push(op);
+                    }
+                }
+            }
+            // Live sampling: sequential, canonical shard order, after
+            // maintenance — read-only over every world, so the event
+            // streams (and the run fingerprint) are untouched.
+            if let Some(p) = plane.as_mut() {
+                for (world, reg) in worlds.iter().zip(p.regs.iter_mut()) {
+                    world.sim.model.live_sample(reg, &p.ids);
+                }
+                let weighted: Vec<(f64, &MetricsRegistry)> = worlds
+                    .iter()
+                    .zip(p.regs.iter())
+                    .map(|(world, reg)| (world.spec.players as f64, reg))
+                    .collect();
+                let folded = MetricsRegistry::fold(&weighted);
+                drop(weighted);
+                p.folded = folded;
+                p.samples += 1;
+                p.sink.snapshot(boundary, &p.folded);
+                // Strictly after warmup — same rationale as the
+                // monolithic driver: gauges are all zero until the
+                // measurement window opens at the warmup instant.
+                if boundary > p.warmup {
+                    let sums: Vec<Option<[f64; 5]>> =
+                        worlds.iter().map(|w| w.sim.model.causal_component_sums()).collect();
+                    for alert in p.engine.observe(boundary, &p.folded, fold_dominant(&sums)) {
+                        p.sink.alert(&alert);
                     }
                 }
             }
@@ -721,7 +813,12 @@ impl ShardedSim {
         } else {
             (None, None)
         };
-        ShardedRunOutput {
+        let live_report = plane.map(|p| LiveReport {
+            registry: p.folded,
+            alerts: p.engine.into_log(),
+            samples: p.samples,
+        });
+        let out = ShardedRunOutput {
             summary,
             cells: merge.into_cells(),
             exchange: ExchangeStats {
@@ -734,7 +831,8 @@ impl ShardedSim {
             telemetry,
             causal,
             fingerprint,
-        }
+        };
+        (out, live_report)
     }
 }
 

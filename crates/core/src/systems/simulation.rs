@@ -37,6 +37,7 @@ use cloudfog_sim::causal::{
 };
 use cloudfog_sim::engine::{Model, Scheduler, Simulation};
 use cloudfog_sim::event::EventQueue;
+use cloudfog_sim::live::{MetricsRegistry, MetricsSink, SloEngine};
 use cloudfog_sim::rng::Rng;
 use cloudfog_sim::series::{CounterSeries, TimeSeries};
 use cloudfog_sim::telemetry::{
@@ -76,6 +77,7 @@ use crate::obs;
 use crate::schedule::{SchedulingPolicy, SenderBuffer};
 use crate::streaming::{Segment, SegmentIdAlloc};
 use crate::systems::deployment::{Deployment, StreamSource, SystemKind};
+use crate::systems::live::{LiveConfig, LiveReport};
 
 /// How players enter the system.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -1225,6 +1227,76 @@ impl StreamingSim {
         model.summarize(report.events_executed, report.end_time)
     }
 
+    /// Run with the live ops plane on: advance the event loop in
+    /// [`LiveConfig::tick`]-sized phases, sample the metrics
+    /// vocabulary at every boundary, stream each sample into `sink`,
+    /// and feed the [`SloEngine`](cloudfog_sim::live::SloEngine) once
+    /// warmup has passed. Phase-driving is proven bit-identical to an
+    /// uninterrupted run by [`StreamingSim::run_split`], so the
+    /// returned [`RunOutput`] matches [`StreamingSim::run_instrumented`]
+    /// on the same config exactly; the [`LiveReport`] rides alongside.
+    pub fn run_live(
+        cfg: StreamingSimConfig,
+        live: &LiveConfig,
+        sink: &mut dyn MetricsSink,
+    ) -> (RunOutput, LiveReport) {
+        let mut profiler = cfg.telemetry.is_some().then(PhaseProfiler::new);
+        if let Some(p) = profiler.as_mut() {
+            p.enter("setup");
+        }
+        let horizon = cfg.horizon;
+        let warmup = SimTime::ZERO + live.warmup_for(cfg.ramp);
+        let tcfg = cfg.telemetry.clone().unwrap_or_default();
+        let mut sim = Self::prepared(cfg);
+        let mut registry = MetricsRegistry::new();
+        let ids = obs::metric::install(&mut registry, &tcfg);
+        let mut engine = SloEngine::new(live.slos.clone());
+        if let Some(p) = profiler.as_mut() {
+            p.enter("event_loop");
+        }
+        let end = SimTime::ZERO + horizon;
+        let mut now = SimTime::ZERO;
+        let mut samples = 0u64;
+        let mut events = 0u64;
+        let mut end_time = SimTime::ZERO;
+        while now < end {
+            let boundary = (now + live.tick).min(end);
+            sim.set_horizon(boundary);
+            let report = sim.run();
+            events = report.events_executed;
+            end_time = report.end_time;
+            sim.model.live_sample(&mut registry, &ids);
+            samples += 1;
+            sink.snapshot(boundary, &registry);
+            // Strictly after warmup: at the warmup instant itself the
+            // QoE gauges still read zero (measurement starts there),
+            // which would page every healthy run once at startup.
+            if boundary > warmup {
+                let dominant = sim.model.dominant_component();
+                for alert in engine.observe(boundary, &registry, dominant) {
+                    sink.alert(&alert);
+                }
+            }
+            now = boundary;
+        }
+        let mut model = sim.model;
+        if let Some(p) = profiler.as_mut() {
+            p.enter("collect");
+        }
+        model.finish(end_time);
+        let summary = model.summarize(events, end_time);
+        let telemetry = profiler.map(|mut prof| {
+            let mut t = model.telemetry_report(&summary);
+            t.set_phases(&mut prof);
+            t
+        });
+        let causal = model.telemetry.as_ref().map(|t| t.causal.report(model.cfg.kind.label()));
+        let churn = model.cfg.churn.is_some().then_some(model.churn_stats);
+        let out = RunOutput { summary, series: model.series, telemetry, causal, churn };
+        let report = LiveReport { registry, alerts: engine.into_log(), samples };
+        (out, report)
+    }
+
     /// Run to the horizon and summarize, also returning the QoE
     /// series when [`StreamingSimConfig::series_bucket`] is set.
     pub fn run_detailed(cfg: StreamingSimConfig) -> (RunSummary, Option<QoeSeries>) {
@@ -1420,6 +1492,78 @@ impl StreamingSim {
             .map(|(i, _)| PlayerId(i as u32))
             .take(n)
             .collect()
+    }
+
+    /// Write one tick-boundary sample of the live metrics vocabulary
+    /// into `reg`. Read-only over the world (same contract as
+    /// [`Self::boundary_pressure`]): sampling between epochs cannot
+    /// perturb the event stream, which is what keeps live runs
+    /// bit-identical to plain runs on the same seed. Counters are set
+    /// to cumulative totals — [`cloudfog_sim::live::SloEngine`] takes
+    /// deltas itself — and gauges to the current instant.
+    pub(crate) fn live_sample(&self, reg: &mut MetricsRegistry, ids: &obs::metric::MetricIds) {
+        let (active, residents, backlog) = self.boundary_pressure();
+        reg.set_gauge(ids.sessions_active, active as f64);
+        reg.set_gauge(ids.sessions_residents, residents as f64);
+        reg.set_gauge(ids.buffer_backlog, backlog as f64);
+        reg.set_gauge(ids.qoe_continuity, self.metrics.mean_continuity());
+        reg.set_gauge(
+            ids.qoe_satisfied,
+            self.metrics.satisfied_ratio(self.cfg.params.satisfaction_bar),
+        );
+        reg.set_gauge(ids.latency_mean, self.metrics.latency_distribution().mean());
+        // Supernode load: live non-draining sessions per serving host.
+        let mut per_host: BTreeMap<HostId, u64> = BTreeMap::new();
+        for a in self.active.iter().flatten() {
+            if !a.draining && a.source.class == TrafficSource::Supernode {
+                *per_host.entry(a.source.host).or_insert(0) += 1;
+            }
+        }
+        let max = per_host.values().copied().max().unwrap_or(0);
+        let mean = if per_host.is_empty() {
+            0.0
+        } else {
+            per_host.values().sum::<u64>() as f64 / per_host.len() as f64
+        };
+        reg.set_gauge(ids.load_supernode_max, max as f64);
+        reg.set_gauge(ids.load_supernode_mean, mean);
+        let (on_time, late, dropped) = self.metrics.packet_totals();
+        reg.set_counter(ids.packets_on_time, on_time);
+        reg.set_counter(ids.packets_total, on_time + late + dropped);
+        reg.set_counter(ids.packets_dropped, dropped);
+        reg.set_counter(ids.sched_drops, self.scheduler_drops);
+        let c = &self.churn_stats;
+        reg.set_counter(ids.control_retries, c.control_retries);
+        reg.set_counter(ids.control_expired, c.control_expired);
+        reg.set_counter(ids.admit_normal, c.admitted_normal);
+        reg.set_counter(ids.admit_degraded, c.admitted_degraded);
+        reg.set_counter(ids.admit_shed, c.admitted_shed);
+        reg.set_counter(ids.churn_started, c.sessions_started);
+        reg.set_counter(ids.churn_completed, c.sessions_completed);
+        reg.set_counter(ids.churn_migrations, c.migrations_applied);
+        reg.set_counter(ids.churn_sn_arrivals, c.supernode_arrivals);
+        reg.set_counter(ids.churn_sn_retirements, c.supernode_retirements);
+        reg.set_counter(ids.failures_injected, self.failures_injected);
+        reg.set_counter(ids.faults_activated, self.faults_activated);
+        if let Some(h) = self.metrics.segment_latency_histogram() {
+            reg.set_histogram(ids.lat_segment, h.clone());
+        }
+        if let Some(h) = self.metrics.transmission_histogram() {
+            reg.set_histogram(ids.lat_transmission, h.clone());
+        }
+    }
+
+    /// Raw causal component sums accumulated so far ([`l_r`, `l_s`,
+    /// `l_q`, `l_t`, `l_p`] order), when telemetry is on — the
+    /// mergeable input for cross-shard dominant-component attribution.
+    pub(crate) fn causal_component_sums(&self) -> Option<[f64; 5]> {
+        self.telemetry.as_ref().map(|t| t.causal.component_sums())
+    }
+
+    /// Dominant latency component attributed so far, for alert
+    /// provenance. `None` when telemetry is off or nothing folded yet.
+    pub(crate) fn dominant_component(&self) -> Option<&'static str> {
+        self.telemetry.as_ref().and_then(|t| t.causal.dominant_component_so_far())
     }
 
     /// Build the telemetry artifact for a finished run. Must only be

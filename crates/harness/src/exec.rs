@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 use cloudfog_core::systems::{
     RunOutput, RunSummary, ShardedRunOutput, ShardedSim, StreamingSim, SystemKind,
 };
+use cloudfog_sim::live::{Alert, NullSink};
 use cloudfog_sim::telemetry::TelemetryReport;
 
 use crate::invariant::{InvariantRegistry, Violation};
@@ -33,15 +34,36 @@ pub struct CellResult {
     /// Telemetry artifact with wall-clock phases stripped (phases are
     /// the one non-deterministic part of a report).
     pub telemetry: Option<TelemetryReport>,
+    /// SLO burn-rate alerts the live ops plane fired, in firing order
+    /// (always empty when the scenario's live plane is off). Alerts
+    /// are deterministic facts — same scenario, same alerts — so they
+    /// merge and compare like every other cell field.
+    pub alerts: Vec<Alert>,
 }
 
 /// Run one scenario to completion and package the deterministic parts.
 /// Cells carrying a [`ShardProfile`](crate::scenario::ShardProfile)
 /// run region-sharded; everything else runs one monolithic world.
+/// Cells with a [`LiveConfig`](cloudfog_core::systems::LiveConfig) run
+/// through the live entry points and record their fired alerts.
 pub fn run_scenario(scenario: &Scenario) -> CellResult {
-    match scenario.sharded_config() {
-        Some(cfg) => cell_from_sharded(scenario, &ShardedSim::run(&cfg)),
-        None => cell_from_output(scenario, &StreamingSim::run_instrumented(scenario.config())),
+    match (scenario.sharded_config(), &scenario.live) {
+        (Some(cfg), Some(live)) => {
+            let (out, report) = ShardedSim::run_live(&cfg, live, &mut NullSink);
+            let mut cell = cell_from_sharded(scenario, &out);
+            cell.alerts = report.alerts.alerts().to_vec();
+            cell
+        }
+        (Some(cfg), None) => cell_from_sharded(scenario, &ShardedSim::run(&cfg)),
+        (None, Some(live)) => {
+            let (out, report) = StreamingSim::run_live(scenario.config(), live, &mut NullSink);
+            let mut cell = cell_from_output(scenario, &out);
+            cell.alerts = report.alerts.alerts().to_vec();
+            cell
+        }
+        (None, None) => {
+            cell_from_output(scenario, &StreamingSim::run_instrumented(scenario.config()))
+        }
     }
 }
 
@@ -51,7 +73,12 @@ pub fn cell_from_output(scenario: &Scenario, output: &RunOutput) -> CellResult {
         t.phases.clear(); // wall-clock: never part of the merged artifact
         t
     });
-    CellResult { scenario: scenario.clone(), summary: output.summary.clone(), telemetry }
+    CellResult {
+        scenario: scenario.clone(),
+        summary: output.summary.clone(),
+        telemetry,
+        alerts: Vec::new(),
+    }
 }
 
 /// Package a sharded run as a cell: the merged summary and telemetry
@@ -61,6 +88,7 @@ pub fn cell_from_sharded(scenario: &Scenario, output: &ShardedRunOutput) -> Cell
         scenario: scenario.clone(),
         summary: output.summary.clone(),
         telemetry: output.telemetry.clone(),
+        alerts: Vec::new(),
     }
 }
 
@@ -280,12 +308,22 @@ pub fn run_matrix(
             // 1-vs-N-lane identity gate); the run-level invariants are
             // written against a monolithic RunOutput, so only
             // matrix-level invariants see sharded cells.
-            Some(cfg) => (cell_from_sharded(scenario, &ShardedSim::run(&cfg)), Vec::new()),
-            None => {
-                let output = StreamingSim::run_instrumented(scenario.config());
-                let violations = registry.check_run(scenario, &output);
-                (cell_from_output(scenario, &output), violations)
-            }
+            Some(_) => (run_scenario(scenario), Vec::new()),
+            None => match &scenario.live {
+                Some(live) => {
+                    let (output, report) =
+                        StreamingSim::run_live(scenario.config(), live, &mut NullSink);
+                    let violations = registry.check_run(scenario, &output);
+                    let mut cell = cell_from_output(scenario, &output);
+                    cell.alerts = report.alerts.alerts().to_vec();
+                    (cell, violations)
+                }
+                None => {
+                    let output = StreamingSim::run_instrumented(scenario.config());
+                    let violations = registry.check_run(scenario, &output);
+                    (cell_from_output(scenario, &output), violations)
+                }
+            },
         }
     });
 

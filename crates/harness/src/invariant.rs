@@ -66,7 +66,8 @@ impl InvariantRegistry {
     /// consistency (span ordering, Eq. 12 span sums, drop
     /// provenance), adaptation ladder bounds, churn lifecycle
     /// soundness (no orphans, join/leave conservation, bounded
-    /// retries), and the fog-dominates-cloud latency claim.
+    /// retries), live-plane alert soundness (burn rates within
+    /// declared bounds), and the fog-dominates-cloud latency claim.
     pub fn stock() -> Self {
         let mut r = Self::empty();
         r.register(QoeBounds);
@@ -80,6 +81,7 @@ impl InvariantRegistry {
         r.register(SessionNoOrphans);
         r.register(JoinLeaveConservation);
         r.register(RetryBounded);
+        r.register(SloBurnRateBounded);
         r.register(FogDominatesCloud::default());
         r
     }
@@ -556,6 +558,82 @@ impl Invariant for RetryBounded {
             ));
         }
         Ok(())
+    }
+}
+
+/// Live-plane alert soundness, checked on the merged matrix (alerts
+/// live on [`CellResult`](crate::exec::CellResult), not on
+/// [`RunOutput`]): every fired alert names an SLO the cell's
+/// [`LiveConfig`](cloudfog_core::systems::LiveConfig) actually
+/// declares, carries that spec's windows, and reports burn rates that
+/// are finite, at or above the firing thresholds (an alert below its
+/// own threshold is an engine bug), and at or below the spec's
+/// [`max_burn`](cloudfog_sim::live::SloSpec::max_burn) — a single
+/// tick's burn cannot exceed full error rate over budget, so neither
+/// can any window mean. Cells without a live plane must record no
+/// alerts at all.
+pub struct SloBurnRateBounded;
+
+impl Invariant for SloBurnRateBounded {
+    fn name(&self) -> &'static str {
+        "slo.burn_rate_bounded"
+    }
+
+    fn check_matrix(&self, report: &MatrixReport) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut violation = |cell: &crate::exec::CellResult, detail: String| {
+            out.push(Violation {
+                scenario_id: Some(cell.scenario.id),
+                invariant: "slo.burn_rate_bounded",
+                scenario_name: cell.scenario.name.clone(),
+                detail,
+            });
+        };
+        for cell in report.cells() {
+            let Some(live) = &cell.scenario.live else {
+                if !cell.alerts.is_empty() {
+                    let n = cell.alerts.len();
+                    violation(cell, format!("{n} alerts recorded with the live plane off"));
+                }
+                continue;
+            };
+            for alert in &cell.alerts {
+                let Some(spec) = live.slos.iter().find(|s| s.name == alert.slo) else {
+                    violation(cell, format!("alert names undeclared SLO {:?}", alert.slo));
+                    continue;
+                };
+                if alert.fast_window != spec.fast_window || alert.slow_window != spec.slow_window {
+                    violation(
+                        cell,
+                        format!(
+                            "{}: alert windows {}/{} differ from spec {}/{}",
+                            alert.slo,
+                            alert.fast_window,
+                            alert.slow_window,
+                            spec.fast_window,
+                            spec.slow_window
+                        ),
+                    );
+                }
+                let max = spec.max_burn();
+                for (which, burn, threshold) in [
+                    ("fast", alert.fast_burn, spec.fast_burn),
+                    ("slow", alert.slow_burn, spec.slow_burn),
+                ] {
+                    if !burn.is_finite() || burn < threshold || burn > max {
+                        violation(
+                            cell,
+                            format!(
+                                "{}: {which} burn {burn} outside [{threshold}, {max}] \
+                                 (firing threshold ≤ burn ≤ 1/budget)",
+                                alert.slo
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        out
     }
 }
 

@@ -150,4 +150,6 @@ pub mod prelude {
     };
     pub use crate::shrink::{Reproducer, ShrinkBudget};
     pub use crate::{available_workers, Harness};
+    pub use cloudfog_core::systems::{LiveConfig, LiveReport};
+    pub use cloudfog_sim::live::{Alert, AlertLog, SloObjective, SloSpec};
 }

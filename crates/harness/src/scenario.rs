@@ -11,7 +11,7 @@
 use cloudfog_core::adapt::AdaptPolicyKind;
 use cloudfog_core::fault::{FaultScript, WatchdogParams};
 use cloudfog_core::systems::{
-    ChurnConfig, JoinPattern, ShardedSimConfig, StreamingSimConfig, SystemKind,
+    ChurnConfig, JoinPattern, LiveConfig, ShardedSimConfig, StreamingSimConfig, SystemKind,
 };
 use cloudfog_sim::telemetry::TelemetryConfig;
 use cloudfog_sim::time::SimDuration;
@@ -214,6 +214,10 @@ pub struct Scenario {
     /// Region-sharded execution recipe (`None` = one monolithic world,
     /// bit-identical to the pre-shard harness).
     pub shard: Option<ShardProfile>,
+    /// Live ops plane for this cell (`None` = off — the plain run
+    /// entry points, untouched). Sampling is read-only, so turning
+    /// this on cannot change the cell's summary.
+    pub live: Option<LiveConfig>,
 }
 
 impl Scenario {
@@ -297,6 +301,7 @@ pub struct ScenarioMatrix {
     policies: Vec<AdaptPolicyKind>,
     telemetry: Option<TelemetryConfig>,
     shards: Vec<Option<ShardProfile>>,
+    live: Option<LiveConfig>,
 }
 
 impl Default for ScenarioMatrix {
@@ -319,6 +324,7 @@ impl ScenarioMatrix {
             policies: Vec::new(),
             telemetry: None,
             shards: Vec::new(),
+            live: None,
         }
     }
 
@@ -392,6 +398,15 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Turn on the live ops plane for every cell: tick-synchronous
+    /// metrics sampling plus SLO burn-rate alerting, with fired
+    /// alerts recorded on each [`CellResult`](crate::exec::CellResult)
+    /// as harness facts.
+    pub fn live(mut self, live: LiveConfig) -> Self {
+        self.live = Some(live);
+        self
+    }
+
     /// Expand the cross product into numbered scenarios. Expansion
     /// order is `shard × policy × churn × template × players × seed ×
     /// system` (system varies fastest, matching the paper's
@@ -461,6 +476,7 @@ impl ScenarioMatrix {
                                         policy,
                                         telemetry: self.telemetry.clone(),
                                         shard: shard.clone(),
+                                        live: self.live.clone(),
                                     });
                                 }
                             }

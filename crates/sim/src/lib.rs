@@ -21,6 +21,8 @@
 //!   summaries, wall-clock phase profiling and JSONL/CSV run reports.
 //! * [`causal`] — per-segment lifecycle spans, decision provenance and
 //!   Eq. 12 latency attribution with Chrome-trace export.
+//! * [`live`] — tick-synchronous metrics registry, SLO burn-rate
+//!   alerting and streaming Prometheus/JSONL exposition.
 //!
 //! ## Quick example
 //!
@@ -54,6 +56,7 @@ pub mod calendar;
 pub mod causal;
 pub mod engine;
 pub mod event;
+pub mod live;
 pub mod rng;
 pub mod series;
 pub mod stats;

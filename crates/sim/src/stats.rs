@@ -103,7 +103,7 @@ impl Welford {
 /// Fixed-width-bin histogram over `[lo, hi)` with overflow/underflow
 /// bins, supporting percentile queries by linear interpolation within
 /// a bin.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -192,6 +192,19 @@ impl Histogram {
             }
         }
         acc as f64 / self.count as f64
+    }
+
+    /// `(upper edge, count)` per bin in ascending-edge order, with the
+    /// underflow mass folded into the lowest bin — the shape a
+    /// cumulative `le`-bucket exposition (Prometheus) wants. Overflow
+    /// mass is *not* included; it is `count()` minus the bucket sum
+    /// and belongs in the consumer's `+Inf` bucket.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins.iter().enumerate().map(move |(i, &b)| {
+            let extra = if i == 0 { self.underflow } else { 0 };
+            (self.lo + w * (i + 1) as f64, b + extra)
+        })
     }
 
     /// Merge another histogram with identical geometry.

@@ -398,24 +398,28 @@ impl TelemetryReport {
     /// wall-clock scalar would poison every fingerprint.
     pub fn events_per_sec(&self) -> Option<f64> {
         let events = self.get_scalar("events")?;
-        let ms = self
-            .phases
-            .iter()
-            .find(|(name, _)| name == "event_loop")
-            .map(|(_, ms)| *ms)
-            .filter(|ms| *ms > 0.0)?;
+        let ms = self.phases.iter().find(|(name, _)| name == "event_loop").map(|(_, ms)| *ms)?;
+        // A zero-duration (or garbage) phase window must yield `None`,
+        // not ±inf/NaN from the division below.
+        if !ms.is_finite() || ms <= 0.0 {
+            return None;
+        }
         Some(events / (ms / 1000.0))
     }
 
     /// Deterministic merge of per-shard reports into one run-level
     /// report.
     ///
-    /// `reports` must be in canonical shard order, each with a weight
-    /// (typically the shard's player count); `rule` decides how each
-    /// scalar combines. Trace counts sum. Distributions (quantiles,
-    /// CDFs), phase rows and trace tails stay per-shard — an exact
-    /// quantile merge needs the raw observations, so the merged report
-    /// deliberately carries none rather than fabricating them.
+    /// `reports` carry one weight each (typically the shard's player
+    /// count); `rule` decides how each scalar combines. Scalar names
+    /// keep first-appearance order, but each scalar's contributions
+    /// are folded in `(value, weight)` total order — not input order —
+    /// so the merged values are exactly permutation-invariant (the
+    /// proptest in `tests/telemetry.rs` pins this). Trace counts sum.
+    /// Distributions (quantiles, CDFs), phase rows and trace tails
+    /// stay per-shard — an exact quantile merge needs the raw
+    /// observations, so the merged report deliberately carries none
+    /// rather than fabricating them.
     pub fn merge_weighted(
         run: impl Into<String>,
         reports: &[(f64, &TelemetryReport)],
@@ -435,25 +439,29 @@ impl TelemetryReport {
         let merged: Vec<(String, f64)> = names
             .into_iter()
             .map(|name| {
+                // Canonicalize the fold order: floating-point addition
+                // is not associative, so summing in input order would
+                // make the merge depend on report permutation.
+                let mut present: Vec<(f64, f64)> = reports
+                    .iter()
+                    .filter_map(|(w, r)| r.get_scalar(name).map(|v| (v, *w)))
+                    .collect();
+                present.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.total_cmp(&b.1)));
                 let mut sum = 0.0;
                 let mut weighted = 0.0;
                 let mut weight_total = 0.0;
                 let mut max = f64::NEG_INFINITY;
-                let mut present = false;
-                for (w, r) in reports {
-                    if let Some(v) = r.get_scalar(name) {
-                        present = true;
-                        sum += v;
-                        weighted += v * w;
-                        weight_total += w;
-                        max = max.max(v);
-                    }
+                for (v, w) in &present {
+                    sum += v;
+                    weighted += v * w;
+                    weight_total += w;
+                    max = max.max(*v);
                 }
                 let value = match rule(name) {
                     ScalarMerge::Sum => sum,
                     ScalarMerge::WeightedMean if weight_total > 0.0 => weighted / weight_total,
                     ScalarMerge::WeightedMean => 0.0,
-                    ScalarMerge::Max if present => max,
+                    ScalarMerge::Max if !present.is_empty() => max,
                     ScalarMerge::Max => 0.0,
                 };
                 (name.to_string(), value)

@@ -135,6 +135,7 @@ fn violated_churn_invariant_shrinks_to_one_line_reproducer() {
         churn: repro.churn.clone(),
         policy: repro.policy,
         shard: None,
+        live: None,
     };
     let output = StreamingSim::run_instrumented(shrunk.config());
     assert!(

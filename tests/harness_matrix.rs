@@ -112,6 +112,7 @@ fn violated_invariant_shrinks_to_replayable_reproducer() {
         churn: repro.churn.clone(),
         policy: repro.policy,
         shard: None,
+        live: None,
     };
     let output = StreamingSim::run_instrumented(shrunk.config());
     assert!(

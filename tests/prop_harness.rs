@@ -52,9 +52,11 @@ fn cell(id: usize, seed: u64) -> CellResult {
             churn: None,
             policy: AdaptPolicyKind::BufferOccupancy,
             shard: None,
+            live: None,
         },
         summary: summary(id, seed),
         telemetry: None,
+        alerts: Vec::new(),
     }
 }
 

@@ -4,6 +4,7 @@
 //! the simulator reports.
 
 use cloudfog::prelude::*;
+use cloudfog::sim::telemetry::{ScalarMerge, TelemetryReport};
 use proptest::prelude::*;
 
 fn run_pair(kind: SystemKind, seed: u64) -> (RunSummary, RunOutput) {
@@ -110,6 +111,97 @@ fn uninstrumented_runs_carry_no_report() {
         .build();
     let out = StreamingSim::run_instrumented(cfg);
     assert!(out.telemetry.is_none(), "no telemetry config, no report");
+}
+
+/// `events_per_sec` divides by the `event_loop` phase window; a
+/// zero-length, negative or garbage window must yield `None`, never
+/// ±inf/NaN leaking into dashboards and bench gates.
+#[test]
+fn events_per_sec_guards_degenerate_phase_windows() {
+    let report = |phase: Option<f64>| {
+        let mut r = TelemetryReport::new("guard");
+        r.scalar("events", 1_000.0);
+        if let Some(ms) = phase {
+            r.phases.push(("event_loop".to_string(), ms));
+        }
+        r
+    };
+    assert_eq!(report(Some(500.0)).events_per_sec(), Some(2_000.0));
+    assert_eq!(report(None).events_per_sec(), None, "missing phase row");
+    assert_eq!(report(Some(0.0)).events_per_sec(), None, "zero-duration window");
+    assert_eq!(report(Some(-3.0)).events_per_sec(), None, "clock-skewed window");
+    assert_eq!(report(Some(f64::NAN)).events_per_sec(), None, "garbage window");
+    assert_eq!(report(Some(f64::INFINITY)).events_per_sec(), None, "infinite window");
+    // No `events` scalar at all: also None, not a panic.
+    let mut empty = TelemetryReport::new("guard");
+    empty.phases.push(("event_loop".to_string(), 500.0));
+    assert_eq!(empty.events_per_sec(), None);
+}
+
+fn one_scalar_report(name: &str, value: f64) -> TelemetryReport {
+    let mut r = TelemetryReport::new("cell");
+    r.scalar(name, value);
+    r
+}
+
+/// `Max` must return the true maximum even when every contribution is
+/// negative — a `0.0` fold-identity bug would report a phantom peak.
+#[test]
+fn merge_weighted_max_survives_negative_scalars() {
+    let a = one_scalar_report("net.min_headroom", -5.0);
+    let b = one_scalar_report("net.min_headroom", -2.0);
+    let merged =
+        TelemetryReport::merge_weighted("m", &[(1.0, &a), (1.0, &b)], |_| ScalarMerge::Max);
+    assert_eq!(merged.get_scalar("net.min_headroom"), Some(-2.0));
+    // A scalar present in no report never appears; one present in a
+    // single report is its own max.
+    let solo = TelemetryReport::merge_weighted("m", &[(1.0, &a)], |_| ScalarMerge::Max);
+    assert_eq!(solo.get_scalar("net.min_headroom"), Some(-5.0));
+}
+
+/// Zero total weight (every shard empty) must degrade to 0.0, not NaN
+/// from 0/0 — NaN would poison every downstream fingerprint.
+#[test]
+fn merge_weighted_zero_total_weight_is_zero_not_nan() {
+    let a = one_scalar_report("qoe.ratio", 0.9);
+    let b = one_scalar_report("qoe.ratio", 0.5);
+    let merged = TelemetryReport::merge_weighted("m", &[(0.0, &a), (0.0, &b)], |_| {
+        ScalarMerge::WeightedMean
+    });
+    assert_eq!(merged.get_scalar("qoe.ratio"), Some(0.0));
+}
+
+proptest! {
+    /// The weighted merge folds each scalar's contributions in
+    /// `(value, weight)` total order, so report permutation must be
+    /// bit-invisible in every rule. This is the contract the sharded
+    /// fold leans on for lane invariance.
+    #[test]
+    fn merge_weighted_is_permutation_invariant(
+        cells in prop::collection::vec((0.1f64..50.0, -100.0f64..100.0), 2..8),
+        rotate in 0usize..8,
+    ) {
+        let reports: Vec<TelemetryReport> =
+            cells.iter().map(|(_, v)| one_scalar_report("x", *v)).collect();
+        let inputs: Vec<(f64, &TelemetryReport)> =
+            cells.iter().map(|(w, _)| *w).zip(reports.iter()).collect();
+        let mut rotated = inputs.clone();
+        rotated.rotate_left(rotate % inputs.len());
+        let mut reversed = inputs.clone();
+        reversed.reverse();
+        for rule in [ScalarMerge::Sum, ScalarMerge::WeightedMean, ScalarMerge::Max] {
+            let base = TelemetryReport::merge_weighted("m", &inputs, |_| rule);
+            for other in [&rotated, &reversed] {
+                let merged = TelemetryReport::merge_weighted("m", other, |_| rule);
+                prop_assert_eq!(
+                    base.get_scalar("x").unwrap().to_bits(),
+                    merged.get_scalar("x").unwrap().to_bits(),
+                    "rule {:?} must be permutation-invariant to the bit",
+                    rule
+                );
+            }
+        }
+    }
 }
 
 proptest! {
