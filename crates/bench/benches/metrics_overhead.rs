@@ -103,6 +103,7 @@ fn main() {
     let plain_secs = measure_plain();
     let (live_secs, samples) = measure_live();
     let ratio = live_secs / plain_secs.max(1e-9);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let mut t = Table::new("live metrics plane overhead")
         .headers(["measurement", "value"])
@@ -112,11 +113,13 @@ fn main() {
     t.row(["samples per live run".into(), samples.to_string()]);
     t.row(["overhead ratio".into(), format!("{ratio:.3}x")]);
     t.row(["absolute budget".into(), format!("{OVERHEAD_BUDGET:.2}x")]);
+    t.row(["cores".into(), cores.to_string()]);
     t.print();
 
     let json = format!(
         "{{\"plain_wall_secs\":{plain_secs:.6},\"live_wall_secs\":{live_secs:.6},\
-         \"samples\":{samples},\"overhead_ratio\":{ratio:.4},\"budget\":{OVERHEAD_BUDGET}}}"
+         \"samples\":{samples},\"overhead_ratio\":{ratio:.4},\"budget\":{OVERHEAD_BUDGET},\
+         \"cores\":{cores}}}"
     );
     let dir = telemetry_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -134,7 +137,7 @@ fn main() {
     if ratio > OVERHEAD_BUDGET {
         eprintln!(
             "METRICS OVERHEAD OVER BUDGET: live run is {ratio:.3}x the plain run \
-             (budget {OVERHEAD_BUDGET:.2}x)"
+             (budget {OVERHEAD_BUDGET:.2}x, {cores} core(s))"
         );
         failed = true;
     }
@@ -145,7 +148,7 @@ fn main() {
             if ratio > ceiling {
                 eprintln!(
                     "METRICS OVERHEAD REGRESSION: {ratio:.3}x is more than {REGRESSION_BUDGET} \
-                     ratio points above the committed baseline {base:.3}x"
+                     ratio points above the committed baseline {base:.3}x ({cores} core(s) here)"
                 );
                 failed = true;
             }

@@ -158,7 +158,7 @@ fn main() {
             if events_per_sec < floor {
                 eprintln!(
                     "THROUGHPUT REGRESSION: {events_per_sec:.0} events/sec is more than \
-                     {:.0}% below the committed baseline {base:.0}",
+                     {:.0}% below the committed baseline {base:.0} ({cores} core(s) here)",
                     REGRESSION_BUDGET * 100.0
                 );
                 if enforce {

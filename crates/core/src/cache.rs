@@ -1,0 +1,264 @@
+//! Bounded encoded-segment cache.
+//!
+//! Encoding is the single biggest redundant cost in the steady-state
+//! loop: every action charges the full `cloud_compute + render_time`
+//! budget, even when dozens of players are streaming the same game at
+//! the same quality in the same instant. [`SegmentCache`] keys encoded
+//! segments by `(game, quality, time chunk)` so one encode serves
+//! every request for that chunk — a hit skips the per-request encode
+//! path entirely.
+//!
+//! The cache is doubly bounded (entry count *and* bytes), evicts
+//! least-recently-used first, and keeps full hit / miss / insert /
+//! evict / bytes accounting — the `cache.bounded` harness invariant
+//! checks the peaks against the configured bounds. Recency is a
+//! logical lookup clock, not wall time, so behaviour is deterministic
+//! and replayable.
+
+use std::collections::BTreeMap;
+
+use cloudfog_workload::games::GameId;
+
+/// Identity of one encodable chunk: a game, a quality level, and a
+/// coarse time bucket (segments encoded for the same window are
+/// interchangeable across players).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SegmentKey {
+    /// The game being streamed.
+    pub game: GameId,
+    /// Quality-ladder level (1–5).
+    pub quality: u8,
+    /// Time chunk index (`now / chunk_duration`).
+    pub chunk: u64,
+}
+
+/// Cumulative cache accounting. All counters are monotone; the peaks
+/// track the high-water marks the `cache.bounded` invariant audits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a resident entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to stay within bounds.
+    pub evictions: u64,
+    /// Inserts rejected because a single entry exceeded the byte
+    /// capacity (never admitted, so the bound holds strictly).
+    pub rejected: u64,
+    /// High-water mark of resident entries.
+    pub entries_peak: u64,
+    /// High-water mark of resident bytes.
+    pub bytes_peak: u64,
+}
+
+/// One resident entry: its size and the lookup-clock instant it was
+/// last touched (insert or hit).
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    bytes: u64,
+    last_used: u64,
+}
+
+/// A bounded LRU cache of encoded segments.
+#[derive(Clone, Debug)]
+pub struct SegmentCache {
+    entries: BTreeMap<SegmentKey, Entry>,
+    max_entries: usize,
+    capacity_bytes: u64,
+    bytes: u64,
+    /// Logical clock: bumps on every lookup and insert.
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SegmentCache {
+    /// An empty cache bounded by `max_entries` entries and
+    /// `capacity_bytes` resident bytes.
+    pub fn new(max_entries: usize, capacity_bytes: u64) -> Self {
+        SegmentCache {
+            entries: BTreeMap::new(),
+            max_entries,
+            capacity_bytes,
+            bytes: 0,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look a key up, counting a hit or a miss and refreshing recency
+    /// on a hit. Returns true on a hit.
+    pub fn lookup(&mut self, key: &SegmentKey) -> bool {
+        self.clock += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.clock;
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// True when the key is resident, without touching recency or the
+    /// hit/miss counters (pre-encode planning peeks without skewing
+    /// the request-path accounting).
+    pub fn contains(&self, key: &SegmentKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Insert an encoded segment, evicting least-recently-used entries
+    /// until both bounds hold again. Returns the number of evictions
+    /// this insert caused. An entry larger than the whole byte
+    /// capacity is rejected outright (counted in
+    /// [`CacheStats::rejected`]) so the bound holds strictly;
+    /// re-inserting a resident key refreshes its recency and size.
+    pub fn insert(&mut self, key: SegmentKey, bytes: u64) -> u64 {
+        if bytes > self.capacity_bytes || self.max_entries == 0 {
+            self.stats.rejected += 1;
+            return 0;
+        }
+        self.clock += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            self.bytes = self.bytes - entry.bytes + bytes;
+            entry.bytes = bytes;
+            entry.last_used = self.clock;
+        } else {
+            self.entries.insert(key, Entry { bytes, last_used: self.clock });
+            self.bytes += bytes;
+            self.stats.insertions += 1;
+        }
+        let mut evicted = 0;
+        while self.entries.len() > self.max_entries || self.bytes > self.capacity_bytes {
+            // LRU scan: the map is bounded by `max_entries`, so the
+            // scan is O(bound), not O(traffic).
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("over-bound cache holds a victim besides the fresh key");
+            let gone = self.entries.remove(&victim).expect("victim resident");
+            self.bytes -= gone.bytes;
+            self.stats.evictions += 1;
+            evicted += 1;
+        }
+        self.stats.entries_peak = self.stats.entries_peak.max(self.entries.len() as u64);
+        self.stats.bytes_peak = self.stats.bytes_peak.max(self.bytes);
+        evicted
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resident bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Cumulative accounting so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Hit rate over all lookups so far (0.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.stats.hits + self.stats.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(game: u8, quality: u8, chunk: u64) -> SegmentKey {
+        SegmentKey { game: GameId(game), quality, chunk }
+    }
+
+    #[test]
+    fn hit_miss_and_byte_accounting() {
+        let mut c = SegmentCache::new(8, 1_000);
+        assert!(!c.lookup(&key(0, 3, 1)));
+        assert_eq!(c.insert(key(0, 3, 1), 100), 0);
+        assert!(c.lookup(&key(0, 3, 1)));
+        assert!(!c.lookup(&key(0, 3, 2)), "different chunk is a different entry");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 2, 1));
+        assert_eq!(c.bytes(), 100);
+        assert!((c.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entry_bound_evicts_least_recently_used() {
+        let mut c = SegmentCache::new(2, 1_000_000);
+        c.insert(key(0, 1, 0), 10);
+        c.insert(key(1, 1, 0), 10);
+        assert!(c.lookup(&key(0, 1, 0)), "touch entry 0 — entry 1 becomes LRU");
+        assert_eq!(c.insert(key(2, 1, 0), 10), 1);
+        assert!(c.contains(&key(0, 1, 0)), "recently used survives");
+        assert!(!c.contains(&key(1, 1, 0)), "LRU evicted");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_bound_evicts_until_it_fits() {
+        let mut c = SegmentCache::new(100, 250);
+        c.insert(key(0, 1, 0), 100);
+        c.insert(key(1, 1, 0), 100);
+        // 100 + 100 + 200 = 400: both resident entries must go before
+        // the 200-byte insert fits under the 250-byte bound.
+        assert_eq!(c.insert(key(2, 1, 0), 200), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 200);
+        assert_eq!(c.stats().bytes_peak, 200, "peak recorded after eviction settles");
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected_not_admitted() {
+        let mut c = SegmentCache::new(4, 100);
+        assert_eq!(c.insert(key(0, 5, 0), 101), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().rejected, 1);
+        assert_eq!(c.stats().bytes_peak, 0, "bound holds strictly");
+    }
+
+    #[test]
+    fn reinserting_a_resident_key_updates_in_place() {
+        let mut c = SegmentCache::new(4, 1_000);
+        c.insert(key(0, 1, 7), 100);
+        c.insert(key(0, 1, 7), 60);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 60);
+        assert_eq!(c.stats().insertions, 1, "refresh is not a second insertion");
+    }
+
+    #[test]
+    fn peaks_never_exceed_bounds() {
+        let mut c = SegmentCache::new(3, 500);
+        for i in 0..50u64 {
+            c.insert(key((i % 5) as u8, 1, i), 90 + i);
+        }
+        let s = c.stats();
+        assert!(s.entries_peak <= 3);
+        assert!(s.bytes_peak <= 500);
+        assert_eq!(s.insertions, s.evictions + c.len() as u64);
+    }
+}

@@ -10,6 +10,8 @@
 //!   protocol.
 //! * [`adapt`] — receiver-driven encoding rate adaptation (§III-B,
 //!   Eqs. 7–11).
+//! * [`cache`] — the bounded encoded-segment LRU cache behind the
+//!   predictive prefetch plane.
 //! * [`schedule`] — deadline-driven sender buffer scheduling (§III-C,
 //!   Eqs. 12–14).
 //! * [`streaming`] — segments, packetization, per-player QoE
@@ -45,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adapt;
+pub mod cache;
 pub mod config;
 pub mod control;
 pub mod coop;
@@ -66,6 +69,7 @@ pub mod prelude {
         PolicyInputs, ServerAwarePolicy, SwitchDriver,
     };
     pub use crate::adapt::{RateController, RateDecision};
+    pub use crate::cache::{CacheStats, SegmentCache, SegmentKey};
     pub use crate::config::{scale_from_env, ExperimentProfile, SystemParams, Testbed};
     pub use crate::control::{
         AdmissionDecision, AdmissionParams, BackoffPolicy, ControlFailure, ControlOp,
@@ -90,9 +94,9 @@ pub mod prelude {
     pub use crate::systems::{
         coverage_curve, partition, supernode_load_experiment, ChurnConfig, ChurnStats,
         CoveragePoint, Deployment, ExchangeStats, FogStats, GameQoe, JoinPattern, LatencyStats,
-        LoadExperimentConfig, LoadPoint, QoeSeries, QoeStats, RunOutput, RunSummary, ShardCell,
-        ShardMerge, ShardSpec, ShardedRunOutput, ShardedSim, ShardedSimConfig,
-        ShardedSimConfigBuilder, StreamSource, StreamingSim, StreamingSimConfig,
+        LoadExperimentConfig, LoadPoint, PrefetchConfig, PrefetchStats, QoeSeries, QoeStats,
+        RunOutput, RunSummary, ShardCell, ShardMerge, ShardSpec, ShardedRunOutput, ShardedSim,
+        ShardedSimConfig, ShardedSimConfigBuilder, StreamSource, StreamingSim, StreamingSimConfig,
         StreamingSimConfigBuilder, SystemKind, TrafficStats,
     };
     pub use cloudfog_sim::causal::{

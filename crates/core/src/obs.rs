@@ -83,6 +83,18 @@ pub mod metric {
     pub const FAILURES_INJECTED: &str = "faults.failures_injected";
     /// Scripted fault activations (counter).
     pub const FAULTS_ACTIVATED: &str = "faults.activated";
+    /// Encoded-segment cache hits (counter).
+    pub const CACHE_HITS: &str = "cache.hits";
+    /// Encoded-segment cache misses (counter).
+    pub const CACHE_MISSES: &str = "cache.misses";
+    /// Encoded-segment cache evictions (counter).
+    pub const CACHE_EVICTIONS: &str = "cache.evictions";
+    /// Resident encoded-segment cache bytes (gauge).
+    pub const CACHE_BYTES: &str = "cache.bytes";
+    /// Prefetch forecast ticks executed (counter).
+    pub const PREFETCH_PREDICTIONS: &str = "prefetch.predictions";
+    /// Lead-time supernode deploys issued from forecasts (counter).
+    pub const PREFETCH_PREDEPLOYS: &str = "prefetch.predeploys";
 
     /// Segment response-latency distribution, ms (histogram; only
     /// populated when telemetry is on — the cumulative collector
@@ -93,7 +105,7 @@ pub mod metric {
     pub const LAT_TRANSMISSION: &str = "latency_ms.transmission";
 
     /// Every live-plane metric name, for exhaustive tooling.
-    pub const ALL: [&str; 26] = [
+    pub const ALL: [&str; 32] = [
         QOE_CONTINUITY,
         QOE_SATISFIED,
         LATENCY_MEAN,
@@ -118,6 +130,12 @@ pub mod metric {
         CHURN_SN_RETIREMENTS,
         FAILURES_INJECTED,
         FAULTS_ACTIVATED,
+        CACHE_HITS,
+        CACHE_MISSES,
+        CACHE_EVICTIONS,
+        CACHE_BYTES,
+        PREFETCH_PREDICTIONS,
+        PREFETCH_PREDEPLOYS,
         LAT_SEGMENT,
         LAT_TRANSMISSION,
     ];
@@ -151,6 +169,12 @@ pub mod metric {
         pub churn_sn_retirements: MetricId,
         pub failures_injected: MetricId,
         pub faults_activated: MetricId,
+        pub cache_hits: MetricId,
+        pub cache_misses: MetricId,
+        pub cache_evictions: MetricId,
+        pub cache_bytes: MetricId,
+        pub prefetch_predictions: MetricId,
+        pub prefetch_predeploys: MetricId,
         pub lat_segment: MetricId,
         pub lat_transmission: MetricId,
     }
@@ -188,6 +212,12 @@ pub mod metric {
             churn_sn_retirements: reg.counter(CHURN_SN_RETIREMENTS, "supernode retirements"),
             failures_injected: reg.counter(FAILURES_INJECTED, "supernode failures injected"),
             faults_activated: reg.counter(FAULTS_ACTIVATED, "scripted fault activations"),
+            cache_hits: reg.counter(CACHE_HITS, "encoded-segment cache hits"),
+            cache_misses: reg.counter(CACHE_MISSES, "encoded-segment cache misses"),
+            cache_evictions: reg.counter(CACHE_EVICTIONS, "encoded-segment cache evictions"),
+            cache_bytes: reg.gauge(CACHE_BYTES, "resident encoded-segment cache bytes"),
+            prefetch_predictions: reg.counter(PREFETCH_PREDICTIONS, "forecast ticks executed"),
+            prefetch_predeploys: reg.counter(PREFETCH_PREDEPLOYS, "lead-time deploys issued"),
             lat_segment: reg.histogram(LAT_SEGMENT, "segment response latency (ms)", lo, hi, bins),
             lat_transmission: reg.histogram(
                 LAT_TRANSMISSION,
@@ -301,9 +331,24 @@ pub mod kind {
     /// Supernode gracefully retired mid-run. `key` = supernode id,
     /// `value` = players re-homed.
     pub const DEPLOY_RETIRE: &str = "deploy.retire";
+    /// Prefetch forecast tick produced a per-region demand prediction.
+    /// `key` = region index, `value` = predicted demand (sessions).
+    pub const PREFETCH_PREDICT: &str = "prefetch.predict";
+    /// Encoded-segment cache hit — the request skipped the encode
+    /// path. `key` = player, `value` = quality level.
+    pub const CACHE_HIT: &str = "cache.hit";
+    /// Encoded-segment cache miss — the request paid the full encode.
+    /// `key` = player, `value` = quality level.
+    pub const CACHE_MISS: &str = "cache.miss";
+    /// Cache insert evicted least-recently-used entries. `key` =
+    /// entries evicted, `value` = resident bytes after.
+    pub const CACHE_EVICT: &str = "cache.evict";
+    /// Forecast-driven lead-time supernode deploy issued. `key` =
+    /// candidate player, `value` = region index.
+    pub const DEPLOY_PRE: &str = "deploy.pre";
 
     /// All kinds, for exhaustive matching in tooling.
-    pub const ALL: [&str; 18] = [
+    pub const ALL: [&str; 23] = [
         SCHED_DROP,
         ADAPT_UP,
         ADAPT_DOWN,
@@ -322,6 +367,11 @@ pub mod kind {
         COOP_MIGRATE,
         DEPLOY_ARRIVAL,
         DEPLOY_RETIRE,
+        PREFETCH_PREDICT,
+        CACHE_HIT,
+        CACHE_MISS,
+        CACHE_EVICT,
+        DEPLOY_PRE,
     ];
 }
 

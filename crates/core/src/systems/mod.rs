@@ -38,9 +38,9 @@ pub use sharded::{
     ShardedSimConfig, ShardedSimConfigBuilder,
 };
 pub use simulation::{
-    ChurnConfig, ChurnStats, FogStats, GameQoe, JoinPattern, LatencyStats, QoeSeries, QoeStats,
-    RunOutput, RunSummary, StreamingSim, StreamingSimConfig, StreamingSimConfigBuilder,
-    TrafficStats,
+    ChurnConfig, ChurnStats, FogStats, GameQoe, JoinPattern, LatencyStats, PrefetchConfig,
+    PrefetchStats, QoeSeries, QoeStats, RunOutput, RunSummary, StreamingSim, StreamingSimConfig,
+    StreamingSimConfigBuilder, TrafficStats,
 };
 pub use supernode_load::{supernode_load_experiment, LoadExperimentConfig, LoadPoint};
 

@@ -60,7 +60,8 @@ use crate::obs;
 use crate::systems::deployment::SystemKind;
 use crate::systems::live::{fold_dominant, LiveConfig, LiveReport};
 use crate::systems::simulation::{
-    ChurnConfig, ChurnStats, Ev, GameQoe, RunSummary, StreamingSim, StreamingSimConfig,
+    ChurnConfig, ChurnStats, Ev, GameQoe, PrefetchConfig, PrefetchStats, RunSummary, StreamingSim,
+    StreamingSimConfig,
 };
 
 /// Salt mixed into each shard's seed so sibling worlds draw
@@ -107,6 +108,10 @@ pub struct ShardedSimConfig {
     /// Per-shard telemetry; when set, the run also produces merged
     /// telemetry and causal reports (with run-global segment ids).
     pub telemetry: Option<TelemetryConfig>,
+    /// Predictive prefetch plane in every sub-world (per-shard caches
+    /// and forecasters; stats fold in canonical shard order, so lane
+    /// count stays bit-invisible).
+    pub prefetch: Option<PrefetchConfig>,
 }
 
 impl ShardedSimConfig {
@@ -127,6 +132,7 @@ impl ShardedSimConfig {
                 policy: AdaptPolicyKind::BufferOccupancy,
                 exchange: ShardExchangePolicy::default(),
                 telemetry: None,
+                prefetch: None,
             },
         }
     }
@@ -216,6 +222,12 @@ impl ShardedSimConfigBuilder {
         self
     }
 
+    /// Enable the predictive prefetch plane in every sub-world.
+    pub fn prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.cfg.prefetch = Some(prefetch);
+        self
+    }
+
     /// Finalize the config.
     pub fn build(self) -> ShardedSimConfig {
         assert!(self.cfg.tick > SimDuration::ZERO, "tick must be positive");
@@ -292,6 +304,9 @@ fn world_config(cfg: &ShardedSimConfig, spec: &ShardSpec) -> StreamingSimConfig 
     if let Some(t) = &cfg.telemetry {
         builder = builder.telemetry(t.clone());
     }
+    if let Some(p) = cfg.prefetch {
+        builder = builder.prefetch(p);
+    }
     builder.build()
 }
 
@@ -308,6 +323,8 @@ pub struct ShardCell {
     pub summary: RunSummary,
     /// Lifecycle counters, when churn was enabled.
     pub churn: Option<ChurnStats>,
+    /// Prefetch-plane counters, when the prefetch plane was enabled.
+    pub prefetch: Option<PrefetchStats>,
 }
 
 /// Keyed, order-independent fold of shard outputs — the sharded
@@ -504,8 +521,10 @@ impl ShardMerge {
         const PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut hash = OFFSET;
         for cell in self.cells.values() {
-            let line =
-                format!("{}|{:?}|{:?}|{:?}\n", cell.shard, cell.region, cell.summary, cell.churn);
+            let line = format!(
+                "{}|{:?}|{:?}|{:?}|{:?}\n",
+                cell.shard, cell.region, cell.summary, cell.churn, cell.prefetch
+            );
             for byte in line.bytes() {
                 hash ^= u64::from(byte);
                 hash = hash.wrapping_mul(PRIME);
@@ -540,6 +559,9 @@ pub struct ShardedRunOutput {
     pub exchange: ExchangeStats,
     /// Merged lifecycle counters, when churn was enabled.
     pub churn: Option<ChurnStats>,
+    /// Merged prefetch counters (summed, peaks maxed across shards),
+    /// when the prefetch plane was enabled.
+    pub prefetch: Option<PrefetchStats>,
     /// Merged telemetry (scalar sums / player-weighted means), when
     /// telemetry was enabled.
     pub telemetry: Option<TelemetryReport>,
@@ -774,6 +796,7 @@ impl ShardedSim {
                 region: world.spec.region,
                 summary: world.sim.model.summarize(events, end),
                 churn: cfg.churn.then(|| *world.sim.model.churn_stats()),
+                prefetch: world.sim.model.prefetch_stats(),
             });
         }
         let summary = merge.summary();
@@ -783,6 +806,15 @@ impl ShardedSim {
             for cell in merge.cells() {
                 if let Some(c) = &cell.churn {
                     total.absorb(c);
+                }
+            }
+            total
+        });
+        let prefetch = cfg.prefetch.map(|_| {
+            let mut total = PrefetchStats::default();
+            for cell in merge.cells() {
+                if let Some(p) = &cell.prefetch {
+                    total.absorb(p);
                 }
             }
             total
@@ -828,6 +860,7 @@ impl ShardedSim {
                 ops_routed: ledger.sequenced(),
             },
             churn,
+            prefetch,
             telemetry,
             causal,
             fingerprint,

@@ -45,6 +45,7 @@ use cloudfog_sim::telemetry::{
 };
 use cloudfog_sim::time::{SimDuration, SimTime};
 use cloudfog_workload::arrival::{DiurnalArrivals, PoissonArrivals, SessionCycle};
+use cloudfog_workload::forecast::DemandForecaster;
 use cloudfog_workload::games::{Game, GameId, QualityLevel, GAMES, QUALITY_LEVELS};
 use cloudfog_workload::gaze::GazeModel;
 use cloudfog_workload::session::SessionState;
@@ -66,6 +67,7 @@ pub struct GameQoe {
 use cloudfog_workload::player::PlayerId;
 
 use crate::adapt::{AdaptPolicy, AdaptPolicyKind, PolicyInputs, RateDecision, SwitchDriver};
+use crate::cache::{SegmentCache, SegmentKey};
 use crate::config::{ExperimentProfile, SystemParams};
 use crate::control::{
     AdmissionDecision, AdmissionParams, ControlOp, ControlOpKind, ControlPlaneParams,
@@ -241,6 +243,151 @@ impl ChurnStats {
     }
 }
 
+/// Predictive prefetch plane knobs: the per-region demand forecaster,
+/// the bounded encoded-segment cache, and the conversion of forecasts
+/// into lead-time pre-provisioning (pre-deploys + pre-encode jobs).
+/// `None` on [`StreamingSimConfig::prefetch`] keeps today's fully
+/// reactive model — bit-for-bit identical event streams and summaries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrefetchConfig {
+    /// Forecast tick: how often demand is sampled and predictions are
+    /// refreshed.
+    pub tick: SimDuration,
+    /// Content chunk duration — the time quantum of cache keys.
+    /// Segments encoded for the same `(game, quality, chunk)` are
+    /// interchangeable across players.
+    pub chunk: SimDuration,
+    /// Ring-buffer history length per region (samples).
+    pub history: usize,
+    /// EWMA smoothing factor in (0, 1].
+    pub ewma_alpha: f64,
+    /// Diurnal-seasonal swing amplitude in [0, 1).
+    pub seasonal_amplitude: f64,
+    /// Diurnal peak hour (0–24), matching the arrival model.
+    pub seasonal_peak_hour: f64,
+    /// Forecast lead, in ticks: predictions (and pre-encoded chunks)
+    /// target this far ahead.
+    pub lead_ticks: u32,
+    /// Predicted regional fog utilization at which a lead-time
+    /// `Deploy` op is issued (churn runs on fog systems only —
+    /// pre-deploys ride the same fallible control plane as reactive
+    /// ones).
+    pub deploy_threshold: f64,
+    /// Cap on pre-deploys issued per forecast tick.
+    pub max_predeploys_per_tick: u32,
+    /// How many of the hottest games (by live sessions) each tick's
+    /// pre-encode parent job covers.
+    pub hot_games: usize,
+    /// Worker count for the pre-encode child tasks fanned over
+    /// `cloudfog-pool` (any value produces identical results).
+    pub encode_workers: usize,
+    /// Per-attempt failure probability of a pre-encode child task.
+    pub encode_fail_rate: f64,
+    /// Retry budget per pre-encode child task.
+    pub encode_max_attempts: u32,
+    /// Cache bound: maximum resident entries.
+    pub max_entries: usize,
+    /// Cache bound: maximum resident bytes.
+    pub capacity_bytes: u64,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig {
+            tick: SimDuration::from_secs(1),
+            chunk: SimDuration::from_secs(1),
+            history: 64,
+            ewma_alpha: 0.3,
+            seasonal_amplitude: 0.3,
+            seasonal_peak_hour: 20.0,
+            lead_ticks: 3,
+            deploy_threshold: 0.6,
+            max_predeploys_per_tick: 1,
+            hot_games: 2,
+            encode_workers: 1,
+            encode_fail_rate: 0.05,
+            encode_max_attempts: 3,
+            max_entries: 1_024,
+            capacity_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Prefetch-plane accounting of a run (see [`RunOutput::prefetch`];
+/// `None` when prefetch is off). Counters sum across shards; the
+/// peaks take the max — see [`PrefetchStats::absorb`]. The identities
+/// the harness invariants check:
+///
+/// * `cache_entries_peak ≤ max_entries`, `cache_bytes_peak ≤
+///   capacity_bytes` (`cache.bounded`);
+/// * `predeploys_issued ≤ churn.control_ops`, and zero without churn
+///   (`prefetch.no_phantom_capacity` — pre-deployed capacity obeys
+///   the same conservation as reactive deploys);
+/// * `encode_completed ≤ encode_tasks` and `encode_retries ≤
+///   encode_tasks × (encode_max_attempts − 1)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PrefetchStats {
+    /// Forecast ticks executed.
+    pub forecast_ticks: u64,
+    /// Request-path cache hits (encode skipped).
+    pub cache_hits: u64,
+    /// Request-path cache misses (full encode paid, result cached).
+    pub cache_misses: u64,
+    /// Entries inserted into the cache (request path + pre-encode).
+    pub cache_insertions: u64,
+    /// Entries evicted to stay within bounds.
+    pub cache_evictions: u64,
+    /// High-water mark of resident cache entries.
+    pub cache_entries_peak: u64,
+    /// High-water mark of resident cache bytes.
+    pub cache_bytes_peak: u64,
+    /// Pre-encode parent jobs planned (≤ one per forecast tick).
+    pub encode_jobs: u64,
+    /// Pre-encode child tasks attempted.
+    pub encode_tasks: u64,
+    /// Child-task attempts retried after a simulated failure.
+    pub encode_retries: u64,
+    /// Child tasks that completed and were inserted.
+    pub encode_completed: u64,
+    /// Lead-time `Deploy` ops issued from forecasts.
+    pub predeploys_issued: u64,
+    /// Encode milliseconds the cache saved on the request path.
+    pub encode_ms_saved: f64,
+}
+
+impl PrefetchStats {
+    /// Fold another run's counters into this one: counters sum, the
+    /// peaks take the max (a merged run's high-water mark is the
+    /// worst shard's, since per-shard caches are independent). Used by
+    /// the sharded driver to aggregate per-shard prefetch accounting
+    /// in canonical shard order.
+    pub fn absorb(&mut self, other: &PrefetchStats) {
+        self.forecast_ticks += other.forecast_ticks;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_insertions += other.cache_insertions;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_entries_peak = self.cache_entries_peak.max(other.cache_entries_peak);
+        self.cache_bytes_peak = self.cache_bytes_peak.max(other.cache_bytes_peak);
+        self.encode_jobs += other.encode_jobs;
+        self.encode_tasks += other.encode_tasks;
+        self.encode_retries += other.encode_retries;
+        self.encode_completed += other.encode_completed;
+        self.predeploys_issued += other.predeploys_issued;
+        self.encode_ms_saved += other.encode_ms_saved;
+    }
+
+    /// Request-path hit rate over all lookups so far (0.0 before any).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Configuration of one streaming run.
 #[derive(Clone, Debug)]
 pub struct StreamingSimConfig {
@@ -293,6 +440,10 @@ pub struct StreamingSimConfig {
     /// fallible control plane and brownout admission (`None` = the
     /// fixed-cohort model, unchanged bit for bit).
     pub churn: Option<ChurnConfig>,
+    /// Predictive prefetch plane: per-region demand forecasting, the
+    /// bounded encoded-segment cache, and lead-time pre-provisioning
+    /// (`None` = today's fully reactive model, unchanged bit for bit).
+    pub prefetch: Option<PrefetchConfig>,
     /// Which adaptation policy streams run
     /// (default [`AdaptPolicyKind::BufferOccupancy`] — the paper's
     /// controller, bit-identical to the pre-arena behaviour).
@@ -338,6 +489,7 @@ impl StreamingSimConfig {
                 watchdog: None,
                 telemetry: None,
                 churn: None,
+                prefetch: None,
                 policy: AdaptPolicyKind::BufferOccupancy,
                 segment_id_base: 0,
             },
@@ -469,6 +621,14 @@ impl StreamingSimConfigBuilder {
     /// the fallible control plane and brownout admission.
     pub fn churn(mut self, churn: ChurnConfig) -> Self {
         self.cfg.churn = Some(churn);
+        self
+    }
+
+    /// Enable the predictive prefetch plane: per-region demand
+    /// forecasting, the bounded encoded-segment cache, and lead-time
+    /// pre-provisioning.
+    pub fn prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.cfg.prefetch = Some(prefetch);
         self
     }
 
@@ -669,6 +829,9 @@ pub struct RunOutput {
     /// Lifecycle / control-plane accounting (when
     /// [`StreamingSimConfig::churn`] is set).
     pub churn: Option<ChurnStats>,
+    /// Prefetch-plane accounting (when
+    /// [`StreamingSimConfig::prefetch`] is set).
+    pub prefetch: Option<PrefetchStats>,
 }
 
 /// Time-bucketed QoE curves of a run (enabled via
@@ -829,6 +992,25 @@ struct TelemetryState {
     causal: CausalLog,
 }
 
+/// Prefetch-plane state — allocated only when
+/// [`StreamingSimConfig::prefetch`] is set, so a disabled run pays one
+/// pointer-null check on the action path and nothing else.
+struct PrefetchState {
+    cfg: PrefetchConfig,
+    /// The bounded encoded-segment cache (hit = encode skipped).
+    cache: SegmentCache,
+    /// One demand forecaster per region, indexed by [`Region::index`].
+    forecasts: Vec<DemandForecaster>,
+    /// Prefetch RNG: pre-deploy candidate picks and pre-encode
+    /// failure draws. Forked after `rng_policy` so prefetch-off seeds
+    /// replay the exact event sequence they produced before the
+    /// prefetch plane existed.
+    rng: Rng,
+    /// Non-cache counters (the cache keeps its own; see
+    /// [`StreamingSim::prefetch_stats`] for the composed view).
+    stats: PrefetchStats,
+}
+
 /// Per-sender state: one uplink port with one queue.
 struct Sender {
     buffer: SenderBuffer,
@@ -880,6 +1062,9 @@ pub enum Ev {
     SupernodeArrival,
     /// Churn: a random live supernode retires gracefully.
     SupernodeRetirement,
+    /// Prefetch: forecast tick — sample per-region demand, refresh
+    /// predictions, issue lead-time pre-deploys and pre-encode jobs.
+    PrefetchTick,
 }
 
 /// The streaming simulation model.
@@ -968,6 +1153,8 @@ pub struct StreamingSim {
     /// Lifecycle / control-plane accounting (all zeros when churn is
     /// off).
     churn_stats: ChurnStats,
+    /// Prefetch-plane state (`None` = off, zero cost).
+    prefetch: Option<Box<PrefetchState>>,
 }
 
 impl StreamingSim {
@@ -1031,6 +1218,28 @@ impl StreamingSim {
             _ => Vec::new(),
         };
         let gaze = GazeModel::new(cfg.seed ^ 0x6A2E);
+        // Same fork discipline, one layer later again: the prefetch
+        // RNG forks after `rng_policy` (conditionally — `root` is
+        // consumed nowhere else) so prefetch-off seeds replay
+        // unchanged.
+        let prefetch = cfg.prefetch.map(|p| {
+            Box::new(PrefetchState {
+                cfg: p,
+                cache: SegmentCache::new(p.max_entries, p.capacity_bytes),
+                forecasts: (0..NUM_REGIONS)
+                    .map(|_| {
+                        DemandForecaster::new(
+                            p.history,
+                            p.ewma_alpha,
+                            p.seasonal_amplitude,
+                            p.seasonal_peak_hour,
+                        )
+                    })
+                    .collect(),
+                rng: root.fork(),
+                stats: PrefetchStats::default(),
+            })
+        });
         let cfg_segment_id_base = cfg.segment_id_base;
         StreamingSim {
             cfg,
@@ -1069,6 +1278,7 @@ impl StreamingSim {
             outage_level: [0; NUM_REGIONS],
             arrival_pool,
             churn_stats: ChurnStats::default(),
+            prefetch,
         }
     }
 
@@ -1099,7 +1309,8 @@ impl StreamingSim {
         });
         let causal = model.telemetry.as_ref().map(|t| t.causal.report(model.cfg.kind.label()));
         let churn = model.cfg.churn.is_some().then_some(model.churn_stats);
-        RunOutput { summary, series: model.series, telemetry, causal, churn }
+        let prefetch = model.prefetch_stats();
+        RunOutput { summary, series: model.series, telemetry, causal, churn, prefetch }
     }
 
     /// Build the fully-seeded simulation for `cfg`: model constructed,
@@ -1197,6 +1408,9 @@ impl StreamingSim {
         for (i, at) in fault_starts.into_iter().enumerate() {
             sim.seed_at(at, Ev::FaultStart(i));
         }
+        if let Some(p) = sim.model.cfg.prefetch {
+            sim.seed_at(SimTime::ZERO + p.tick, Ev::PrefetchTick);
+        }
         sim
     }
 
@@ -1292,7 +1506,8 @@ impl StreamingSim {
         });
         let causal = model.telemetry.as_ref().map(|t| t.causal.report(model.cfg.kind.label()));
         let churn = model.cfg.churn.is_some().then_some(model.churn_stats);
-        let out = RunOutput { summary, series: model.series, telemetry, causal, churn };
+        let prefetch = model.prefetch_stats();
+        let out = RunOutput { summary, series: model.series, telemetry, causal, churn, prefetch };
         let report = LiveReport { registry, alerts: engine.into_log(), samples };
         (out, report)
     }
@@ -1453,6 +1668,25 @@ impl StreamingSim {
         &self.churn_stats
     }
 
+    /// Prefetch-plane counters accumulated so far (`None` when the
+    /// plane is off). The cache keeps its own hit/miss/evict/peak
+    /// counters; this composes them with the forecaster and encode-job
+    /// counters into the one public [`PrefetchStats`] view, so nothing
+    /// is ever counted twice.
+    pub(crate) fn prefetch_stats(&self) -> Option<PrefetchStats> {
+        self.prefetch.as_ref().map(|ps| {
+            let c = ps.cache.stats();
+            let mut s = ps.stats;
+            s.cache_hits = c.hits;
+            s.cache_misses = c.misses;
+            s.cache_insertions = c.insertions;
+            s.cache_evictions = c.evictions;
+            s.cache_entries_peak = c.entries_peak;
+            s.cache_bytes_peak = c.bytes_peak;
+            s
+        })
+    }
+
     /// The causal report for a finished run, when telemetry was on.
     pub(crate) fn causal_report(&self, run: &str) -> Option<CausalReport> {
         self.telemetry.as_ref().map(|t| t.causal.report(run))
@@ -1545,6 +1779,16 @@ impl StreamingSim {
         reg.set_counter(ids.churn_sn_retirements, c.supernode_retirements);
         reg.set_counter(ids.failures_injected, self.failures_injected);
         reg.set_counter(ids.faults_activated, self.faults_activated);
+        let pf = self.prefetch_stats().unwrap_or_default();
+        reg.set_counter(ids.cache_hits, pf.cache_hits);
+        reg.set_counter(ids.cache_misses, pf.cache_misses);
+        reg.set_counter(ids.cache_evictions, pf.cache_evictions);
+        reg.set_gauge(
+            ids.cache_bytes,
+            self.prefetch.as_ref().map_or(0.0, |ps| ps.cache.bytes() as f64),
+        );
+        reg.set_counter(ids.prefetch_predictions, pf.forecast_ticks);
+        reg.set_counter(ids.prefetch_predeploys, pf.predeploys_issued);
         if let Some(h) = self.metrics.segment_latency_histogram() {
             reg.set_histogram(ids.lat_segment, h.clone());
         }
@@ -1595,6 +1839,19 @@ impl StreamingSim {
             report.scalar("churn.migrations_applied", c.migrations_applied as f64);
             report.scalar("churn.supernode_arrivals", c.supernode_arrivals as f64);
             report.scalar("churn.supernode_retirements", c.supernode_retirements as f64);
+        }
+        if let Some(p) = self.prefetch_stats() {
+            report.scalar("prefetch.forecast_ticks", p.forecast_ticks as f64);
+            report.scalar("prefetch.cache_hits", p.cache_hits as f64);
+            report.scalar("prefetch.cache_misses", p.cache_misses as f64);
+            report.scalar("prefetch.cache_evictions", p.cache_evictions as f64);
+            report.scalar("prefetch.hit_rate", p.hit_rate());
+            report.scalar("prefetch.encode_ms_saved", p.encode_ms_saved);
+            report.scalar("prefetch.encode_jobs", p.encode_jobs as f64);
+            report.scalar("prefetch.encode_tasks", p.encode_tasks as f64);
+            report.scalar("prefetch.encode_retries", p.encode_retries as f64);
+            report.scalar("prefetch.encode_completed", p.encode_completed as f64);
+            report.scalar("prefetch.predeploys_issued", p.predeploys_issued as f64);
         }
         if let Some(hist) = self.metrics.segment_latency_histogram() {
             report.distribution(
@@ -1767,12 +2024,45 @@ impl StreamingSim {
         // draw and the chaos multiplier happen per segment.
         let paths = active.paths;
         let is_fog = active.source.supernode.is_some();
-        let model = self.deployment.topology().model();
         // Processing (state compute + rendering) happens in every
         // system — in the cloud, on an edge server, or on a supernode.
         // It is charged to the §I 20 ms playout/processing budget, so
         // the segment's *network* clock starts after it.
-        let processing = self.cfg.params.cloud_compute + self.cfg.params.render_time;
+        let full_processing = self.cfg.params.cloud_compute + self.cfg.params.render_time;
+        let mut processing = full_processing;
+        // Prefetch plane: segments encoded for the same (game,
+        // quality, time-chunk) window are interchangeable across
+        // players, so a cache hit skips the encode entirely and the
+        // response enters the network immediately. A miss charges the
+        // full encode and publishes the result for every later request
+        // in the same window.
+        let mut cache_event: Option<&'static str> = None;
+        let mut evict_event: Option<(u64, f64)> = None;
+        if let Some(ps) = self.prefetch.as_mut() {
+            let chunk = now.as_micros() / ps.cfg.chunk.as_micros().max(1);
+            let key = SegmentKey { game: game.id, quality: quality.level, chunk };
+            if ps.cache.lookup(&key) {
+                ps.stats.encode_ms_saved += full_processing.as_millis_f64();
+                processing = SimDuration::ZERO;
+                cache_event = Some(obs::kind::CACHE_HIT);
+            } else {
+                let bytes = self.cfg.params.segment_bytes(quality.bitrate_kbps);
+                let evicted = ps.cache.insert(key, bytes);
+                cache_event = Some(obs::kind::CACHE_MISS);
+                if evicted > 0 {
+                    evict_event = Some((evicted, ps.cache.bytes() as f64));
+                }
+            }
+        }
+        if self.tracing() {
+            if let Some(kind) = cache_event {
+                self.trace(TraceRecord::new(now, kind, u64::from(p.0), f64::from(quality.level)));
+            }
+            if let Some((evicted, resident)) = evict_event {
+                self.trace(TraceRecord::new(now, obs::kind::CACHE_EVICT, evicted, resident));
+            }
+        }
+        let model = self.deployment.topology().model();
         let mut delay = Self::sample_hop_chaos(model, &self.chaos, paths.action, &mut self.rng_net)
             + processing;
         if is_fog {
@@ -2958,6 +3248,181 @@ impl StreamingSim {
             self.issue_op(kind, sched);
         }
     }
+
+    /// One prefetch tick: sample per-region demand, refresh the
+    /// forecasters, and convert predictions into lead-time work —
+    /// fallible `Deploy` pre-provisioning where forecast demand
+    /// presses against live fog capacity, and a pre-encode parent job
+    /// whose per-`(game, quality, chunk)` child tasks fan out on the
+    /// worker pool and publish upcoming windows into the segment
+    /// cache before the requests land.
+    fn handle_prefetch_tick(&mut self, sched: &mut Scheduler<'_, Ev, EventQueue<Ev>>) {
+        let Some(ps) = self.prefetch.as_ref() else { return };
+        let pcfg = ps.cfg;
+        let now = sched.now();
+        sched.schedule_in(pcfg.tick, Ev::PrefetchTick);
+
+        // Demand sample: live, non-draining sessions per home region,
+        // plus the (game, quality) mix the pre-encode job will cover.
+        let mut demand = [0.0f64; NUM_REGIONS];
+        let mut game_sessions: BTreeMap<GameId, u64> = BTreeMap::new();
+        let mut qualities_in_use: std::collections::BTreeSet<(GameId, u8, u32)> =
+            std::collections::BTreeSet::new();
+        {
+            let topo = self.deployment.topology();
+            for (i, a) in self.active.iter().enumerate() {
+                let Some(a) = a else { continue };
+                if a.draining {
+                    continue;
+                }
+                let host = self.deployment.population.host_of(PlayerId(i as u32));
+                demand[topo.host(host).region.index()] += 1.0;
+                let q = a.controller.as_ref().map(|c| c.quality()).unwrap_or(a.quality);
+                *game_sessions.entry(a.game).or_insert(0) += 1;
+                qualities_in_use.insert((a.game, q.level, q.bitrate_kbps));
+            }
+        }
+
+        // Refresh the forecasters and predict one lead window out.
+        let lead = pcfg.tick.mul_f64(f64::from(pcfg.lead_ticks));
+        let mut predicted = [0.0f64; NUM_REGIONS];
+        {
+            let ps = self.prefetch.as_mut().expect("prefetch enabled");
+            for (r, f) in ps.forecasts.iter_mut().enumerate() {
+                f.observe(demand[r]);
+                predicted[r] = f.predict(now, lead, pcfg.tick);
+            }
+            ps.stats.forecast_ticks += 1;
+        }
+        if self.tracing() {
+            for (r, p) in predicted.iter().enumerate() {
+                self.trace(TraceRecord::new(now, obs::kind::PREFETCH_PREDICT, r as u64, *p));
+            }
+        }
+
+        // Pre-provisioning: where the forecast presses against live
+        // fog capacity, pull a capable volunteer forward through the
+        // same fallible `Deploy` control-plane path organic arrivals
+        // use. Needs the control plane (churn) and a fog system;
+        // without churn the plane forecasts and caches only.
+        if self.cfg.churn.is_some() && self.cfg.kind.uses_fog() && !self.arrival_pool.is_empty() {
+            let mut pool_picks: Vec<usize> = Vec::new();
+            {
+                let topo = self.deployment.topology();
+                let mut capacity = [0u64; NUM_REGIONS];
+                for sn in self.deployment.supernodes.iter() {
+                    if sn.is_live() {
+                        capacity[topo.host(sn.host).region.index()] += u64::from(sn.capacity);
+                    }
+                }
+                // Canonical region-index order keeps the pick sequence
+                // (and thus the whole event stream) deterministic.
+                let ps = self.prefetch.as_mut().expect("prefetch enabled");
+                for (r, region) in Region::ALL.iter().enumerate() {
+                    if pool_picks.len() >= pcfg.max_predeploys_per_tick as usize {
+                        break;
+                    }
+                    let pressed = if capacity[r] == 0 {
+                        predicted[r] > 0.0
+                    } else {
+                        predicted[r] / capacity[r] as f64 >= pcfg.deploy_threshold
+                    };
+                    if !pressed {
+                        continue;
+                    }
+                    let candidates: Vec<usize> = self
+                        .arrival_pool
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, p)| {
+                            !pool_picks.contains(i)
+                                && topo.host(self.deployment.population.host_of(**p)).region
+                                    == *region
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    pool_picks.push(candidates[ps.rng.index(candidates.len())]);
+                }
+            }
+            // Descending index order keeps the remaining picks valid
+            // across `swap_remove`.
+            pool_picks.sort_unstable_by(|a, b| b.cmp(a));
+            for idx in pool_picks {
+                let candidate = self.arrival_pool.swap_remove(idx);
+                let region = self
+                    .deployment
+                    .topology()
+                    .host(self.deployment.population.host_of(candidate))
+                    .region;
+                self.issue_op(ControlOpKind::Deploy { candidate }, sched);
+                self.prefetch.as_mut().expect("prefetch enabled").stats.predeploys_issued += 1;
+                if self.tracing() {
+                    self.trace(TraceRecord::new(
+                        now,
+                        obs::kind::DEPLOY_PRE,
+                        u64::from(candidate.0),
+                        region.index() as f64,
+                    ));
+                }
+            }
+        }
+
+        // Pre-encode: one parent job per tick fans per-(game, quality,
+        // upcoming-chunk) child tasks out on the worker pool. Retry
+        // draws happen sequentially up front so the worker count can
+        // never touch the random stream (worker count stays
+        // bit-invisible); the pool computes encoded sizes and results
+        // fold back into the cache in index order.
+        if !qualities_in_use.is_empty() {
+            let mut hot: Vec<(u64, GameId)> = game_sessions.iter().map(|(g, n)| (*n, *g)).collect();
+            hot.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            hot.truncate(pcfg.hot_games);
+            let hot: std::collections::BTreeSet<GameId> = hot.into_iter().map(|(_, g)| g).collect();
+            let cur_chunk = now.as_micros() / pcfg.chunk.as_micros().max(1);
+            let ps = self.prefetch.as_mut().expect("prefetch enabled");
+            let mut tasks: Vec<(SegmentKey, u32)> = Vec::new();
+            for &(game, level, bitrate) in &qualities_in_use {
+                if !hot.contains(&game) {
+                    continue;
+                }
+                for ahead in 1..=u64::from(pcfg.lead_ticks) {
+                    let key = SegmentKey { game, quality: level, chunk: cur_chunk + ahead };
+                    if ps.cache.contains(&key) {
+                        continue;
+                    }
+                    ps.stats.encode_tasks += 1;
+                    let mut ok = false;
+                    for _ in 0..pcfg.encode_max_attempts {
+                        if ps.rng.chance(pcfg.encode_fail_rate) {
+                            ps.stats.encode_retries += 1;
+                        } else {
+                            ok = true;
+                            break;
+                        }
+                    }
+                    if ok {
+                        ps.stats.encode_completed += 1;
+                        tasks.push((key, bitrate));
+                    }
+                }
+            }
+            if !tasks.is_empty() {
+                ps.stats.encode_jobs += 1;
+                let params = &self.cfg.params;
+                let encoded =
+                    cloudfog_pool::map_indexed(pcfg.encode_workers, &tasks, |_, (key, bitrate)| {
+                        (*key, params.segment_bytes(*bitrate))
+                    });
+                let ps = self.prefetch.as_mut().expect("prefetch enabled");
+                for (key, bytes) in encoded {
+                    ps.cache.insert(key, bytes);
+                }
+            }
+        }
+    }
 }
 
 impl Model for StreamingSim {
@@ -2986,6 +3451,7 @@ impl Model for StreamingSim {
             Ev::RebalanceSweep => self.handle_rebalance_sweep(sched),
             Ev::SupernodeArrival => self.handle_supernode_arrival(sched),
             Ev::SupernodeRetirement => self.handle_supernode_retirement(sched),
+            Ev::PrefetchTick => self.handle_prefetch_tick(sched),
         }
     }
 }

@@ -82,6 +82,8 @@ impl InvariantRegistry {
         r.register(JoinLeaveConservation);
         r.register(RetryBounded);
         r.register(SloBurnRateBounded);
+        r.register(CacheBounded);
+        r.register(PrefetchNoPhantomCapacity);
         r.register(FogDominatesCloud::default());
         r
     }
@@ -634,6 +636,102 @@ impl Invariant for SloBurnRateBounded {
             }
         }
         out
+    }
+}
+
+/// The encoded-segment cache never exceeds its configured bounds: the
+/// high-water marks of resident entries and bytes stay at or under
+/// `max_entries` / `capacity_bytes`, and the lookup/insert accounting
+/// is internally consistent (`insertions ≥ evictions`, hits + misses
+/// cover every request-path lookup). Cells without the prefetch plane
+/// skip.
+pub struct CacheBounded;
+
+impl Invariant for CacheBounded {
+    fn name(&self) -> &'static str {
+        "cache.bounded"
+    }
+
+    fn check_run(&self, scenario: &Scenario, output: &RunOutput) -> Result<(), String> {
+        let Some(p) = &output.prefetch else { return Ok(()) };
+        let Some(cfg) = scenario.prefetch else {
+            return Err("prefetch stats reported by a cell with no prefetch axis".to_string());
+        };
+        // Sharded cells run one cache per shard; each is individually
+        // bounded, and the merged peak is the max across shards — so
+        // the same per-config bound applies either way.
+        if p.cache_entries_peak > cfg.max_entries as u64 {
+            return Err(format!(
+                "cache entries peak {} exceeds bound {}",
+                p.cache_entries_peak, cfg.max_entries
+            ));
+        }
+        if p.cache_bytes_peak > cfg.capacity_bytes {
+            return Err(format!(
+                "cache bytes peak {} exceeds bound {}",
+                p.cache_bytes_peak, cfg.capacity_bytes
+            ));
+        }
+        if p.cache_evictions > p.cache_insertions {
+            return Err(format!(
+                "{} evictions exceed {} insertions — an entry was evicted twice",
+                p.cache_evictions, p.cache_insertions
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Pre-provisioned capacity is never phantom: every lead-time deploy
+/// rides the fallible control plane (so `predeploys_issued` is bounded
+/// by `control_ops`), a churn-free cell issues none at all, and the
+/// pre-encode job accounting closes (`encode_completed ≤ encode_tasks`,
+/// retries within the per-task budget). Cells without the prefetch
+/// plane skip.
+pub struct PrefetchNoPhantomCapacity;
+
+impl Invariant for PrefetchNoPhantomCapacity {
+    fn name(&self) -> &'static str {
+        "prefetch.no_phantom_capacity"
+    }
+
+    fn check_run(&self, scenario: &Scenario, output: &RunOutput) -> Result<(), String> {
+        let Some(p) = &output.prefetch else { return Ok(()) };
+        match &output.churn {
+            Some(c) => {
+                if p.predeploys_issued > c.control_ops {
+                    return Err(format!(
+                        "{} pre-deploys exceed {} control ops — capacity appeared outside the \
+                         control plane",
+                        p.predeploys_issued, c.control_ops
+                    ));
+                }
+            }
+            None => {
+                if p.predeploys_issued != 0 {
+                    return Err(format!(
+                        "{} pre-deploys issued with the control plane (churn) off",
+                        p.predeploys_issued
+                    ));
+                }
+            }
+        }
+        if p.encode_completed > p.encode_tasks {
+            return Err(format!(
+                "{} completed pre-encode tasks exceed {} attempted",
+                p.encode_completed, p.encode_tasks
+            ));
+        }
+        if let Some(cfg) = scenario.prefetch {
+            let retry_bound = p.encode_tasks * u64::from(cfg.encode_max_attempts);
+            if p.encode_retries > retry_bound {
+                return Err(format!(
+                    "{} pre-encode retries exceed {} tasks × {} attempts = {}",
+                    p.encode_retries, p.encode_tasks, cfg.encode_max_attempts, retry_bound
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

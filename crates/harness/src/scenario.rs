@@ -11,7 +11,8 @@
 use cloudfog_core::adapt::AdaptPolicyKind;
 use cloudfog_core::fault::{FaultScript, WatchdogParams};
 use cloudfog_core::systems::{
-    ChurnConfig, JoinPattern, LiveConfig, ShardedSimConfig, StreamingSimConfig, SystemKind,
+    ChurnConfig, JoinPattern, LiveConfig, PrefetchConfig, ShardedSimConfig, StreamingSimConfig,
+    SystemKind,
 };
 use cloudfog_sim::telemetry::TelemetryConfig;
 use cloudfog_sim::time::SimDuration;
@@ -218,6 +219,9 @@ pub struct Scenario {
     /// entry points, untouched). Sampling is read-only, so turning
     /// this on cannot change the cell's summary.
     pub live: Option<LiveConfig>,
+    /// Predictive prefetch plane for this cell (`None` = off,
+    /// bit-identical to the pre-prefetch harness).
+    pub prefetch: Option<PrefetchConfig>,
 }
 
 impl Scenario {
@@ -238,6 +242,9 @@ impl Scenario {
         }
         if let Some(t) = &self.telemetry {
             b = b.telemetry(t.clone());
+        }
+        if let Some(p) = self.prefetch {
+            b = b.prefetch(p);
         }
         b.build()
     }
@@ -269,6 +276,9 @@ impl Scenario {
             .churn(self.churn.is_some());
         if let Some(t) = &self.telemetry {
             b = b.telemetry(t.clone());
+        }
+        if let Some(p) = self.prefetch {
+            b = b.prefetch(p);
         }
         Some(b.build())
     }
@@ -302,6 +312,7 @@ pub struct ScenarioMatrix {
     telemetry: Option<TelemetryConfig>,
     shards: Vec<Option<ShardProfile>>,
     live: Option<LiveConfig>,
+    prefetches: Vec<Option<PrefetchConfig>>,
 }
 
 impl Default for ScenarioMatrix {
@@ -325,6 +336,7 @@ impl ScenarioMatrix {
             telemetry: None,
             shards: Vec::new(),
             live: None,
+            prefetches: Vec::new(),
         }
     }
 
@@ -398,6 +410,15 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Append a prefetch axis (no prefetch call ⇒ one prefetch-off
+    /// axis, so existing matrices keep their cell ids and names). Pass
+    /// `None` explicitly to compare prefetch-off and prefetch-on cells
+    /// side by side in one matrix.
+    pub fn prefetch(mut self, prefetch: Option<PrefetchConfig>) -> Self {
+        self.prefetches.push(prefetch);
+        self
+    }
+
     /// Turn on the live ops plane for every cell: tick-synchronous
     /// metrics sampling plus SLO burn-rate alerting, with fired
     /// alerts recorded on each [`CellResult`](crate::exec::CellResult)
@@ -408,10 +429,11 @@ impl ScenarioMatrix {
     }
 
     /// Expand the cross product into numbered scenarios. Expansion
-    /// order is `shard × policy × churn × template × players × seed ×
-    /// system` (system varies fastest, matching the paper's
-    /// side-by-side comparisons; churn, policy and shard are outermost
-    /// so matrices that never set them keep their historic cell ids).
+    /// order is `prefetch × shard × policy × churn × template ×
+    /// players × seed × system` (system varies fastest, matching the
+    /// paper's side-by-side comparisons; churn, policy, shard and
+    /// prefetch are outermost so matrices that never set them keep
+    /// their historic cell ids).
     pub fn build(&self) -> Vec<Scenario> {
         let templates: &[FaultTemplate] =
             if self.templates.is_empty() { &[FaultTemplate::None] } else { &self.templates };
@@ -419,6 +441,8 @@ impl ScenarioMatrix {
             if self.churns.is_empty() { &[None] } else { &self.churns };
         let shards: &[Option<ShardProfile>] =
             if self.shards.is_empty() { &[None] } else { &self.shards };
+        let prefetches: &[Option<PrefetchConfig>] =
+            if self.prefetches.is_empty() { &[None] } else { &self.prefetches };
         // The implicit default axis carries no name suffix; an
         // explicit `.policy(..)` labels every cell so arena matrices
         // stay self-describing.
@@ -429,7 +453,8 @@ impl ScenarioMatrix {
             &self.policies
         };
         let mut out = Vec::with_capacity(
-            shards.len()
+            prefetches.len()
+                * shards.len()
                 * policies.len()
                 * churns.len()
                 * templates.len()
@@ -437,47 +462,54 @@ impl ScenarioMatrix {
                 * self.seeds.len()
                 * self.systems.len(),
         );
-        for shard in shards {
-            for &policy in policies {
-                for churn in churns {
-                    for template in templates {
-                        for &players in &self.players {
-                            for &seed in &self.seeds {
-                                for &kind in &self.systems {
-                                    let id = out.len();
-                                    let churn_suffix = match churn {
-                                        Some(c) => format!("/{}", c.label()),
-                                        None => String::new(),
-                                    };
-                                    let policy_suffix = if label_policies {
-                                        format!("/{}", policy.label())
-                                    } else {
-                                        String::new()
-                                    };
-                                    let shard_suffix = match shard {
-                                        Some(s) => format!("/{}", s.label()),
-                                        None => String::new(),
-                                    };
-                                    out.push(Scenario {
-                                        id,
-                                        name: format!(
-                                            "{}/p{players}/s{seed}/{}{churn_suffix}\
-                                             {policy_suffix}{shard_suffix}",
-                                            kind.label(),
-                                            template.label()
-                                        ),
-                                        kind,
-                                        players,
-                                        seed,
-                                        ramp: self.ramp,
-                                        horizon: self.horizon,
-                                        template: template.clone(),
-                                        churn: churn.clone(),
-                                        policy,
-                                        telemetry: self.telemetry.clone(),
-                                        shard: shard.clone(),
-                                        live: self.live.clone(),
-                                    });
+        for prefetch in prefetches {
+            for shard in shards {
+                for &policy in policies {
+                    for churn in churns {
+                        for template in templates {
+                            for &players in &self.players {
+                                for &seed in &self.seeds {
+                                    for &kind in &self.systems {
+                                        let id = out.len();
+                                        let churn_suffix = match churn {
+                                            Some(c) => format!("/{}", c.label()),
+                                            None => String::new(),
+                                        };
+                                        let policy_suffix = if label_policies {
+                                            format!("/{}", policy.label())
+                                        } else {
+                                            String::new()
+                                        };
+                                        let shard_suffix = match shard {
+                                            Some(s) => format!("/{}", s.label()),
+                                            None => String::new(),
+                                        };
+                                        let prefetch_suffix = match prefetch {
+                                            Some(_) => "/prefetch".to_string(),
+                                            None => String::new(),
+                                        };
+                                        out.push(Scenario {
+                                            id,
+                                            name: format!(
+                                                "{}/p{players}/s{seed}/{}{churn_suffix}\
+                                                 {policy_suffix}{shard_suffix}{prefetch_suffix}",
+                                                kind.label(),
+                                                template.label()
+                                            ),
+                                            kind,
+                                            players,
+                                            seed,
+                                            ramp: self.ramp,
+                                            horizon: self.horizon,
+                                            template: template.clone(),
+                                            churn: churn.clone(),
+                                            policy,
+                                            telemetry: self.telemetry.clone(),
+                                            shard: shard.clone(),
+                                            live: self.live.clone(),
+                                            prefetch: *prefetch,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -662,6 +694,50 @@ mod tests {
         assert_eq!(cfg.shard_count(), 2);
         assert!(!cfg.chaos, "clean template ⇒ chaos off");
         assert!(!cfg.churn, "no churn profile ⇒ churn off");
+    }
+
+    #[test]
+    fn prefetch_axis_defaults_off_with_historic_names() {
+        let cells = ScenarioMatrix::new()
+            .systems(&[SystemKind::CloudFogA])
+            .seeds([7])
+            .players(&[100])
+            .template(FaultTemplate::None)
+            .build();
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].prefetch.is_none());
+        assert_eq!(cells[0].name, "CloudFog/A/p100/s7/clean");
+        assert!(cells[0].config().prefetch.is_none(), "no prefetch axis ⇒ prefetch-off config");
+    }
+
+    #[test]
+    fn prefetch_axis_is_outermost_and_labels_cells() {
+        let cells = ScenarioMatrix::new()
+            .systems(&[SystemKind::Cloud, SystemKind::CloudFogA])
+            .seeds([1])
+            .players(&[100])
+            .template(FaultTemplate::None)
+            .prefetch(None)
+            .prefetch(Some(PrefetchConfig::default()))
+            .build();
+        assert_eq!(cells.len(), 4);
+        // Outermost axis: first block off, second on.
+        assert!(cells[0].prefetch.is_none() && cells[1].prefetch.is_none());
+        assert!(cells[2].prefetch.is_some() && cells[3].prefetch.is_some());
+        assert_eq!(cells[0].name, "Cloud/p100/s1/clean");
+        assert_eq!(cells[2].name, "Cloud/p100/s1/clean/prefetch");
+        assert!(cells[3].config().prefetch.is_some());
+        // The sharded expansion carries the plane through too.
+        let sharded = ScenarioMatrix::new()
+            .systems(&[SystemKind::CloudFogA])
+            .seeds([1])
+            .players(&[100])
+            .template(FaultTemplate::None)
+            .shard(Some(ShardProfile::with_capacity(50)))
+            .prefetch(Some(PrefetchConfig::default()))
+            .build();
+        let cfg = sharded[0].sharded_config().expect("sharded cell expands");
+        assert!(cfg.prefetch.is_some());
     }
 
     #[test]

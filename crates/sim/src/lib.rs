@@ -73,7 +73,7 @@ pub mod prelude {
     pub use crate::engine::{Model, RunReport, Scheduler, Simulation, StopReason};
     pub use crate::event::EventQueue;
     pub use crate::rng::Rng;
-    pub use crate::series::{CounterSeries, TimeSeries};
+    pub use crate::series::{CounterSeries, DipReport, SpikeReport, TimeSeries};
     pub use crate::stats::{Ewma, Histogram, Ratio, SlidingMean, TimeWeighted, Welford};
     pub use crate::telemetry::{
         CdfPoint, PhaseProfiler, Quantiles, TelemetryConfig, TelemetryReport, TraceRecord,

@@ -9,6 +9,9 @@
 //! * [`social`] — power-law friend graph and friend-majority game
 //!   choice.
 //! * [`arrival`] — Poisson joins (5 players/s) and play/rest cycles.
+//! * [`forecast`] — deterministic per-region demand forecasting
+//!   (ring-buffer history, EWMA + diurnal-seasonal model) for the
+//!   predictive prefetch plane.
 //! * [`session`] — the session lifecycle state machine
 //!   (`NotConnected → Connecting → Connected → InGame → Draining →
 //!   Gone`) that live-churn runs drive.
@@ -20,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod arrival;
+pub mod forecast;
 pub mod games;
 pub mod gaze;
 pub mod player;
@@ -30,6 +34,7 @@ pub mod social;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::arrival::{DiurnalArrivals, PoissonArrivals, SessionCycle};
+    pub use crate::forecast::DemandForecaster;
     pub use crate::games::{adjust_up_factor, Game, GameId, QualityLevel, GAMES, QUALITY_LEVELS};
     pub use crate::gaze::GazeModel;
     pub use crate::player::{CapacityDistribution, PlayClass, Player, PlayerId};

@@ -4,7 +4,7 @@
 //! outage knocks out the control plane mid-crowd.
 //!
 //! ```text
-//! cargo run --release --example flash_crowd
+//! cargo run --release --example flash_crowd [-- --no-prefetch]
 //! ```
 //!
 //! Runs CloudFog/A with a 10× join spike a third of the way in, brownout
@@ -13,14 +13,20 @@
 //! lifecycle / control-plane counters: how many sessions were admitted
 //! at full quality, degraded, or shed to the cloud, and how often the
 //! control plane had to retry or give up.
+//!
+//! The predictive prefetch plane is on by default, and its cache /
+//! forecast counters print alongside the lifecycle ones; re-run with
+//! `--no-prefetch` for the purely reactive model and compare the two
+//! outputs (or run `--example prefetch` for the scored comparison).
 
 use cloudfog::core::systems::simulation::QoeSeries;
 use cloudfog::prelude::*;
 
 fn main() {
+    let prefetch = !std::env::args().any(|a| a == "--no-prefetch");
     let horizon = SimDuration::from_secs(90);
     let outages = FaultScript::generate_outages(77, horizon, 2);
-    let cfg = StreamingSimConfig::builder(SystemKind::CloudFogA)
+    let mut builder = StreamingSimConfig::builder(SystemKind::CloudFogA)
         .players(400)
         .seed(77)
         .ramp(SimDuration::from_secs(10))
@@ -39,11 +45,18 @@ fn main() {
         })
         .fault_script(outages)
         .watchdog(WatchdogParams::default())
-        .series_bucket(SimDuration::from_secs(5))
-        .build();
+        .series_bucket(SimDuration::from_secs(5));
+    if prefetch {
+        builder = builder.prefetch(PrefetchConfig::default());
+    }
+    let cfg = builder.build();
 
     println!("flash crowd: 3/s background joins, 30/s spike at t=30s for 15s;");
-    println!("supernodes volunteer (0.1/s) and retire (0.05/s); 2 regional outages\n");
+    println!("supernodes volunteer (0.1/s) and retire (0.05/s); 2 regional outages");
+    println!(
+        "predictive prefetch plane: {}\n",
+        if prefetch { "ON (re-run with --no-prefetch to compare)" } else { "off" }
+    );
     let out = StreamingSim::run_instrumented(cfg);
     let summary = &out.summary;
     let series: QoeSeries = out.series.expect("series recording enabled");
@@ -91,6 +104,29 @@ fn main() {
     println!("  ops issued                  : {}", churn.control_ops);
     println!("  retries                     : {}", churn.control_retries);
     println!("  expired (fell back)         : {}", churn.control_expired);
+
+    if let Some(p) = &out.prefetch {
+        println!("\nprefetch plane (forecast → pre-deploy → segment cache):");
+        println!("  forecast ticks              : {}", p.forecast_ticks);
+        println!("  pre-deploys issued          : {}", p.predeploys_issued);
+        println!(
+            "  cache hits / misses         : {} / {} ({:.1}% hit rate)",
+            p.cache_hits,
+            p.cache_misses,
+            p.hit_rate() * 100.0
+        );
+        println!("  cache evictions             : {}", p.cache_evictions);
+        println!(
+            "  cache peaks                 : {} entries, {} KiB",
+            p.cache_entries_peak,
+            p.cache_bytes_peak / 1024
+        );
+        println!(
+            "  pre-encode                  : {} jobs, {} tasks, {} completed, {} retries",
+            p.encode_jobs, p.encode_tasks, p.encode_completed, p.encode_retries
+        );
+        println!("  encode time saved           : {:.0} ms", p.encode_ms_saved);
+    }
 
     println!("\nfleet churn:");
     println!("  supernodes volunteered      : {}", churn.supernode_arrivals);

@@ -136,6 +136,7 @@ fn violated_churn_invariant_shrinks_to_one_line_reproducer() {
         policy: repro.policy,
         shard: None,
         live: None,
+        prefetch: None,
     };
     let output = StreamingSim::run_instrumented(shrunk.config());
     assert!(

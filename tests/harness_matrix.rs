@@ -113,6 +113,7 @@ fn violated_invariant_shrinks_to_replayable_reproducer() {
         policy: repro.policy,
         shard: None,
         live: None,
+        prefetch: None,
     };
     let output = StreamingSim::run_instrumented(shrunk.config());
     assert!(

@@ -53,6 +53,7 @@ fn cell(id: usize, seed: u64) -> CellResult {
             policy: AdaptPolicyKind::BufferOccupancy,
             shard: None,
             live: None,
+            prefetch: None,
         },
         summary: summary(id, seed),
         telemetry: None,

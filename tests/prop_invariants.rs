@@ -292,4 +292,61 @@ proptest! {
         prop_assert_eq!(out2.total(), plan.len());
         prop_assert_eq!(&before, &occupancy(&table), "retrying the plan never double-assigns");
     }
+
+    /// Backoff delays never overflow: at any attempt count — including
+    /// counts far past where `base · 2^n` would wrap a u64 — the delay
+    /// is finite, never exceeds the jittered cap, and the budget gate
+    /// refuses retries at and beyond `max_attempts` (even `u32::MAX`).
+    /// With jitter zeroed, the schedule is monotone-nondecreasing up
+    /// to the cap.
+    #[test]
+    fn backoff_delay_is_finite_capped_and_monotone(
+        base_ms in 1u64..10_000,
+        max_delay_ms in 1u64..600_000,
+        max_attempts in 2u32..u32::MAX,
+        jitter in 0.0f64..2.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let policy = BackoffPolicy {
+            base: SimDuration::from_millis(base_ms),
+            max_delay: SimDuration::from_millis(max_delay_ms),
+            max_attempts,
+            jitter,
+        };
+        let mut rng = cloudfog::sim::rng::Rng::new(seed);
+
+        // Budget spent: no retry, no matter how absurd the count.
+        prop_assert!(policy.delay_after(max_attempts, &mut rng).is_none());
+        prop_assert!(policy.delay_after(max_attempts.saturating_add(1), &mut rng).is_none());
+        prop_assert!(policy.delay_after(u32::MAX, &mut rng).is_none());
+
+        // Within budget: finite and bounded by the jittered cap, even
+        // where an uncapped shift (attempt ≥ 64) would overflow.
+        let cap_secs =
+            policy.max_delay.as_secs_f64() * (1.0 + policy.jitter.clamp(0.0, 0.999)) + 1e-9;
+        for attempt in [1u32, 2, 20, 21, 63, 64, 65, 1_000, 1_000_000] {
+            if attempt >= max_attempts {
+                continue;
+            }
+            let d = policy.delay_after(attempt, &mut rng).expect("attempt within budget");
+            let secs = d.as_secs_f64();
+            prop_assert!(secs.is_finite(), "non-finite delay at attempt {}", attempt);
+            prop_assert!(
+                secs <= cap_secs,
+                "attempt {} delay {}s above jittered cap {}s",
+                attempt, secs, cap_secs
+            );
+        }
+
+        // Deterministic schedule (jitter off): doubling up to the cap,
+        // never decreasing, never above max_delay.
+        let flat = BackoffPolicy { jitter: 0.0, ..policy };
+        let mut prev = SimDuration::ZERO;
+        for attempt in 1..max_attempts.min(80) {
+            let d = flat.delay_after(attempt, &mut rng).expect("attempt within budget");
+            prop_assert!(d >= prev, "schedule shrank at attempt {}", attempt);
+            prop_assert!(d <= flat.max_delay, "uncapped delay at attempt {}", attempt);
+            prev = d;
+        }
+    }
 }

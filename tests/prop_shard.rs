@@ -56,6 +56,7 @@ fn cell(shard: usize, seed: u64) -> ShardCell {
         region: Region::ALL[shard % Region::ALL.len()],
         summary: summary(shard, seed ^ shard as u64),
         churn: None,
+        prefetch: None,
     }
 }
 
@@ -159,5 +160,57 @@ proptest! {
             prop_assert_eq!(s.segment_id_base, (i as u64) << 40);
         }
         prop_assert_eq!(specs, partition(total, capacity, seed));
+    }
+
+    /// Degenerate split: capacity at or above the whole population
+    /// must collapse to exactly one shard holding everyone, with the
+    /// zero segment-id base.
+    #[test]
+    fn partition_capacity_at_or_above_total_is_one_shard(
+        total in 1usize..10_000,
+        slack in 0usize..10_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let specs = partition(total, total + slack, seed);
+        prop_assert_eq!(specs.len(), 1);
+        prop_assert_eq!(specs[0].players, total);
+        prop_assert_eq!(specs[0].shard, 0);
+        prop_assert_eq!(specs[0].segment_id_base, 0);
+    }
+
+    /// Degenerate split: capacity 1 forces single-player worlds — one
+    /// shard per player, every shard holding exactly one, all
+    /// segment-id bases disjoint.
+    #[test]
+    fn partition_capacity_one_gives_single_player_worlds(
+        total in 1usize..2_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let specs = partition(total, 1, seed);
+        prop_assert_eq!(specs.len(), total);
+        prop_assert!(specs.iter().all(|s| s.players == 1));
+        let mut bases: Vec<u64> = specs.iter().map(|s| s.segment_id_base).collect();
+        bases.sort_unstable();
+        bases.dedup();
+        prop_assert_eq!(bases.len(), total, "segment-id bases must be disjoint");
+    }
+
+    /// Degenerate split at the shard-count boundary: `capacity =
+    /// total` forces exactly one shard, while `capacity = total - 1`
+    /// (total ≥ 2) tips over to exactly two — conservation and
+    /// disjoint segment-id bases hold on both sides of the edge.
+    #[test]
+    fn partition_shard_count_boundaries(
+        total in 2usize..10_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let one = partition(total, total, seed);
+        prop_assert_eq!(one.len(), 1);
+        prop_assert_eq!(one.iter().map(|s| s.players).sum::<usize>(), total);
+        let two = partition(total, total - 1, seed);
+        prop_assert_eq!(two.len(), 2);
+        prop_assert_eq!(two.iter().map(|s| s.players).sum::<usize>(), total);
+        prop_assert!(two[0].segment_id_base != two[1].segment_id_base);
+        prop_assert!(two.iter().all(|s| s.players < total));
     }
 }
